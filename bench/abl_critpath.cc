@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Ablation: critical-path delay and the Section IV-B1 optimizations.
+ *
+ * The paper reports that the EXI data path sat on Flexon's critical
+ * path, and that two optimizations fixed it: a fast exponential
+ * approximation (Schraudolph) and placing the EXI output at the top
+ * level of the v' adder tree. This bench walks the four
+ * combinations and derives each design's maximum clock (20 % slack
+ * margin, as in Section VI-A), ending at the paper's 250 MHz /
+ * 500 MHz operating points.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hh"
+#include "hwmodel/timing.hh"
+
+using namespace flexon;
+
+int
+main()
+{
+    std::printf("=== Ablation: critical paths and maximum clocks "
+                "(Section IV-B1 / VI-A) ===\n\n");
+
+    Table table({"Design variant", "Binding path", "Delay [ns]",
+                 "Max clock [MHz]"});
+
+    const UnitDelays &d = tsmc45Delays();
+    struct Variant
+    {
+        const char *name;
+        bool fastExp;
+        bool treeTop;
+    };
+    const Variant variants[] = {
+        {"Flexon, naive exp, EXI at tree bottom", false, false},
+        {"Flexon, naive exp, EXI at tree top", false, true},
+        {"Flexon, fast exp, EXI at tree bottom", true, false},
+        {"Flexon, fast exp + tree top (shipped)", true, true},
+    };
+    for (const Variant &v : variants) {
+        const CriticalPath path =
+            flexonCriticalPath(v.fastExp, v.treeTop);
+        table.addRow({v.name, path.name,
+                      Table::num(pathDelayNs(path, d), 2),
+                      Table::num(maxClockHz(path) / 1e6, 0)});
+    }
+    const CriticalPath folded = foldedCriticalPath();
+    table.addRow({"Spatially folded Flexon (stage 1)", folded.name,
+                  Table::num(pathDelayNs(folded, d), 2),
+                  Table::num(maxClockHz(folded) / 1e6, 0)});
+
+    table.print(std::cout);
+
+    std::printf("\nShape check: with a naive exponential unit the "
+                "EXI path binds and the clock\ndrops below 200 MHz; "
+                "the two optimizations push EXI off the critical "
+                "path so\nthe COBA accumulation chain binds instead "
+                "(~250 MHz, the paper's clock). The\nfolded "
+                "pipeline's single MUL-ADD stage closes near "
+                "500 MHz.\n");
+    return 0;
+}

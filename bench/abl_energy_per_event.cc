@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Ablation: energy per spike and per synaptic event — the standard
+ * cross-paper neuromorphic metrics (TrueNorth reports ~26 pJ per
+ * synaptic event at 65 nm; biological cortex is estimated around
+ * 10 fJ). Computed from the Table VI array power and the measured
+ * activity of each Table I benchmark at 1/10 scale on the folded
+ * backend, then compared with the CPU baseline's energy per spike.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "hwmodel/array_cost.hh"
+#include "hwmodel/baselines.hh"
+#include "nets/table1.hh"
+#include "snn/simulator.hh"
+
+using namespace flexon;
+
+int
+main()
+{
+    std::printf("=== Ablation: energy per spike / per synaptic "
+                "event ===\n\n");
+
+    const ArrayCost folded = foldedArrayCost();
+    const double cpu_watts = platformPowerW(Platform::CpuXeon);
+
+    Table table({"SNN", "rate", "folded nJ/spike", "folded pJ/event",
+                 "CPU uJ/spike"});
+    std::vector<double> pj_per_event;
+
+    for (const BenchmarkSpec &spec : table1Benchmarks()) {
+        BenchmarkInstance inst = buildBenchmark(spec, 10.0, 4);
+        SimulatorOptions opts;
+        opts.backend = BackendKind::Folded;
+        Simulator sim(inst.network, inst.stimulus, opts);
+        sim.run(2000);
+        const PhaseStats &st = sim.stats();
+        if (st.spikes == 0 || st.synapseEvents == 0) {
+            table.addRow({spec.name, "0", "-", "-", "-"});
+            continue;
+        }
+
+        // Hardware energy: the folded array's modelled time at its
+        // Table VI power.
+        const double hw_joules =
+            st.modelNeuronSec * folded.totalPowerW;
+        const double nj_per_spike =
+            1e9 * hw_joules / static_cast<double>(st.spikes);
+        const double pj_event =
+            1e12 * hw_joules /
+            static_cast<double>(st.synapseEvents);
+        pj_per_event.push_back(pj_event);
+
+        // CPU energy for the same neuron-phase work, from the
+        // calibrated model at this scale.
+        const double cpu_sec =
+            neuronPhaseSeconds(Platform::CpuXeon, spec,
+                               inst.network.numNeurons()) *
+            static_cast<double>(st.steps);
+        const double cpu_uj_per_spike =
+            1e6 * cpu_sec * cpu_watts /
+            static_cast<double>(st.spikes);
+
+        table.addRow({spec.name, Table::num(sim.meanRate(), 4),
+                      Table::num(nj_per_spike, 2),
+                      Table::num(pj_event, 1),
+                      Table::num(cpu_uj_per_spike, 1)});
+    }
+    table.print(std::cout);
+
+    std::printf("\nGeomean: %.0f pJ per synaptic event on the "
+                "folded array at these 1/10-scale,\nlow-rate "
+                "instances — dominated by amortizing the whole "
+                "array's %.2f W over few\nevents. At paper scale "
+                "and nominal rates the figure approaches the "
+                "hundreds of\npJ; event-driven designs like "
+                "TrueNorth (26 pJ/event, no clocked idle power)\n"
+                "and biology (~10 fJ) remain orders of magnitude "
+                "ahead — the efficiency frontier\nthe paper's "
+                "related work surveys. A Xeon spends microjoules "
+                "per spike.\n",
+                geomean(pj_per_event), folded.totalPowerW);
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Ablation: folded-array width sweep.
+ *
+ * The paper picks 72 lanes for the folded array because Flexon's
+ * footprint is ~5.4x folded Flexon's (Section VI-C: 12 x 5.43 ~ 65,
+ * rounded up to 72). This bench sweeps the lane count and reports
+ * area, latency on a representative large benchmark (Vogels, 10 k
+ * DLIF neurons), and the resulting latency-per-area — showing the
+ * paper's choice sits at the equal-silicon point against the
+ * 12-lane baseline array.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hh"
+#include "folded/array.hh"
+#include "hwmodel/datapath_cost.hh"
+#include "hwmodel/sram.hh"
+#include "nets/table1.hh"
+
+using namespace flexon;
+
+int
+main()
+{
+    std::printf("=== Ablation: spatially folded array width sweep "
+                "(Vogels, 10k DLIF neurons) ===\n\n");
+
+    const FlexonConfig config = FlexonConfig::fromParams(
+        benchmarkParams(findBenchmark("Vogels")));
+
+    const HwCost lane = foldedNeuronCost();
+    const HwCost baseline_lane = flexonNeuronCost();
+    const double baseline_area = 12.0 * baseline_lane.areaUm2;
+
+    Table table({"lanes", "neuron area [mm^2]", "vs Flexon-12 area",
+                 "us/step", "ns/step/mm^2"});
+    for (size_t lanes : {12, 24, 36, 72, 144, 288}) {
+        FoldedFlexonArray array(lanes, 500.0e6);
+        array.addPopulation(config, 10000);
+        const double area_mm2 = lanes * lane.areaUm2 * 1e-6;
+        const double sec =
+            static_cast<double>(array.cyclesPerStep()) /
+            array.clockHz();
+        table.addRow(
+            {std::to_string(lanes), Table::num(area_mm2, 3),
+             Table::num(lanes * lane.areaUm2 / baseline_area, 2),
+             Table::num(sec * 1e6, 3),
+             Table::num(sec * 1e9 * area_mm2, 1)});
+    }
+    table.print(std::cout);
+
+    std::printf("\nAt 72 lanes the folded array spends about the "
+                "same neuron silicon as the\n12-lane baseline "
+                "(ratio ~1.0) — the paper's equal-area comparison "
+                "point —\nwhile latency keeps scaling down with "
+                "width until the per-step pipeline\nfill/drain "
+                "stops mattering.\n");
+    return 0;
+}

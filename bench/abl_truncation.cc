@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Ablation: the 22-bit membrane-potential storage truncation of
+ * Section IV-B1.
+ *
+ * The paper claims the truncation (32 -> 22 bits per stored membrane
+ * potential, a 31.3 % reduction) "does not affect our SNN simulation
+ * results". This ablation quantifies that claim: for hard-threshold
+ * models the spike trains with and without truncation are compared
+ * against the double-precision reference across drive levels.
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/table.hh"
+#include "features/model_table.hh"
+#include "flexon/neuron.hh"
+#include "models/reference_neuron.hh"
+
+using namespace flexon;
+
+namespace {
+
+struct Counts
+{
+    int reference;
+    int plain;
+    int truncated;
+};
+
+Counts
+runOne(ModelKind kind, double drive, int steps, uint64_t seed)
+{
+    const NeuronParams p = defaultParams(kind);
+    FlexonConfig plain_cfg = FlexonConfig::fromParams(p);
+    FlexonConfig trunc_cfg = plain_cfg;
+    trunc_cfg.truncateStorage = true;
+
+    ReferenceNeuron ref(p);
+    FlexonNeuron plain(plain_cfg);
+    FlexonNeuron trunc(trunc_cfg);
+
+    const bool cub = p.features.has(Feature::CUB);
+    Rng rng(seed);
+    Counts c{0, 0, 0};
+    for (int t = 0; t < steps; ++t) {
+        const double raw =
+            rng.bernoulli(0.25) ? drive * rng.uniform(0.5, 1.5) : 0.0;
+        const double scaled_raw = cub ? raw * 100.0 : raw;
+        const Fix in = plain_cfg.scaleWeight(scaled_raw);
+        c.reference += ref.step(scaled_raw);
+        c.plain += plain.step(in);
+        c.truncated += trunc.step(in);
+    }
+    return c;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Ablation: 22-bit membrane storage truncation "
+                "(Section IV-B1) ===\n\n");
+    std::printf("Storage: 32 -> 22 bits per membrane potential "
+                "(31.3%% smaller), valid for\nhard-threshold models "
+                "whose v stays within [0, 1).\n\n");
+
+    Table table({"Model", "Drive", "Ref spikes", "Flexon",
+                 "Flexon+trunc", "trunc err%"});
+
+    const int steps = 40000;
+    for (ModelKind kind :
+         {ModelKind::SLIF, ModelKind::LLIF, ModelKind::DSRM0,
+          ModelKind::DLIF}) {
+        for (double drive : {0.3, 0.5, 0.8}) {
+            const Counts c = runOne(kind, drive, steps, 17);
+            const double err =
+                c.plain == 0
+                    ? 0.0
+                    : 100.0 * std::abs(c.truncated - c.plain) /
+                          static_cast<double>(c.plain);
+            table.addRow({modelName(kind), Table::num(drive, 1),
+                          std::to_string(c.reference),
+                          std::to_string(c.plain),
+                          std::to_string(c.truncated),
+                          Table::num(err, 2)});
+        }
+    }
+    table.print(std::cout);
+    std::printf("\nExpected shape: trunc err%% ~ 0 for hard-threshold "
+                "models — the paper's claim\nthat the optimization "
+                "does not affect simulation results.\n");
+    return 0;
+}

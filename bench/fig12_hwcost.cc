@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Figure 12 reproduction: power consumption and chip area of the ten
+ * per-feature data paths, the baseline Flexon, and spatially folded
+ * Flexon, from the calibrated 45 nm unit-cost model.
+ *
+ * Expected shape (paper): every per-feature data path is far cheaper
+ * than the full neuron; Flexon costs ~5.4-5.8x the area and up to
+ * ~3.4x the power of spatially folded Flexon; folded is cheaper than
+ * the heavy stand-alone paths (EXI, RR) because it shares the
+ * multiplier/adder/exp units.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hh"
+#include "hwmodel/datapath_cost.hh"
+
+using namespace flexon;
+
+int
+main()
+{
+    std::printf("=== Figure 12: power and chip area of the "
+                "per-feature data paths, Flexon,\nand spatially "
+                "folded Flexon (TSMC 45 nm model) ===\n\n");
+
+    const UnitCosts &process = tsmc45();
+    Table table({"Circuit", "MULs", "ADDs", "EXPs",
+                 "Area [um^2]", "Power [mW]"});
+
+    // Per-feature data paths at the baseline 250 MHz clock. The
+    // CUB/EXD/LID trio shares one data path (Figure 9a).
+    const std::vector<std::pair<std::string, UnitCounts>> circuits = {
+        {"CUB+EXD+LID", featureDatapathUnits(Feature::EXD)},
+        {"COBE", featureDatapathUnits(Feature::COBE)},
+        {"COBA", featureDatapathUnits(Feature::COBA)},
+        {"REV", featureDatapathUnits(Feature::REV)},
+        {"QDI", featureDatapathUnits(Feature::QDI)},
+        {"EXI", featureDatapathUnits(Feature::EXI)},
+        {"ADT", featureDatapathUnits(Feature::ADT)},
+        {"SBT", featureDatapathUnits(Feature::SBT)},
+        {"RR", featureDatapathUnits(Feature::RR)},
+        {"AR", featureDatapathUnits(Feature::AR)},
+    };
+
+    for (const auto &[name, units] : circuits) {
+        const HwCost c = costOf(units, process, 250.0e6);
+        table.addRow({name, std::to_string(units.mul),
+                      std::to_string(units.add),
+                      std::to_string(units.exp),
+                      Table::num(c.areaUm2, 0),
+                      Table::num(c.powerMw, 3)});
+    }
+
+    const UnitCounts flexon_units = flexonUnits();
+    const HwCost flexon = flexonNeuronCost();
+    table.addRow({"Flexon (250 MHz)",
+                  std::to_string(flexon_units.mul),
+                  std::to_string(flexon_units.add),
+                  std::to_string(flexon_units.exp),
+                  Table::num(flexon.areaUm2, 0),
+                  Table::num(flexon.powerMw, 3)});
+
+    const UnitCounts folded_units = foldedUnits();
+    const HwCost folded = foldedNeuronCost();
+    table.addRow({"Folded Flexon (500 MHz)",
+                  std::to_string(folded_units.mul),
+                  std::to_string(folded_units.add),
+                  std::to_string(folded_units.exp),
+                  Table::num(folded.areaUm2, 0),
+                  Table::num(folded.powerMw, 3)});
+
+    table.print(std::cout);
+
+    std::printf("\n=== Process-node projection (first-order "
+                "scaling, planning aid) ===\n\n");
+    Table nodes({"Node", "Flexon neuron [um^2]",
+                 "Folded neuron [um^2]", "12-lane Flexon [mm^2]",
+                 "72-lane folded [mm^2]"});
+    for (double nm : {45.0, 28.0, 16.0, 7.0}) {
+        const UnitCosts scaled = scaleToNode(process, 45.0, nm);
+        const double base_area =
+            costOf(flexonUnits(), scaled, 250.0e6).areaUm2;
+        const double fold_area =
+            costOf(foldedUnits(), scaled, 500.0e6).areaUm2;
+        nodes.addRow({Table::num(nm, 0) + " nm",
+                      Table::num(base_area, 0),
+                      Table::num(fold_area, 0),
+                      Table::num(12.0 * base_area * 1e-6, 3),
+                      Table::num(72.0 * fold_area * 1e-6, 3)});
+    }
+    nodes.print(std::cout);
+
+    std::printf("\nFold factors: area %.2fx, power %.2fx "
+                "(paper: up to 5.84x area, 3.44x power;\nTable VI "
+                "implies ~5.4x area, ~2.6x power at the design "
+                "clocks).\n",
+                flexon.areaUm2 / folded.areaUm2,
+                flexon.powerMw / folded.powerMw);
+
+    const double exi = costOf(featureDatapathUnits(Feature::EXI),
+                              process, 500.0e6)
+                           .areaUm2;
+    const double rr = costOf(featureDatapathUnits(Feature::RR),
+                             process, 500.0e6)
+                          .areaUm2;
+    std::printf("Folded Flexon (%.0f um^2) vs heavy stand-alone "
+                "paths: EXI+RR = %.0f um^2\n(the folding eliminates "
+                "their redundant units, Section VI-B).\n",
+                folded.areaUm2, exi + rr);
+    return 0;
+}

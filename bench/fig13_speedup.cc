@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Figure 13 reproduction: neuron-computation latency speedups (13a)
+ * and energy-efficiency improvements (13b) of the 12-neuron Flexon
+ * array and the 72-neuron spatially folded Flexon array over the
+ * server-class CPU and GPU, for one simulation time step of each
+ * Table I SNN at its published size.
+ *
+ * Array times come from the cycle-accurate timing model (single
+ * cycle per neuron for Flexon; control signals on the 2-stage
+ * pipeline for folded). CPU/GPU times come from the calibrated
+ * platform models. Energy = platform/array power x time.
+ *
+ * Expected shape (paper): geomean latency speedups 87.4x/8.19x
+ * (Flexon vs CPU/GPU) and 122.5x/9.83x (folded); energy-efficiency
+ * improvements of 3-4 orders of magnitude vs CPU and 2-3 vs GPU;
+ * folded loses latency to baseline Flexon only on the Destexhe
+ * benchmarks (long AdEx control-signal programs), and baseline
+ * Flexon is the more energy-efficient of the two arrays.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "flexon/array.hh"
+#include "folded/array.hh"
+#include "hwmodel/array_cost.hh"
+#include "hwmodel/baselines.hh"
+#include "nets/table1.hh"
+#include "snn/simulator.hh"
+
+using namespace flexon;
+
+namespace {
+
+/** Per-benchmark modelled neuron-computation times for one step. */
+struct StepTimes
+{
+    double cpu;
+    double gpu;
+    double flexon;
+    double folded;
+};
+
+StepTimes
+modelStepTimes(const BenchmarkSpec &spec)
+{
+    const size_t n = spec.neurons;
+    StepTimes t;
+    t.cpu = neuronPhaseSeconds(Platform::CpuXeon, spec, n);
+    t.gpu = neuronPhaseSeconds(Platform::GpuTitanX, spec, n);
+
+    const FlexonConfig config =
+        FlexonConfig::fromParams(benchmarkParams(spec));
+
+    FlexonArray flexon_array;
+    flexon_array.addPopulation(config, n);
+    t.flexon = static_cast<double>(flexon_array.cyclesPerStep()) /
+               flexon_array.clockHz();
+
+    FoldedFlexonArray folded_array;
+    folded_array.addPopulation(config, n);
+    t.folded = static_cast<double>(folded_array.cyclesPerStep()) /
+               folded_array.clockHz();
+    return t;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Figure 13a: neuron-computation latency, one "
+                "time step at paper scale ===\n\n");
+
+    const double p_cpu = platformPowerW(Platform::CpuXeon);
+    const double p_gpu = platformPowerW(Platform::GpuTitanX);
+    const double p_flexon = flexonArrayCost().totalPowerW;
+    const double p_folded = foldedArrayCost().totalPowerW;
+
+    Table lat({"SNN", "CPU [us]", "GPU [us]", "Flexon12 [us]",
+               "Folded72 [us]", "Flx/CPU", "Flx/GPU", "Fld/CPU",
+               "Fld/GPU"});
+    std::vector<double> sp_fc, sp_fg, sp_dc, sp_dg;
+    std::vector<double> ee_fc, ee_fg, ee_dc, ee_dg;
+
+    for (const BenchmarkSpec &spec : table1Benchmarks()) {
+        const StepTimes t = modelStepTimes(spec);
+        sp_fc.push_back(t.cpu / t.flexon);
+        sp_fg.push_back(t.gpu / t.flexon);
+        sp_dc.push_back(t.cpu / t.folded);
+        sp_dg.push_back(t.gpu / t.folded);
+        ee_fc.push_back((t.cpu * p_cpu) / (t.flexon * p_flexon));
+        ee_fg.push_back((t.gpu * p_gpu) / (t.flexon * p_flexon));
+        ee_dc.push_back((t.cpu * p_cpu) / (t.folded * p_folded));
+        ee_dg.push_back((t.gpu * p_gpu) / (t.folded * p_folded));
+
+        lat.addRow({spec.name, Table::num(t.cpu * 1e6, 2),
+                    Table::num(t.gpu * 1e6, 2),
+                    Table::num(t.flexon * 1e6, 2),
+                    Table::num(t.folded * 1e6, 2),
+                    Table::ratio(sp_fc.back(), 1),
+                    Table::ratio(sp_fg.back(), 1),
+                    Table::ratio(sp_dc.back(), 1),
+                    Table::ratio(sp_dg.back(), 1)});
+    }
+    lat.print(std::cout);
+
+    std::printf("\nGeomean speedups: Flexon %.1fx / %.2fx over "
+                "CPU / GPU (paper: 87.4x / 8.19x);\n"
+                "folded %.1fx / %.2fx (paper: 122.5x / 9.83x).\n",
+                geomean(sp_fc), geomean(sp_fg), geomean(sp_dc),
+                geomean(sp_dg));
+
+    std::printf("\n=== Figure 13b: energy-efficiency improvements "
+                "===\n\n");
+    Table ee({"SNN", "Flx/CPU", "Flx/GPU", "Fld/CPU", "Fld/GPU"});
+    for (size_t i = 0; i < table1Benchmarks().size(); ++i) {
+        ee.addRow({table1Benchmarks()[i].name,
+                   Table::ratio(ee_fc[i], 0), Table::ratio(ee_fg[i], 0),
+                   Table::ratio(ee_dc[i], 0),
+                   Table::ratio(ee_dg[i], 0)});
+    }
+    ee.print(std::cout);
+    std::printf("\nGeomean energy-efficiency improvements: Flexon "
+                "%.0fx / %.0fx over CPU / GPU\n(paper: 6186x / "
+                "442x); folded %.0fx / %.0fx (paper: 5415x / "
+                "135x).\n",
+                geomean(ee_fc), geomean(ee_fg), geomean(ee_dc),
+                geomean(ee_dg));
+
+    // Trade-off shape checks (Section VI-C).
+    int folded_latency_losses = 0;
+    for (size_t i = 0; i < sp_fc.size(); ++i)
+        folded_latency_losses += (sp_dc[i] < sp_fc[i]);
+    std::printf("\nTrade-offs: folded loses latency to baseline on "
+                "%d/10 benchmarks (paper: the\ntwo Destexhe SNNs, "
+                "whose AdEx programs are long); baseline Flexon has "
+                "the better\nenergy efficiency on %s of the "
+                "benchmarks.\n",
+                folded_latency_losses,
+                geomean(ee_fc) > geomean(ee_dc) ? "most" : "few");
+
+    // Functional sanity: run one scaled benchmark end to end on the
+    // folded array backend to show the modelled hardware actually
+    // simulates the network.
+    const BenchmarkSpec &va = findBenchmark("Vogels-Abbott");
+    BenchmarkInstance inst = buildBenchmark(va, 10.0, 3);
+    SimulatorOptions opts;
+    opts.backend = BackendKind::Folded;
+    Simulator sim(inst.network, inst.stimulus, opts);
+    sim.run(1000);
+    std::printf("\nFunctional check: Vogels-Abbott (1/10 scale) on "
+                "the folded array backend:\n%llu spikes over 1000 "
+                "steps (mean rate %.4f spikes/neuron/step), modelled "
+                "hardware\ntime %.3f ms.\n",
+                static_cast<unsigned long long>(sim.stats().spikes),
+                sim.meanRate(), sim.stats().modelNeuronSec * 1e3);
+    return 0;
+}

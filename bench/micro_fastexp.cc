@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Microbenchmark + accuracy report for the Schraudolph fast-exp
+ * approximation (Section IV-B1: Flexon's exponentiation unit uses it
+ * to cut critical-path delay and power).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "fixed/fast_exp.hh"
+
+namespace flexon {
+namespace {
+
+void
+BM_StdExp(benchmark::State &state)
+{
+    double x = -3.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(std::exp(x));
+        x += 1e-6;
+        if (x > 3.0)
+            x = -3.0;
+    }
+}
+
+void
+BM_FastExp(benchmark::State &state)
+{
+    double x = -3.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(fastExp(x));
+        x += 1e-6;
+        if (x > 3.0)
+            x = -3.0;
+    }
+}
+
+void
+BM_FixedExp(benchmark::State &state)
+{
+    Fix x = Fix::fromDouble(-3.0);
+    const Fix step = Fix::fromDouble(1e-4);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(fixedExp(x));
+        x += step;
+        if (x > Fix::fromDouble(3.0))
+            x = Fix::fromDouble(-3.0);
+    }
+}
+
+/** Report the worst relative error over the Flexon operating range. */
+void
+BM_AccuracyReport(benchmark::State &state)
+{
+    double worst = 0.0;
+    for (auto _ : state) {
+        worst = 0.0;
+        for (double y = -5.0; y <= 2.5; y += 1e-3) {
+            const double rel =
+                std::abs(fastExp(y) / std::exp(y) - 1.0);
+            worst = std::max(worst, rel);
+        }
+        benchmark::DoNotOptimize(worst);
+    }
+    state.counters["worst_rel_error"] = worst;
+}
+
+} // namespace
+} // namespace flexon
+
+BENCHMARK(flexon::BM_StdExp);
+BENCHMARK(flexon::BM_FastExp);
+BENCHMARK(flexon::BM_FixedExp);
+BENCHMARK(flexon::BM_AccuracyReport);

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Microbenchmarks: single-neuron update throughput of the reference
+ * models (discrete, Euler-ODE, RKF45-ODE) and the two Flexon
+ * functional models, across representative neuron models. These are
+ * host-software numbers (the hardware timing model is separate);
+ * they substantiate the Figure 3 claim that RKF45 neuron updates
+ * dominate CPU simulation cost.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.hh"
+#include "features/model_table.hh"
+#include "flexon/neuron.hh"
+#include "folded/neuron.hh"
+#include "models/ode_neuron.hh"
+#include "models/reference_neuron.hh"
+
+namespace flexon {
+namespace {
+
+ModelKind
+kindArg(const benchmark::State &state)
+{
+    return static_cast<ModelKind>(state.range(0));
+}
+
+void
+setLabel(benchmark::State &state)
+{
+    state.SetLabel(modelName(kindArg(state)));
+}
+
+void
+BM_ReferenceDiscrete(benchmark::State &state)
+{
+    const NeuronParams p = defaultParams(kindArg(state));
+    ReferenceNeuron n(p);
+    setLabel(state);
+    double in = 0.3;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(n.step(in));
+    }
+}
+
+void
+BM_ReferenceEulerOde(benchmark::State &state)
+{
+    const NeuronParams p = defaultParams(kindArg(state));
+    OdeNeuron n(p, SolverKind::Euler);
+    setLabel(state);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(n.step(0.3));
+    }
+}
+
+void
+BM_ReferenceRkf45Ode(benchmark::State &state)
+{
+    const NeuronParams p = defaultParams(kindArg(state));
+    OdeNeuron n(p, SolverKind::RKF45);
+    setLabel(state);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(n.step(0.3));
+    }
+}
+
+void
+BM_FlexonFunctional(benchmark::State &state)
+{
+    const FlexonConfig c =
+        FlexonConfig::fromParams(defaultParams(kindArg(state)));
+    FlexonNeuron n(c);
+    setLabel(state);
+    const Fix in = c.scaleWeight(0.3);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(n.step(in));
+    }
+}
+
+void
+BM_FoldedFunctional(benchmark::State &state)
+{
+    const FlexonConfig c =
+        FlexonConfig::fromParams(defaultParams(kindArg(state)));
+    FoldedFlexonNeuron n(c);
+    setLabel(state);
+    const Fix in = c.scaleWeight(0.3);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(n.step(in));
+    }
+}
+
+const std::vector<int64_t> kModels = {
+    static_cast<int64_t>(ModelKind::LIF),
+    static_cast<int64_t>(ModelKind::LLIF),
+    static_cast<int64_t>(ModelKind::DLIF),
+    static_cast<int64_t>(ModelKind::Izhikevich),
+    static_cast<int64_t>(ModelKind::AdEx),
+    static_cast<int64_t>(ModelKind::IFCondExpGsfaGrr),
+};
+
+} // namespace
+} // namespace flexon
+
+BENCHMARK(flexon::BM_ReferenceDiscrete)
+    ->ArgsProduct({flexon::kModels});
+BENCHMARK(flexon::BM_ReferenceEulerOde)
+    ->ArgsProduct({flexon::kModels});
+BENCHMARK(flexon::BM_ReferenceRkf45Ode)
+    ->ArgsProduct({flexon::kModels});
+BENCHMARK(flexon::BM_FlexonFunctional)
+    ->ArgsProduct({flexon::kModels});
+BENCHMARK(flexon::BM_FoldedFunctional)
+    ->ArgsProduct({flexon::kModels});

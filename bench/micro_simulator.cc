@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Microbenchmarks: full simulation-step cost of a scaled
+ * Vogels-Abbott network on each neuron-computation backend, and the
+ * scaling of the reference backend with network size.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "nets/table1.hh"
+#include "snn/simulator.hh"
+
+namespace flexon {
+namespace {
+
+void
+BM_StepBackend(benchmark::State &state)
+{
+    const auto kind = static_cast<BackendKind>(state.range(0));
+    BenchmarkInstance inst =
+        buildBenchmark(findBenchmark("Vogels-Abbott"), 10.0, 3);
+    SimulatorOptions opts;
+    opts.backend = kind;
+    Simulator sim(inst.network, inst.stimulus, opts);
+    sim.run(50); // warm up past the initial transient
+    state.SetLabel(backendName(kind));
+    for (auto _ : state)
+        sim.stepOnce();
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(inst.network.numNeurons()));
+}
+
+void
+BM_StepRkf45Reference(benchmark::State &state)
+{
+    BenchmarkInstance inst =
+        buildBenchmark(findBenchmark("Vogels-Abbott"), 10.0, 3);
+    SimulatorOptions opts;
+    opts.mode = IntegrationMode::Continuous;
+    opts.solver = SolverKind::RKF45;
+    Simulator sim(inst.network, inst.stimulus, opts);
+    sim.run(50);
+    for (auto _ : state)
+        sim.stepOnce();
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(inst.network.numNeurons()));
+}
+
+void
+BM_ReferenceScaling(benchmark::State &state)
+{
+    const double scale = static_cast<double>(state.range(0));
+    BenchmarkInstance inst =
+        buildBenchmark(findBenchmark("Vogels-Abbott"), scale, 3);
+    Simulator sim(inst.network, inst.stimulus);
+    sim.run(50);
+    for (auto _ : state)
+        sim.stepOnce();
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(inst.network.numNeurons()));
+}
+
+} // namespace
+} // namespace flexon
+
+BENCHMARK(flexon::BM_StepBackend)
+    ->Arg(static_cast<int>(flexon::BackendKind::Reference))
+    ->Arg(static_cast<int>(flexon::BackendKind::Flexon))
+    ->Arg(static_cast<int>(flexon::BackendKind::Folded));
+BENCHMARK(flexon::BM_StepRkf45Reference);
+BENCHMARK(flexon::BM_ReferenceScaling)->Arg(40)->Arg(20)->Arg(10);

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Microbenchmarks for the supporting substrates: network
+ * construction, serialization, STDP updates, spike-train analysis,
+ * and the Verilog emitter — the costs a user pays outside the
+ * simulation loop.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "analysis/spike_train.hh"
+#include "backend/verilog.hh"
+#include "nets/table1.hh"
+#include "snn/serialize.hh"
+#include "snn/stdp.hh"
+
+namespace flexon {
+namespace {
+
+void
+BM_BuildBenchmarkNetwork(benchmark::State &state)
+{
+    const double scale = static_cast<double>(state.range(0));
+    for (auto _ : state) {
+        BenchmarkInstance inst = buildBenchmark(
+            findBenchmark("Vogels-Abbott"), scale, 1);
+        benchmark::DoNotOptimize(inst.network.numSynapses());
+    }
+}
+
+void
+BM_SaveNetwork(benchmark::State &state)
+{
+    BenchmarkInstance inst =
+        buildBenchmark(findBenchmark("Vogels-Abbott"), 20.0, 1);
+    for (auto _ : state) {
+        std::ostringstream oss;
+        saveNetwork(oss, inst.network);
+        benchmark::DoNotOptimize(oss.str().size());
+    }
+}
+
+void
+BM_LoadNetwork(benchmark::State &state)
+{
+    BenchmarkInstance inst =
+        buildBenchmark(findBenchmark("Vogels-Abbott"), 20.0, 1);
+    std::ostringstream oss;
+    saveNetwork(oss, inst.network);
+    const std::string text = oss.str();
+    for (auto _ : state) {
+        std::istringstream iss(text);
+        Network net = loadNetwork(iss);
+        benchmark::DoNotOptimize(net.numSynapses());
+    }
+}
+
+void
+BM_StdpStep(benchmark::State &state)
+{
+    BenchmarkInstance inst =
+        buildBenchmark(findBenchmark("Vogels-Abbott"), 20.0, 1);
+    StdpEngine engine(inst.network);
+    Rng rng(3);
+    std::vector<bool> fired(inst.network.numNeurons());
+    for (size_t i = 0; i < fired.size(); ++i)
+        fired[i] = rng.bernoulli(0.02);
+    for (auto _ : state)
+        engine.onStep(fired);
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(engine.plasticSynapses()));
+}
+
+void
+BM_CoincidenceAnalysis(benchmark::State &state)
+{
+    Rng rng(7);
+    std::vector<uint64_t> a, b;
+    for (uint64_t t = 0; t < 100000; ++t) {
+        if (rng.bernoulli(0.02))
+            a.push_back(t);
+        if (rng.bernoulli(0.02))
+            b.push_back(t);
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(coincidence(a, b, 10));
+}
+
+void
+BM_EmitVerilog(benchmark::State &state)
+{
+    const CompiledNeuron adex = compileModel(ModelKind::AdEx);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(emitFoldedVerilog(adex).size());
+}
+
+} // namespace
+} // namespace flexon
+
+BENCHMARK(flexon::BM_BuildBenchmarkNetwork)->Arg(40)->Arg(20)->Arg(10);
+BENCHMARK(flexon::BM_SaveNetwork);
+BENCHMARK(flexon::BM_LoadNetwork);
+BENCHMARK(flexon::BM_StdpStep);
+BENCHMARK(flexon::BM_CoincidenceAnalysis);
+BENCHMARK(flexon::BM_EmitVerilog);

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Scientific validation: the Table I benchmarks exist because they
+ * produced neuroscience results. This bench reproduces two of those
+ * results *on the Flexon hardware model*, demonstrating that the
+ * accelerator preserves the science and not just the throughput:
+ *
+ *  1. Vogels-Abbott (J. Neurosci. 2005): a sparsely connected
+ *     conductance-based E/I network self-organizes into the
+ *     asynchronous-irregular (AI) state — irregular single-neuron
+ *     firing (CV(ISI) ~ 1) with low population synchrony.
+ *
+ *  2. Brunel (J. Comput. Neurosci. 2000): sweeping the relative
+ *     inhibition strength g moves the network from a synchronized,
+ *     fast-firing regime (g small: excitation dominates) to the
+ *     asynchronous-irregular regime (g large: inhibition dominates)
+ *     with lower rates and higher irregularity.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/spike_train.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "features/model_table.hh"
+#include "snn/simulator.hh"
+
+using namespace flexon;
+
+namespace {
+
+struct StateMetrics
+{
+    double rate;      ///< spikes per neuron per step
+    double cv;        ///< mean CV(ISI) of active neurons
+    double synchrony; ///< Golomb chi^2 over 5 ms bins
+};
+
+StateMetrics
+measure(const Network &net, StimulusGenerator stim, uint64_t steps,
+        BackendKind backend)
+{
+    SimulatorOptions opts;
+    opts.backend = backend;
+    opts.recordSpikes = true;
+    Simulator sim(net, stim, opts);
+    sim.run(steps);
+
+    const auto trains =
+        groupByNeuron(sim.spikeEvents(), net.numNeurons());
+    Summary cv;
+    for (const auto &train : trains) {
+        const TrainStats s = trainStats(train, steps);
+        if (s.spikes >= 5)
+            cv.add(s.cvIsi);
+    }
+    return {sim.meanRate(), cv.mean(),
+            synchronyIndex(sim.spikeEvents(), net.numNeurons(),
+                           steps, 50)};
+}
+
+/** Brunel-style network: DLIF E/I with inhibition ratio g. */
+Network
+brunelNetwork(double g, uint64_t seed)
+{
+    Network net;
+    const NeuronParams p = defaultParams(ModelKind::DLIF);
+    const size_t exc = net.addPopulation("exc", p, 320);
+    const size_t inh = net.addPopulation("inh", p, 80);
+    Rng rng(seed);
+    // REV convention: inhibitory weights are positive conductance
+    // increments; the inhibitory reversal (v_g = -1) supplies the
+    // sign.
+    const double we = 0.06;
+    net.connectRandom(exc, exc, 0.1, we, 1, 6, 0, rng);
+    net.connectRandom(exc, inh, 0.1, we, 1, 6, 0, rng);
+    net.connectRandom(inh, exc, 0.1, g * we, 1, 6, 1, rng);
+    net.connectRandom(inh, inh, 0.1, g * we, 1, 6, 1, rng);
+    net.finalize();
+    return net;
+}
+
+StimulusGenerator
+background(uint64_t seed, uint32_t neurons, double rate, float w)
+{
+    StimulusGenerator stim(seed);
+    stim.addSource(StimulusSource::poisson(0, neurons, rate, w, 0));
+    return stim;
+}
+
+} // namespace
+
+int
+main()
+{
+    // ----- 1. Vogels-Abbott AI state on the folded array. ----------
+    std::printf("=== Vogels-Abbott: the asynchronous-irregular "
+                "state on folded Flexon ===\n\n");
+    {
+        Network net = brunelNetwork(4.0, 2026); // VA-like balance
+        const StateMetrics m =
+            measure(net, background(7, 400, 0.01, 2.0f), 20000,
+                    BackendKind::Folded);
+        std::printf("rate %.4f spikes/neuron/step, CV(ISI) %.2f, "
+                    "synchrony chi^2 %.3f\n\n",
+                    m.rate, m.cv, m.synchrony);
+        std::printf("AI-state checks: sustained but moderate rate "
+                    "(%.1f Hz at the 0.1 ms step),\nirregular "
+                    "firing (CV near 1: %s), low synchrony "
+                    "(chi^2 << 1: %s).\n\n",
+                    m.rate * 10000.0,
+                    m.cv > 0.5 ? "yes" : "NO",
+                    m.synchrony < 0.3 ? "yes" : "NO");
+    }
+
+    // ----- 2. Brunel g-sweep on the folded array. ------------------
+    std::printf("=== Brunel: inhibition sweep (g = inhibitory/"
+                "excitatory weight ratio) ===\n\n");
+    Table table({"g", "rate", "CV(ISI)", "synchrony chi^2",
+                 "regime"});
+    double first_rate = 0.0, last_rate = 0.0;
+    double first_sync = 0.0, last_sync = 0.0;
+    const std::vector<double> gs = {0.5, 2.0, 4.0, 6.0, 8.0};
+    for (double g : gs) {
+        Network net = brunelNetwork(g, 99);
+        const StateMetrics m =
+            measure(net, background(13, 400, 0.01, 2.0f), 10000,
+                    BackendKind::Folded);
+        const bool regular = m.cv < 0.6;
+        table.addRow({Table::num(g, 1), Table::num(m.rate, 4),
+                      Table::num(m.cv, 2), Table::num(m.synchrony, 3),
+                      regular ? "regular (E-dominated)"
+                              : "irregular (I-dominated)"});
+        if (g == gs.front()) {
+            first_rate = m.rate;
+            first_sync = m.synchrony;
+        }
+        if (g == gs.back()) {
+            last_rate = m.rate;
+            last_sync = m.synchrony;
+        }
+    }
+    table.print(std::cout);
+
+    std::printf("\nExpected shape (Brunel 2000): increasing "
+                "inhibition lowers the rate (%.4f ->\n%.4f), "
+                "drives firing irregular (CV rising past 1), and "
+                "keeps synchrony low\n(chi^2 %.3f -> %.3f) — the "
+                "transition from the excitation-dominated to the\n"
+                "inhibition-dominated regime, computed entirely by "
+                "the folded Flexon datapath.\n",
+                first_rate, last_rate, first_sync, last_sync);
+    return 0;
+}

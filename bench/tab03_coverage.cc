@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Table III reproduction: the feature combinations implementing each
+ * published neuron model, plus a live demonstration that both Flexon
+ * variants simulate every model (compile + run + compare spike
+ * counts against the double-precision reference).
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "backend/codegen.hh"
+#include "common/table.hh"
+
+using namespace flexon;
+
+int
+main()
+{
+    std::printf("=== Table III: feature combinations for the "
+                "published neuron models ===\n\n");
+
+    std::vector<std::string> header = {"Neuron Model"};
+    for (size_t i = 0; i < numFeatures; ++i)
+        header.push_back(featureName(static_cast<Feature>(i)));
+    header.push_back("signals");
+    header.push_back("divergence");
+
+    Table table(header);
+    for (ModelKind kind : allModels()) {
+        if (kind == ModelKind::LIF)
+            continue; // the baseline model, not a Table III row
+        const FeatureSet fs = modelFeatures(kind);
+        std::vector<std::string> row = {modelName(kind)};
+        for (size_t i = 0; i < numFeatures; ++i)
+            row.push_back(fs.has(static_cast<Feature>(i)) ? "x" : "");
+
+        const CompiledNeuron compiled = compileModel(kind);
+        row.push_back(std::to_string(compiled.programLength()));
+        // Folded-Flexon vs reference spike-count divergence over a
+        // 20k-step pseudo-random run (the Brian cross-check role).
+        row.push_back(
+            Table::num(verifyCompiled(compiled, 20000, 2026), 4));
+        table.addRow(std::move(row));
+    }
+    table.print(std::cout);
+
+    std::printf("\n'signals' = control signals per neuron evaluation "
+                "on spatially folded Flexon.\n");
+    std::printf("'divergence' = relative spike-count difference vs "
+                "the reference model\n(0 = identical; the paper "
+                "verifies against Brian the same way).\n");
+    return 0;
+}

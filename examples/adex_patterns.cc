@@ -1,0 +1,87 @@
+/**
+ * @file
+ * AdEx firing patterns on spatially folded Flexon.
+ *
+ * AdEx is the most feature-hungry Table III model (7 of the 12
+ * biologically common features). This example compiles it, prints
+ * its control-signal program, and demonstrates how the
+ * spike-triggered-current parameters shape the response: regular
+ * firing, adaptation, and subthreshold-oscillation-damped onset.
+ * It also shows the membrane trace of the first 30 ms.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "backend/codegen.hh"
+#include "folded/neuron.hh"
+
+using namespace flexon;
+
+namespace {
+
+void
+run(const char *name, const NeuronParams &params, double drive)
+{
+    const CompiledNeuron compiled = compile(params);
+    FoldedFlexonNeuron neuron(compiled.config, compiled.program);
+    const Fix in = compiled.config.scaleWeight(drive);
+
+    std::vector<int> spikes;
+    const int steps = 15000;
+    for (int t = 0; t < steps; ++t) {
+        if (neuron.step(in))
+            spikes.push_back(t);
+    }
+
+    std::printf("%-24s %3zu spikes / %d steps", name, spikes.size(),
+                steps);
+    if (spikes.size() >= 3) {
+        std::printf("  ISIs: %d -> %d -> ... -> %d",
+                    spikes[1] - spikes[0], spikes[2] - spikes[1],
+                    spikes.back() - spikes[spikes.size() - 2]);
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    const CompiledNeuron adex = compileModel(ModelKind::AdEx);
+    std::printf("=== AdEx on spatially folded Flexon ===\n\n");
+    std::printf("%s\n", describe(adex).c_str());
+
+    // Membrane trace under constant drive (first 300 steps).
+    FoldedFlexonNeuron tracer(adex.config, adex.program);
+    const Fix drive = adex.config.scaleWeight(0.5);
+    std::printf("membrane potential, one sample per 10 steps "
+                "(normalized units):\n  ");
+    for (int t = 0; t < 300; ++t) {
+        tracer.step(drive);
+        if (t % 10 == 9)
+            std::printf("%.2f ", tracer.state().v.toDouble());
+    }
+    std::printf("\n\n=== Parameter sweeps ===\n\n");
+
+    NeuronParams regular = defaultParams(ModelKind::AdEx);
+    regular.b = 0.01;
+    regular.epsW = 0.01;
+    run("regular firing", regular, 0.5);
+
+    NeuronParams adapting = defaultParams(ModelKind::AdEx);
+    adapting.b = 0.2;
+    adapting.epsW = 0.0005;
+    run("strong adaptation", adapting, 0.5);
+
+    NeuronParams oscillating = defaultParams(ModelKind::AdEx);
+    oscillating.a = -0.05; // strong subthreshold coupling
+    oscillating.b = 0.05;
+    run("oscillation-damped", oscillating, 0.5);
+
+    std::printf("\nExpected: adaptation stretches the inter-spike "
+                "intervals over time; the\nstrong negative coupling "
+                "(SBT) suppresses the rate further.\n");
+    return 0;
+}

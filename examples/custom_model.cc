@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Supporting custom neuron models (Section VII-A).
+ *
+ * The paper's answer to "my model is not in Table III" is feature
+ * composition plus control-signal tricks. This example builds two
+ * custom neurons:
+ *
+ *  1. a quadratic neuron with relative refractory (QIF + RR), a
+ *     combination no Table III row uses;
+ *  2. a neuron with *background current* — the paper's own Section
+ *     VII-A workaround: dedicate one synapse type to a constant
+ *     input I_bg so the neuron depolarizes even with no spikes.
+ */
+
+#include <cstdio>
+
+#include "backend/codegen.hh"
+#include "folded/neuron.hh"
+#include "models/reference_neuron.hh"
+
+using namespace flexon;
+
+int
+main()
+{
+    // --- 1. QIF + relative refractory: compose features directly.
+    NeuronParams qif_rr = defaultParams(ModelKind::QIF);
+    qif_rr.features =
+        FeatureSet{Feature::EXD, Feature::COBE, Feature::REV,
+                   Feature::QDI, Feature::AR, Feature::RR};
+    qif_rr.epsR = 0.05;
+    qif_rr.vRR = -0.5;
+    qif_rr.qR = -0.2;
+    qif_rr.vAR = -0.7;
+    qif_rr.epsW = 0.005;
+    qif_rr.b = -0.1;
+
+    const CompiledNeuron custom = compile(qif_rr);
+    std::printf("=== Custom model 1: QIF with relative refractory "
+                "===\n\n%s\n",
+                describe(custom).c_str());
+
+    // Demonstrate the RR effect: same drive, with and without RR.
+    auto count_spikes = [](const CompiledNeuron &c, double drive) {
+        FoldedFlexonNeuron n(c.config, c.program);
+        const Fix in = c.config.scaleWeight(drive);
+        int spikes = 0;
+        for (int t = 0; t < 20000; ++t)
+            spikes += n.step(in);
+        return spikes;
+    };
+    const int with_rr = count_spikes(custom, 0.08);
+    const int without_rr =
+        count_spikes(compileModel(ModelKind::QIF), 0.08);
+    std::printf("Constant drive 0.08 for 2 s: %d spikes with RR vs "
+                "%d without — the relative\nrefractory conductance "
+                "suppresses the rate.\n\n",
+                with_rr, without_rr);
+
+    // --- 2. Background current via a dedicated synapse type
+    // (Section VII-A): type 1 carries a constant I_bg each step.
+    NeuronParams bg = defaultParams(ModelKind::DSRM0);
+    bg.numSynapseTypes = 2;
+    bg.syn[1].epsG = 1.0; // g = I each step: a pure pass-through
+    const CompiledNeuron bg_neuron = compile(bg);
+
+    FoldedFlexonNeuron hw(bg_neuron.config, bg_neuron.program);
+    ReferenceNeuron ref(bg);
+    const double i_bg = 1.5;
+    int hw_spikes = 0, ref_spikes = 0;
+    for (int t = 0; t < 20000; ++t) {
+        // No presynaptic spikes at all: only the background current.
+        const double raw[2] = {0.0, i_bg};
+        const Fix scaled[2] = {Fix::zero(),
+                               bg_neuron.config.scaleWeight(i_bg)};
+        ref_spikes += ref.step(std::span<const double>(raw, 2));
+        hw_spikes += hw.step(std::span<const Fix>(scaled, 2));
+    }
+    std::printf("=== Custom model 2: background current (Section "
+                "VII-A) ===\n\n");
+    std::printf("No input spikes, I_bg = %.2f on a dedicated synapse "
+                "type: %d spikes on folded\nFlexon vs %d on the "
+                "reference — the neuron fires from the background "
+                "current\nalone, as the paper's workaround "
+                "describes.\n",
+                i_bg, hw_spikes, ref_spikes);
+    return 0;
+}

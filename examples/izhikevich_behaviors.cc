@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Izhikevich neuron behaviours on Flexon.
+ *
+ * Izhikevich's model is prized for reproducing many cortical firing
+ * patterns with four parameters; the paper highlights that Flexon
+ * fully supports it (Section VIII). This example programs one Flexon
+ * neuron with three classic parameterizations — tonic spiking,
+ * spike-frequency adaptation, and a fast-spiking-like variant — and
+ * prints ASCII spike rasters under a constant conductance drive.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "features/model_table.hh"
+#include "flexon/neuron.hh"
+
+using namespace flexon;
+
+namespace {
+
+/** Run a neuron under constant drive; render 100-step raster bins. */
+void
+raster(const char *name, const NeuronParams &params, double drive,
+       int steps)
+{
+    const FlexonConfig config = FlexonConfig::fromParams(params);
+    FlexonNeuron neuron(config);
+    const Fix in = config.scaleWeight(drive);
+
+    std::vector<int> spikes;
+    for (int t = 0; t < steps; ++t) {
+        if (neuron.step(in))
+            spikes.push_back(t);
+    }
+
+    std::string line;
+    const int bin = steps / 72;
+    for (int b = 0; b < 72; ++b) {
+        int count = 0;
+        for (int t : spikes)
+            count += (t >= b * bin && t < (b + 1) * bin);
+        line += count == 0 ? '.' : (count == 1 ? '|' : '#');
+    }
+    std::printf("%-22s %s  (%zu spikes", name, line.c_str(),
+                spikes.size());
+    if (spikes.size() >= 2) {
+        std::printf(", first ISI %d, last ISI %d",
+                    spikes[1] - spikes[0],
+                    spikes.back() - spikes[spikes.size() - 2]);
+    }
+    std::printf(")\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Izhikevich behaviours on Flexon "
+                "(EXD+COBE+REV+QDI+ADT+AR) ===\n\n");
+    std::printf("72 bins of %d steps each; '.' none, '|' one, '#' "
+                "several spikes per bin.\n\n",
+                12000 / 72);
+
+    // Tonic spiking: weak adaptation.
+    NeuronParams tonic = defaultParams(ModelKind::Izhikevich);
+    tonic.epsW = 0.01;
+    tonic.b = 0.02;
+    raster("tonic spiking", tonic, 0.06, 12000);
+
+    // Spike-frequency adaptation: strong, slow adaptation current.
+    NeuronParams adapting = defaultParams(ModelKind::Izhikevich);
+    adapting.epsW = 0.0008;
+    adapting.b = 0.15;
+    raster("adapting", adapting, 0.06, 12000);
+
+    // Fast-spiking-like: fast recovery, minimal adaptation, short
+    // refractory.
+    NeuronParams fast = defaultParams(ModelKind::Izhikevich);
+    fast.epsW = 0.05;
+    fast.b = 0.01;
+    fast.arSteps = 5;
+    raster("fast spiking", fast, 0.10, 12000);
+
+    // Phasic-like: adaptation so strong the neuron fires a burst at
+    // onset and then falls nearly silent.
+    NeuronParams phasic = defaultParams(ModelKind::Izhikevich);
+    phasic.epsW = 0.0001;
+    phasic.b = 1.0;
+    raster("phasic (onset spike)", phasic, 0.06, 12000);
+
+    std::printf("\nExpected: tonic = even spacing; adapting = "
+                "widening intervals; fast = dense\nraster; phasic = "
+                "early spikes only.\n");
+    return 0;
+}

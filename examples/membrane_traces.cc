@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Membrane-trace gallery: probe a network simulation and render the
+ * traces — the workflow a neuroscientist uses to eyeball model
+ * behaviour before scaling up.
+ *
+ * One neuron of each of four Table III models receives the same
+ * Poisson input train; the simulator's probe API records every
+ * membrane sample and the analysis library plots them.
+ */
+
+#include <cstdio>
+
+#include "analysis/trace_plot.hh"
+#include "features/model_table.hh"
+#include "snn/simulator.hh"
+
+using namespace flexon;
+
+int
+main()
+{
+    // Four single-neuron populations, no recurrent wiring: the same
+    // stimulus source drives all of them identically.
+    Network net;
+    const ModelKind kinds[] = {ModelKind::DLIF, ModelKind::QIF,
+                               ModelKind::EIF,
+                               ModelKind::IFCondExpGsfaGrr};
+    for (ModelKind kind : kinds)
+        net.addPopulation(modelName(kind), defaultParams(kind), 1);
+    net.finalize();
+
+    StimulusGenerator stim(11);
+    // One shared Poisson source per neuron with identical statistics
+    // (same seed stream order each run).
+    for (uint32_t n = 0; n < 4; ++n)
+        stim.addSource(StimulusSource::poisson(n, 1, 0.04, 0.5f, 0));
+
+    SimulatorOptions opts;
+    opts.backend = BackendKind::Folded; // probe the hardware model
+    opts.probes = {0, 1, 2, 3};
+    opts.recordSpikes = true;
+    Simulator sim(net, stim, opts);
+    sim.run(3000);
+
+    TracePlotOptions plot;
+    plot.rows = 9;
+
+    std::printf("=== Membrane traces from the folded-Flexon backend "
+                "(300 ms) ===\n\n");
+    for (size_t i = 0; i < 4; ++i) {
+        std::vector<size_t> spikes;
+        for (const SpikeEvent &e : sim.spikeEvents())
+            if (e.neuron == i)
+                spikes.push_back(static_cast<size_t>(e.step));
+        std::printf("--- %s (%llu spikes) ---\n",
+                    modelName(kinds[i]),
+                    static_cast<unsigned long long>(spikes.size()));
+        std::printf("%s\n",
+                    renderTrace(sim.probeTrace(i), spikes, plot)
+                        .c_str());
+    }
+
+    std::printf("Same input train, four different feature "
+                "combinations: the conductance LIF\nintegrates "
+                "smoothly; QIF/EIF show the slow initiation upswing "
+                "past theta = 1;\nthe gsfa_grr neuron's rate is "
+                "visibly suppressed after each spike by its\n"
+                "refractory conductances.\n");
+    return 0;
+}

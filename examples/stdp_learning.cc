@@ -1,0 +1,113 @@
+/**
+ * @file
+ * STDP learning with Flexon-simulated neurons.
+ *
+ * Flexon accelerates the neuron update; synaptic plasticity stays in
+ * the synapse-calculation stage on the host — exactly the split a
+ * deployment would use. This example trains a single readout neuron
+ * (simulated on the spatially folded Flexon) to prefer a repeating
+ * 10-input volley pattern over background noise, the classic
+ * Masquelier & Thorpe style experiment cited in the paper's related
+ * work.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "common/random.hh"
+#include "features/model_table.hh"
+#include "folded/neuron.hh"
+#include "snn/stdp.hh"
+
+using namespace flexon;
+
+int
+main()
+{
+    constexpr uint32_t inputs = 40;
+    constexpr uint32_t pattern_size = 10; // inputs 0..9 = the volley
+
+    // The network: 40 inputs -> 1 readout (neuron id 40).
+    Network net;
+    NeuronParams lif = defaultParams(ModelKind::LIF);
+    net.addPopulation("in", lif, inputs);
+    net.addPopulation("readout", lif, 1);
+    for (uint32_t i = 0; i < inputs; ++i)
+        net.addSynapse(i, {inputs, 12.0f, 1, 0});
+    net.finalize();
+
+    StdpConfig config;
+    config.aPlus = 0.03;
+    config.aMinus = 0.010;
+    config.tauPlus = 20.0;
+    config.tauMinus = 20.0;
+    config.wMin = 1.0f;
+    config.wMax = 25.0f;
+    StdpEngine engine(net, config);
+
+    // The readout neuron runs on folded Flexon.
+    const FlexonConfig hw = FlexonConfig::fromParams(lif);
+    FoldedFlexonNeuron readout(hw);
+
+    Rng rng(2026);
+    std::vector<bool> fired(inputs + 1, false);
+    double routed = 0.0; // one-step-delayed input to the readout
+    uint64_t readout_spikes = 0;
+
+    auto report = [&](const char *phase) {
+        double pattern_w = 0.0, noise_w = 0.0;
+        for (uint32_t i = 0; i < inputs; ++i) {
+            const float w = net.outgoing(i)[0].weight;
+            (i < pattern_size ? pattern_w : noise_w) += w;
+        }
+        std::printf("%-9s mean weight: pattern %.2f, noise %.2f "
+                    "(ratio %.2f); readout spikes so far: %llu\n",
+                    phase, pattern_w / pattern_size,
+                    noise_w / (inputs - pattern_size),
+                    (pattern_w / pattern_size) /
+                        (noise_w / (inputs - pattern_size)),
+                    static_cast<unsigned long long>(readout_spikes));
+    };
+
+    std::printf("=== STDP on a Flexon-simulated readout: learn a "
+                "10-input volley pattern ===\n\n");
+    report("initial");
+
+    for (int t = 0; t < 80000; ++t) {
+        std::fill(fired.begin(), fired.end(), false);
+
+        // Stimulus: the pattern volley at ~1/200 steps; independent
+        // background noise on every input at the same mean rate.
+        const bool volley = rng.bernoulli(0.005);
+        for (uint32_t i = 0; i < inputs; ++i) {
+            const bool in_pattern = i < pattern_size && volley;
+            const bool noise = rng.bernoulli(0.005);
+            fired[i] = in_pattern || noise;
+        }
+
+        // Readout neuron on folded Flexon, one-step synaptic delay.
+        fired[inputs] =
+            readout.step(hw.scaleWeight(routed));
+        readout_spikes += fired[inputs];
+
+        engine.onStep(fired);
+
+        routed = 0.0;
+        for (uint32_t i = 0; i < inputs; ++i)
+            if (fired[i])
+                routed += net.outgoing(i)[0].weight;
+
+        if (t == 20000)
+            report("t=20k");
+        if (t == 50000)
+            report("t=50k");
+    }
+    report("final");
+
+    std::printf("\nExpected: the pattern synapses saturate toward "
+                "w_max while the noise synapses\nlag well behind — "
+                "the readout becomes a detector for the volley, with "
+                "the\nneuron dynamics computed by the Flexon model "
+                "throughout.\n");
+    return 0;
+}

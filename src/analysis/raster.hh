@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Text rendering of simulation activity: ASCII spike rasters and
+ * rate sparklines for terminal inspection, plus CSV export of spike
+ * events for external plotting.
+ */
+
+#ifndef FLEXON_ANALYSIS_RASTER_HH
+#define FLEXON_ANALYSIS_RASTER_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "snn/simulator.hh"
+
+namespace flexon {
+
+/** Options for renderRaster(). */
+struct RasterOptions
+{
+    /** Output width in character columns (time bins). */
+    size_t columns = 72;
+    /** Max neuron rows rendered (neurons are subsampled evenly). */
+    size_t maxRows = 20;
+};
+
+/**
+ * Render a spike raster: one text row per (subsampled) neuron, one
+ * column per time bin; '.' = silent, '|' = 1 spike, '#' = several.
+ */
+std::string renderRaster(const std::vector<SpikeEvent> &events,
+                         size_t num_neurons, uint64_t steps,
+                         const RasterOptions &options = {});
+
+/**
+ * Render a one-line population-rate sparkline using the eight-level
+ * block characters (' ', 1/8 .. 7/8, full).
+ */
+std::string renderRateSparkline(const std::vector<double> &rate);
+
+/** Write spike events as CSV ("step,neuron") for external tools. */
+void writeSpikesCsv(std::ostream &os,
+                    const std::vector<SpikeEvent> &events);
+
+} // namespace flexon
+
+#endif // FLEXON_ANALYSIS_RASTER_HH

@@ -1,0 +1,176 @@
+#include "analysis/spike_train.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace flexon {
+
+TrainStats
+trainStats(const std::vector<uint64_t> &times, uint64_t steps)
+{
+    flexon_assert(steps > 0);
+    flexon_assert(std::is_sorted(times.begin(), times.end()));
+
+    TrainStats stats;
+    stats.spikes = times.size();
+    stats.rate =
+        static_cast<double>(times.size()) / static_cast<double>(steps);
+    if (times.size() < 2)
+        return stats;
+
+    Summary isi;
+    for (size_t i = 1; i < times.size(); ++i)
+        isi.add(static_cast<double>(times[i] - times[i - 1]));
+    stats.meanIsi = isi.mean();
+    stats.cvIsi = isi.mean() > 0.0 ? isi.stddev() / isi.mean() : 0.0;
+    return stats;
+}
+
+std::vector<std::vector<uint64_t>>
+groupByNeuron(const std::vector<SpikeEvent> &events,
+              size_t num_neurons)
+{
+    std::vector<std::vector<uint64_t>> trains(num_neurons);
+    for (const SpikeEvent &e : events) {
+        flexon_assert(e.neuron < num_neurons);
+        trains[e.neuron].push_back(e.step);
+    }
+    for (auto &t : trains)
+        std::sort(t.begin(), t.end());
+    return trains;
+}
+
+std::vector<double>
+populationRate(const std::vector<SpikeEvent> &events,
+               size_t num_neurons, uint64_t steps, uint64_t bin_steps)
+{
+    flexon_assert(num_neurons > 0);
+    flexon_assert(bin_steps > 0);
+    const size_t bins =
+        static_cast<size_t>((steps + bin_steps - 1) / bin_steps);
+    std::vector<double> rate(bins, 0.0);
+    for (const SpikeEvent &e : events) {
+        const size_t b = static_cast<size_t>(e.step / bin_steps);
+        if (b < bins)
+            rate[b] += 1.0;
+    }
+    const double denom = static_cast<double>(num_neurons) *
+                         static_cast<double>(bin_steps);
+    for (double &r : rate)
+        r /= denom;
+    return rate;
+}
+
+double
+fanoFactor(const std::vector<SpikeEvent> &events, uint64_t steps,
+           uint64_t window_steps)
+{
+    flexon_assert(window_steps > 0);
+    const size_t windows =
+        static_cast<size_t>(steps / window_steps);
+    if (windows < 2)
+        return 0.0;
+    std::vector<double> counts(windows, 0.0);
+    for (const SpikeEvent &e : events) {
+        const size_t w = static_cast<size_t>(e.step / window_steps);
+        if (w < windows)
+            counts[w] += 1.0;
+    }
+    Summary s;
+    for (double c : counts)
+        s.add(c);
+    return s.mean() > 0.0 ? s.variance() / s.mean() : 0.0;
+}
+
+double
+synchronyIndex(const std::vector<SpikeEvent> &events,
+               size_t num_neurons, uint64_t steps,
+               uint64_t bin_steps)
+{
+    flexon_assert(num_neurons > 0);
+    flexon_assert(bin_steps > 0);
+    const size_t bins = static_cast<size_t>(steps / bin_steps);
+    if (bins < 2)
+        return 0.0;
+
+    // counts[neuron][bin] is too large for big runs; accumulate the
+    // population trace and per-neuron variances streaming instead.
+    std::vector<std::vector<double>> counts(
+        num_neurons, std::vector<double>(bins, 0.0));
+    for (const SpikeEvent &e : events) {
+        const size_t b = static_cast<size_t>(e.step / bin_steps);
+        if (b < bins)
+            counts[e.neuron][b] += 1.0;
+    }
+
+    Summary population;
+    std::vector<double> pop_trace(bins, 0.0);
+    double mean_neuron_var = 0.0;
+    size_t active = 0;
+    for (size_t n = 0; n < num_neurons; ++n) {
+        Summary per;
+        for (size_t b = 0; b < bins; ++b) {
+            per.add(counts[n][b]);
+            pop_trace[b] += counts[n][b];
+        }
+        if (per.variance() > 0.0) {
+            mean_neuron_var += per.variance();
+            ++active;
+        }
+    }
+    if (active == 0)
+        return 0.0;
+    mean_neuron_var /= static_cast<double>(active);
+
+    for (size_t b = 0; b < bins; ++b)
+        population.add(pop_trace[b] / static_cast<double>(num_neurons));
+    return population.variance() / mean_neuron_var;
+}
+
+double
+coincidence(const std::vector<uint64_t> &a,
+            const std::vector<uint64_t> &b,
+            uint64_t tolerance_steps)
+{
+    if (a.empty() && b.empty())
+        return 1.0;
+    if (a.empty() || b.empty())
+        return 0.0;
+
+    auto matches = [&](const std::vector<uint64_t> &from,
+                       const std::vector<uint64_t> &in) {
+        size_t hits = 0;
+        for (uint64_t t : from) {
+            const uint64_t lo =
+                t >= tolerance_steps ? t - tolerance_steps : 0;
+            auto it = std::lower_bound(in.begin(), in.end(), lo);
+            if (it != in.end() && *it <= t + tolerance_steps)
+                ++hits;
+        }
+        return static_cast<double>(hits) /
+               static_cast<double>(from.size());
+    };
+    return 0.5 * (matches(a, b) + matches(b, a));
+}
+
+double
+compareRuns(const std::vector<SpikeEvent> &a,
+            const std::vector<SpikeEvent> &b, size_t num_neurons,
+            uint64_t tolerance_steps)
+{
+    const auto trains_a = groupByNeuron(a, num_neurons);
+    const auto trains_b = groupByNeuron(b, num_neurons);
+    Summary per_neuron;
+    for (size_t n = 0; n < num_neurons; ++n) {
+        if (trains_a[n].empty() && trains_b[n].empty())
+            continue;
+        per_neuron.add(
+            coincidence(trains_a[n], trains_b[n], tolerance_steps));
+    }
+    return per_neuron.count() ? per_neuron.mean() : 1.0;
+}
+
+} // namespace flexon

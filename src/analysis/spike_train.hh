@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Spike-train analysis: the statistics neuroscientists read off a
+ * simulation — inter-spike intervals, irregularity (CV), Fano
+ * factor, population rates, and train-similarity metrics used to
+ * compare backends (the quantitative version of the paper's "compare
+ * the output spikes with Brian" methodology).
+ *
+ * Times are in simulation steps throughout; multiply by the time
+ * step (e.g. 0.1 ms) for biological units.
+ */
+
+#ifndef FLEXON_ANALYSIS_SPIKE_TRAIN_HH
+#define FLEXON_ANALYSIS_SPIKE_TRAIN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "snn/simulator.hh"
+
+namespace flexon {
+
+/** Summary statistics of one neuron's spike train. */
+struct TrainStats
+{
+    size_t spikes = 0;
+    /** Mean inter-spike interval in steps (0 if < 2 spikes). */
+    double meanIsi = 0.0;
+    /** Coefficient of variation of the ISIs (0 = clock-regular,
+     *  ~1 = Poisson-irregular). */
+    double cvIsi = 0.0;
+    /** Mean firing rate in spikes per step. */
+    double rate = 0.0;
+};
+
+/** Compute TrainStats from sorted spike times over `steps` steps. */
+TrainStats trainStats(const std::vector<uint64_t> &times,
+                      uint64_t steps);
+
+/**
+ * Group a recorded spike-event stream by neuron.
+ * @return per-neuron sorted spike-time lists (size = numNeurons)
+ */
+std::vector<std::vector<uint64_t>>
+groupByNeuron(const std::vector<SpikeEvent> &events,
+              size_t num_neurons);
+
+/**
+ * Population rate histogram: spikes per neuron per step, binned.
+ * @param bin_steps width of each bin in steps
+ */
+std::vector<double>
+populationRate(const std::vector<SpikeEvent> &events,
+               size_t num_neurons, uint64_t steps,
+               uint64_t bin_steps);
+
+/**
+ * Fano factor of the population spike count over windows of
+ * `window_steps`: variance / mean of the per-window counts
+ * (1 = Poisson; > 1 = bursty/synchronized).
+ */
+double fanoFactor(const std::vector<SpikeEvent> &events,
+                  uint64_t steps, uint64_t window_steps);
+
+/**
+ * Population synchrony index: the variance of the instantaneous
+ * population rate divided by the mean single-neuron count variance
+ * over `bin_steps` windows (Golomb's chi^2). ~0 for asynchronous
+ * populations, -> 1 for fully synchronized ones.
+ */
+double synchronyIndex(const std::vector<SpikeEvent> &events,
+                      size_t num_neurons, uint64_t steps,
+                      uint64_t bin_steps);
+
+/**
+ * Spike-train coincidence: the fraction of spikes in `a` that have a
+ * matching spike in `b` within +/- `tolerance_steps`, symmetrized
+ * (the gamma coincidence measure with the Poisson correction
+ * omitted). 1.0 = identical trains.
+ */
+double coincidence(const std::vector<uint64_t> &a,
+                   const std::vector<uint64_t> &b,
+                   uint64_t tolerance_steps);
+
+/**
+ * Mean pairwise coincidence between two recorded simulations of the
+ * same network (per-neuron, averaged over neurons that spiked in
+ * either run). Used to quantify backend agreement.
+ */
+double compareRuns(const std::vector<SpikeEvent> &a,
+                   const std::vector<SpikeEvent> &b,
+                   size_t num_neurons, uint64_t tolerance_steps);
+
+} // namespace flexon
+
+#endif // FLEXON_ANALYSIS_SPIKE_TRAIN_HH

@@ -1,0 +1,151 @@
+#include "analysis/trace_plot.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace flexon {
+
+namespace {
+
+/** Bin a trace down to `columns` samples (mean per bin). */
+std::vector<double>
+binTrace(const std::vector<double> &values, size_t columns)
+{
+    std::vector<double> binned(columns, 0.0);
+    if (values.empty())
+        return binned;
+    const double per_bin =
+        static_cast<double>(values.size()) /
+        static_cast<double>(columns);
+    for (size_t c = 0; c < columns; ++c) {
+        const size_t lo = static_cast<size_t>(c * per_bin);
+        const size_t hi = std::min(
+            values.size(),
+            std::max(lo + 1,
+                     static_cast<size_t>((c + 1) * per_bin)));
+        double sum = 0.0;
+        for (size_t i = lo; i < hi; ++i)
+            sum += values[i];
+        binned[c] = sum / static_cast<double>(hi - lo);
+    }
+    return binned;
+}
+
+struct Range
+{
+    double lo;
+    double hi;
+};
+
+Range
+autoRange(const std::vector<std::vector<double>> &traces,
+          const TracePlotOptions &options)
+{
+    if (options.yMin < options.yMax)
+        return {options.yMin, options.yMax};
+    double lo = 0.0, hi = 0.0;
+    bool first = true;
+    for (const auto &t : traces) {
+        for (double v : t) {
+            if (first) {
+                lo = hi = v;
+                first = false;
+            }
+            lo = std::min(lo, v);
+            hi = std::max(hi, v);
+        }
+    }
+    if (hi - lo < 1e-12)
+        hi = lo + 1.0;
+    return {lo, hi};
+}
+
+} // namespace
+
+std::string
+renderTraces(const std::vector<std::vector<double>> &traces,
+             const std::vector<std::string> &labels,
+             const TracePlotOptions &options)
+{
+    flexon_assert(!traces.empty());
+    flexon_assert(options.columns > 0 && options.rows >= 2);
+
+    std::vector<std::vector<double>> binned;
+    binned.reserve(traces.size());
+    for (const auto &t : traces)
+        binned.push_back(binTrace(t, options.columns));
+    const Range range = autoRange(binned, options);
+
+    // grid[row][col]; row 0 is the top.
+    std::vector<std::string> grid(options.rows,
+                                  std::string(options.columns, ' '));
+    for (size_t k = 0; k < binned.size(); ++k) {
+        const char glyph =
+            binned.size() == 1 ? '*'
+                               : static_cast<char>('a' + (k % 26));
+        for (size_t c = 0; c < options.columns; ++c) {
+            const double norm = (binned[k][c] - range.lo) /
+                                (range.hi - range.lo);
+            const double clamped = std::clamp(norm, 0.0, 1.0);
+            const size_t row =
+                options.rows - 1 -
+                static_cast<size_t>(clamped *
+                                    static_cast<double>(
+                                        options.rows - 1));
+            grid[row][c] = glyph;
+        }
+    }
+
+    std::string out;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%10.3f |", range.hi);
+    out += buf;
+    out += grid[0] + "\n";
+    for (size_t r = 1; r + 1 < options.rows; ++r) {
+        out += "           |";
+        out += grid[r] + "\n";
+    }
+    std::snprintf(buf, sizeof(buf), "%10.3f |", range.lo);
+    out += buf;
+    out += grid[options.rows - 1] + "\n";
+    out += "           +" + std::string(options.columns, '-') + "\n";
+
+    if (!labels.empty() && traces.size() > 1) {
+        out += "            ";
+        for (size_t k = 0; k < labels.size(); ++k) {
+            out += static_cast<char>('a' + (k % 26));
+            out += "=" + labels[k];
+            if (k + 1 < labels.size())
+                out += "  ";
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+std::string
+renderTrace(const std::vector<double> &values,
+            const std::vector<size_t> &events,
+            const TracePlotOptions &options)
+{
+    std::string out = renderTraces({values}, {}, options);
+    if (options.markEvents && !events.empty() && !values.empty()) {
+        std::string marks(options.columns, ' ');
+        const double per_bin =
+            static_cast<double>(values.size()) /
+            static_cast<double>(options.columns);
+        for (size_t e : events) {
+            const size_t c = std::min(
+                options.columns - 1,
+                static_cast<size_t>(
+                    static_cast<double>(e) / per_bin));
+            marks[c] = '*';
+        }
+        out = "    spikes  " + marks + "\n" + out;
+    }
+    return out;
+}
+
+} // namespace flexon

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * ASCII line plots of scalar traces (membrane potentials,
+ * conductances) for terminal output — used by the Figure 4-8
+ * reproductions to show the characteristic shape of each
+ * biologically common feature.
+ */
+
+#ifndef FLEXON_ANALYSIS_TRACE_PLOT_HH
+#define FLEXON_ANALYSIS_TRACE_PLOT_HH
+
+#include <string>
+#include <vector>
+
+namespace flexon {
+
+/** Options for renderTrace(). */
+struct TracePlotOptions
+{
+    size_t columns = 72; ///< plot width (samples are binned)
+    size_t rows = 12;    ///< plot height
+    /** Fixed y-range; if min >= max the range is auto-scaled. */
+    double yMin = 0.0;
+    double yMax = 0.0;
+    /** Marker for event (spike) positions along the top row. */
+    bool markEvents = true;
+};
+
+/**
+ * Render one trace as an ASCII plot. `events` (optional) marks time
+ * indices (e.g. spikes) with '*' on the top border.
+ */
+std::string renderTrace(const std::vector<double> &values,
+                        const std::vector<size_t> &events = {},
+                        const TracePlotOptions &options = {});
+
+/**
+ * Render several traces overlaid in one frame, each with its own
+ * glyph ('a', 'b', 'c', ...); a legend line maps glyphs to labels.
+ */
+std::string
+renderTraces(const std::vector<std::vector<double>> &traces,
+             const std::vector<std::string> &labels,
+             const TracePlotOptions &options = {});
+
+} // namespace flexon
+
+#endif // FLEXON_ANALYSIS_TRACE_PLOT_HH

@@ -1,0 +1,67 @@
+#include "backend/bio_params.hh"
+
+#include "common/logging.hh"
+
+namespace flexon {
+
+double
+weightScale(const BioParams &bio)
+{
+    return 1.0 / (bio.vThreshMv - bio.vRestMv);
+}
+
+NeuronParams
+normalize(const BioParams &bio)
+{
+    if (bio.vThreshMv <= bio.vRestMv) {
+        fatal("shift & scale requires vThresh (%f mV) > vRest (%f mV)",
+              bio.vThreshMv, bio.vRestMv);
+    }
+    if (bio.vResetMv != bio.vRestMv) {
+        fatal("Flexon resets the membrane to the resting voltage; "
+              "vReset (%f mV) must equal vRest (%f mV)",
+              bio.vResetMv, bio.vRestMv);
+    }
+    if (bio.dtMs <= 0.0 || bio.tauMMs <= 0.0)
+        fatal("time step and membrane tau must be positive");
+
+    const double scale = weightScale(bio);
+    auto norm_v = [&](double mv) {
+        return (mv - bio.vRestMv) * scale;
+    };
+
+    NeuronParams p;
+    p.features = modelFeatures(bio.kind);
+    p.numSynapseTypes = bio.numSynapseTypes;
+    p.epsM = bio.dtMs / bio.tauMMs;
+    p.vLeak = bio.vLeakMvPerStep * scale;
+
+    for (size_t i = 0; i < bio.numSynapseTypes; ++i) {
+        if (bio.syn[i].tauSynMs <= 0.0)
+            fatal("synaptic tau must be positive (type %zu)", i);
+        p.syn[i].epsG = bio.dtMs / bio.syn[i].tauSynMs;
+        p.syn[i].vG = norm_v(bio.syn[i].eRevMv);
+    }
+
+    p.deltaT = bio.deltaTMv * scale;
+    p.vCrit = norm_v(bio.vCritMv);
+    p.vFiring = norm_v(bio.vFiringMv);
+
+    p.epsW = bio.tauWMs > 0.0 ? bio.dtMs / bio.tauWMs : 0.0;
+    p.a = bio.aCoupling;
+    p.vW = norm_v(bio.vWMv);
+    p.b = bio.bMv * scale;
+
+    p.arSteps = static_cast<uint32_t>(bio.tRefMs / bio.dtMs + 0.5);
+    p.epsR = bio.tauRMs > 0.0 ? bio.dtMs / bio.tauRMs : 0.0;
+    p.vRR = norm_v(bio.vRrMv);
+    p.vAR = norm_v(bio.vArMv);
+    p.qR = bio.qR;
+
+    const std::string err = p.validate();
+    if (!err.empty())
+        fatal("normalized parameters invalid: %s", err.c_str());
+    return p;
+}
+
+} // namespace flexon

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Biological-unit neuron descriptions and the shift & scale
+ * normalizer (Section IV-B1).
+ *
+ * SNN front-ends such as PyNN describe neurons in physical units
+ * (millivolts, milliseconds). Flexon's hardware works in normalized
+ * units with the resting voltage at 0 and the threshold at 1.0. This
+ * module performs the normalization:
+ *
+ *     v_norm = (v - v_rest) / (v_thresh - v_rest)
+ *
+ * and converts time constants to per-step decay factors
+ * (epsilon = dt / tau). Synaptic weights (in mV of instantaneous
+ * depolarization, or conductance increments) pass through
+ * weightScale().
+ */
+
+#ifndef FLEXON_BACKEND_BIO_PARAMS_HH
+#define FLEXON_BACKEND_BIO_PARAMS_HH
+
+#include <array>
+
+#include "features/model_table.hh"
+#include "features/params.hh"
+
+namespace flexon {
+
+/** Per-synapse-type description in biological units. */
+struct BioSynapseType
+{
+    /** Synaptic (conductance) time constant, ms. */
+    double tauSynMs = 5.0;
+    /** Reversal potential, mV (used with REV). */
+    double eRevMv = 0.0;
+};
+
+/**
+ * A neuron description in biological units, as a PyNN-style
+ * front-end would provide it.
+ */
+struct BioParams
+{
+    /** Which Table III model (fixes the feature combination). */
+    ModelKind kind = ModelKind::LIF;
+
+    double dtMs = 0.1;        ///< simulation time step
+    double tauMMs = 10.0;     ///< membrane time constant
+    double vRestMv = -65.0;   ///< resting potential
+    double vThreshMv = -50.0; ///< threshold potential
+    double vResetMv = -65.0;  ///< post-spike reset potential
+
+    size_t numSynapseTypes = 2;
+    std::array<BioSynapseType, maxSynapseTypes> syn{
+        BioSynapseType{5.0, 0.0},    // excitatory (AMPA-like)
+        BioSynapseType{10.0, -80.0}, // inhibitory (GABA-like)
+    };
+
+    /** Linear leak per step, mV (LID models). */
+    double vLeakMvPerStep = 0.0;
+
+    double deltaTMv = 2.0;    ///< EXI sharpness, mV
+    double vCritMv = -55.0;   ///< QDI critical voltage, mV
+    double vFiringMv = -40.0; ///< QDI/EXI firing voltage, mV
+
+    double tauWMs = 100.0;    ///< adaptation time constant
+    double aCoupling = 0.0;   ///< SBT coupling (normalized gain)
+    double vWMv = -60.0;      ///< SBT oscillation level, mV
+    double bMv = 0.5;         ///< spike-triggered jump, mV
+
+    double tRefMs = 2.0;      ///< absolute refractory period
+    double tauRMs = 2.0;      ///< relative refractory time constant
+    double vRrMv = -75.0;     ///< RR reversal potential
+    double vArMv = -80.0;     ///< RR adaptation reversal potential
+    double qR = -0.2;         ///< RR jump (normalized conductance)
+};
+
+/**
+ * Shift & scale a biological description into the normalized
+ * NeuronParams consumed by every simulator component. fatal() if the
+ * description is inconsistent (e.g. vReset != vRest, which the
+ * Flexon reset path cannot express, or vThresh <= vRest).
+ */
+NeuronParams normalize(const BioParams &bio);
+
+/**
+ * The factor converting biological synaptic weights (mV) into
+ * normalized weight units: 1 / (vThresh - vRest).
+ */
+double weightScale(const BioParams &bio);
+
+} // namespace flexon
+
+#endif // FLEXON_BACKEND_BIO_PARAMS_HH

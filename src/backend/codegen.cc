@@ -1,0 +1,109 @@
+#include "backend/codegen.hh"
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "folded/neuron.hh"
+#include "models/reference_neuron.hh"
+
+namespace flexon {
+
+CompiledNeuron
+compile(const NeuronParams &params)
+{
+    CompiledNeuron out;
+    out.params = params;
+    out.config = FlexonConfig::fromParams(params);
+    out.program = buildProgram(out.config);
+    return out;
+}
+
+CompiledNeuron
+compile(const BioParams &bio)
+{
+    return compile(normalize(bio));
+}
+
+CompiledNeuron
+compileModel(ModelKind kind)
+{
+    return compile(defaultParams(kind));
+}
+
+std::string
+describe(const CompiledNeuron &compiled)
+{
+    std::ostringstream oss;
+    oss << "features: " << compiled.params.features.toString() << '\n';
+    oss << "synapse types: " << compiled.config.numSynapseTypes
+        << '\n';
+    oss << "input scale (epsilon_m): "
+        << compiled.config.inputScale.toDouble() << '\n';
+    oss << "threshold: "
+        << compiled.config.consts.threshold.toDouble() << '\n';
+
+    oss << "MUL constants:";
+    for (const Fix &c : compiled.program.mulConstants())
+        oss << ' ' << c.toDouble();
+    oss << '\n';
+    oss << "ADD constants:";
+    for (const Fix &c : compiled.program.addConstants())
+        oss << ' ' << c.toDouble();
+    oss << '\n';
+
+    oss << "control signals (" << compiled.program.length()
+        << ", latency " << compiled.program.latencyCycles()
+        << " cycles):\n";
+    oss << compiled.program.disassemble();
+    return oss.str();
+}
+
+double
+verifyCompiled(const CompiledNeuron &compiled, int steps,
+               uint64_t seed)
+{
+    ReferenceNeuron ref(compiled.params);
+    FoldedFlexonNeuron hw(compiled.config, compiled.program);
+    Rng rng(seed);
+
+    const NeuronParams &p = compiled.params;
+    const bool cub = p.features.has(Feature::CUB);
+    uint64_t ref_spikes = 0, hw_spikes = 0;
+    std::vector<double> raw(p.numSynapseTypes, 0.0);
+    std::vector<Fix> scaled(compiled.config.numSynapseTypes,
+                            Fix::zero());
+
+    for (int t = 0; t < steps; ++t) {
+        for (auto &x : raw)
+            x = 0.0;
+        if (rng.bernoulli(0.2))
+            raw[0] = cub ? rng.uniform(2.0, 6.0)
+                         : rng.uniform(0.2, 0.7);
+
+        if (cub) {
+            double sum = 0.0;
+            for (double x : raw)
+                sum += x;
+            scaled[0] = compiled.config.scaleWeight(sum);
+        } else {
+            for (size_t i = 0; i < scaled.size(); ++i)
+                scaled[i] = compiled.config.scaleWeight(raw[i]);
+        }
+
+        ref_spikes += ref.step(std::span<const double>(raw));
+        hw_spikes += hw.step(std::span<const Fix>(scaled));
+    }
+
+    if (ref_spikes == 0 && hw_spikes == 0)
+        return 0.0;
+    const double denom =
+        static_cast<double>(std::max(ref_spikes, hw_spikes));
+    return std::abs(static_cast<double>(ref_spikes) -
+                    static_cast<double>(hw_spikes)) /
+           denom;
+}
+
+} // namespace flexon

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The Flexon back-end code generator (Section VII-B): translates a
+ * neuron-model description into the artifacts that program the
+ * hardware — the MUX configuration and constant buffer of a baseline
+ * Flexon, and the control-signal program of a spatially folded
+ * Flexon.
+ *
+ * This is the integration point an SNN front-end (PyNN-style) would
+ * call: describe the model, get back a deployable programming.
+ */
+
+#ifndef FLEXON_BACKEND_CODEGEN_HH
+#define FLEXON_BACKEND_CODEGEN_HH
+
+#include <string>
+
+#include "backend/bio_params.hh"
+#include "flexon/config.hh"
+#include "folded/program.hh"
+
+namespace flexon {
+
+/** Everything needed to program either Flexon variant. */
+struct CompiledNeuron
+{
+    /** Normalized parameters (for reference-model cross-checks). */
+    NeuronParams params;
+    /** Baseline Flexon programming (MUXes + constants). */
+    FlexonConfig config;
+    /** Spatially folded Flexon control-signal program. */
+    MicrocodeProgram program;
+
+    /** Control signals per neuron evaluation on folded Flexon. */
+    size_t programLength() const { return program.length(); }
+};
+
+/** Compile normalized parameters. */
+CompiledNeuron compile(const NeuronParams &params);
+
+/** Compile a biological-unit description (shift & scale first). */
+CompiledNeuron compile(const BioParams &bio);
+
+/** Compile a Table III model with its default parameters. */
+CompiledNeuron compileModel(ModelKind kind);
+
+/**
+ * Human-readable compilation report: the feature set, the constant
+ * buffers and the disassembled control-signal program (Table V
+ * style). Used by the tab05 benchmark and the quickstart example.
+ */
+std::string describe(const CompiledNeuron &compiled);
+
+/**
+ * Self-check: run the compiled program and the reference model side
+ * by side on a pseudo-random input train and report the spike-count
+ * divergence (fraction, 0 = identical counts). Used by tests and by
+ * the tab03 coverage benchmark to demonstrate that every Table III
+ * model is simulatable.
+ */
+double verifyCompiled(const CompiledNeuron &compiled, int steps,
+                      uint64_t seed);
+
+} // namespace flexon
+
+#endif // FLEXON_BACKEND_CODEGEN_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Verilog emission for spatially folded Flexon.
+ *
+ * The paper's artifact is RTL ("we wrote Verilog code for Flexon and
+ * synthesized it at register-transfer level"). This module closes the
+ * loop: it lowers a compiled neuron into a synthesizable-style
+ * Verilog module — the Table IV control signals packed into a
+ * microcode ROM, the constant buffers as localparams, and the
+ * two-stage folded datapath around one multiplier, one adder and one
+ * exponentiation unit.
+ *
+ * The companion packControlWord()/unpackControlWord() pair defines
+ * the ROM encoding and is round-trip tested in C++, so the encoding
+ * the RTL consumes is the encoding the functional model verified.
+ */
+
+#ifndef FLEXON_BACKEND_VERILOG_HH
+#define FLEXON_BACKEND_VERILOG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "backend/codegen.hh"
+#include "folded/isa.hh"
+
+namespace flexon {
+
+/** Width of one packed control word, in bits. */
+constexpr int controlWordBits = 19;
+
+/**
+ * Pack a control signal into the ROM encoding:
+ *
+ *   [18]    a        MUL operand select
+ *   [17:14] ca       MUL constant index
+ *   [13:12] b        ADD operand select
+ *   [11:9]  cb       ADD constant index
+ *   [8:7]   type     synapse-type select
+ *   [6:3]   s        state-variable select
+ *   [2]     exp
+ *   [1]     s_wr
+ *   [0]     v_acc
+ */
+uint32_t packControlWord(const MicroOp &op);
+
+/** Inverse of packControlWord (comment is not representable). */
+MicroOp unpackControlWord(uint32_t word);
+
+/**
+ * Emit a Verilog module implementing the compiled neuron on the
+ * folded datapath.
+ *
+ * @param compiled the neuron programming (constants + microcode)
+ * @param module_name Verilog module name
+ */
+std::string emitFoldedVerilog(const CompiledNeuron &compiled,
+                              const std::string &module_name =
+                                  "flexon_folded_neuron");
+
+/**
+ * Emit a self-checking Verilog testbench for the emitted module:
+ * `steps` pseudo-random input vectors are run through the C++
+ * functional model (the golden reference) and the expected
+ * pre-reset membrane value and spike flag of every step are baked
+ * into the testbench, which compares them against the DUT and
+ * reports PASS/FAIL. Run with any Verilog simulator, e.g.:
+ *
+ *     flexon_rtl AdEx > adex.v
+ *     flexon_rtl --testbench AdEx > adex_tb.v
+ *     iverilog -o sim adex.v adex_tb.v && ./sim
+ */
+std::string emitFoldedTestbench(const CompiledNeuron &compiled,
+                                int steps, uint64_t seed,
+                                const std::string &module_name =
+                                    "flexon_folded_neuron");
+
+/**
+ * Emit the fast_exp_q10_22 unit the neuron module instantiates: a
+ * behavioural (simulation-only) implementation of the Schraudolph
+ * approximation that reproduces the C++ fixedExp() bit for bit —
+ * Verilog `real` is an IEEE-754 double, and $bitstoreal exposes the
+ * exponent-splicing trick directly. A synthesis flow would replace
+ * it with a shift-add implementation verified against the same
+ * golden vectors.
+ */
+std::string emitFastExpVerilog();
+
+} // namespace flexon
+
+#endif // FLEXON_BACKEND_VERILOG_HH

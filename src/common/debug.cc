@@ -1,0 +1,76 @@
+#include "common/debug.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <sstream>
+
+namespace flexon {
+namespace debug {
+
+namespace {
+
+std::set<std::string> &
+flags()
+{
+    static std::set<std::string> set = [] {
+        std::set<std::string> initial;
+        if (const char *env = std::getenv("FLEXON_DEBUG")) {
+            std::istringstream iss(env);
+            std::string flag;
+            while (std::getline(iss, flag, ','))
+                if (!flag.empty())
+                    initial.insert(flag);
+        }
+        return initial;
+    }();
+    return set;
+}
+
+std::mutex &
+mutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+} // namespace
+
+bool
+enabled(const std::string &flag)
+{
+    std::lock_guard<std::mutex> lock(mutex());
+    const auto &set = flags();
+    return set.count(flag) > 0 || set.count("All") > 0;
+}
+
+void
+enable(const std::string &flag)
+{
+    std::lock_guard<std::mutex> lock(mutex());
+    flags().insert(flag);
+}
+
+void
+disable(const std::string &flag)
+{
+    std::lock_guard<std::mutex> lock(mutex());
+    flags().erase(flag);
+    flags().erase("All");
+}
+
+void
+print(const char *flag, const char *fmt, ...)
+{
+    std::fprintf(stderr, "%s: ", flag);
+    va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(stderr, fmt, ap);
+    va_end(ap);
+    std::fputc('\n', stderr);
+}
+
+} // namespace debug
+} // namespace flexon

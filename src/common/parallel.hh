@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Minimal data-parallel helper: split an index range across worker
+ * threads (the way NEST parallelizes its neuron-update loop across
+ * the Xeon's cores). Deliberately simple — threads are joined before
+ * returning, so callers need no synchronization.
+ */
+
+#ifndef FLEXON_COMMON_PARALLEL_HH
+#define FLEXON_COMMON_PARALLEL_HH
+
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace flexon {
+
+/**
+ * Invoke fn(begin, end) on `threads` contiguous chunks of [0, n).
+ * With threads <= 1 (or tiny n) the call runs inline.
+ */
+template <typename Fn>
+void
+parallelFor(size_t n, size_t threads, Fn &&fn)
+{
+    if (threads <= 1 || n < 2 * threads) {
+        fn(size_t{0}, n);
+        return;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    const size_t chunk = (n + threads - 1) / threads;
+    for (size_t t = 0; t < threads; ++t) {
+        const size_t begin = t * chunk;
+        const size_t end = std::min(n, begin + chunk);
+        if (begin >= end)
+            break;
+        pool.emplace_back([&fn, begin, end] { fn(begin, end); });
+    }
+    for (auto &worker : pool)
+        worker.join();
+}
+
+} // namespace flexon
+
+#endif // FLEXON_COMMON_PARALLEL_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for simulations.
+ *
+ * All stochastic components of the simulator (stimulus generation,
+ * network wiring, synthetic spike trains) draw from Rng so that a run is
+ * exactly reproducible given a seed. The generator is xoshiro256**,
+ * which is fast, has a 256-bit state, and passes BigCrush.
+ */
+
+#ifndef FLEXON_COMMON_RANDOM_HH
+#define FLEXON_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+namespace flexon {
+
+/**
+ * A seedable, splittable pseudo-random number generator.
+ *
+ * Satisfies the UniformRandomBitGenerator requirements so it can also be
+ * used with <random> distributions when needed.
+ */
+class Rng
+{
+  public:
+    using result_type = uint64_t;
+
+    /** Construct from a 64-bit seed via splitmix64 state expansion. */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ULL; }
+
+    /** Next raw 64-bit value. */
+    uint64_t operator()() { return next(); }
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). @pre n > 0 */
+    uint64_t uniformInt(uint64_t n);
+
+    /** Standard normal variate (Box-Muller, cached pair). */
+    double normal();
+
+    /** Normal variate with the given mean and standard deviation. */
+    double normal(double mean, double stddev);
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool bernoulli(double p);
+
+    /** Exponential variate with the given rate (lambda). */
+    double exponential(double rate);
+
+    /** Poisson variate with the given mean (Knuth for small means). */
+    uint64_t poisson(double mean);
+
+    /**
+     * Derive an independent child generator. Used to give each neuron
+     * population / stimulus source its own stream.
+     */
+    Rng split();
+
+  private:
+    uint64_t s_[4];
+    double cachedNormal_ = 0.0;
+    bool hasCachedNormal_ = false;
+};
+
+} // namespace flexon
+
+#endif // FLEXON_COMMON_RANDOM_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Small statistics helpers used by the evaluation harness: running
+ * summaries, geometric means (the paper reports geomean speedups), and a
+ * histogram for spike-train statistics.
+ */
+
+#ifndef FLEXON_COMMON_STATS_HH
+#define FLEXON_COMMON_STATS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace flexon {
+
+/** Running scalar summary: count / mean / variance / min / max. */
+class Summary
+{
+  public:
+    /** Add one sample (Welford update). */
+    void add(double x);
+
+    size_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    /** Unbiased sample variance (0 with fewer than two samples). */
+    double variance() const;
+    double stddev() const;
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+  private:
+    size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Geometric mean of a set of strictly positive values.
+ * @pre every value > 0
+ */
+double geomean(const std::vector<double> &values);
+
+/** Arithmetic mean (0 for an empty vector). */
+double mean(const std::vector<double> &values);
+
+/**
+ * Fixed-bin histogram over [lo, hi); out-of-range samples land in the
+ * first/last bin. Used to sanity-check inter-spike interval and Poisson
+ * stimulus distributions.
+ */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, size_t bins);
+
+    void add(double x);
+    size_t bins() const { return counts_.size(); }
+    uint64_t binCount(size_t i) const { return counts_.at(i); }
+    uint64_t total() const { return total_; }
+    /** Center value of bin i. */
+    double binCenter(size_t i) const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<uint64_t> counts_;
+    uint64_t total_ = 0;
+};
+
+} // namespace flexon
+
+#endif // FLEXON_COMMON_STATS_HH

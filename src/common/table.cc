@@ -1,0 +1,88 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace flexon {
+
+Table::Table(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+    flexon_assert(!header_.empty());
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != header_.size()) {
+        panic("table row arity %zu does not match header arity %zu",
+              cells.size(), header_.size());
+    }
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(header_.size());
+    for (size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(widths[c]))
+               << row[c];
+            if (c + 1 < row.size())
+                os << "  ";
+        }
+        os << '\n';
+    };
+
+    print_row(header_);
+    size_t rule_len = 0;
+    for (size_t c = 0; c < widths.size(); ++c)
+        rule_len += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    os << std::string(rule_len, '-') << '\n';
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << row[c];
+            if (c + 1 < row.size())
+                os << ',';
+        }
+        os << '\n';
+    };
+    print_row(header_);
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << v;
+    return oss.str();
+}
+
+std::string
+Table::ratio(double v, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << v << "x";
+    return oss.str();
+}
+
+} // namespace flexon

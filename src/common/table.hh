@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Plain-text table printer used by the benchmark harness to render the
+ * paper's tables and figure series as aligned console output, plus an
+ * optional CSV writer for downstream plotting.
+ */
+
+#ifndef FLEXON_COMMON_TABLE_HH
+#define FLEXON_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace flexon {
+
+/**
+ * A simple column-aligned table.
+ *
+ * Usage:
+ * @code
+ *   Table t({"SNN", "CPU [ms]", "Flexon [ms]", "Speedup"});
+ *   t.addRow({"Brunel", "12.1", "0.09", "134x"});
+ *   t.print(std::cout);
+ * @endcode
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    /** Append one row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with column alignment and a header rule. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (no alignment padding). */
+    void printCsv(std::ostream &os) const;
+
+    size_t rows() const { return rows_.size(); }
+
+    /** Format a double with the given precision. */
+    static std::string num(double v, int precision = 3);
+
+    /** Format a ratio as e.g. "122.5x". */
+    static std::string ratio(double v, int precision = 2);
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace flexon
+
+#endif // FLEXON_COMMON_TABLE_HH

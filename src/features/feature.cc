@@ -1,0 +1,180 @@
+#include "features/feature.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace flexon {
+
+const char *
+featureName(Feature f)
+{
+    switch (f) {
+      case Feature::EXD: return "EXD";
+      case Feature::LID: return "LID";
+      case Feature::CUB: return "CUB";
+      case Feature::COBE: return "COBE";
+      case Feature::COBA: return "COBA";
+      case Feature::REV: return "REV";
+      case Feature::QDI: return "QDI";
+      case Feature::EXI: return "EXI";
+      case Feature::ADT: return "ADT";
+      case Feature::SBT: return "SBT";
+      case Feature::AR: return "AR";
+      case Feature::RR: return "RR";
+      default: panic("invalid feature %d", static_cast<int>(f));
+    }
+}
+
+const char *
+featureDescription(Feature f)
+{
+    switch (f) {
+      case Feature::EXD: return "Exponential membrane decay";
+      case Feature::LID: return "Linear membrane decay";
+      case Feature::CUB: return "Current-based accumulation";
+      case Feature::COBE: return "Conductance-based (exponential)";
+      case Feature::COBA: return "Conductance-based (alpha function)";
+      case Feature::REV: return "Reversal voltage";
+      case Feature::QDI: return "Quadratic spike initiation";
+      case Feature::EXI: return "Exponential spike initiation";
+      case Feature::ADT: return "Adaptation";
+      case Feature::SBT: return "Subthreshold oscillation";
+      case Feature::AR: return "Absolute refractory";
+      case Feature::RR: return "Relative refractory";
+      default: panic("invalid feature %d", static_cast<int>(f));
+    }
+}
+
+FeatureCategory
+featureCategory(Feature f)
+{
+    switch (f) {
+      case Feature::EXD:
+      case Feature::LID:
+        return FeatureCategory::MembraneDecay;
+      case Feature::CUB:
+      case Feature::COBE:
+      case Feature::COBA:
+      case Feature::REV:
+        return FeatureCategory::InputSpikeAccumulation;
+      case Feature::QDI:
+      case Feature::EXI:
+        return FeatureCategory::SpikeInitiation;
+      case Feature::ADT:
+      case Feature::SBT:
+        return FeatureCategory::SpikeTriggeredCurrent;
+      case Feature::AR:
+      case Feature::RR:
+        return FeatureCategory::Refractory;
+      default: panic("invalid feature %d", static_cast<int>(f));
+    }
+}
+
+const char *
+categoryName(FeatureCategory c)
+{
+    switch (c) {
+      case FeatureCategory::MembraneDecay:
+        return "Membrane Decay";
+      case FeatureCategory::InputSpikeAccumulation:
+        return "Input Spike Accumulation";
+      case FeatureCategory::SpikeInitiation:
+        return "Spike Initiation";
+      case FeatureCategory::SpikeTriggeredCurrent:
+        return "Spike-Triggered Current";
+      case FeatureCategory::Refractory:
+        return "Refractory";
+      default: panic("invalid category %d", static_cast<int>(c));
+    }
+}
+
+Feature
+featureFromName(const std::string &name)
+{
+    for (size_t i = 0; i < numFeatures; ++i) {
+        auto f = static_cast<Feature>(i);
+        if (name == featureName(f))
+            return f;
+    }
+    fatal("unknown feature name '%s'", name.c_str());
+}
+
+FeatureSet::FeatureSet(std::initializer_list<Feature> features)
+{
+    for (Feature f : features)
+        add(f);
+}
+
+FeatureSet &
+FeatureSet::add(Feature f)
+{
+    flexon_assert(f < Feature::NumFeatures);
+    bits_ |= bit(f);
+    return *this;
+}
+
+FeatureSet &
+FeatureSet::remove(Feature f)
+{
+    flexon_assert(f < Feature::NumFeatures);
+    bits_ &= static_cast<uint16_t>(~bit(f));
+    return *this;
+}
+
+size_t
+FeatureSet::count() const
+{
+    return static_cast<size_t>(std::popcount(bits_));
+}
+
+std::string
+FeatureSet::validate() const
+{
+    if (has(Feature::EXD) && has(Feature::LID))
+        return "EXD and LID are mutually exclusive membrane decays";
+    int accum = static_cast<int>(has(Feature::CUB)) +
+                static_cast<int>(has(Feature::COBE)) +
+                static_cast<int>(has(Feature::COBA));
+    if (accum > 1)
+        return "CUB, COBE and COBA are mutually exclusive";
+    if (has(Feature::REV) && has(Feature::CUB))
+        return "REV cannot be combined with CUB (Equation 4)";
+    if (has(Feature::REV) && !has(Feature::COBE) && !has(Feature::COBA))
+        return "REV requires conductance-based accumulation";
+    if (has(Feature::QDI) && has(Feature::EXI))
+        return "QDI and EXI are mutually exclusive spike initiations";
+    if ((has(Feature::QDI) || has(Feature::EXI)) && has(Feature::LID))
+        return "QDI/EXI replace the exponential leak and require EXD "
+               "(Table V pairs them with EXD)";
+    if (has(Feature::RR) && (has(Feature::ADT) || has(Feature::SBT)))
+        return "RR drives the w state variable through Equation 8 and "
+               "cannot combine with ADT/SBT (Equation 6)";
+    return "";
+}
+
+std::vector<Feature>
+FeatureSet::list() const
+{
+    std::vector<Feature> out;
+    for (size_t i = 0; i < numFeatures; ++i) {
+        auto f = static_cast<Feature>(i);
+        if (has(f))
+            out.push_back(f);
+    }
+    return out;
+}
+
+std::string
+FeatureSet::toString() const
+{
+    std::string out;
+    for (Feature f : list()) {
+        if (!out.empty())
+            out += "+";
+        out += featureName(f);
+    }
+    return out.empty() ? "(none)" : out;
+}
+
+} // namespace flexon

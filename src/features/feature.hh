@@ -1,0 +1,148 @@
+/**
+ * @file
+ * The 12 biologically common features (Table II of the paper) and the
+ * FeatureSet type describing which features a neuron configuration
+ * enables.
+ *
+ * Feature categories:
+ *  - Membrane decay: EXD (exponential), LID (linear)
+ *  - Input spike accumulation: CUB (current-based), COBE
+ *    (conductance-based, exponential), COBA (conductance-based, alpha
+ *    function), REV (reversal voltage)
+ *  - Spike initiation: QDI (quadratic), EXI (exponential)
+ *  - Spike-triggered current: ADT (adaptation), SBT (subthreshold
+ *    oscillation)
+ *  - Refractory: AR (absolute), RR (relative)
+ */
+
+#ifndef FLEXON_FEATURES_FEATURE_HH
+#define FLEXON_FEATURES_FEATURE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace flexon {
+
+/** One of the 12 biologically common features. */
+enum class Feature : uint16_t {
+    EXD,  ///< Exponential membrane decay
+    LID,  ///< Linear membrane decay
+    CUB,  ///< Current-based input spike accumulation
+    COBE, ///< Conductance-based accumulation, exponential kernel
+    COBA, ///< Conductance-based accumulation, alpha-function kernel
+    REV,  ///< Reversal-voltage scaling of conductance contributions
+    QDI,  ///< Quadratic spike initiation
+    EXI,  ///< Exponential spike initiation
+    ADT,  ///< Spike-triggered adaptation current
+    SBT,  ///< Subthreshold oscillation
+    AR,   ///< Absolute refractory period
+    RR,   ///< Relative refractory period
+    NumFeatures
+};
+
+/** Number of biologically common features. */
+constexpr size_t numFeatures =
+    static_cast<size_t>(Feature::NumFeatures);
+
+/** The five feature categories of Table II. */
+enum class FeatureCategory {
+    MembraneDecay,
+    InputSpikeAccumulation,
+    SpikeInitiation,
+    SpikeTriggeredCurrent,
+    Refractory,
+};
+
+/** Short name from Table II ("EXD", "COBA", ...). */
+const char *featureName(Feature f);
+
+/** Long descriptive name ("Exponential membrane decay", ...). */
+const char *featureDescription(Feature f);
+
+/** The Table II category a feature belongs to. */
+FeatureCategory featureCategory(Feature f);
+
+/** Printable name of a category. */
+const char *categoryName(FeatureCategory c);
+
+/** Parse a Table II abbreviation; fatal() on unknown names. */
+Feature featureFromName(const std::string &name);
+
+/**
+ * A set of enabled biologically common features.
+ *
+ * Thin bitmask wrapper with validation of the paper's combination
+ * rules (Section IV-A / Figure 10):
+ *  - EXD and LID are mutually exclusive (one membrane-decay MUX);
+ *  - QDI and EXI are mutually exclusive (one spike-initiation MUX);
+ *  - CUB, COBE and COBA are mutually exclusive accumulation modes;
+ *  - REV requires a conductance-based accumulation (cannot pair with
+ *    CUB, Equation 4);
+ *  - SBT implies the ADT state variable (its datapath embeds ADT's);
+ *  - RR excludes ADT/SBT (both drive w, through different equations).
+ */
+class FeatureSet
+{
+  public:
+    constexpr FeatureSet() = default;
+
+    /** Build from an explicit list of features. */
+    FeatureSet(std::initializer_list<Feature> features);
+
+    constexpr bool
+    has(Feature f) const
+    {
+        return bits_ & bit(f);
+    }
+
+    FeatureSet &add(Feature f);
+    FeatureSet &remove(Feature f);
+
+    constexpr uint16_t raw() const { return bits_; }
+    static constexpr FeatureSet
+    fromRaw(uint16_t bits)
+    {
+        FeatureSet s;
+        s.bits_ = bits;
+        return s;
+    }
+
+    constexpr bool empty() const { return bits_ == 0; }
+    size_t count() const;
+
+    friend constexpr bool
+    operator==(FeatureSet a, FeatureSet b)
+    {
+        return a.bits_ == b.bits_;
+    }
+
+    /**
+     * Check the combination rules listed above.
+     * @return an empty string if valid, else a description of the
+     *         first violated rule.
+     */
+    std::string validate() const;
+
+    /** True iff validate() returns an empty string. */
+    bool valid() const { return validate().empty(); }
+
+    /** All features present, in Table II order. */
+    std::vector<Feature> list() const;
+
+    /** Comma-separated abbreviation string, e.g. "EXD+COBE+REV+AR". */
+    std::string toString() const;
+
+  private:
+    static constexpr uint16_t
+    bit(Feature f)
+    {
+        return static_cast<uint16_t>(1u << static_cast<uint16_t>(f));
+    }
+
+    uint16_t bits_ = 0;
+};
+
+} // namespace flexon
+
+#endif // FLEXON_FEATURES_FEATURE_HH

@@ -1,0 +1,156 @@
+#include "features/model_table.hh"
+
+#include "common/logging.hh"
+
+namespace flexon {
+
+const char *
+modelName(ModelKind kind)
+{
+    switch (kind) {
+      case ModelKind::LIF: return "LIF";
+      case ModelKind::LLIF: return "LLIF";
+      case ModelKind::SLIF: return "SLIF";
+      case ModelKind::DSRM0: return "DSRM0";
+      case ModelKind::DLIF: return "DLIF";
+      case ModelKind::QIF: return "QIF";
+      case ModelKind::EIF: return "EIF";
+      case ModelKind::Izhikevich: return "Izhikevich";
+      case ModelKind::AdEx: return "AdEx";
+      case ModelKind::AdExCOBA: return "AdEx_COBA";
+      case ModelKind::IFPscAlpha: return "IF_psc_alpha";
+      case ModelKind::IFCondExpGsfaGrr: return "IF_cond_exp_gsfa_grr";
+      default: panic("invalid model kind %d", static_cast<int>(kind));
+    }
+}
+
+ModelKind
+modelFromName(const std::string &name)
+{
+    for (size_t i = 0; i < numModels; ++i) {
+        auto kind = static_cast<ModelKind>(i);
+        if (name == modelName(kind))
+            return kind;
+    }
+    fatal("unknown neuron model '%s'", name.c_str());
+}
+
+FeatureSet
+modelFeatures(ModelKind kind)
+{
+    using F = Feature;
+    switch (kind) {
+      case ModelKind::LIF:
+        return {F::EXD, F::CUB};
+      case ModelKind::LLIF:
+        return {F::LID, F::CUB, F::AR};
+      case ModelKind::SLIF:
+        return {F::EXD, F::CUB, F::AR};
+      case ModelKind::DSRM0:
+        return {F::EXD, F::COBE, F::AR};
+      case ModelKind::DLIF:
+        return {F::EXD, F::COBE, F::REV, F::AR};
+      case ModelKind::QIF:
+        return {F::EXD, F::COBE, F::REV, F::QDI, F::AR};
+      case ModelKind::EIF:
+        return {F::EXD, F::COBE, F::REV, F::EXI, F::AR};
+      case ModelKind::Izhikevich:
+        return {F::EXD, F::COBE, F::REV, F::QDI, F::ADT, F::AR};
+      case ModelKind::AdEx:
+        return {F::EXD, F::COBE, F::REV, F::EXI, F::ADT, F::SBT, F::AR};
+      case ModelKind::AdExCOBA:
+        return {F::EXD, F::COBA, F::REV, F::EXI, F::ADT, F::SBT, F::AR};
+      case ModelKind::IFPscAlpha:
+        return {F::EXD, F::COBA, F::AR};
+      case ModelKind::IFCondExpGsfaGrr:
+        return {F::EXD, F::COBE, F::REV, F::AR, F::RR};
+      default: panic("invalid model kind %d", static_cast<int>(kind));
+    }
+}
+
+NeuronParams
+defaultParams(ModelKind kind)
+{
+    NeuronParams p;
+    p.features = modelFeatures(kind);
+
+    // Common normalized constants for a 0.1 ms time step:
+    // membrane tau = 10 ms -> epsM = dt/tau = 0.01;
+    // synaptic tau = 5 ms -> epsG = 0.02;
+    // absolute refractory = 2 ms -> 20 steps.
+    p.epsM = 0.01;
+    p.numSynapseTypes = 2;
+    p.syn[0] = {0.02, 3.0};   // excitatory: reversal above threshold
+    p.syn[1] = {0.02, -1.0};  // inhibitory: reversal below rest
+    p.arSteps = 20;
+
+    switch (kind) {
+      case ModelKind::LIF:
+        p.arSteps = 0;
+        break;
+      case ModelKind::LLIF:
+        p.epsM = 0.0;
+        p.vLeak = 0.002;
+        break;
+      case ModelKind::SLIF:
+      case ModelKind::DSRM0:
+      case ModelKind::DLIF:
+        break;
+      case ModelKind::QIF:
+        p.vCrit = 0.5;
+        p.vFiring = 1.3;
+        break;
+      case ModelKind::EIF:
+        p.deltaT = 0.2;
+        p.vFiring = 1.5;
+        break;
+      case ModelKind::Izhikevich:
+        p.vCrit = 0.5;
+        p.vFiring = 1.3;
+        p.epsW = 0.002;   // tau_w = 50 ms
+        p.b = 0.1;
+        break;
+      case ModelKind::AdEx:
+      case ModelKind::AdExCOBA:
+        p.deltaT = 0.2;
+        p.vFiring = 1.5;
+        p.epsW = 0.001;   // tau_w = 100 ms
+        // Negative coupling: w opposes membrane excursions above v_w,
+        // producing the damped subthreshold oscillation of Figure 7
+        // (w enters v' additively in Equation 6).
+        p.a = -0.01;
+        p.vW = 0.1;
+        p.b = 0.08;
+        break;
+      case ModelKind::IFPscAlpha:
+        break;
+      case ModelKind::IFCondExpGsfaGrr:
+        // gsfa: conductance-form spike-frequency adaptation (w);
+        // grr: relative refractory conductance (r). Negative jump
+        // sizes make the post-spike conductances positive
+        // (Equation 8 subtracts the jump on fire).
+        p.epsW = 0.005;   // tau_gsfa = 20 ms
+        p.vAR = -0.7;
+        p.b = -0.1;
+        p.epsR = 0.05;    // tau_grr = 2 ms
+        p.vRR = -0.5;
+        p.qR = -0.2;
+        break;
+      default:
+        panic("invalid model kind %d", static_cast<int>(kind));
+    }
+
+    flexon_assert(p.validate().empty());
+    return p;
+}
+
+std::vector<ModelKind>
+allModels()
+{
+    std::vector<ModelKind> out;
+    for (size_t i = 0; i < numModels; ++i)
+        out.push_back(static_cast<ModelKind>(i));
+    return out;
+}
+
+} // namespace flexon

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The neuron-model zoo of Table III: each published neuron model
+ * expressed as a combination of the 12 biologically common features,
+ * plus representative default parameters for each model.
+ */
+
+#ifndef FLEXON_FEATURES_MODEL_TABLE_HH
+#define FLEXON_FEATURES_MODEL_TABLE_HH
+
+#include <string>
+#include <vector>
+
+#include "features/feature.hh"
+#include "features/params.hh"
+
+namespace flexon {
+
+/**
+ * The neuron models of Table III, plus the baseline LIF model.
+ *
+ * LIF itself does not appear as a Table III row (it is the baseline the
+ * features extend) but it is the CUB + EXD combination and every
+ * simulator component supports it.
+ */
+enum class ModelKind {
+    LIF,              ///< Leaky integrate-and-fire (baseline)
+    LLIF,             ///< Linear-leak integrate-and-fire
+    SLIF,             ///< LIF with step inputs
+    DSRM0,            ///< Zeroth-order spike response model (digital)
+    DLIF,             ///< LIF with decaying synaptic conductances
+    QIF,              ///< Quadratic integrate-and-fire
+    EIF,              ///< Exponential integrate-and-fire
+    Izhikevich,       ///< Izhikevich's simple model
+    AdEx,             ///< Adaptive exponential integrate-and-fire
+    AdExCOBA,         ///< AdEx with alpha-function conductances
+    IFPscAlpha,       ///< PyNN IF_psc_alpha
+    IFCondExpGsfaGrr, ///< PyNN IF_cond_exp_gsfa_grr
+    NumModels
+};
+
+/** Number of supported neuron models (including baseline LIF). */
+constexpr size_t numModels = static_cast<size_t>(ModelKind::NumModels);
+
+/** Printable model name ("AdEx", "IF_psc_alpha", ...). */
+const char *modelName(ModelKind kind);
+
+/** Parse a model name; fatal() on unknown names. */
+ModelKind modelFromName(const std::string &name);
+
+/**
+ * The Table III feature combination implementing a model.
+ *
+ * E.g. modelFeatures(ModelKind::DLIF) == {EXD, COBE, REV, AR}.
+ */
+FeatureSet modelFeatures(ModelKind kind);
+
+/**
+ * Representative normalized default parameters for a model, suitable
+ * for a 0.1 ms time step. The values produce biologically plausible
+ * firing behaviour and are used by tests, examples, and the Table I
+ * network generators (which override selected fields).
+ */
+NeuronParams defaultParams(ModelKind kind);
+
+/** All models, in Table III order (baseline LIF first). */
+std::vector<ModelKind> allModels();
+
+} // namespace flexon
+
+#endif // FLEXON_FEATURES_MODEL_TABLE_HH

@@ -1,0 +1,46 @@
+#include "features/params.hh"
+
+#include <sstream>
+
+namespace flexon {
+
+std::string
+NeuronParams::validate() const
+{
+    std::string fs = features.validate();
+    if (!fs.empty())
+        return fs;
+
+    if (!features.has(Feature::CUB) && !features.has(Feature::COBE) &&
+        !features.has(Feature::COBA)) {
+        return "an input spike accumulation feature (CUB, COBE or "
+               "COBA) is required";
+    }
+    if (numSynapseTypes < 1 || numSynapseTypes > maxSynapseTypes) {
+        std::ostringstream oss;
+        oss << "numSynapseTypes must be in [1, " << maxSynapseTypes
+            << "], got " << numSynapseTypes;
+        return oss.str();
+    }
+    if (epsM < 0.0 || epsM > 1.0)
+        return "epsM (dt/tau) must be within [0, 1]";
+    for (size_t i = 0; i < numSynapseTypes; ++i) {
+        if (syn[i].epsG < 0.0 || syn[i].epsG > 1.0)
+            return "epsG must be within [0, 1]";
+    }
+    if (features.has(Feature::EXI) && deltaT <= 0.0)
+        return "EXI requires a positive sharpness factor deltaT";
+    if ((features.has(Feature::QDI) || features.has(Feature::EXI)) &&
+        vFiring <= 1.0) {
+        return "firing voltage vFiring must exceed the threshold (1.0)";
+    }
+    if (epsW < 0.0 || epsW > 1.0)
+        return "epsW must be within [0, 1]";
+    if (epsR < 0.0 || epsR > 1.0)
+        return "epsR must be within [0, 1]";
+    if (features.has(Feature::AR) && arSteps == 0)
+        return "AR requires arSteps (cnt_max) > 0";
+    return "";
+}
+
+} // namespace flexon

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Neuron parameterization shared by the reference models, the Flexon
+ * digital-neuron models, and the backend code generator.
+ *
+ * All parameters are in *normalized* units after the paper's
+ * shift & scale transformation (Section IV-B1): the resting voltage is
+ * 0 and the threshold voltage is 1.0. Equations 3-8 of the paper are
+ * written in terms of the per-step constants below (epsilon_m = dt/tau
+ * etc.), so the parameter set stores the per-step constants directly.
+ */
+
+#ifndef FLEXON_FEATURES_PARAMS_HH
+#define FLEXON_FEATURES_PARAMS_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "features/feature.hh"
+
+namespace flexon {
+
+/** Maximum number of synapse types (Table IV: type[1:0], 4 values). */
+constexpr size_t maxSynapseTypes = 4;
+
+/**
+ * Per-synapse-type constants (Equation 4).
+ *
+ * epsG is the conductance decay constant epsilon_{g,i}; vG is the
+ * reversal-voltage constant v_{g,i} used when REV is enabled.
+ */
+struct SynapseTypeParams
+{
+    double epsG = 0.0;
+    double vG = 0.0;
+};
+
+/**
+ * The complete normalized parameter set for one neuron configuration.
+ *
+ * Only the fields relevant to the enabled features are consumed; the
+ * rest are ignored. See Equations 3-8 for the symbol definitions.
+ */
+struct NeuronParams
+{
+    /** Enabled biologically common features. */
+    FeatureSet features;
+
+    /** Number of active synapse types (1..maxSynapseTypes). */
+    size_t numSynapseTypes = 1;
+
+    // --- Membrane decay (Equation 3) ---
+    /** epsilon_m = dt / tau, the per-step membrane decay factor. */
+    double epsM = 0.01;
+    /** V_leak, the linear decay amount per step (LID). */
+    double vLeak = 0.0;
+
+    // --- Input spike accumulation (Equation 4) ---
+    std::array<SynapseTypeParams, maxSynapseTypes> syn{};
+
+    // --- Spike initiation (Equation 5) ---
+    /** Delta_T, the sharpness factor (EXI). */
+    double deltaT = 0.2;
+    /** v_c, the critical voltage (QDI). */
+    double vCrit = 0.5;
+    /** v_theta, the firing voltage (> threshold 1.0) for QDI/EXI. */
+    double vFiring = 1.3;
+
+    // --- Spike-triggered current (Equation 6) ---
+    /** epsilon_w, the adaptation decay constant. */
+    double epsW = 0.0;
+    /** a, the subthreshold coupling constant (SBT). */
+    double a = 0.0;
+    /** v_w, the oscillation voltage level (SBT). */
+    double vW = 0.0;
+    /** b, the spike-triggered jump size. */
+    double b = 0.0;
+
+    // --- Refractory (Equations 7/8) ---
+    /** cnt_max, absolute refractory length in time steps (AR). */
+    uint32_t arSteps = 0;
+    /** epsilon_r, the relative refractory decay constant (RR). */
+    double epsR = 0.0;
+    /** v_rr, the relative refractory reversal voltage (RR). */
+    double vRR = 0.0;
+    /** v_ar, the adaptation reversal voltage (RR, Equation 8). */
+    double vAR = 0.0;
+    /** q_r, the relative refractory jump size (RR). */
+    double qR = 0.0;
+
+    /**
+     * Validate feature-set rules and parameter ranges; returns an empty
+     * string when valid, else a description of the problem.
+     */
+    std::string validate() const;
+
+    /** The firing threshold used by the spike check (Equation 5). */
+    double
+    threshold() const
+    {
+        const bool soft = features.has(Feature::QDI) ||
+                          features.has(Feature::EXI);
+        return soft ? vFiring : 1.0;
+    }
+};
+
+/**
+ * Dynamic state of one simulated neuron, in normalized units.
+ *
+ * Which variables are live depends on the enabled features: y/g for
+ * conductance accumulation, w for ADT/SBT/RR, r for RR, cnt for AR.
+ */
+struct NeuronState
+{
+    double v = 0.0;
+    std::array<double, maxSynapseTypes> y{};
+    std::array<double, maxSynapseTypes> g{};
+    double w = 0.0;
+    double r = 0.0;
+    uint32_t cnt = 0;
+
+    /** Reset to the resting state (all zeros). */
+    void reset() { *this = NeuronState{}; }
+};
+
+} // namespace flexon
+
+#endif // FLEXON_FEATURES_PARAMS_HH

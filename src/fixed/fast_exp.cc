@@ -1,0 +1,38 @@
+#include "fixed/fast_exp.hh"
+
+#include <cstdint>
+#include <cstring>
+
+namespace flexon {
+
+double
+fastExp(double y)
+{
+    // Schraudolph 1999: i = a*y + b written to the exponent/high
+    // mantissa bits of an IEEE-754 double. EXP_A = 2^20 / ln(2);
+    // EXP_B centres the 1023 exponent bias; EXP_C is Schraudolph's
+    // mean-error-minimizing correction (60801).
+    constexpr double EXP_A = 1048576.0 / 0.6931471805599453;
+    constexpr double EXP_B = 1072693248.0;
+    constexpr double EXP_C = 60801.0;
+
+    // Clamp to keep the synthesized exponent in range.
+    if (y > 700.0)
+        y = 700.0;
+    if (y < -700.0)
+        y = -700.0;
+
+    const auto hi = static_cast<int32_t>(EXP_A * y + (EXP_B - EXP_C));
+    uint64_t bits = static_cast<uint64_t>(static_cast<uint32_t>(hi)) << 32;
+    double result;
+    std::memcpy(&result, &bits, sizeof(result));
+    return result;
+}
+
+Fix
+fixedExp(Fix x)
+{
+    return Fix::fromDouble(fastExp(x.toDouble()));
+}
+
+} // namespace flexon

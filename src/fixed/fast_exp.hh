@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Fast exponential approximation (Schraudolph, Neural Computation 1999).
+ *
+ * The paper (Section IV-B1) uses this approximation for Flexon's
+ * exponentiation unit to cut critical-path delay and power. The
+ * approximation exploits the IEEE-754 layout: writing i = a*y + b into
+ * the high 32 bits of a double yields approximately exp(y) when
+ * a = 2^20 / ln(2) and b centres the exponent bias.
+ *
+ * Both the baseline and folded Flexon models call the same fixedExp()
+ * so their results stay bit-identical.
+ */
+
+#ifndef FLEXON_FIXED_FAST_EXP_HH
+#define FLEXON_FIXED_FAST_EXP_HH
+
+#include "fixed/fixed_point.hh"
+
+namespace flexon {
+
+/**
+ * Schraudolph's fast exp on doubles.
+ *
+ * Relative error is below ~4 % over the usable input range
+ * (roughly [-700, 700]); out-of-range inputs are clamped.
+ */
+double fastExp(double y);
+
+/**
+ * The Flexon exponentiation unit: fixed-point in, fixed-point out.
+ *
+ * The hardware unit consumes a Q10.22 operand and produces a Q10.22
+ * result; this model converts through double only as an implementation
+ * detail of the approximation (the result is deterministic).
+ */
+Fix fixedExp(Fix x);
+
+} // namespace flexon
+
+#endif // FLEXON_FIXED_FAST_EXP_HH

@@ -1,0 +1,65 @@
+#include "flexon/array.hh"
+
+#include "common/logging.hh"
+
+namespace flexon {
+
+FlexonArray::FlexonArray(size_t width, double clockHz)
+    : width_(width), clockHz_(clockHz)
+{
+    flexon_assert(width > 0);
+    flexon_assert(clockHz > 0.0);
+}
+
+PopulationId
+FlexonArray::addPopulation(const FlexonConfig &config, size_t count)
+{
+    flexon_assert(count > 0);
+    populations_.push_back({neurons_.size(), count, config});
+    neurons_.reserve(neurons_.size() + count);
+    for (size_t i = 0; i < count; ++i)
+        neurons_.emplace_back(config);
+    return populations_.size() - 1;
+}
+
+uint64_t
+FlexonArray::cyclesPerStep() const
+{
+    // Single-cycle design: each lane evaluates one neuron per cycle.
+    return (neurons_.size() + width_ - 1) / width_;
+}
+
+void
+FlexonArray::step(std::span<const Fix> input, std::vector<bool> &fired)
+{
+    flexon_assert(input.size() >= neurons_.size() * maxSynapseTypes);
+    fired.assign(neurons_.size(), false);
+    for (size_t i = 0; i < neurons_.size(); ++i) {
+        fired[i] = neurons_[i].step(
+            input.subspan(i * maxSynapseTypes, maxSynapseTypes));
+    }
+    cycles_ += cyclesPerStep();
+}
+
+const FlexonNeuron &
+FlexonArray::neuron(size_t idx) const
+{
+    flexon_assert(idx < neurons_.size());
+    return neurons_[idx];
+}
+
+FlexonNeuron &
+FlexonArray::neuron(size_t idx)
+{
+    flexon_assert(idx < neurons_.size());
+    return neurons_[idx];
+}
+
+void
+FlexonArray::resetState()
+{
+    for (auto &n : neurons_)
+        n.reset();
+}
+
+} // namespace flexon

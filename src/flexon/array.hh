@@ -1,0 +1,101 @@
+/**
+ * @file
+ * A baseline Flexon digital-neuron array (Section VI-C).
+ *
+ * The array instantiates `width` single-cycle Flexon neurons that
+ * operate in lock step; a network with more neurons than lanes is
+ * time-multiplexed across cycles, with per-neuron state and constants
+ * streamed from the array's SRAMs. The paper's evaluation array has 12
+ * lanes (matching the baseline CPU's core count) and runs at 250 MHz.
+ *
+ * Functionally the array is exact (it steps real FlexonNeuron
+ * instances); the timing model counts ceil(N / width) cycles per
+ * simulation time step, the throughput of a single-cycle design.
+ */
+
+#ifndef FLEXON_FLEXON_ARRAY_HH
+#define FLEXON_FLEXON_ARRAY_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "flexon/neuron.hh"
+
+namespace flexon {
+
+/** Identifier of a population added to an array. */
+using PopulationId = size_t;
+
+/** A time-multiplexed array of baseline Flexon neurons. */
+class FlexonArray
+{
+  public:
+    /** Default lane count and clock of the paper's evaluation array. */
+    static constexpr size_t defaultWidth = 12;
+    static constexpr double defaultClockHz = 250.0e6;
+
+    explicit FlexonArray(size_t width = defaultWidth,
+                         double clockHz = defaultClockHz);
+
+    /**
+     * Add `count` neurons sharing one hardware configuration.
+     * @return the population id (neurons are indexed globally in
+     *         insertion order)
+     */
+    PopulationId addPopulation(const FlexonConfig &config, size_t count);
+
+    size_t numNeurons() const { return neurons_.size(); }
+    size_t width() const { return width_; }
+    double clockHz() const { return clockHz_; }
+
+    /**
+     * Simulate one SNN time step.
+     *
+     * @param input row-major [neuron][synapseType] pre-scaled
+     *              accumulated weights; stride is maxSynapseTypes
+     * @param fired output spike flags, one per neuron
+     */
+    void step(std::span<const Fix> input, std::vector<bool> &fired);
+
+    /** Hardware cycles consumed so far. */
+    uint64_t cycles() const { return cycles_; }
+
+    /** Simulated wall-clock seconds consumed so far. */
+    double seconds() const
+    {
+        return static_cast<double>(cycles_) / clockHz_;
+    }
+
+    /** Cycles one time step costs for the current occupancy. */
+    uint64_t cyclesPerStep() const;
+
+    const FlexonNeuron &neuron(size_t idx) const;
+    FlexonNeuron &neuron(size_t idx);
+
+    /** Population base index and size. */
+    struct PopulationInfo
+    {
+        size_t base;
+        size_t count;
+        FlexonConfig config;
+    };
+    const std::vector<PopulationInfo> &populations() const
+    {
+        return populations_;
+    }
+
+    void resetState();
+    void resetCycles() { cycles_ = 0; }
+
+  private:
+    size_t width_;
+    double clockHz_;
+    std::vector<FlexonNeuron> neurons_;
+    std::vector<PopulationInfo> populations_;
+    uint64_t cycles_ = 0;
+};
+
+} // namespace flexon
+
+#endif // FLEXON_FLEXON_ARRAY_HH

@@ -1,0 +1,95 @@
+#include "flexon/config.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace flexon {
+
+FlexonConfig
+FlexonConfig::fromParams(const NeuronParams &p)
+{
+    const std::string err = p.validate();
+    if (!err.empty())
+        fatal("invalid neuron parameters: %s", err.c_str());
+    if (!p.features.has(Feature::EXD) && !p.features.has(Feature::LID)) {
+        fatal("Flexon requires a membrane-decay feature (EXD or LID); "
+              "got %s", p.features.toString().c_str());
+    }
+
+    FlexonConfig c;
+    c.features = p.features;
+    // CUB has no per-type dynamics (g_i = I_i), so the synapse stage
+    // merges all types into one signed accumulated weight and the
+    // datapath sees a single input (the Table V CUB + EXD fusion).
+    c.numSynapseTypes =
+        p.features.has(Feature::CUB) ? 1 : p.numSynapseTypes;
+    c.arSteps = p.features.has(Feature::AR) ? p.arSteps : 0;
+
+    FlexonConstants &k = c.consts;
+    k.one = Fix::one();
+    k.epsM = Fix::fromDouble(p.epsM);
+    k.epsMp = Fix::fromDouble(1.0 - p.epsM);
+    k.vLeakNeg = Fix::fromDouble(-p.vLeak);
+    k.minusOne = Fix::fromDouble(-1.0);
+
+    for (size_t i = 0; i < p.numSynapseTypes; ++i) {
+        k.epsGp[i] = Fix::fromDouble(1.0 - p.syn[i].epsG);
+        k.eEpsG[i] = Fix::fromDouble(M_E * p.syn[i].epsG);
+        k.vG[i] = Fix::fromDouble(p.syn[i].vG);
+    }
+
+    // Table V computes QDI + EXD in two control signals as
+    // v' = (epsilon_m * v + qdiAdd) * v; expanding Equation 5 with
+    // v0 = 0 shows qdiAdd = 1 - epsilon_m * v_c absorbs both the old-v
+    // term and the critical-voltage term.
+    k.qdiAdd = Fix::fromDouble(1.0 - p.epsM * p.vCrit);
+    if (p.features.has(Feature::EXI)) {
+        k.exiInvDt = Fix::fromDouble(1.0 / p.deltaT);
+        k.exiB = Fix::fromDouble(-1.0 / p.deltaT);
+        k.exiScale = Fix::fromDouble(p.epsM * p.deltaT);
+    }
+
+    k.epsWp = Fix::fromDouble(1.0 - p.epsW);
+    k.epsMA = Fix::fromDouble(p.epsM * p.a);
+    k.negEpsMAvW = Fix::fromDouble(-p.epsM * p.a * p.vW);
+    k.b = Fix::fromDouble(p.b);
+
+    k.epsRp = Fix::fromDouble(1.0 - p.epsR);
+    k.vRR = Fix::fromDouble(p.vRR);
+    k.vAR = Fix::fromDouble(p.vAR);
+    k.qR = Fix::fromDouble(p.qR);
+
+    k.threshold = Fix::fromDouble(p.threshold());
+
+    // Table V convention: contributions enter v' unscaled, so the
+    // synapse stage pre-scales weights by epsilon_m. LID (Equation 3)
+    // adds the input directly.
+    c.inputScale = p.features.has(Feature::LID)
+                       ? Fix::one()
+                       : Fix::fromDouble(p.epsM);
+    return c;
+}
+
+size_t
+stateBits(const FlexonConfig &config)
+{
+    const FeatureSet &f = config.features;
+    size_t bits = config.truncateStorage ? 22 : 32; // membrane v
+
+    const bool conductance =
+        f.has(Feature::COBE) || f.has(Feature::COBA);
+    if (conductance)
+        bits += 32 * config.numSynapseTypes; // g_i
+    if (f.has(Feature::COBA))
+        bits += 32 * config.numSynapseTypes; // y_i
+    if (f.has(Feature::ADT) || f.has(Feature::SBT) || f.has(Feature::RR))
+        bits += 32; // w
+    if (f.has(Feature::RR))
+        bits += 32; // r
+    if (f.has(Feature::AR))
+        bits += 8; // cnt
+    return bits;
+}
+
+} // namespace flexon

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Flexon hardware configuration: the per-neuron-model constant set and
+ * MUX selections that program a Flexon (or spatially folded Flexon)
+ * digital neuron.
+ *
+ * The constants follow the conventions of Table V: contributions are
+ * accumulated into the next membrane potential v' directly, so the
+ * code generator folds the per-step scale factor epsilon_m = dt/tau
+ * into the stored constants and into the synaptic weights
+ * (inputScale). Examples:
+ *  - CUB + EXD executes v' += eps'_m * v + I with I pre-scaled by
+ *    epsilon_m, which equals Equation 2;
+ *  - QDI stores qdiAdd = epsilon_m * (1 - v_c) so that
+ *    v' += eps'_m * v + (epsilon_m * v + qdiAdd) * v equals
+ *    Equation 5's quadratic initiation.
+ */
+
+#ifndef FLEXON_FLEXON_CONFIG_HH
+#define FLEXON_FLEXON_CONFIG_HH
+
+#include <array>
+#include <cstdint>
+
+#include "features/params.hh"
+#include "fixed/fixed_point.hh"
+
+namespace flexon {
+
+/**
+ * The fixed-point constant buffer of one Flexon configuration.
+ *
+ * These are the values the synthesized design would keep in its
+ * per-neuron constant SRAM; the spatially folded Flexon addresses
+ * them through the ca[3:0] / cb[2:0] fields of its control signals.
+ */
+struct FlexonConstants
+{
+    Fix one;        ///< 1.0 (LID multiplies v by 1.0)
+    Fix epsM;       ///< epsilon_m = dt/tau
+    Fix epsMp;      ///< eps'_m = 1 - epsilon_m
+    Fix vLeakNeg;   ///< -V_leak (LID additive constant)
+    Fix minusOne;   ///< -1 (REV/RR compute v_x - v as -1*v + v_x)
+
+    /** eps'_{g,i} = 1 - epsilon_{g,i}, per synapse type. */
+    std::array<Fix, maxSynapseTypes> epsGp{};
+    /** e * epsilon_{g,i} (COBA alpha-kernel gain), per synapse type. */
+    std::array<Fix, maxSynapseTypes> eEpsG{};
+    /** Reversal-voltage constants v_{g,i}, per synapse type. */
+    std::array<Fix, maxSynapseTypes> vG{};
+
+    Fix qdiAdd;     ///< epsilon_m * (1 - v_c) (QDI additive constant)
+    Fix exiInvDt;   ///< 1 / Delta_T (EXI exponent gain)
+    Fix exiB;       ///< -theta / Delta_T = -1 / Delta_T (EXI bias)
+    Fix exiScale;   ///< epsilon_m * Delta_T (EXI contribution gain)
+
+    Fix epsWp;      ///< eps'_w = 1 - epsilon_w
+    Fix epsMA;      ///< epsilon_m * a (SBT coupling gain)
+    Fix negEpsMAvW; ///< -epsilon_m * a * v_w (SBT coupling bias)
+    Fix b;          ///< spike-triggered jump size (w -= b on fire)
+
+    Fix epsRp;      ///< eps'_r = 1 - epsilon_r
+    Fix vRR;        ///< relative refractory reversal voltage
+    Fix vAR;        ///< adaptation reversal voltage (Equation 8)
+    Fix qR;         ///< relative refractory jump (r -= q_r on fire)
+
+    Fix threshold;  ///< firing comparison level (1.0, or v_theta)
+};
+
+/**
+ * A complete Flexon programming: enabled features (the MUX settings of
+ * Figure 10), synapse-type count, fixed-point constants, the absolute
+ * refractory length, and the storage-truncation option.
+ */
+struct FlexonConfig
+{
+    FeatureSet features;
+    size_t numSynapseTypes = 1;
+    FlexonConstants consts;
+    uint32_t arSteps = 0;
+
+    /**
+     * Scale factor the synapse-calculation stage applies to synaptic
+     * weights before they reach the neuron (epsilon_m, or 1 for LID).
+     * Kept here so network compilation and tests share one definition.
+     */
+    Fix inputScale;
+
+    /**
+     * Apply the paper's 22-bit membrane-potential storage truncation
+     * (Section IV-B1). Only meaningful for hard-threshold feature sets
+     * where v stays within [0, 1); defaults to off so that the
+     * reference-equivalence tests see unclamped dynamics. The
+     * abl_truncation benchmark quantifies its effect.
+     */
+    bool truncateStorage = false;
+
+    /**
+     * Derive a hardware configuration from normalized neuron
+     * parameters. fatal() if the parameters are invalid or the
+     * feature set lacks a membrane-decay feature.
+     */
+    static FlexonConfig fromParams(const NeuronParams &params);
+
+    /** Pre-scale one synaptic weight into the hardware convention. */
+    Fix
+    scaleWeight(double weight) const
+    {
+        return Fix::fromDouble(weight) * inputScale;
+    }
+};
+
+/**
+ * Dynamic state of one Flexon neuron, as held in the array's state
+ * SRAM between time steps.
+ */
+struct FlexonState
+{
+    Fix v;
+    std::array<Fix, maxSynapseTypes> y{};
+    std::array<Fix, maxSynapseTypes> g{};
+    Fix w;
+    Fix r;
+    uint32_t cnt = 0;
+
+    void reset() { *this = FlexonState{}; }
+};
+
+/**
+ * Storage footprint in bits of one neuron's state for the given
+ * configuration (used by the hardware model to size the state SRAM).
+ * The membrane potential costs 22 bits when truncation applies and 32
+ * otherwise; each live y/g/w/r variable costs 32 bits; the AR counter
+ * costs 8 bits.
+ */
+size_t stateBits(const FlexonConfig &config);
+
+} // namespace flexon
+
+#endif // FLEXON_FLEXON_CONFIG_HH

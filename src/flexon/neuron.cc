@@ -1,0 +1,138 @@
+#include "flexon/neuron.hh"
+
+#include "common/logging.hh"
+#include "fixed/fast_exp.hh"
+
+namespace flexon {
+
+FlexonNeuron::FlexonNeuron(const FlexonConfig &config)
+    : config_(config)
+{
+    flexon_assert(config_.features.valid());
+}
+
+bool
+FlexonNeuron::step(std::span<const Fix> input)
+{
+    const FlexonConfig &c = config_;
+    const FlexonConstants &k = c.consts;
+    const FeatureSet &f = c.features;
+    FlexonState &s = state_;
+
+    const Fix v = s.v; // the stored (previous-step) membrane potential
+
+    // --- Absolute refractory gating (Equation 7): zero the input bus
+    // while the counter is non-zero; decrement every step.
+    const bool blocked = f.has(Feature::AR) && s.cnt > 0;
+    if (f.has(Feature::AR) && s.cnt > 0)
+        --s.cnt;
+
+    auto in = [&](size_t i) {
+        return (blocked || i >= input.size()) ? Fix::zero() : input[i];
+    };
+
+    // v' accumulates feature contributions, starting from zero
+    // (Table V convention); the operation order below matches the
+    // canonical microcode order emitted by the folded code generator.
+    Fix v_acc = Fix::zero();
+
+    // --- Input spike accumulation (Equation 4), grouped per synapse
+    // type; REV replaces the direct v' accumulation of the
+    // conductance with its reversal-scaled form.
+    const bool conductance =
+        f.has(Feature::COBE) || f.has(Feature::COBA);
+    for (size_t i = 0; i < c.numSynapseTypes; ++i) {
+        if (f.has(Feature::COBA)) {
+            s.y[i] = k.epsGp[i] * s.y[i] + in(i);
+            const Fix tmp = k.eEpsG[i] * s.y[i];
+            s.g[i] = k.epsGp[i] * s.g[i] + tmp;
+        } else if (f.has(Feature::COBE)) {
+            s.g[i] = k.epsGp[i] * s.g[i] + in(i);
+        }
+        if (conductance) {
+            if (f.has(Feature::REV)) {
+                const Fix tmp = k.minusOne * v + k.vG[i];
+                v_acc += tmp * s.g[i];
+            } else {
+                v_acc += s.g[i];
+            }
+        }
+    }
+
+    // --- Spike-triggered current (Equation 6) / relative refractory
+    // (Equation 8).
+    if (f.has(Feature::SBT)) {
+        const Fix tmp = k.epsMA * v + k.negEpsMAvW;
+        s.w = k.epsWp * s.w + tmp;
+        v_acc += s.w;
+    } else if (f.has(Feature::ADT)) {
+        s.w = k.epsWp * s.w;
+        v_acc += s.w;
+    } else if (f.has(Feature::RR)) {
+        s.w = k.epsWp * s.w;
+        Fix tmp = k.minusOne * v + k.vAR;
+        v_acc += tmp * s.w;
+        s.r = k.epsRp * s.r;
+        tmp = k.minusOne * v + k.vRR;
+        v_acc += tmp * s.r;
+    }
+
+    // --- Membrane decay / spike initiation (Equations 3 and 5),
+    // evaluated last: the EXI path reuses the v register for the
+    // exponentiation result (Table V), so every other reader of the
+    // old v runs first.
+    if (f.has(Feature::LID)) {
+        // v' += 1.0 * v + (-V_leak), with the CUB input fused when
+        // present; the LID datapath floors v' at the resting voltage.
+        v_acc += k.one * v + k.vLeakNeg;
+        if (f.has(Feature::CUB))
+            v_acc += in(0);
+        if (v_acc < Fix::zero())
+            v_acc = Fix::zero();
+    } else if (f.has(Feature::QDI)) {
+        // Two control signals: tmp = eps_m*v + qdiAdd; v' += tmp*v.
+        const Fix tmp = k.epsM * v + k.qdiAdd;
+        v_acc += tmp * v;
+        if (f.has(Feature::CUB))
+            v_acc += in(0);
+    } else if (f.has(Feature::EXI)) {
+        // Three control signals: the decayed old v, then the
+        // exponentiation written back through the v register, then
+        // the scaled exponential contribution.
+        v_acc += k.epsMp * v;
+        const Fix e = fixedExp(k.exiInvDt * v + k.exiB);
+        v_acc += k.exiScale * e;
+        if (f.has(Feature::CUB))
+            v_acc += in(0);
+    } else {
+        // Plain EXD; CUB input fused into the same control signal
+        // (Table V row "CUB + EXD"). The fused add must happen before
+        // the v' accumulation, exactly as the single micro-op does,
+        // so the two implementations saturate identically.
+        if (f.has(Feature::CUB))
+            v_acc += k.epsMp * v + in(0);
+        else
+            v_acc += k.epsMp * v;
+    }
+
+    // --- Firing check and post-fire state adjustments (the second
+    // pipeline stage of the folded design).
+    preResetV_ = v_acc;
+    const bool fired = v_acc > k.threshold;
+    if (fired) {
+        v_acc = Fix::zero();
+        if (f.has(Feature::ADT) || f.has(Feature::SBT) ||
+            f.has(Feature::RR)) {
+            s.w -= k.b;
+        }
+        if (f.has(Feature::RR))
+            s.r -= k.qR;
+        if (f.has(Feature::AR))
+            s.cnt = c.arSteps;
+    }
+
+    s.v = c.truncateStorage ? truncateMembrane(v_acc) : v_acc;
+    return fired;
+}
+
+} // namespace flexon

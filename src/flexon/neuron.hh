@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The baseline Flexon digital neuron (Figure 10): a single-cycle
+ * design integrating the ten per-feature data paths of Figure 9
+ * through MUXes, evaluated here as a bit-accurate fixed-point
+ * functional model.
+ *
+ * The arithmetic is performed in the exact operation order the folded
+ * microcode uses (see folded/program.hh), which is what makes the
+ * baseline-vs-folded bit-exactness property testable.
+ */
+
+#ifndef FLEXON_FLEXON_NEURON_HH
+#define FLEXON_FLEXON_NEURON_HH
+
+#include <span>
+
+#include "flexon/config.hh"
+
+namespace flexon {
+
+/** One baseline Flexon digital neuron. */
+class FlexonNeuron
+{
+  public:
+    explicit FlexonNeuron(const FlexonConfig &config);
+
+    /**
+     * Evaluate one simulation time step (one hardware cycle for the
+     * single-cycle baseline design).
+     *
+     * @param input pre-scaled accumulated weights, one per synapse
+     *              type (see FlexonConfig::scaleWeight); missing
+     *              entries are treated as zero
+     * @return true iff the neuron fired an output spike
+     */
+    bool step(std::span<const Fix> input);
+
+    /** Convenience overload for single-synapse-type configurations. */
+    bool
+    step(Fix input)
+    {
+        return step(std::span<const Fix>(&input, 1));
+    }
+
+    const FlexonState &state() const { return state_; }
+    FlexonState &state() { return state_; }
+    const FlexonConfig &config() const { return config_; }
+
+    /** The v' value of the last step before any firing reset. */
+    Fix preResetV() const { return preResetV_; }
+
+    void reset() { state_.reset(); }
+
+  private:
+    FlexonConfig config_;
+    FlexonState state_;
+    Fix preResetV_;
+};
+
+} // namespace flexon
+
+#endif // FLEXON_FLEXON_NEURON_HH

@@ -1,0 +1,77 @@
+#include "folded/array.hh"
+
+#include "common/logging.hh"
+
+namespace flexon {
+
+FoldedFlexonArray::FoldedFlexonArray(size_t width, double clockHz)
+    : width_(width), clockHz_(clockHz)
+{
+    flexon_assert(width > 0);
+    flexon_assert(clockHz > 0.0);
+}
+
+size_t
+FoldedFlexonArray::addPopulation(const FlexonConfig &config,
+                                 size_t count)
+{
+    flexon_assert(count > 0);
+    MicrocodeProgram program = buildProgram(config);
+    populations_.push_back(
+        {neurons_.size(), count, config, program.length()});
+    neurons_.reserve(neurons_.size() + count);
+    for (size_t i = 0; i < count; ++i)
+        neurons_.emplace_back(config, program);
+    return populations_.size() - 1;
+}
+
+uint64_t
+FoldedFlexonArray::cyclesPerStep() const
+{
+    // Stage 1 is occupied program-length cycles per neuron in a lane;
+    // neurons pipeline back to back and the last drains one stage-2
+    // cycle.
+    uint64_t cycles = 0;
+    for (const auto &pop : populations_) {
+        const uint64_t rounds = (pop.count + width_ - 1) / width_;
+        cycles += rounds * pop.programLength;
+    }
+    return cycles + (populations_.empty() ? 0 : 1);
+}
+
+void
+FoldedFlexonArray::step(std::span<const Fix> input,
+                        std::vector<bool> &fired)
+{
+    flexon_assert(input.size() >= neurons_.size() * maxSynapseTypes);
+    fired.assign(neurons_.size(), false);
+    for (size_t i = 0; i < neurons_.size(); ++i) {
+        fired[i] = neurons_[i].step(
+            input.subspan(i * maxSynapseTypes, maxSynapseTypes));
+        controlSignals_ += neurons_[i].program().length();
+    }
+    cycles_ += cyclesPerStep();
+}
+
+const FoldedFlexonNeuron &
+FoldedFlexonArray::neuron(size_t idx) const
+{
+    flexon_assert(idx < neurons_.size());
+    return neurons_[idx];
+}
+
+FoldedFlexonNeuron &
+FoldedFlexonArray::neuron(size_t idx)
+{
+    flexon_assert(idx < neurons_.size());
+    return neurons_[idx];
+}
+
+void
+FoldedFlexonArray::resetState()
+{
+    for (auto &n : neurons_)
+        n.reset();
+}
+
+} // namespace flexon

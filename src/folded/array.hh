@@ -1,0 +1,90 @@
+/**
+ * @file
+ * A spatially folded Flexon array (Section VI-C): 72 folded lanes at
+ * 500 MHz in the paper's evaluation configuration.
+ *
+ * Each lane is a two-stage pipelined folded Flexon; neurons are
+ * time-multiplexed across lanes. For a population whose program has L
+ * control signals, a lane spends L cycles of stage-1 occupancy per
+ * neuron, and the final neuron drains one extra stage-2 cycle, so one
+ * simulation time step costs sum over populations of
+ * ceil(count / width) * L, plus 1.
+ */
+
+#ifndef FLEXON_FOLDED_ARRAY_HH
+#define FLEXON_FOLDED_ARRAY_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "folded/neuron.hh"
+
+namespace flexon {
+
+/** A time-multiplexed array of spatially folded Flexon neurons. */
+class FoldedFlexonArray
+{
+  public:
+    /** The paper's evaluation configuration. */
+    static constexpr size_t defaultWidth = 72;
+    static constexpr double defaultClockHz = 500.0e6;
+
+    explicit FoldedFlexonArray(size_t width = defaultWidth,
+                               double clockHz = defaultClockHz);
+
+    /**
+     * Add `count` neurons sharing one configuration; the microcode is
+     * built once and shared by the population.
+     */
+    size_t addPopulation(const FlexonConfig &config, size_t count);
+
+    size_t numNeurons() const { return neurons_.size(); }
+    size_t width() const { return width_; }
+    double clockHz() const { return clockHz_; }
+
+    /** Simulate one SNN time step (same contract as FlexonArray). */
+    void step(std::span<const Fix> input, std::vector<bool> &fired);
+
+    uint64_t cycles() const { return cycles_; }
+    double seconds() const
+    {
+        return static_cast<double>(cycles_) / clockHz_;
+    }
+
+    /** Cycles one time step costs for the current occupancy. */
+    uint64_t cyclesPerStep() const;
+
+    /** Total control signals executed so far (for energy modelling). */
+    uint64_t controlSignals() const { return controlSignals_; }
+
+    const FoldedFlexonNeuron &neuron(size_t idx) const;
+    FoldedFlexonNeuron &neuron(size_t idx);
+
+    struct PopulationInfo
+    {
+        size_t base;
+        size_t count;
+        FlexonConfig config;
+        size_t programLength;
+    };
+    const std::vector<PopulationInfo> &populations() const
+    {
+        return populations_;
+    }
+
+    void resetState();
+    void resetCycles() { cycles_ = 0; controlSignals_ = 0; }
+
+  private:
+    size_t width_;
+    double clockHz_;
+    std::vector<FoldedFlexonNeuron> neurons_;
+    std::vector<PopulationInfo> populations_;
+    uint64_t cycles_ = 0;
+    uint64_t controlSignals_ = 0;
+};
+
+} // namespace flexon
+
+#endif // FLEXON_FOLDED_ARRAY_HH

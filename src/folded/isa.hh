@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The control-signal ISA of spatially folded Flexon (Table IV).
+ *
+ * Each control signal (micro-operation) drives the folded datapath's
+ * single multiplier, adder and exponentiation unit for one cycle:
+ *
+ *     out = (a ? tmp : mulConst[ca]) * state[s]
+ *           + (b == 0 ? 0 : b == 1 ? addConst[cb]
+ *                         : b == 2 ? input[type] : tmp)
+ *     if (exp) out = fixedExp(out)
+ *     tmp = out
+ *     if (s_wr) state[s] = out
+ *     if (v_acc) v' += out
+ */
+
+#ifndef FLEXON_FOLDED_ISA_HH
+#define FLEXON_FOLDED_ISA_HH
+
+#include <cstdint>
+#include <string>
+
+namespace flexon {
+
+/** MUL operand select (signal `a`). */
+enum class MulSel : uint8_t {
+    Const = 0, ///< constant buffer entry ca[3:0]
+    Tmp = 1,   ///< the tmp latch
+};
+
+/** ADD operand select (signal `b[1:0]`). */
+enum class AddSel : uint8_t {
+    Zero = 0,  ///< 0
+    Const = 1, ///< constant buffer entry cb[2:0]
+    Input = 2, ///< accumulated weight of synapse type `type`
+    Tmp = 3,   ///< the tmp latch
+};
+
+/** State-variable select (signal `s[3:0]`). */
+enum class StateVar : uint8_t {
+    V = 0, ///< membrane potential
+    W,     ///< spike-triggered current / adaptation conductance
+    R,     ///< relative refractory conductance
+    Y0, Y1, Y2, Y3, ///< alpha-function auxiliary variables
+    G0, G1, G2, G3, ///< synaptic conductances
+    NumStateVars
+};
+
+/** Number of addressable state variables (fits s[3:0]). */
+constexpr size_t numStateVars =
+    static_cast<size_t>(StateVar::NumStateVars);
+
+/** Hardware constant-buffer capacities (Table IV field widths). */
+constexpr size_t maxMulConstants = 16; ///< ca[3:0]
+constexpr size_t maxAddConstants = 8;  ///< cb[2:0]
+
+/** Printable state-variable name ("v", "w", "g0", ...). */
+const char *stateVarName(StateVar s);
+
+/** The i-th conductance / auxiliary state variable. */
+StateVar gVar(size_t synapseType);
+StateVar yVar(size_t synapseType);
+
+/**
+ * One control signal (Table IV). The `comment` field carries the
+ * Table V style operation description for disassembly and has no
+ * effect on execution.
+ */
+struct MicroOp
+{
+    MulSel a = MulSel::Const;
+    uint8_t ca = 0;
+    AddSel b = AddSel::Zero;
+    uint8_t cb = 0;
+    uint8_t type = 0;
+    StateVar s = StateVar::V;
+    bool exp = false;
+    bool sWr = false;
+    bool vAcc = false;
+    std::string comment;
+};
+
+} // namespace flexon
+
+#endif // FLEXON_FOLDED_ISA_HH

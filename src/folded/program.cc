@@ -1,0 +1,275 @@
+#include "folded/program.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace flexon {
+
+const char *
+stateVarName(StateVar s)
+{
+    switch (s) {
+      case StateVar::V: return "v";
+      case StateVar::W: return "w";
+      case StateVar::R: return "r";
+      case StateVar::Y0: return "y0";
+      case StateVar::Y1: return "y1";
+      case StateVar::Y2: return "y2";
+      case StateVar::Y3: return "y3";
+      case StateVar::G0: return "g0";
+      case StateVar::G1: return "g1";
+      case StateVar::G2: return "g2";
+      case StateVar::G3: return "g3";
+      default: panic("invalid state var %d", static_cast<int>(s));
+    }
+}
+
+StateVar
+gVar(size_t synapseType)
+{
+    flexon_assert(synapseType < maxSynapseTypes);
+    return static_cast<StateVar>(static_cast<size_t>(StateVar::G0) +
+                                 synapseType);
+}
+
+StateVar
+yVar(size_t synapseType)
+{
+    flexon_assert(synapseType < maxSynapseTypes);
+    return static_cast<StateVar>(static_cast<size_t>(StateVar::Y0) +
+                                 synapseType);
+}
+
+uint8_t
+MicrocodeProgram::mulConst(Fix value)
+{
+    for (size_t i = 0; i < mulConsts_.size(); ++i)
+        if (mulConsts_[i] == value)
+            return static_cast<uint8_t>(i);
+    if (mulConsts_.size() >= maxMulConstants) {
+        fatal("MUL constant buffer overflow: the folded datapath has "
+              "%zu slots (ca[3:0])", maxMulConstants);
+    }
+    mulConsts_.push_back(value);
+    return static_cast<uint8_t>(mulConsts_.size() - 1);
+}
+
+uint8_t
+MicrocodeProgram::addConst(Fix value)
+{
+    for (size_t i = 0; i < addConsts_.size(); ++i)
+        if (addConsts_[i] == value)
+            return static_cast<uint8_t>(i);
+    if (addConsts_.size() >= maxAddConstants) {
+        fatal("ADD constant buffer overflow: the folded datapath has "
+              "%zu slots (cb[2:0])", maxAddConstants);
+    }
+    addConsts_.push_back(value);
+    return static_cast<uint8_t>(addConsts_.size() - 1);
+}
+
+std::string
+MicrocodeProgram::disassemble() const
+{
+    std::ostringstream oss;
+    for (size_t i = 0; i < ops_.size(); ++i) {
+        const MicroOp &op = ops_[i];
+        oss << "  [" << i << "] a=" << static_cast<int>(op.a)
+            << " ca=" << static_cast<int>(op.ca)
+            << " b=" << static_cast<int>(op.b)
+            << " cb=" << static_cast<int>(op.cb)
+            << " type=" << static_cast<int>(op.type)
+            << " s=" << stateVarName(op.s)
+            << " exp=" << (op.exp ? 1 : 0)
+            << " s_wr=" << (op.sWr ? 1 : 0)
+            << " v_acc=" << (op.vAcc ? 1 : 0);
+        if (!op.comment.empty())
+            oss << "   ; " << op.comment;
+        oss << '\n';
+    }
+    return oss.str();
+}
+
+std::string
+MicrocodeProgram::validate(size_t num_synapse_types) const
+{
+    std::ostringstream oss;
+    for (size_t i = 0; i < ops_.size(); ++i) {
+        const MicroOp &op = ops_[i];
+        if (op.a == MulSel::Const && op.ca >= mulConsts_.size()) {
+            oss << "op " << i << ": MUL constant " << int(op.ca)
+                << " not allocated";
+            return oss.str();
+        }
+        if (op.b == AddSel::Const && op.cb >= addConsts_.size()) {
+            oss << "op " << i << ": ADD constant " << int(op.cb)
+                << " not allocated";
+            return oss.str();
+        }
+        if (op.b == AddSel::Input && op.type >= num_synapse_types) {
+            oss << "op " << i << ": input type " << int(op.type)
+                << " out of range";
+            return oss.str();
+        }
+        if (op.s >= StateVar::NumStateVars) {
+            oss << "op " << i << ": invalid state select";
+            return oss.str();
+        }
+    }
+    return "";
+}
+
+namespace {
+
+/** Convenience constructor for one control signal. */
+MicroOp
+makeOp(MulSel a, uint8_t ca, AddSel b, uint8_t cb, StateVar s,
+       bool s_wr, bool v_acc, std::string comment, uint8_t type = 0,
+       bool exp = false)
+{
+    MicroOp op;
+    op.a = a;
+    op.ca = ca;
+    op.b = b;
+    op.cb = cb;
+    op.type = type;
+    op.s = s;
+    op.exp = exp;
+    op.sWr = s_wr;
+    op.vAcc = v_acc;
+    op.comment = std::move(comment);
+    return op;
+}
+
+} // namespace
+
+MicrocodeProgram
+buildProgram(const FlexonConfig &c)
+{
+    const FlexonConstants &k = c.consts;
+    const FeatureSet &f = c.features;
+    MicrocodeProgram p;
+
+    const bool conductance =
+        f.has(Feature::COBE) || f.has(Feature::COBA);
+    const bool rev = f.has(Feature::REV);
+
+    // --- 1. Input spike accumulation, per synapse type (Equation 4).
+    for (size_t i = 0; i < c.numSynapseTypes && conductance; ++i) {
+        const auto t = static_cast<uint8_t>(i);
+        const uint8_t eps_gp = p.mulConst(k.epsGp[i]);
+        if (f.has(Feature::COBA)) {
+            p.append(makeOp(MulSel::Const, eps_gp, AddSel::Input, 0,
+                            yVar(i), true, false,
+                            "y = eps'_g*y + I", t));
+            p.append(makeOp(MulSel::Const, p.mulConst(k.eEpsG[i]),
+                            AddSel::Zero, 0, yVar(i), false, false,
+                            "tmp = (e*eps_g)*y", t));
+            p.append(makeOp(MulSel::Const, eps_gp, AddSel::Tmp, 0,
+                            gVar(i), true, !rev,
+                            rev ? "g = eps'_g*g + tmp"
+                                : "g = eps'_g*g + tmp; v' += g", t));
+        } else {
+            p.append(makeOp(MulSel::Const, eps_gp, AddSel::Input, 0,
+                            gVar(i), true, !rev,
+                            rev ? "g = eps'_g*g + I"
+                                : "g = eps'_g*g + I; v' += g", t));
+        }
+        if (rev) {
+            p.append(makeOp(MulSel::Const, p.mulConst(k.minusOne),
+                            AddSel::Const, p.addConst(k.vG[i]),
+                            StateVar::V, false, false,
+                            "tmp = -v + v_g", t));
+            p.append(makeOp(MulSel::Tmp, 0, AddSel::Zero, 0, gVar(i),
+                            false, true, "v' += tmp*g", t));
+        }
+    }
+
+    // --- 2. Spike-triggered current (Equation 6) / relative
+    // refractory (Equation 8).
+    if (f.has(Feature::SBT)) {
+        p.append(makeOp(MulSel::Const, p.mulConst(k.epsMA),
+                        AddSel::Const, p.addConst(k.negEpsMAvW),
+                        StateVar::V, false, false,
+                        "tmp = (eps_m*a)*v + (-eps_m*a*v_w)"));
+        p.append(makeOp(MulSel::Const, p.mulConst(k.epsWp),
+                        AddSel::Tmp, 0, StateVar::W, true, true,
+                        "w = eps'_w*w + tmp; v' += w"));
+    } else if (f.has(Feature::ADT)) {
+        p.append(makeOp(MulSel::Const, p.mulConst(k.epsWp),
+                        AddSel::Zero, 0, StateVar::W, true, true,
+                        "w = eps'_w*w; v' += w"));
+    } else if (f.has(Feature::RR)) {
+        p.append(makeOp(MulSel::Const, p.mulConst(k.epsWp),
+                        AddSel::Zero, 0, StateVar::W, true, false,
+                        "w = eps'_w*w"));
+        p.append(makeOp(MulSel::Const, p.mulConst(k.minusOne),
+                        AddSel::Const, p.addConst(k.vAR), StateVar::V,
+                        false, false, "tmp = -v + v_ar"));
+        p.append(makeOp(MulSel::Tmp, 0, AddSel::Zero, 0, StateVar::W,
+                        false, true, "v' += tmp*w"));
+        p.append(makeOp(MulSel::Const, p.mulConst(k.epsRp),
+                        AddSel::Zero, 0, StateVar::R, true, false,
+                        "r = eps'_r*r"));
+        p.append(makeOp(MulSel::Const, p.mulConst(k.minusOne),
+                        AddSel::Const, p.addConst(k.vRR), StateVar::V,
+                        false, false, "tmp = -v + v_rr"));
+        p.append(makeOp(MulSel::Tmp, 0, AddSel::Zero, 0, StateVar::R,
+                        false, true, "v' += tmp*r"));
+    }
+
+    // --- 3. Membrane decay / spike initiation, last (Equations 3/5).
+    const bool cub = f.has(Feature::CUB);
+    if (f.has(Feature::LID)) {
+        p.append(makeOp(MulSel::Const, p.mulConst(k.one),
+                        AddSel::Const, p.addConst(k.vLeakNeg),
+                        StateVar::V, false, true,
+                        "v' += v + (-V_leak)"));
+        if (cub) {
+            p.append(makeOp(MulSel::Const, p.mulConst(Fix::zero()),
+                            AddSel::Input, 0, StateVar::V, false, true,
+                            "v' += I"));
+        }
+    } else if (f.has(Feature::QDI)) {
+        p.append(makeOp(MulSel::Const, p.mulConst(k.epsM),
+                        AddSel::Const, p.addConst(k.qdiAdd),
+                        StateVar::V, false, false,
+                        "tmp = eps_m*v + (1 - eps_m*v_c)"));
+        p.append(makeOp(MulSel::Tmp, 0, AddSel::Zero, 0, StateVar::V,
+                        false, true, "v' += tmp*v"));
+        if (cub) {
+            p.append(makeOp(MulSel::Const, p.mulConst(Fix::zero()),
+                            AddSel::Input, 0, StateVar::V, false, true,
+                            "v' += I"));
+        }
+    } else if (f.has(Feature::EXI)) {
+        p.append(makeOp(MulSel::Const, p.mulConst(k.epsMp),
+                        AddSel::Zero, 0, StateVar::V, false, true,
+                        "v' += eps'_m*v"));
+        p.append(makeOp(MulSel::Const, p.mulConst(k.exiInvDt),
+                        AddSel::Const, p.addConst(k.exiB), StateVar::V,
+                        true, false,
+                        "v = exp(v/Delta_T + (-theta/Delta_T))",
+                        0, true));
+        p.append(makeOp(MulSel::Const, p.mulConst(k.exiScale),
+                        AddSel::Zero, 0, StateVar::V, false, true,
+                        "v' += (Delta_T*eps_m)*v"));
+        if (cub) {
+            p.append(makeOp(MulSel::Const, p.mulConst(Fix::zero()),
+                            AddSel::Input, 0, StateVar::V, false, true,
+                            "v' += I"));
+        }
+    } else {
+        // Plain EXD, with the CUB input fused (Table V "CUB + EXD").
+        p.append(makeOp(MulSel::Const, p.mulConst(k.epsMp),
+                        cub ? AddSel::Input : AddSel::Zero, 0,
+                        StateVar::V, false, true,
+                        cub ? "v' += eps'_m*v + I" : "v' += eps'_m*v"));
+    }
+
+    flexon_assert(!p.ops().empty());
+    return p;
+}
+
+} // namespace flexon

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Microcode programs for spatially folded Flexon, and the program
+ * builder that lowers a FlexonConfig to the Table V control-signal
+ * sequences.
+ *
+ * The builder emits micro-operations in the library's canonical order
+ * (the same order the baseline FlexonNeuron evaluates its datapaths),
+ * which makes the two implementations bit-exact:
+ *
+ *   1. per synapse type: COBE/COBA conductance updates, then REV;
+ *   2. spike-triggered current (SBT/ADT) or relative refractory (RR);
+ *   3. membrane decay / spike initiation (LID, EXD+CUB, QDI, EXI) —
+ *      last, because the EXI sequence reuses the v register for the
+ *      exponentiation result (Table V).
+ */
+
+#ifndef FLEXON_FOLDED_PROGRAM_HH
+#define FLEXON_FOLDED_PROGRAM_HH
+
+#include <string>
+#include <vector>
+
+#include "fixed/fixed_point.hh"
+#include "flexon/config.hh"
+#include "folded/isa.hh"
+
+namespace flexon {
+
+/**
+ * A complete microcode program: the control-signal sequence plus the
+ * MUL/ADD constant-buffer images it addresses.
+ */
+class MicrocodeProgram
+{
+  public:
+    const std::vector<MicroOp> &ops() const { return ops_; }
+    const std::vector<Fix> &mulConstants() const { return mulConsts_; }
+    const std::vector<Fix> &addConstants() const { return addConsts_; }
+
+    /** Control signals per neuron evaluation. */
+    size_t length() const { return ops_.size(); }
+
+    /**
+     * Per-neuron evaluation latency in cycles on the two-stage
+     * pipeline: the ops occupy stage 1 back to back and the firing
+     * stage adds one cycle (e.g. LIF: 1 signal -> 2 cycles; QDI:
+     * 2 signals -> 3 cycles, as in Section V-B).
+     */
+    size_t latencyCycles() const { return ops_.size() + 1; }
+
+    /** Human-readable listing in the style of Table V. */
+    std::string disassemble() const;
+
+    /**
+     * Structural validation against the Table IV field widths and
+     * this program's constant tables: every Const operand must
+     * address an allocated slot, every state select must be legal,
+     * and every input select must name a synapse type below
+     * `num_synapse_types`. Returns an empty string when valid.
+     */
+    std::string validate(size_t num_synapse_types) const;
+
+    /**
+     * Allocate (or find) a MUL constant slot; fatal() when the 16-slot
+     * buffer overflows (ca is a 4-bit field).
+     */
+    uint8_t mulConst(Fix value);
+
+    /** Allocate (or find) an ADD constant slot (8 slots, cb[2:0]). */
+    uint8_t addConst(Fix value);
+
+    void append(MicroOp op) { ops_.push_back(std::move(op)); }
+
+  private:
+    std::vector<MicroOp> ops_;
+    std::vector<Fix> mulConsts_;
+    std::vector<Fix> addConsts_;
+};
+
+/**
+ * Lower a Flexon hardware configuration to its microcode program
+ * (the Table V control-signal sequences, composed per the enabled
+ * features in canonical order).
+ */
+MicrocodeProgram buildProgram(const FlexonConfig &config);
+
+} // namespace flexon
+
+#endif // FLEXON_FOLDED_PROGRAM_HH

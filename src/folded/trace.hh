@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Cycle-by-cycle execution tracing for spatially folded Flexon — the
+ * functional-model analogue of dumping RTL waveforms. Each traced
+ * cycle records the control signal, the resolved operands, and the
+ * MUL-ADD(-EXP) result; the writer renders a testbench-style text
+ * log for debugging microcode or cross-checking against a future
+ * Verilog implementation.
+ */
+
+#ifndef FLEXON_FOLDED_TRACE_HH
+#define FLEXON_FOLDED_TRACE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "fixed/fixed_point.hh"
+#include "folded/neuron.hh"
+
+namespace flexon {
+
+/** One traced stage-1 cycle. */
+struct TraceCycle
+{
+    uint64_t step;     ///< simulation time step
+    size_t index;      ///< control-signal index within the step
+    MicroOp op;        ///< the executed control signal
+    Fix mulOperand;    ///< resolved MUL operand (constant or tmp)
+    Fix stateOperand;  ///< the addressed state variable's value
+    Fix addOperand;    ///< resolved ADD operand
+    Fix result;        ///< out (post-EXP if op.exp)
+    Fix vAccAfter;     ///< v' accumulator after this cycle
+};
+
+/** One traced stage-2 (firing) cycle. */
+struct TraceFire
+{
+    uint64_t step;
+    Fix preResetV;
+    bool fired;
+};
+
+/**
+ * Executes a folded Flexon neuron while recording every cycle.
+ *
+ * The traced execution re-implements the stage-1 semantics (it must:
+ * the production interpreter does not pay for tracing); a self-check
+ * against FoldedFlexonNeuron is part of the test suite.
+ */
+class TracedFoldedNeuron
+{
+  public:
+    explicit TracedFoldedNeuron(const FlexonConfig &config);
+
+    /** Step once, appending to the trace. @return fired */
+    bool step(std::span<const Fix> input);
+
+    bool
+    step(Fix input)
+    {
+        return step(std::span<const Fix>(&input, 1));
+    }
+
+    const std::vector<TraceCycle> &cycles() const { return cycles_; }
+    const std::vector<TraceFire> &fires() const { return fires_; }
+    const FlexonState &state() const { return shadow_.state(); }
+
+    /** Total stage-1 cycles executed (== cycles().size()). */
+    uint64_t totalCycles() const { return cycles_.size(); }
+
+    void clearTrace();
+
+    /** Render the trace as a waveform-style text log. */
+    void write(std::ostream &os) const;
+
+  private:
+    FlexonConfig config_;
+    MicrocodeProgram program_;
+    FoldedFlexonNeuron shadow_; ///< untraced twin for cross-checks
+    FlexonState state_;
+    uint64_t step_ = 0;
+    std::vector<TraceCycle> cycles_;
+    std::vector<TraceFire> fires_;
+};
+
+} // namespace flexon
+
+#endif // FLEXON_FOLDED_TRACE_HH

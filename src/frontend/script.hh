@@ -1,0 +1,58 @@
+/**
+ * @file
+ * A PyNN-style textual network description language (Section VII-B:
+ * front-ends describe an SNN; device back-ends compile and run it).
+ *
+ * Line-oriented format; '#' starts a comment. Directives:
+ *
+ *   population NAME model=MODEL count=N [param=value ...]
+ *   connect    SRC DST p=PROB weight=W delay=LO:HI type=T
+ *   fanout     SRC DST k=K weight=W delay=LO:HI type=T
+ *   stimulus   poisson POP rate=R weight=W [type=T]
+ *   stimulus   pattern POP period=P weight=W [type=T]
+ *   stimulus   ou      POP weight=MEAN sigma=S tau=T [type=T]
+ *   seed       N
+ *
+ * `model` names a Table III model (see modelFromName); additional
+ * key=value pairs override normalized NeuronParams fields:
+ * types, eps_m, v_leak, eps_g0..3, v_g0..3, delta_t, v_crit,
+ * v_firing, eps_w, a, v_w, b, ar_steps, eps_r, v_rr, v_ar, q_r.
+ *
+ * Parse errors report the line number and abort via fatal().
+ */
+
+#ifndef FLEXON_FRONTEND_SCRIPT_HH
+#define FLEXON_FRONTEND_SCRIPT_HH
+
+#include <istream>
+#include <string>
+
+#include "snn/network.hh"
+#include "snn/stimulus.hh"
+
+namespace flexon {
+
+/** The result of parsing a network script. */
+struct ParsedScript
+{
+    Network network;        ///< finalized
+    StimulusGenerator stimulus;
+    uint64_t seed = 1;      ///< wiring/stimulus seed (directive)
+};
+
+/**
+ * Parse a script. The wiring RNG is seeded from the script's `seed`
+ * directive (default 1) so identical scripts yield identical
+ * networks.
+ */
+ParsedScript parseScript(std::istream &is);
+
+/** Parse from a string (tests, inline examples). */
+ParsedScript parseScriptString(const std::string &text);
+
+/** Parse from a file; fatal() on I/O errors. */
+ParsedScript parseScriptFile(const std::string &path);
+
+} // namespace flexon
+
+#endif // FLEXON_FRONTEND_SCRIPT_HH

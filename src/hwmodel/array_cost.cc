@@ -1,0 +1,65 @@
+#include "hwmodel/array_cost.hh"
+
+#include "hwmodel/datapath_cost.hh"
+#include "hwmodel/sram.hh"
+
+namespace flexon {
+
+ArrayCost
+flexonArrayCost(size_t lanes, double clock_hz)
+{
+    const HwCost neuron = costOf(flexonUnits(), tsmc45(), clock_hz);
+
+    // Single-cycle lanes read and write the full neuron state every
+    // cycle: dual-ported state SRAM, full-state traffic per lane.
+    SramConfig sram;
+    sram.bits = static_cast<uint64_t>(arrayMaxNeurons) *
+                worstCaseStateBits;
+    sram.ports = 2;
+    sram.clockHz = clock_hz;
+    sram.accessBitsPerCycle =
+        static_cast<double>(lanes) * 2.0 * worstCaseStateBits;
+    const SramCost mem = sramCost(sram);
+
+    ArrayCost cost;
+    cost.name = "Flexon";
+    cost.lanes = lanes;
+    cost.clockHz = clock_hz;
+    cost.neuronAreaMm2 = lanes * neuron.areaUm2 * 1e-6;
+    cost.sramAreaMm2 = mem.areaMm2;
+    cost.totalAreaMm2 = cost.neuronAreaMm2 + cost.sramAreaMm2;
+    cost.neuronPowerW = lanes * neuron.powerMw * 1e-3;
+    cost.sramPowerW = mem.powerW;
+    cost.totalPowerW = cost.neuronPowerW + cost.sramPowerW;
+    return cost;
+}
+
+ArrayCost
+foldedArrayCost(size_t lanes, double clock_hz)
+{
+    const HwCost neuron = costOf(foldedUnits(), tsmc45(), clock_hz);
+
+    // Folded lanes touch one 32-bit operand per control signal (plus
+    // amortized write-back): single-ported banks, narrow traffic.
+    SramConfig sram;
+    sram.bits = static_cast<uint64_t>(arrayMaxNeurons) *
+                worstCaseStateBits;
+    sram.ports = 1;
+    sram.clockHz = clock_hz;
+    sram.accessBitsPerCycle = static_cast<double>(lanes) * 64.0;
+    const SramCost mem = sramCost(sram);
+
+    ArrayCost cost;
+    cost.name = "Spatially Folded Flexon";
+    cost.lanes = lanes;
+    cost.clockHz = clock_hz;
+    cost.neuronAreaMm2 = lanes * neuron.areaUm2 * 1e-6;
+    cost.sramAreaMm2 = mem.areaMm2;
+    cost.totalAreaMm2 = cost.neuronAreaMm2 + cost.sramAreaMm2;
+    cost.neuronPowerW = lanes * neuron.powerMw * 1e-3;
+    cost.sramPowerW = mem.powerW;
+    cost.totalPowerW = cost.neuronPowerW + cost.sramPowerW;
+    return cost;
+}
+
+} // namespace flexon

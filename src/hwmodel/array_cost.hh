@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Synthesis-style cost summaries for the evaluation arrays (Table
+ * VI): the 12-neuron baseline Flexon array at 250 MHz and the
+ * 72-neuron spatially folded Flexon array at 500 MHz, including the
+ * state/constant SRAM sized for the largest supported network.
+ */
+
+#ifndef FLEXON_HWMODEL_ARRAY_COST_HH
+#define FLEXON_HWMODEL_ARRAY_COST_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace flexon {
+
+/** Area/power summary of one digital-neuron array (Table VI rows). */
+struct ArrayCost
+{
+    const char *name;
+    size_t lanes;
+    double clockHz;
+
+    double neuronAreaMm2;
+    double sramAreaMm2;
+    double totalAreaMm2;
+
+    double neuronPowerW;
+    double sramPowerW;
+    double totalPowerW;
+
+    /** Energy consumed by `cycles` of operation, in joules. */
+    double
+    energyJ(uint64_t cycles) const
+    {
+        return totalPowerW * static_cast<double>(cycles) / clockHz;
+    }
+};
+
+/**
+ * Shared array provisioning assumptions. Both arrays provision state
+ * SRAM for 64 Ki neurons with the worst-case per-neuron state (all
+ * features, two synapse types, 22-bit truncated membrane potential:
+ * 222 bits).
+ */
+constexpr size_t arrayMaxNeurons = 65536;
+constexpr size_t worstCaseStateBits = 222;
+
+/** Table VI row 1: 12-neuron baseline Flexon array. */
+ArrayCost flexonArrayCost(size_t lanes = 12,
+                          double clock_hz = 250.0e6);
+
+/** Table VI row 2: 72-neuron spatially folded Flexon array. */
+ArrayCost foldedArrayCost(size_t lanes = 72,
+                          double clock_hz = 500.0e6);
+
+} // namespace flexon
+
+#endif // FLEXON_HWMODEL_ARRAY_COST_HH

@@ -1,0 +1,215 @@
+#include "hwmodel/datapath_cost.hh"
+
+#include "common/logging.hh"
+#include "features/params.hh"
+#include "folded/isa.hh"
+
+namespace flexon {
+
+UnitCounts &
+UnitCounts::operator+=(const UnitCounts &o)
+{
+    mul += o.mul;
+    add += o.add;
+    exp += o.exp;
+    mux += o.mux;
+    regBits += o.regBits;
+    counters += o.counters;
+    cmps += o.cmps;
+    return *this;
+}
+
+UnitCounts
+operator+(UnitCounts a, const UnitCounts &b)
+{
+    a += b;
+    return a;
+}
+
+UnitCounts
+featureDatapathUnits(Feature f)
+{
+    // Inventories follow the Figure 9 data paths, with subtractions
+    // (v_x - v) counted as adders and the on-fire jump adders
+    // included in the feature that owns the jump.
+    switch (f) {
+      case Feature::CUB:
+      case Feature::EXD:
+      case Feature::LID:
+        // Figure 9a: the shared decay/input path — one multiplier
+        // (eps'_m * v or 1 * v), two adders (input fuse + leak), one
+        // mode MUX.
+        return {.mul = 1, .add = 2, .mux = 1};
+      case Feature::COBE:
+        // g = eps'_g * g + I.
+        return {.mul = 1, .add = 1};
+      case Feature::COBA:
+        // Embeds COBE: y update, alpha gain, g update.
+        return {.mul = 3, .add = 2};
+      case Feature::REV:
+        // (v_g - v) subtract, then scale the conductance.
+        return {.mul = 1, .add = 1};
+      case Feature::QDI:
+        // tmp = eps_m*v + c, then tmp * v.
+        return {.mul = 2, .add = 1};
+      case Feature::EXI:
+        // exponent argument, exp unit, contribution scale.
+        return {.mul = 2, .add = 1, .exp = 1};
+      case Feature::ADT:
+        // w decay, plus the on-fire jump adder.
+        return {.mul = 1, .add = 1};
+      case Feature::SBT:
+        // Coupling mul+add, w update mul+add, jump adder.
+        return {.mul = 2, .add = 3};
+      case Feature::RR:
+        // w/r decays, two reversal subtracts, two scales, two jump
+        // adders (split into the two sub data paths of Figure 9).
+        return {.mul = 4, .add = 4};
+      case Feature::AR:
+        // Down-counter plus the gating compare.
+        return {.counters = 1, .cmps = 1};
+      default:
+        panic("invalid feature %d", static_cast<int>(f));
+    }
+}
+
+UnitCounts
+flexonUnits(size_t synapse_types)
+{
+    flexon_assert(synapse_types >= 1 &&
+                  synapse_types <= maxSynapseTypes);
+    UnitCounts total;
+
+    // Shared decay/input path (CUB + EXD + LID, Figure 9a).
+    total += featureDatapathUnits(Feature::EXD);
+
+    // One accumulation lane per synapse type: the COBA path (which
+    // embeds COBE) plus the REV scaler.
+    for (size_t i = 0; i < synapse_types; ++i) {
+        total += featureDatapathUnits(Feature::COBA);
+        total += featureDatapathUnits(Feature::REV);
+    }
+
+    // Spike initiation: QDI and EXI both present, MUX-selected.
+    total += featureDatapathUnits(Feature::QDI);
+    total += featureDatapathUnits(Feature::EXI);
+    total.mux += 1;
+
+    // Spike-triggered current (SBT embeds ADT) and RR.
+    total += featureDatapathUnits(Feature::SBT);
+    total += featureDatapathUnits(Feature::RR);
+
+    // Refractory counter.
+    total += featureDatapathUnits(Feature::AR);
+
+    // v' adder tree: one adder per extra contribution (decay + per
+    // type + initiation + w + r), firing comparator, feature-gating
+    // latches (one 32-bit latch bank per data path) and output MUXes.
+    const int contributions = 1 + static_cast<int>(synapse_types) + 3;
+    total.add += contributions - 1;
+    total.cmps += 1;
+    total.regBits += 32 * (6 + static_cast<int>(synapse_types));
+    total.mux += 6;
+    return total;
+}
+
+UnitCounts
+foldedUnits()
+{
+    UnitCounts total;
+    // One multiplier, the MUL-ADD adder plus the v' accumulator.
+    total.mul = 1;
+    total.add = 2;
+    total.exp = 1;
+    // Operand-select MUXes (a, b, state variable read/write).
+    total.mux = 4;
+    // Constant buffers (Table IV: 16 MUL + 8 ADD slots, 32-bit),
+    // tmp latch, two pipeline registers, v' register.
+    total.regBits = 32 * (maxMulConstants + maxAddConstants) +
+                    32 * 4;
+    // Control decoder modelled as register-equivalent area.
+    total.regBits += 160;
+    // Refractory counter and firing comparator (stage 2).
+    total.counters = 1;
+    total.cmps = 2;
+    return total;
+}
+
+HwCost
+costOf(const UnitCounts &u, const UnitCosts &p, double clock_hz)
+{
+    HwCost cost;
+    cost.areaUm2 = u.mul * p.mulArea + u.add * p.addArea +
+                   u.exp * p.expArea + u.mux * p.muxArea +
+                   u.regBits * p.regBitArea +
+                   u.counters * p.counterArea + u.cmps * p.cmpArea;
+    const double clock_scale = clock_hz / p.refClockHz;
+    cost.powerMw = (u.mul * p.mulPower + u.add * p.addPower +
+                    u.exp * p.expPower + u.mux * p.muxPower +
+                    u.regBits * p.regBitPower +
+                    u.counters * p.counterPower +
+                    u.cmps * p.cmpPower) *
+                   clock_scale;
+    return cost;
+}
+
+HwCost
+flexonNeuronCost()
+{
+    return costOf(flexonUnits(), tsmc45(), 250.0e6);
+}
+
+HwCost
+flexonGatedCost(const FeatureSet &features, size_t synapse_types)
+{
+    flexon_assert(synapse_types >= 1 &&
+                  synapse_types <= maxSynapseTypes);
+
+    // Active unit inventory: only the enabled data paths toggle.
+    UnitCounts active;
+    active += featureDatapathUnits(Feature::EXD); // shared decay path
+
+    const bool conductance = features.has(Feature::COBE) ||
+                             features.has(Feature::COBA);
+    for (size_t i = 0; i < synapse_types && conductance; ++i) {
+        active += featureDatapathUnits(
+            features.has(Feature::COBA) ? Feature::COBA
+                                        : Feature::COBE);
+        if (features.has(Feature::REV))
+            active += featureDatapathUnits(Feature::REV);
+    }
+    if (features.has(Feature::QDI))
+        active += featureDatapathUnits(Feature::QDI);
+    if (features.has(Feature::EXI))
+        active += featureDatapathUnits(Feature::EXI);
+    if (features.has(Feature::SBT))
+        active += featureDatapathUnits(Feature::SBT);
+    else if (features.has(Feature::ADT))
+        active += featureDatapathUnits(Feature::ADT);
+    if (features.has(Feature::RR))
+        active += featureDatapathUnits(Feature::RR);
+    if (features.has(Feature::AR))
+        active += featureDatapathUnits(Feature::AR);
+
+    // Always-on shell: the v' adder tree, firing comparator, MUXes
+    // and the gating latches themselves.
+    const int contributions =
+        1 + static_cast<int>(synapse_types) + 3;
+    active.add += contributions - 1;
+    active.cmps += 1;
+    active.regBits += 32 * (6 + static_cast<int>(synapse_types));
+    active.mux += 6;
+
+    HwCost cost = costOf(active, tsmc45(), 250.0e6);
+    // Area stays the full design's (gating does not remove silicon).
+    cost.areaUm2 = flexonNeuronCost().areaUm2;
+    return cost;
+}
+
+HwCost
+foldedNeuronCost()
+{
+    return costOf(foldedUnits(), tsmc45(), 500.0e6);
+}
+
+} // namespace flexon

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Unit inventories of the per-feature data paths (Figure 9), the
+ * baseline Flexon (Figure 10) and spatially folded Flexon (Figure
+ * 11), and their composition into area/power costs — the Figure 12
+ * reproduction.
+ */
+
+#ifndef FLEXON_HWMODEL_DATAPATH_COST_HH
+#define FLEXON_HWMODEL_DATAPATH_COST_HH
+
+#include <cstddef>
+
+#include "features/feature.hh"
+#include "hwmodel/unit_costs.hh"
+
+namespace flexon {
+
+/** Counts of hardware units in a circuit. */
+struct UnitCounts
+{
+    int mul = 0;
+    int add = 0;
+    int exp = 0;
+    int mux = 0;
+    int regBits = 0;
+    int counters = 0;
+    int cmps = 0;
+
+    UnitCounts &operator+=(const UnitCounts &o);
+};
+
+/** Element-wise sum of two inventories. */
+UnitCounts operator+(UnitCounts a, const UnitCounts &b);
+
+/** Area (um^2) and power (mW at the given clock) of a circuit. */
+struct HwCost
+{
+    double areaUm2 = 0.0;
+    double powerMw = 0.0;
+};
+
+/**
+ * Unit inventory of one standalone per-feature data path (Figure 9).
+ * The CUB/EXD/LID trio shares a single data path (Figure 9a), so all
+ * three return the same inventory.
+ */
+UnitCounts featureDatapathUnits(Feature f);
+
+/**
+ * Unit inventory of the baseline Flexon (Figure 10): every
+ * per-feature data path instantiated, with `synapse_types`
+ * accumulation lanes, plus the v' adder tree, firing comparator,
+ * MUXes and power-gating latches.
+ */
+UnitCounts flexonUnits(size_t synapse_types = 2);
+
+/**
+ * Unit inventory of spatially folded Flexon (Figure 11): one
+ * multiplier, the MUL-ADD chain plus the v' accumulator, one
+ * exponentiation unit, the constant buffers (16 MUL + 8 ADD slots),
+ * tmp/pipeline latches and the control decoder.
+ */
+UnitCounts foldedUnits();
+
+/** Compose an inventory into area/power at the given clock. */
+HwCost costOf(const UnitCounts &units, const UnitCosts &process,
+              double clock_hz);
+
+/** Convenience: cost of one baseline Flexon neuron at 250 MHz. */
+HwCost flexonNeuronCost();
+
+/**
+ * Dynamic power of one baseline Flexon neuron with the Figure 10
+ * power gating applied: the latches in front of each per-feature
+ * data path hold the inputs of *disabled* features stable, so only
+ * the data paths a configuration enables toggle (Section IV-B).
+ * Area is unchanged (the silicon is still there); power scales with
+ * the enabled unit inventory plus the always-on v' tree, comparator
+ * and gating latches.
+ */
+HwCost flexonGatedCost(const FeatureSet &features,
+                       size_t synapse_types);
+
+/** Convenience: cost of one folded Flexon neuron at 500 MHz. */
+HwCost foldedNeuronCost();
+
+} // namespace flexon
+
+#endif // FLEXON_HWMODEL_DATAPATH_COST_HH

@@ -1,0 +1,68 @@
+#include "hwmodel/full_system.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace flexon {
+
+StepActivity
+benchmarkActivity(const BenchmarkSpec &spec,
+                  double rate_per_neuron_step)
+{
+    StepActivity a;
+    a.neurons = spec.neurons;
+    a.spikes = rate_per_neuron_step *
+               static_cast<double>(spec.neurons);
+    const double mean_fanout =
+        static_cast<double>(spec.synapses) /
+        static_cast<double>(spec.neurons);
+    a.synapseEvents = a.spikes * mean_fanout;
+    a.stimulusSpikes = spec.stimulusRate *
+                       static_cast<double>(spec.neurons);
+    return a;
+}
+
+double
+synapseStageSeconds(const SynapseStageConfig &config,
+                    double synapse_events)
+{
+    flexon_assert(config.lanes > 0);
+    flexon_assert(config.clockHz > 0.0);
+    flexon_assert(config.memoryBandwidth > 0.0);
+    // Compute-bound: one event per lane per cycle. Memory-bound:
+    // streaming the synapse records.
+    const double compute_sec =
+        synapse_events /
+        (static_cast<double>(config.lanes) * config.clockHz);
+    const double memory_sec = synapse_events *
+                              config.bytesPerSynapse /
+                              config.memoryBandwidth;
+    return std::max(compute_sec, memory_sec);
+}
+
+double
+stimulusStageSeconds(const StimulusStageConfig &config,
+                     size_t neurons)
+{
+    flexon_assert(config.lanes > 0);
+    // Every neuron's Bernoulli draw is evaluated once per step.
+    return static_cast<double>(neurons) /
+           (static_cast<double>(config.lanes) * config.clockHz);
+}
+
+FullSystemStep
+fullSystemStep(const StepActivity &activity, double neuron_array_sec,
+               const SynapseStageConfig &syn,
+               const StimulusStageConfig &stim)
+{
+    FullSystemStep step;
+    step.stimulusSec = stimulusStageSeconds(stim, activity.neurons);
+    step.neuronSec = neuron_array_sec;
+    step.synapseSec =
+        synapseStageSeconds(syn, activity.synapseEvents +
+                                     activity.stimulusSpikes);
+    return step;
+}
+
+} // namespace flexon

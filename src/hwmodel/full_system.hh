@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Full-system accelerator model: the paper accelerates only the
+ * neuron-computation phase (Section II-C); this module models the
+ * natural next step — adding a stimulus generator and a synapse
+ * calculation stage next to the neuron array — to quantify the
+ * end-to-end step time of a complete Flexon-based SNN accelerator.
+ *
+ * The synapse stage streams synapse records (target, weight, delay,
+ * type) from off-chip memory and accumulates them into the per-type
+ * input buffers: its throughput is the minimum of the accumulator
+ * lanes and the memory bandwidth. The stimulus stage is an LFSR-based
+ * Bernoulli source, one candidate neuron per lane per cycle.
+ */
+
+#ifndef FLEXON_HWMODEL_FULL_SYSTEM_HH
+#define FLEXON_HWMODEL_FULL_SYSTEM_HH
+
+#include <cstddef>
+
+#include "nets/table1.hh"
+
+namespace flexon {
+
+/** Synapse-calculation stage parameters. */
+struct SynapseStageConfig
+{
+    /** Parallel accumulate units (adders into the input buffer). */
+    size_t lanes = 8;
+    double clockHz = 500.0e6;
+    /** Bytes per synapse record streamed from memory. */
+    double bytesPerSynapse = 8.0;
+    /** Off-chip memory bandwidth, bytes/s (one DDR4-3200 channel). */
+    double memoryBandwidth = 25.6e9;
+};
+
+/** Stimulus-generation stage parameters. */
+struct StimulusStageConfig
+{
+    /** Candidate neurons evaluated per cycle (LFSR + comparator). */
+    size_t lanes = 16;
+    double clockHz = 500.0e6;
+};
+
+/** Per-phase and total modelled time of one simulation step. */
+struct FullSystemStep
+{
+    double stimulusSec = 0.0;
+    double neuronSec = 0.0;
+    double synapseSec = 0.0;
+
+    double totalSec() const
+    {
+        return stimulusSec + neuronSec + synapseSec;
+    }
+};
+
+/** Activity assumptions for one benchmark step. */
+struct StepActivity
+{
+    size_t neurons = 0;
+    /** Output spikes this step (rate x neurons). */
+    double spikes = 0.0;
+    /** Synapse events this step (spikes x mean fan-out). */
+    double synapseEvents = 0.0;
+    /** Stimulus spikes injected this step. */
+    double stimulusSpikes = 0.0;
+};
+
+/** Derive typical per-step activity for a Table I benchmark. */
+StepActivity benchmarkActivity(const BenchmarkSpec &spec,
+                               double rate_per_neuron_step = 0.02);
+
+/** Synapse-stage time for one step's events. */
+double synapseStageSeconds(const SynapseStageConfig &config,
+                           double synapse_events);
+
+/** Stimulus-stage time for one step. */
+double stimulusStageSeconds(const StimulusStageConfig &config,
+                            size_t neurons);
+
+/**
+ * End-to-end step time of a complete accelerator: stimulus stage +
+ * neuron array (caller supplies the array's seconds per step, from
+ * FlexonArray/FoldedFlexonArray cyclesPerStep) + synapse stage.
+ * The three stages run back to back within a time step (each phase
+ * consumes the previous phase's output, Section II-C).
+ */
+FullSystemStep fullSystemStep(const StepActivity &activity,
+                              double neuron_array_sec,
+                              const SynapseStageConfig &syn = {},
+                              const StimulusStageConfig &stim = {});
+
+} // namespace flexon
+
+#endif // FLEXON_HWMODEL_FULL_SYSTEM_HH

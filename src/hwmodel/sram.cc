@@ -1,0 +1,38 @@
+#include "hwmodel/sram.hh"
+
+#include "common/logging.hh"
+
+namespace flexon {
+
+namespace {
+
+// Calibrated 45 nm coefficients (see DESIGN.md: chosen so the Table
+// VI SRAM budgets of the two evaluation arrays are reproduced).
+constexpr double bitAreaUm2 = 0.435;      // single-port, w/ periphery
+constexpr double portAreaFactor = 0.265;  // per additional port
+constexpr double leakagePerBitW = 18.0e-9;
+constexpr double energyPerBitAccessJ = 3.7e-13;
+
+} // namespace
+
+SramCost
+sramCost(const SramConfig &config)
+{
+    flexon_assert(config.ports >= 1);
+    flexon_assert(config.clockHz > 0.0);
+
+    SramCost cost;
+    const double port_factor =
+        1.0 + portAreaFactor * (config.ports - 1);
+    cost.areaMm2 = static_cast<double>(config.bits) * bitAreaUm2 *
+                   port_factor * 1e-6;
+
+    const double leakage =
+        static_cast<double>(config.bits) * leakagePerBitW;
+    const double dynamic = config.accessBitsPerCycle *
+                           config.clockHz * energyPerBitAccessJ;
+    cost.powerW = leakage + dynamic;
+    return cost;
+}
+
+} // namespace flexon

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * CACTI-lite: a simplified SRAM area/power model standing in for
+ * CACTI 6.5 (Section VI-A). Area scales with capacity and port count;
+ * power combines leakage (capacity-proportional) and dynamic access
+ * energy (bits transferred per second).
+ */
+
+#ifndef FLEXON_HWMODEL_SRAM_HH
+#define FLEXON_HWMODEL_SRAM_HH
+
+#include <cstdint>
+
+namespace flexon {
+
+/** Configuration of one SRAM macro. */
+struct SramConfig
+{
+    /** Storage capacity in bits. */
+    uint64_t bits = 0;
+    /** Read/write port count (>= 1); area grows ~27 % per extra port. */
+    int ports = 1;
+    /** Operating clock. */
+    double clockHz = 250.0e6;
+    /** Bits transferred per cycle (across all ports). */
+    double accessBitsPerCycle = 0.0;
+};
+
+/** Resulting macro cost. */
+struct SramCost
+{
+    double areaMm2 = 0.0;
+    double powerW = 0.0;
+};
+
+/**
+ * Evaluate the model. 45 nm coefficients: 0.435 um^2 per bit for a
+ * single-port array including periphery, +26.5 % per extra port;
+ * leakage 20 nW/bit-equivalent... see sram.cc for the calibrated
+ * constants.
+ */
+SramCost sramCost(const SramConfig &config);
+
+} // namespace flexon
+
+#endif // FLEXON_HWMODEL_SRAM_HH

@@ -1,0 +1,100 @@
+#include "hwmodel/timing.hh"
+
+#include "common/logging.hh"
+
+namespace flexon {
+
+const UnitDelays &
+tsmc45Delays()
+{
+    // Calibrated so the shipped designs close at the paper's clocks
+    // (Flexon ~250 MHz, folded ~500 MHz) under the 20 % slack margin.
+    static const UnitDelays delays = {
+        .mul = 0.62,
+        .add = 0.22,
+        .exp = 0.85, // Schraudolph: affine transform + bit splice
+        .mux = 0.06,
+        .reg = 0.12,
+        .cmp = 0.15,
+    };
+    return delays;
+}
+
+/** Delay of a naive (LUT + interpolation) exponential unit, ns. */
+static constexpr double naiveExpDelayNs = 2.6;
+
+double
+pathDelayNs(const CriticalPath &path, const UnitDelays &d)
+{
+    double total = 0.0;
+    for (const std::string &unit : path.units) {
+        if (unit == "mul")
+            total += d.mul;
+        else if (unit == "add")
+            total += d.add;
+        else if (unit == "exp")
+            total += d.exp;
+        else if (unit == "exp_naive")
+            total += naiveExpDelayNs;
+        else if (unit == "mux")
+            total += d.mux;
+        else if (unit == "reg")
+            total += d.reg;
+        else if (unit == "cmp")
+            total += d.cmp;
+        else
+            fatal("unknown unit '%s' in critical path", unit.c_str());
+    }
+    return total;
+}
+
+CriticalPath
+flexonCriticalPath(bool fast_exp, bool exi_at_tree_top)
+{
+    // The two candidate longest paths through Figure 10:
+    //  - the COBA + REV accumulation chain: three dependent
+    //    multiplies (y update, alpha gain into g, reversal scale)
+    //    plus two adder-tree levels;
+    //  - the EXI chain: exponent multiply-add, the exp unit, then
+    //    the adder tree — three levels if EXI enters at the bottom,
+    //    one if the Section IV-B1 optimization places it at the top.
+    const CriticalPath coba = {
+        "COBA+REV accumulation",
+        {"mux", "mul", "add", "mul", "add", "mul", "add", "add",
+         "cmp", "reg"},
+    };
+    CriticalPath exi = {
+        std::string("EXI (") + (fast_exp ? "fast exp" : "naive exp") +
+            (exi_at_tree_top ? ", tree top)" : ", tree bottom)"),
+        {"mux", "mul", "add", fast_exp ? "exp" : "exp_naive"},
+    };
+    const int tree_levels = exi_at_tree_top ? 1 : 3;
+    for (int i = 0; i < tree_levels; ++i)
+        exi.units.push_back("add");
+    exi.units.push_back("cmp");
+    exi.units.push_back("reg");
+
+    const UnitDelays &d = tsmc45Delays();
+    return pathDelayNs(coba, d) >= pathDelayNs(exi, d) ? coba : exi;
+}
+
+CriticalPath
+foldedCriticalPath()
+{
+    // Stage 1 of the folded pipeline: operand muxes, the shared
+    // multiplier and adder, the (fast) exponential bypassable on the
+    // same path, and the tmp/pipeline latch.
+    return {"folded stage 1", {"mux", "mul", "add", "exp", "reg"}};
+}
+
+double
+maxClockHz(const CriticalPath &path, const UnitDelays &d,
+           double slack_margin)
+{
+    const double period_ns = pathDelayNs(path, d) *
+                             (1.0 + slack_margin);
+    flexon_assert(period_ns > 0.0);
+    return 1.0e9 / period_ns;
+}
+
+} // namespace flexon

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Critical-path timing model: why the baseline Flexon closes at
+ * 250 MHz while spatially folded Flexon reaches 500 MHz (Section
+ * VI-A), and why the paper puts the EXI output at the top of the
+ * adder tree (Section IV-B1, "Minimizing Critical Path Delay").
+ *
+ * The model sums per-unit propagation delays along a design's
+ * longest combinational path and applies the paper's 20 % synthesis
+ * slack margin.
+ */
+
+#ifndef FLEXON_HWMODEL_TIMING_HH
+#define FLEXON_HWMODEL_TIMING_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace flexon {
+
+/** Propagation delays of the datapath units at 45 nm, in ns. */
+struct UnitDelays
+{
+    double mul;    ///< 32-bit multiplier
+    double add;    ///< 32-bit adder
+    double exp;    ///< fast-exp unit (Schraudolph shift/add network)
+    double mux;    ///< 2:1 mux
+    double reg;    ///< register clk-to-q + setup
+    double cmp;    ///< comparator
+};
+
+/** The calibrated 45 nm delay set. */
+const UnitDelays &tsmc45Delays();
+
+/** A named combinational path: an ordered list of traversed units. */
+struct CriticalPath
+{
+    std::string name;
+    std::vector<std::string> units; ///< "mul", "add", "exp", ...
+};
+
+/** Total propagation delay of a path, in ns. */
+double pathDelayNs(const CriticalPath &path, const UnitDelays &d);
+
+/**
+ * The binding (longest) path of baseline Flexon, under the two
+ * Section IV-B1 optimizations: using the Schraudolph fast exp
+ * instead of a naive LUT unit, and placing the EXI output at the
+ * top level of the adder tree. With both enabled (the shipped
+ * design) the COBA+REV accumulation chain binds instead of EXI.
+ */
+CriticalPath flexonCriticalPath(bool fast_exp = true,
+                                bool exi_at_tree_top = true);
+
+/** Stage 1 of the folded pipeline (MUL -> ADD -> EXP -> latch). */
+CriticalPath foldedCriticalPath();
+
+/**
+ * Maximum clock frequency for a design with the given critical path,
+ * applying the paper's 20 % timing-slack margin.
+ */
+double maxClockHz(const CriticalPath &path,
+                  const UnitDelays &d = tsmc45Delays(),
+                  double slack_margin = 0.20);
+
+} // namespace flexon
+
+#endif // FLEXON_HWMODEL_TIMING_HH

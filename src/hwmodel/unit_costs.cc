@@ -1,0 +1,60 @@
+#include "hwmodel/unit_costs.hh"
+
+namespace flexon {
+
+const UnitCosts &
+tsmc45()
+{
+    // Areas in um^2; powers in mW at 250 MHz. The multiplier and the
+    // exponentiation unit dominate, consistent with the paper's
+    // observation that TrueNorth-style designs avoid multipliers
+    // entirely (Section III-A).
+    static const UnitCosts costs = {
+        .mulArea = 4200.0,
+        .addArea = 420.0,
+        .expArea = 3800.0,
+        .muxArea = 130.0,
+        .regBitArea = 6.0,
+        .counterArea = 250.0,
+        .cmpArea = 300.0,
+
+        .mulPower = 0.45,
+        .addPower = 0.05,
+        .expPower = 0.50,
+        .muxPower = 0.008,
+        .regBitPower = 0.0009,
+        .counterPower = 0.02,
+        .cmpPower = 0.03,
+
+        .refClockHz = 250.0e6,
+    };
+    return costs;
+}
+
+UnitCosts
+scaleToNode(const UnitCosts &base, double base_nm, double target_nm)
+{
+    const double ratio = target_nm / base_nm;
+    const double area_scale = ratio * ratio;
+    const double power_scale = ratio;
+
+    UnitCosts scaled = base;
+    scaled.mulArea *= area_scale;
+    scaled.addArea *= area_scale;
+    scaled.expArea *= area_scale;
+    scaled.muxArea *= area_scale;
+    scaled.regBitArea *= area_scale;
+    scaled.counterArea *= area_scale;
+    scaled.cmpArea *= area_scale;
+
+    scaled.mulPower *= power_scale;
+    scaled.addPower *= power_scale;
+    scaled.expPower *= power_scale;
+    scaled.muxPower *= power_scale;
+    scaled.regBitPower *= power_scale;
+    scaled.counterPower *= power_scale;
+    scaled.cmpPower *= power_scale;
+    return scaled;
+}
+
+} // namespace flexon

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Per-unit area and power coefficients for a 45 nm standard-cell
+ * process.
+ *
+ * The paper synthesizes Flexon with Synopsys Design Compiler and the
+ * TSMC 45 nm library; that tool chain is not available here, so this
+ * module provides an additive gate-level cost model. The coefficients
+ * are calibrated so that composing the Figure 10 / Figure 11 unit
+ * inventories reproduces the paper's published totals (Table VI)
+ * within tolerance; the per-feature and per-design *ratios* (Figure
+ * 12) then follow structurally from the unit counts.
+ */
+
+#ifndef FLEXON_HWMODEL_UNIT_COSTS_HH
+#define FLEXON_HWMODEL_UNIT_COSTS_HH
+
+namespace flexon {
+
+/**
+ * Area (um^2) and dynamic power (mW, at refClockHz with typical
+ * activity) per arithmetic/storage unit.
+ */
+struct UnitCosts
+{
+    // 32-bit fixed-point units.
+    double mulArea;     ///< multiplier
+    double addArea;     ///< adder / subtractor
+    double expArea;     ///< Schraudolph-style exponentiation unit
+    double muxArea;     ///< 32-bit 2:1 mux
+    double regBitArea;  ///< one flip-flop bit
+    double counterArea; ///< 8-bit refractory counter
+    double cmpArea;     ///< 32-bit comparator
+
+    double mulPower;
+    double addPower;
+    double expPower;
+    double muxPower;
+    double regBitPower;
+    double counterPower;
+    double cmpPower;
+
+    /** Clock the power coefficients are quoted at. */
+    double refClockHz;
+};
+
+/** The calibrated TSMC 45 nm coefficient set. */
+const UnitCosts &tsmc45();
+
+/**
+ * First-order projection of a coefficient set to another process
+ * node: area scales with the square of the feature-size ratio,
+ * dynamic power (at fixed clock and voltage scaling trends) roughly
+ * linearly. A planning aid, not a sign-off model — post-Dennard
+ * leakage and wire effects are not captured.
+ */
+UnitCosts scaleToNode(const UnitCosts &base, double base_nm,
+                      double target_nm);
+
+} // namespace flexon
+
+#endif // FLEXON_HWMODEL_UNIT_COSTS_HH

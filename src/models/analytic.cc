@@ -1,0 +1,100 @@
+#include "models/analytic.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace flexon {
+namespace analytic {
+
+double
+lifSteadyState(double input)
+{
+    return input;
+}
+
+uint64_t
+lifStepsToThreshold(double input, double eps_m)
+{
+    if (input <= 1.0)
+        return 0;
+    flexon_assert(eps_m > 0.0 && eps_m < 1.0);
+    const double n_real = std::log(1.0 - 1.0 / input) /
+                          std::log(1.0 - eps_m);
+    auto v_at = [&](uint64_t n) {
+        return input * (1.0 - std::pow(1.0 - eps_m,
+                                       static_cast<double>(n)));
+    };
+    // The firing condition is a strict comparison (v > theta), so
+    // an exact touch of the threshold does not fire; correct the
+    // rounded estimate by direct evaluation.
+    auto n = static_cast<uint64_t>(std::ceil(n_real));
+    while (n > 1 && v_at(n - 1) > 1.0)
+        --n;
+    while (v_at(n) <= 1.0)
+        ++n;
+    return n;
+}
+
+double
+exdDecay(double v0, double eps_m, uint64_t steps)
+{
+    return v0 * std::pow(1.0 - eps_m,
+                         static_cast<double>(steps));
+}
+
+double
+lidDecay(double v0, double v_leak, uint64_t steps)
+{
+    const double v = v0 - v_leak * static_cast<double>(steps);
+    return v > 0.0 ? v : 0.0;
+}
+
+uint64_t
+alphaPeakStep(double eps_g)
+{
+    flexon_assert(eps_g > 0.0 && eps_g < 1.0);
+    // The discrete alpha kernel g_t ~ t * (1-epsG)^t peaks where
+    // d/dt [t * exp(t * ln(1-epsG))] = 0 -> t = -1 / ln(1 - epsG).
+    return static_cast<uint64_t>(
+        std::llround(-1.0 / std::log(1.0 - eps_g)));
+}
+
+double
+qdiSeparatrix(const NeuronParams &params)
+{
+    return params.vCrit;
+}
+
+double
+exiRheobase(const NeuronParams &params)
+{
+    const double dt = params.deltaT;
+    flexon_assert(dt > 0.0);
+    auto f = [dt](double v) {
+        return -v + dt * std::exp((v - 1.0) / dt);
+    };
+    // The unstable root lies between the threshold and the firing
+    // voltage when the model is well posed.
+    double lo = 1.0;
+    double hi = params.vFiring;
+    if (f(lo) >= 0.0 || f(hi) <= 0.0) {
+        fatal("EXI rheobase not bracketed in (1, vFiring); "
+              "check deltaT/vFiring");
+    }
+    for (int iter = 0; iter < 200; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        (f(mid) < 0.0 ? lo : hi) = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+double
+cobeSteadyState(double input, double eps_g)
+{
+    flexon_assert(eps_g > 0.0);
+    return input / eps_g;
+}
+
+} // namespace analytic
+} // namespace flexon

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Closed-form predictions for the discrete neuron dynamics
+ * (Equations 2-8) — the analytic ground truths the test suite and
+ * users validate simulations against.
+ */
+
+#ifndef FLEXON_MODELS_ANALYTIC_HH
+#define FLEXON_MODELS_ANALYTIC_HH
+
+#include <cstdint>
+
+#include "features/params.hh"
+
+namespace flexon {
+namespace analytic {
+
+/**
+ * Fixed point of the discrete LIF update under constant input I:
+ * v* = I (Equation 2 with v' = v).
+ */
+double lifSteadyState(double input);
+
+/**
+ * Steps for the discrete LIF to cross threshold 1.0 from rest under
+ * constant input I > 1: the smallest n with
+ * I * (1 - (1 - epsM)^n) > 1. Returns 0 for subthreshold input.
+ */
+uint64_t lifStepsToThreshold(double input, double eps_m);
+
+/** v after n input-free steps of exponential decay (EXD). */
+double exdDecay(double v0, double eps_m, uint64_t steps);
+
+/** v after n input-free steps of linear decay (LID, floored at 0). */
+double lidDecay(double v0, double v_leak, uint64_t steps);
+
+/**
+ * Peak time (in steps) of the discrete alpha kernel (COBA): the
+ * conductance after a single impulse peaks near 1/epsG steps.
+ */
+uint64_t alphaPeakStep(double eps_g);
+
+/**
+ * The QDI separatrix: with no input, initial v below this decays to
+ * rest; above it the quadratic initiation drives a spike
+ * (Equation 5: the unstable fixed point v = v_c).
+ */
+double qdiSeparatrix(const NeuronParams &params);
+
+/**
+ * The EXI rheobase: the unstable fixed point of
+ * -v + Delta_T * exp((v - 1) / Delta_T) = 0 above the threshold,
+ * found by bisection. Membrane values above it run away to the
+ * firing voltage with no input.
+ */
+double exiRheobase(const NeuronParams &params);
+
+/**
+ * Steady-state conductance for COBE under a constant per-step
+ * input I: g* = I / epsG.
+ */
+double cobeSteadyState(double input, double eps_g);
+
+} // namespace analytic
+} // namespace flexon
+
+#endif // FLEXON_MODELS_ANALYTIC_HH

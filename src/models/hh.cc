@@ -1,0 +1,157 @@
+#include "models/hh.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "solvers/rkf45.hh"
+
+namespace flexon {
+
+namespace {
+
+// Hodgkin-Huxley rate functions (V in mV, rates in 1/ms), with the
+// standard removable-singularity guards at V = -40 and V = -55.
+double
+alphaM(double v)
+{
+    const double x = v + 40.0;
+    if (std::abs(x) < 1e-7)
+        return 1.0;
+    return 0.1 * x / (1.0 - std::exp(-x / 10.0));
+}
+
+double
+betaM(double v)
+{
+    return 4.0 * std::exp(-(v + 65.0) / 18.0);
+}
+
+double
+alphaH(double v)
+{
+    return 0.07 * std::exp(-(v + 65.0) / 20.0);
+}
+
+double
+betaH(double v)
+{
+    return 1.0 / (1.0 + std::exp(-(v + 35.0) / 10.0));
+}
+
+double
+alphaN(double v)
+{
+    const double x = v + 55.0;
+    if (std::abs(x) < 1e-7)
+        return 0.1;
+    return 0.01 * x / (1.0 - std::exp(-x / 10.0));
+}
+
+double
+betaN(double v)
+{
+    return 0.125 * std::exp(-(v + 65.0) / 80.0);
+}
+
+constexpr double restingV = -65.0;
+
+} // namespace
+
+double
+HHNeuron::mInf(double v)
+{
+    return alphaM(v) / (alphaM(v) + betaM(v));
+}
+
+double
+HHNeuron::hInf(double v)
+{
+    return alphaH(v) / (alphaH(v) + betaH(v));
+}
+
+double
+HHNeuron::nInf(double v)
+{
+    return alphaN(v) / (alphaN(v) + betaN(v));
+}
+
+HHNeuron::HHNeuron(const HHParams &params, SolverKind solver)
+    : params_(params), solver_(solver)
+{
+    flexon_assert(params_.dtMs > 0.0);
+    flexon_assert(params_.eulerSubsteps >= 1);
+    reset();
+}
+
+void
+HHNeuron::reset()
+{
+    v_ = restingV;
+    m_ = mInf(restingV);
+    h_ = hInf(restingV);
+    n_ = nInf(restingV);
+    rhsEvals_ = 0;
+}
+
+void
+HHNeuron::derivatives(double current, const double y[4],
+                      double dydt[4]) const
+{
+    const double v = y[0], m = y[1], h = y[2], n = y[3];
+    const HHParams &p = params_;
+
+    const double i_na = p.gNa * m * m * m * h * (v - p.eNa);
+    const double i_k = p.gK * n * n * n * n * (v - p.eK);
+    const double i_l = p.gL * (v - p.eL);
+
+    dydt[0] = (current - i_na - i_k - i_l) / p.cM;
+    dydt[1] = alphaM(v) * (1.0 - m) - betaM(v) * m;
+    dydt[2] = alphaH(v) * (1.0 - h) - betaH(v) * h;
+    dydt[3] = alphaN(v) * (1.0 - n) - betaN(v) * n;
+}
+
+bool
+HHNeuron::step(double current)
+{
+    const double v_before = v_;
+    double y[4] = {v_, m_, h_, n_};
+
+    if (solver_ == SolverKind::Euler) {
+        const double h_sub =
+            params_.dtMs / static_cast<double>(params_.eulerSubsteps);
+        double dydt[4];
+        for (int s = 0; s < params_.eulerSubsteps; ++s) {
+            derivatives(current, y, dydt);
+            ++rhsEvals_;
+            for (int i = 0; i < 4; ++i)
+                y[i] += h_sub * dydt[i];
+        }
+    } else {
+        OdeRhs rhs = [this, current](double,
+                                     std::span<const double> yy,
+                                     std::span<double> dd) {
+            double yl[4] = {yy[0], yy[1], yy[2], yy[3]};
+            double dl[4];
+            derivatives(current, yl, dl);
+            for (int i = 0; i < 4; ++i)
+                dd[i] = dl[i];
+        };
+        Rkf45Workspace ws(4);
+        Rkf45Options opts;
+        opts.tolerance = 1e-5;
+        std::span<double> span(y, 4);
+        auto result = rkf45Integrate(rhs, 0.0, params_.dtMs, span, ws,
+                                     opts);
+        rhsEvals_ += result.rhsEvaluations;
+    }
+
+    v_ = y[0];
+    m_ = y[1];
+    h_ = y[2];
+    n_ = y[3];
+
+    return v_before < params_.spikeThresholdMv &&
+           v_ >= params_.spikeThresholdMv;
+}
+
+} // namespace flexon

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The Hodgkin-Huxley neuron model (Hodgkin & Huxley 1952).
+ *
+ * HH is the paper's biological-accuracy gold standard (Section II-B):
+ * a four-dimensional conductance model whose computational cost makes
+ * it impractical for large simulations — which is why the LIF-derived
+ * models Flexon targets exist. This implementation serves two
+ * purposes here:
+ *
+ *  1. quantify the HH-vs-LIF cost gap (derivative evaluations per
+ *     step) that motivates the whole paper;
+ *  2. play the "unsupported custom model" in the Section VII-A
+ *     hybrid-offload scenario: an SNN mixing AdEx (offloaded to
+ *     Flexon) with HH (kept on the CPU).
+ *
+ * Standard squid-axon parameters, voltages in mV, time in ms,
+ * currents in uA/cm^2.
+ */
+
+#ifndef FLEXON_MODELS_HH_HH
+#define FLEXON_MODELS_HH_HH
+
+#include <cstdint>
+
+#include "solvers/solver.hh"
+
+namespace flexon {
+
+/** Hodgkin-Huxley membrane parameters (squid axon defaults). */
+struct HHParams
+{
+    double cM = 1.0;      ///< membrane capacitance, uF/cm^2
+    double gNa = 120.0;   ///< sodium conductance, mS/cm^2
+    double gK = 36.0;     ///< potassium conductance, mS/cm^2
+    double gL = 0.3;      ///< leak conductance, mS/cm^2
+    double eNa = 50.0;    ///< sodium reversal, mV
+    double eK = -77.0;    ///< potassium reversal, mV
+    double eL = -54.387;  ///< leak reversal, mV
+    /** Simulation time step in ms (matches the SNN step). */
+    double dtMs = 0.1;
+    /** Euler sub-steps per simulation step (stability). */
+    int eulerSubsteps = 20;
+    /** Spike detection level, mV (upward crossing). */
+    double spikeThresholdMv = 0.0;
+};
+
+/** One Hodgkin-Huxley neuron. */
+class HHNeuron
+{
+  public:
+    explicit HHNeuron(const HHParams &params = {},
+                      SolverKind solver = SolverKind::Euler);
+
+    /**
+     * Advance one simulation time step under the given injected
+     * current (uA/cm^2, held constant over the step).
+     *
+     * @return true iff the membrane crossed the spike threshold
+     *         upward during this step
+     */
+    bool step(double current);
+
+    double v() const { return v_; }
+    double m() const { return m_; }
+    double h() const { return h_; }
+    double n() const { return n_; }
+
+    /** Total derivative evaluations so far (the cost metric). */
+    uint64_t rhsEvaluations() const { return rhsEvals_; }
+
+    /** Reset to the resting state. */
+    void reset();
+
+    /** Channel gate steady-state values at voltage v (for tests). */
+    static double mInf(double v);
+    static double hInf(double v);
+    static double nInf(double v);
+
+  private:
+    void derivatives(double current, const double y[4],
+                     double dydt[4]) const;
+
+    HHParams params_;
+    SolverKind solver_;
+    double v_;
+    double m_;
+    double h_;
+    double n_;
+    uint64_t rhsEvals_ = 0;
+};
+
+} // namespace flexon
+
+#endif // FLEXON_MODELS_HH_HH

@@ -1,0 +1,71 @@
+#include "models/izhikevich_native.hh"
+
+#include "common/logging.hh"
+
+namespace flexon {
+
+IzhikevichParams
+izhikevichRegularSpiking()
+{
+    return {0.02, 0.2, -65.0, 8.0, 0.1};
+}
+
+IzhikevichParams
+izhikevichFastSpiking()
+{
+    return {0.1, 0.2, -65.0, 2.0, 0.1};
+}
+
+IzhikevichParams
+izhikevichChattering()
+{
+    return {0.02, 0.2, -50.0, 2.0, 0.1};
+}
+
+IzhikevichParams
+izhikevichIntrinsicallyBursting()
+{
+    return {0.02, 0.2, -55.0, 4.0, 0.1};
+}
+
+IzhikevichParams
+izhikevichLowThreshold()
+{
+    return {0.02, 0.25, -65.0, 2.0, 0.1};
+}
+
+IzhikevichNative::IzhikevichNative(const IzhikevichParams &params)
+    : params_(params)
+{
+    flexon_assert(params_.dtMs > 0.0);
+    reset();
+}
+
+void
+IzhikevichNative::reset()
+{
+    v_ = params_.c;
+    u_ = params_.b * v_;
+}
+
+bool
+IzhikevichNative::step(double current)
+{
+    const double dt = params_.dtMs;
+    // Izhikevich's reference integration: two v half-steps for
+    // numerical stability, then one u step.
+    for (int half = 0; half < 2; ++half) {
+        v_ += 0.5 * dt *
+              (0.04 * v_ * v_ + 5.0 * v_ + 140.0 - u_ + current);
+    }
+    u_ += dt * params_.a * (params_.b * v_ - u_);
+
+    if (v_ >= 30.0) {
+        v_ = params_.c;
+        u_ += params_.d;
+        return true;
+    }
+    return false;
+}
+
+} // namespace flexon

@@ -1,0 +1,183 @@
+#include "models/ode_neuron.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "solvers/euler.hh"
+
+namespace flexon {
+
+OdeNeuron::OdeNeuron(const NeuronParams &params, SolverKind solver)
+    : params_(params), solver_(solver),
+      ws_(3 + 2 * params.numSynapseTypes)
+{
+    const std::string err = params_.validate();
+    if (!err.empty())
+        fatal("invalid neuron parameters: %s", err.c_str());
+    if (params_.features.has(Feature::LID)) {
+        // Linear decay is inherently discrete/event-driven; the paper's
+        // LLIF benchmarks use the discrete form. Model it as a constant
+        // drain in the RHS instead.
+        warn("OdeNeuron used with LID; linear decay is integrated as a "
+             "constant drain");
+    }
+    y_.resize(dim());
+    scratch_.resize(dim());
+}
+
+void
+OdeNeuron::pack(std::vector<double> &y) const
+{
+    y[0] = state_.v;
+    y[1] = state_.w;
+    y[2] = state_.r;
+    for (size_t i = 0; i < params_.numSynapseTypes; ++i) {
+        y[3 + i] = state_.y[i];
+        y[3 + params_.numSynapseTypes + i] = state_.g[i];
+    }
+}
+
+void
+OdeNeuron::unpack(std::span<const double> y)
+{
+    state_.v = y[0];
+    state_.w = y[1];
+    state_.r = y[2];
+    for (size_t i = 0; i < params_.numSynapseTypes; ++i) {
+        state_.y[i] = y[3 + i];
+        state_.g[i] = y[3 + params_.numSynapseTypes + i];
+    }
+}
+
+void
+OdeNeuron::rhs(std::span<const double> y, std::span<double> dydt) const
+{
+    const NeuronParams &p = params_;
+    const FeatureSet &f = p.features;
+    const size_t st = p.numSynapseTypes;
+
+    const double v = y[0];
+    const double w = y[1];
+    const double r = y[2];
+
+    // Synaptic contribution.
+    double acc = 0.0;
+    for (size_t i = 0; i < st; ++i) {
+        const double yi = y[3 + i];
+        const double gi = y[3 + st + i];
+        const double eps_g = p.syn[i].epsG;
+
+        dydt[3 + i] = -eps_g * yi;
+        if (f.has(Feature::COBA)) {
+            dydt[3 + st + i] = -eps_g * gi + M_E * eps_g * yi;
+        } else {
+            // COBE decays; CUB conductance is an impulse handled at
+            // the step boundary and simply decays to nothing here.
+            dydt[3 + st + i] = -eps_g * gi;
+        }
+
+        const double v_rev = f.has(Feature::REV) ? (p.syn[i].vG - v)
+                                                 : 1.0;
+        acc += v_rev * gi;
+    }
+
+    // Membrane leak / spike initiation.
+    double leak = 0.0;
+    if (f.has(Feature::EXI)) {
+        // Clamp the exponent so the upswing past the firing voltage
+        // stays integrable (the firing check truncates it anyway).
+        const double z = std::min((v - 1.0) / p.deltaT, 8.0);
+        leak = -v + p.deltaT * std::exp(z);
+    } else if (f.has(Feature::QDI)) {
+        leak = (-v) * (p.vCrit - v);
+    } else if (f.has(Feature::EXD)) {
+        leak = -v;
+    }
+
+    // Spike-triggered current / relative refractory.
+    double w_term = 0.0;
+    double r_term = 0.0;
+    dydt[1] = 0.0;
+    dydt[2] = 0.0;
+    if (f.has(Feature::SBT)) {
+        dydt[1] = -p.epsW * w + p.epsM * p.a * (v - p.vW);
+        w_term = w;
+    } else if (f.has(Feature::ADT)) {
+        dydt[1] = -p.epsW * w;
+        w_term = w;
+    } else if (f.has(Feature::RR)) {
+        dydt[1] = -p.epsW * w;
+        dydt[2] = -p.epsR * r;
+        w_term = w * (p.vAR - v);
+        r_term = r * (p.vRR - v);
+    }
+
+    if (f.has(Feature::LID)) {
+        dydt[0] = acc - p.vLeak;
+    } else {
+        dydt[0] = p.epsM * (leak + acc) + w_term + r_term;
+    }
+}
+
+bool
+OdeNeuron::step(std::span<const double> input)
+{
+    const NeuronParams &p = params_;
+    const FeatureSet &f = p.features;
+
+    // Refractory gating, as in the discrete model (Equation 7).
+    const bool blocked = f.has(Feature::AR) && state_.cnt > 0;
+    if (f.has(Feature::AR) && state_.cnt > 0)
+        --state_.cnt;
+
+    // Apply input impulses at the step boundary.
+    for (size_t i = 0; i < p.numSynapseTypes; ++i) {
+        const double in = (blocked || i >= input.size()) ? 0.0
+                                                         : input[i];
+        if (f.has(Feature::COBA))
+            state_.y[i] += in;
+        else if (f.has(Feature::COBE))
+            state_.g[i] += in;
+        else
+            state_.g[i] = in; // CUB: instantaneous current this step
+    }
+
+    pack(y_);
+    auto rhs_fn = [this](double, std::span<const double> y,
+                         std::span<double> dydt) { rhs(y, dydt); };
+
+    if (solver_ == SolverKind::Euler) {
+        eulerStep(rhs_fn, 0.0, 1.0, std::span<double>(y_), scratch_);
+        rhsEvals_ += 1;
+    } else {
+        OdeRhs fn = rhs_fn;
+        auto result = rkf45Integrate(fn, 0.0, 1.0, y_, ws_);
+        rhsEvals_ += result.rhsEvaluations;
+        if (!result.converged)
+            warn("RKF45 failed to converge within the step");
+    }
+    unpack(y_);
+
+    const bool fired = state_.v > p.threshold();
+    if (fired) {
+        state_.v = 0.0;
+        if (f.has(Feature::ADT) || f.has(Feature::SBT) ||
+            f.has(Feature::RR)) {
+            state_.w -= p.b;
+        }
+        if (f.has(Feature::RR))
+            state_.r -= p.qR;
+        if (f.has(Feature::AR))
+            state_.cnt = p.arSteps;
+    }
+    return fired;
+}
+
+void
+OdeNeuron::reset()
+{
+    state_.reset();
+    rhsEvals_ = 0;
+}
+
+} // namespace flexon

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Continuous-time reference neuron integrated with Euler or RKF45.
+ *
+ * The Table I SNNs solve their neuron ODEs either with the Euler
+ * method or with RKF45 (Section III-A); the solver choice changes the
+ * neuron-computation cost per time step, which is what Figure 3
+ * measures. This class exposes the same feature semantics as
+ * ReferenceNeuron but integrates the smooth part of the dynamics over
+ * each time step with a pluggable solver, treating input spikes as
+ * impulses at step boundaries (standard hybrid integration, as NEST
+ * does).
+ *
+ * Time is measured in units of one simulation step, so the Euler mode
+ * with one sub-step reproduces the discrete equations exactly for the
+ * linear features.
+ */
+
+#ifndef FLEXON_MODELS_ODE_NEURON_HH
+#define FLEXON_MODELS_ODE_NEURON_HH
+
+#include <span>
+#include <vector>
+
+#include "features/params.hh"
+#include "solvers/rkf45.hh"
+#include "solvers/solver.hh"
+
+namespace flexon {
+
+/** A continuous-time neuron with a per-step hybrid integration. */
+class OdeNeuron
+{
+  public:
+    OdeNeuron(const NeuronParams &params, SolverKind solver);
+
+    /**
+     * Advance one time step: apply input impulses, integrate the
+     * smooth dynamics over one step, then evaluate the firing
+     * condition.
+     *
+     * @return true iff the neuron fired this step
+     */
+    bool step(std::span<const double> input);
+
+    /** Convenience overload for single-synapse-type configurations. */
+    bool
+    step(double input)
+    {
+        return step(std::span<const double>(&input, 1));
+    }
+
+    const NeuronState &state() const { return state_; }
+    const NeuronParams &params() const { return params_; }
+    SolverKind solver() const { return solver_; }
+
+    /** Total derivative evaluations so far (the solver cost metric). */
+    uint64_t rhsEvaluations() const { return rhsEvals_; }
+
+    void reset();
+
+  private:
+    /** Dimension of the packed ODE state vector. */
+    size_t dim() const { return 3 + 2 * params_.numSynapseTypes; }
+
+    void pack(std::vector<double> &y) const;
+    void unpack(std::span<const double> y);
+
+    /** Derivatives of the smooth (between-spike) dynamics. */
+    void rhs(std::span<const double> y, std::span<double> dydt) const;
+
+    NeuronParams params_;
+    SolverKind solver_;
+    NeuronState state_;
+    Rkf45Workspace ws_;
+    std::vector<double> y_;
+    std::vector<double> scratch_;
+    uint64_t rhsEvals_ = 0;
+};
+
+} // namespace flexon
+
+#endif // FLEXON_MODELS_ODE_NEURON_HH

@@ -1,0 +1,69 @@
+#include "models/population.hh"
+
+#include "common/logging.hh"
+
+namespace flexon {
+
+ReferencePopulation::ReferencePopulation(const NeuronParams &params,
+                                         size_t count,
+                                         IntegrationMode mode,
+                                         SolverKind solver)
+    : params_(params), size_(count), mode_(mode)
+{
+    flexon_assert(count > 0);
+    if (mode_ == IntegrationMode::Discrete) {
+        discrete_.reserve(count);
+        for (size_t i = 0; i < count; ++i)
+            discrete_.emplace_back(params);
+    } else {
+        continuous_.reserve(count);
+        for (size_t i = 0; i < count; ++i)
+            continuous_.emplace_back(params, solver);
+    }
+}
+
+void
+ReferencePopulation::step(std::span<const double> input,
+                          std::vector<bool> &fired)
+{
+    const size_t st = params_.numSynapseTypes;
+    flexon_assert(input.size() >= size_ * st);
+    fired.assign(size_, false);
+
+    if (mode_ == IntegrationMode::Discrete) {
+        for (size_t i = 0; i < size_; ++i)
+            fired[i] = discrete_[i].step(input.subspan(i * st, st));
+    } else {
+        for (size_t i = 0; i < size_; ++i)
+            fired[i] = continuous_[i].step(input.subspan(i * st, st));
+    }
+}
+
+const NeuronState &
+ReferencePopulation::state(size_t idx) const
+{
+    flexon_assert(idx < size_);
+    return mode_ == IntegrationMode::Discrete
+               ? discrete_[idx].state()
+               : continuous_[idx].state();
+}
+
+uint64_t
+ReferencePopulation::rhsEvaluations() const
+{
+    uint64_t total = 0;
+    for (const auto &n : continuous_)
+        total += n.rhsEvaluations();
+    return total;
+}
+
+void
+ReferencePopulation::reset()
+{
+    for (auto &n : discrete_)
+        n.reset();
+    for (auto &n : continuous_)
+        n.reset();
+}
+
+} // namespace flexon

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Homogeneous neuron populations for the reference (software) backend.
+ *
+ * A population owns N neurons sharing one parameter set — mirroring
+ * PyNN's sim.Population() abstraction (Section VII-B) — and steps them
+ * either with the discrete reference equations or with a continuous
+ * solver. The reference SNN simulator and the CPU-baseline cost
+ * measurements are built on top of this.
+ */
+
+#ifndef FLEXON_MODELS_POPULATION_HH
+#define FLEXON_MODELS_POPULATION_HH
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "features/params.hh"
+#include "models/ode_neuron.hh"
+#include "models/reference_neuron.hh"
+#include "solvers/solver.hh"
+
+namespace flexon {
+
+/** How a reference population integrates its neurons. */
+enum class IntegrationMode {
+    Discrete,   ///< exact discrete equations (Equations 3-8)
+    Continuous, ///< hybrid ODE integration with a SolverKind
+};
+
+/** A homogeneous population of reference neurons. */
+class ReferencePopulation
+{
+  public:
+    /**
+     * @param params shared neuron parameters
+     * @param count number of neurons
+     * @param mode discrete or continuous integration
+     * @param solver solver used in continuous mode
+     */
+    ReferencePopulation(const NeuronParams &params, size_t count,
+                        IntegrationMode mode = IntegrationMode::Discrete,
+                        SolverKind solver = SolverKind::Euler);
+
+    size_t size() const { return size_; }
+    const NeuronParams &params() const { return params_; }
+
+    /**
+     * Step every neuron once.
+     *
+     * @param input row-major [neuron][synapseType] accumulated
+     *              weights; size must be size() * numSynapseTypes
+     * @param fired output flags, one per neuron
+     */
+    void step(std::span<const double> input, std::vector<bool> &fired);
+
+    /** Read one neuron's state. */
+    const NeuronState &state(size_t idx) const;
+
+    /** Total solver derivative evaluations (continuous mode only). */
+    uint64_t rhsEvaluations() const;
+
+    void reset();
+
+  private:
+    NeuronParams params_;
+    size_t size_;
+    IntegrationMode mode_;
+    std::vector<ReferenceNeuron> discrete_;
+    std::vector<OdeNeuron> continuous_;
+};
+
+} // namespace flexon
+
+#endif // FLEXON_MODELS_POPULATION_HH

@@ -1,0 +1,115 @@
+#include "models/reference_neuron.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace flexon {
+
+ReferenceNeuron::ReferenceNeuron(const NeuronParams &params)
+    : params_(params)
+{
+    const std::string err = params_.validate();
+    if (!err.empty())
+        fatal("invalid neuron parameters: %s", err.c_str());
+}
+
+bool
+ReferenceNeuron::step(std::span<const double> input)
+{
+    const NeuronParams &p = params_;
+    const FeatureSet &f = p.features;
+    NeuronState &s = state_;
+
+    const double v_prev = s.v;
+
+    // --- Refractory gating (Equation 7): while cnt > 0 the neuron
+    // receives no input; the counter decrements every step.
+    const bool blocked = f.has(Feature::AR) && s.cnt > 0;
+    if (f.has(Feature::AR) && s.cnt > 0)
+        --s.cnt;
+
+    // --- Input spike accumulation (Equation 4).
+    double acc = 0.0;
+    for (size_t i = 0; i < p.numSynapseTypes; ++i) {
+        const double in =
+            (blocked || i >= input.size()) ? 0.0 : input[i];
+        const double eps_g = p.syn[i].epsG;
+
+        if (f.has(Feature::COBA)) {
+            s.y[i] = (1.0 - eps_g) * s.y[i] + in;
+            s.g[i] = (1.0 - eps_g) * s.g[i] +
+                     M_E * eps_g * s.y[i];
+        } else if (f.has(Feature::COBE)) {
+            s.g[i] = (1.0 - eps_g) * s.g[i] + in;
+        } else {
+            // CUB (or no accumulation feature): instantaneous current.
+            s.g[i] = in;
+        }
+
+        const double v_rev =
+            f.has(Feature::REV) ? (p.syn[i].vG - v_prev) : 1.0;
+        acc += v_rev * s.g[i];
+    }
+
+    // --- Membrane decay / spike initiation term (Equations 3 and 5).
+    // With shift & scale (v0 = 0, theta = 1), EXD contributes -v;
+    // QDI/EXI replace the leak with their initiation functions.
+    double leak = 0.0;
+    if (f.has(Feature::EXI)) {
+        leak = -v_prev +
+               p.deltaT * std::exp((v_prev - 1.0) / p.deltaT);
+    } else if (f.has(Feature::QDI)) {
+        leak = (-v_prev) * (p.vCrit - v_prev);
+    } else if (f.has(Feature::EXD)) {
+        leak = -v_prev;
+    }
+
+    // --- Spike-triggered current (Equation 6) and relative
+    // refractory (Equation 8) state updates.
+    double w_term = 0.0;
+    double r_term = 0.0;
+    if (f.has(Feature::SBT)) {
+        s.w = (1.0 - p.epsW) * s.w +
+              p.epsM * p.a * (v_prev - p.vW);
+        w_term = s.w;
+    } else if (f.has(Feature::ADT)) {
+        s.w = (1.0 - p.epsW) * s.w;
+        w_term = s.w;
+    } else if (f.has(Feature::RR)) {
+        s.w = (1.0 - p.epsW) * s.w;
+        s.r = (1.0 - p.epsR) * s.r;
+        w_term = s.w * (p.vAR - v_prev);
+        r_term = s.r * (p.vRR - v_prev);
+    }
+
+    // --- Membrane potential update (Equations 3 through 8 composed).
+    if (f.has(Feature::LID)) {
+        // Linear decay (Equation 3); the potential decays toward the
+        // resting level and saturates there (Figure 4) — the LID
+        // datapath floors v' at the resting voltage.
+        s.v = std::max(0.0, v_prev + acc - p.vLeak);
+    } else {
+        s.v = v_prev + p.epsM * (leak + acc) + w_term + r_term;
+    }
+
+    // --- Firing check. QDI/EXI fire at the firing voltage v_theta;
+    // everything else at the threshold (1.0 after shift & scale).
+    preResetV_ = s.v;
+    const bool fired = s.v > p.threshold();
+    if (fired) {
+        s.v = 0.0;
+        if (f.has(Feature::ADT) || f.has(Feature::SBT) ||
+            f.has(Feature::RR)) {
+            s.w -= p.b;
+        }
+        if (f.has(Feature::RR))
+            s.r -= p.qR;
+        if (f.has(Feature::AR))
+            s.cnt = p.arSteps;
+    }
+    return fired;
+}
+
+} // namespace flexon

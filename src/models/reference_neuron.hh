@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Double-precision reference neuron implementing the paper's discrete
+ * update equations (Equations 3 through 8) for any valid combination
+ * of the 12 biologically common features.
+ *
+ * This is the golden model: Flexon and spatially folded Flexon are
+ * validated against it (with fixed-point error bounds), playing the
+ * role Brian plays in the paper's methodology (Section VI-A).
+ *
+ * All quantities are normalized (shift & scale): resting voltage 0,
+ * threshold voltage 1.0.
+ */
+
+#ifndef FLEXON_MODELS_REFERENCE_NEURON_HH
+#define FLEXON_MODELS_REFERENCE_NEURON_HH
+
+#include <span>
+
+#include "features/params.hh"
+
+namespace flexon {
+
+/**
+ * One reference neuron evaluating the discrete feature equations.
+ *
+ * Per time step the caller supplies the accumulated synaptic weight
+ * I_{t,i} for each synapse type (the output of the synapse-calculation
+ * phase); step() updates the internal state and reports whether the
+ * neuron fired.
+ */
+class ReferenceNeuron
+{
+  public:
+    /** @param params validated neuron parameters (fatal on invalid). */
+    explicit ReferenceNeuron(const NeuronParams &params);
+
+    /**
+     * Advance one time step with the given per-synapse-type inputs.
+     *
+     * @param input accumulated weights, one per synapse type; missing
+     *              entries are treated as zero
+     * @return true iff the neuron fired an output spike this step
+     */
+    bool step(std::span<const double> input);
+
+    /** Convenience overload for single-synapse-type configurations. */
+    bool
+    step(double input)
+    {
+        return step(std::span<const double>(&input, 1));
+    }
+
+    const NeuronState &state() const { return state_; }
+    NeuronState &state() { return state_; }
+    const NeuronParams &params() const { return params_; }
+
+    /**
+     * The membrane potential the last step reached *before* any
+     * firing reset — what a testbench scope probe would see.
+     */
+    double preResetV() const { return preResetV_; }
+
+    /** Reset all state variables to the resting state. */
+    void reset() { state_.reset(); }
+
+  private:
+    NeuronParams params_;
+    NeuronState state_;
+    double preResetV_ = 0.0;
+};
+
+} // namespace flexon
+
+#endif // FLEXON_MODELS_REFERENCE_NEURON_HH

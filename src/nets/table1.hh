@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Generators for the ten SNN benchmarks of Table I, collected from
+ * prior neuroscience publications. Each generator reproduces the
+ * published structure — neuron count, synapse count, neuron model and
+ * differential-equation solver — as a synthetic network with an
+ * excitatory/inhibitory split and Poisson background stimulus.
+ *
+ * A scale factor shrinks the network for laptop-sized runs (neuron
+ * count divides by `scale`; connection probability is preserved, so
+ * synapses shrink by roughly scale^2). scale = 1 reproduces the
+ * paper-size networks.
+ */
+
+#ifndef FLEXON_NETS_TABLE1_HH
+#define FLEXON_NETS_TABLE1_HH
+
+#include <string>
+#include <vector>
+
+#include "features/model_table.hh"
+#include "snn/network.hh"
+#include "snn/stimulus.hh"
+#include "solvers/solver.hh"
+
+namespace flexon {
+
+/** Static description of one Table I benchmark. */
+struct BenchmarkSpec
+{
+    std::string name;       ///< Table I row name
+    size_t neurons;         ///< published neuron count
+    size_t synapses;        ///< published synapse count
+    ModelKind model;        ///< neuron model (Table I column 3)
+    SolverKind solver;      ///< Euler or RKF45 (Table I notes)
+    bool gpuNative;         ///< collected from GeNN (GPU) per Table I
+    /**
+     * Total recurrent excitatory gain: the sum of a neuron's
+     * incoming excitatory weights. Per-synapse weights are derived
+     * as gain / fan-in, which keeps the network dynamics roughly
+     * invariant under scaling.
+     */
+    double excGain;
+    /** Total recurrent inhibitory gain (negative). */
+    double inhGain;
+    /** Poisson background probability per neuron per step. */
+    double stimulusRate;
+    /** Background stimulus weight per kick (conductance units). */
+    double stimulusWeight;
+};
+
+/** The ten Table I benchmarks, in the paper's order. */
+const std::vector<BenchmarkSpec> &table1Benchmarks();
+
+/** Look up a benchmark by its Table I name; fatal() if unknown. */
+const BenchmarkSpec &findBenchmark(const std::string &name);
+
+/**
+ * The neuron parameterization a benchmark uses: the model's defaults
+ * plus per-benchmark overrides (the Destexhe SNNs model three
+ * receptor types — AMPA, GABA_A, GABA_B — and the Up-Down variant
+ * strengthens adaptation). Shared by the network builder and the
+ * hardware timing models.
+ */
+NeuronParams benchmarkParams(const BenchmarkSpec &spec);
+
+/** A generated benchmark instance. */
+struct BenchmarkInstance
+{
+    Network network;
+    StimulusGenerator stimulus;
+    BenchmarkSpec spec;
+    double scale;
+};
+
+/**
+ * Build a scaled instance of a benchmark.
+ *
+ * @param scale divide neuron count by this factor (>= 1)
+ * @param seed wiring and stimulus seed (deterministic)
+ */
+BenchmarkInstance buildBenchmark(const BenchmarkSpec &spec,
+                                 double scale, uint64_t seed);
+
+} // namespace flexon
+
+#endif // FLEXON_NETS_TABLE1_HH

@@ -1,0 +1,288 @@
+#include "snn/backend.hh"
+
+#include "common/logging.hh"
+#include "common/parallel.hh"
+#include "flexon/array.hh"
+#include "folded/array.hh"
+#include "models/ode_neuron.hh"
+#include "models/reference_neuron.hh"
+
+namespace flexon {
+
+const char *
+backendName(BackendKind kind)
+{
+    switch (kind) {
+      case BackendKind::Reference: return "reference";
+      case BackendKind::Flexon: return "flexon";
+      case BackendKind::Folded: return "folded-flexon";
+      default: panic("invalid backend kind %d", static_cast<int>(kind));
+    }
+}
+
+namespace {
+
+/** Software backend: one reference neuron per network neuron. */
+class ReferenceBackend : public NeuronBackend
+{
+  public:
+    ReferenceBackend(const Network &network, IntegrationMode mode,
+                     SolverKind solver, size_t threads)
+        : mode_(mode), threads_(threads == 0 ? 1 : threads)
+    {
+        for (size_t p = 0; p < network.numPopulations(); ++p) {
+            const Population &pop = network.population(p);
+            for (size_t i = 0; i < pop.count; ++i) {
+                if (mode_ == IntegrationMode::Discrete)
+                    discrete_.emplace_back(pop.params);
+                else
+                    continuous_.emplace_back(pop.params, solver);
+            }
+        }
+    }
+
+    const char *name() const override { return "reference"; }
+
+    void
+    step(std::span<const double> input,
+         std::vector<bool> &fired) override
+    {
+        const size_t n = mode_ == IntegrationMode::Discrete
+                             ? discrete_.size()
+                             : continuous_.size();
+        flexon_assert(input.size() >= n * maxSynapseTypes);
+        fired.assign(n, false);
+        // Chunked parallel neuron update (each neuron's state is
+        // private, so chunks share nothing but the input buffer;
+        // std::vector<bool> is written per disjoint index ranges
+        // only after collecting chunk-local flags).
+        std::vector<uint8_t> flags(n, 0);
+        parallelFor(n, threads_, [&](size_t begin, size_t end) {
+            if (mode_ == IntegrationMode::Discrete) {
+                for (size_t i = begin; i < end; ++i) {
+                    flags[i] = discrete_[i].step(
+                        input.subspan(i * maxSynapseTypes,
+                                      maxSynapseTypes));
+                }
+            } else {
+                for (size_t i = begin; i < end; ++i) {
+                    flags[i] = continuous_[i].step(
+                        input.subspan(i * maxSynapseTypes,
+                                      maxSynapseTypes));
+                }
+            }
+        });
+        for (size_t i = 0; i < n; ++i)
+            fired[i] = flags[i] != 0;
+    }
+
+    void
+    reset() override
+    {
+        for (auto &neuron : discrete_)
+            neuron.reset();
+        for (auto &neuron : continuous_)
+            neuron.reset();
+    }
+
+    double
+    membrane(size_t neuron) const override
+    {
+        return mode_ == IntegrationMode::Discrete
+                   ? discrete_.at(neuron).state().v
+                   : continuous_.at(neuron).state().v;
+    }
+
+  private:
+    IntegrationMode mode_;
+    size_t threads_;
+    std::vector<ReferenceNeuron> discrete_;
+    std::vector<OdeNeuron> continuous_;
+};
+
+/** Shared input-conversion logic for the two hardware backends. */
+class HardwareInputScaler
+{
+  public:
+    explicit HardwareInputScaler(const Network &network)
+    {
+        for (size_t p = 0; p < network.numPopulations(); ++p) {
+            const Population &pop = network.population(p);
+            const FlexonConfig config =
+                FlexonConfig::fromParams(pop.params);
+            for (size_t i = 0; i < pop.count; ++i)
+                configs_.push_back(config);
+        }
+        scaled_.resize(configs_.size() * maxSynapseTypes, Fix::zero());
+    }
+
+    /**
+     * Convert reference-unit accumulated weights into the hardware
+     * convention: scale by epsilon_m (Table V) and, for CUB
+     * configurations, merge all synapse types into one signed input.
+     */
+    std::span<const Fix>
+    scale(std::span<const double> input, size_t ref_types_stride)
+    {
+        (void)ref_types_stride;
+        for (size_t i = 0; i < configs_.size(); ++i) {
+            const FlexonConfig &c = configs_[i];
+            const size_t base = i * maxSynapseTypes;
+            if (c.features.has(Feature::CUB)) {
+                double sum = 0.0;
+                for (size_t s = 0; s < maxSynapseTypes; ++s)
+                    sum += input[base + s];
+                scaled_[base] = c.scaleWeight(sum);
+                for (size_t s = 1; s < maxSynapseTypes; ++s)
+                    scaled_[base + s] = Fix::zero();
+            } else {
+                for (size_t s = 0; s < maxSynapseTypes; ++s)
+                    scaled_[base + s] = c.scaleWeight(input[base + s]);
+            }
+        }
+        return scaled_;
+    }
+
+    const FlexonConfig &config(size_t neuron) const
+    {
+        return configs_.at(neuron);
+    }
+
+  private:
+    std::vector<FlexonConfig> configs_;
+    std::vector<Fix> scaled_;
+};
+
+/** Baseline Flexon array backend. */
+class FlexonBackend : public NeuronBackend
+{
+  public:
+    FlexonBackend(const Network &network, size_t width,
+                  double clock_hz)
+        : array_(width, clock_hz), scaler_(network)
+    {
+        for (size_t p = 0; p < network.numPopulations(); ++p) {
+            const Population &pop = network.population(p);
+            array_.addPopulation(FlexonConfig::fromParams(pop.params),
+                                 pop.count);
+        }
+    }
+
+    const char *name() const override { return "flexon"; }
+
+    void
+    step(std::span<const double> input,
+         std::vector<bool> &fired) override
+    {
+        array_.step(scaler_.scale(input, maxSynapseTypes), fired);
+    }
+
+    void reset() override { array_.resetState(); }
+
+    double
+    modelSecondsPerStep() const override
+    {
+        return static_cast<double>(array_.cyclesPerStep()) /
+               array_.clockHz();
+    }
+
+    double
+    membrane(size_t neuron) const override
+    {
+        return array_.neuron(neuron).state().v.toDouble();
+    }
+
+    FlexonArray &array() { return array_; }
+
+  private:
+    FlexonArray array_;
+    HardwareInputScaler scaler_;
+};
+
+/** Spatially folded Flexon array backend. */
+class FoldedBackend : public NeuronBackend
+{
+  public:
+    FoldedBackend(const Network &network, size_t width,
+                  double clock_hz)
+        : array_(width, clock_hz), scaler_(network)
+    {
+        for (size_t p = 0; p < network.numPopulations(); ++p) {
+            const Population &pop = network.population(p);
+            array_.addPopulation(FlexonConfig::fromParams(pop.params),
+                                 pop.count);
+        }
+    }
+
+    const char *name() const override { return "folded-flexon"; }
+
+    void
+    step(std::span<const double> input,
+         std::vector<bool> &fired) override
+    {
+        array_.step(scaler_.scale(input, maxSynapseTypes), fired);
+    }
+
+    void reset() override { array_.resetState(); }
+
+    double
+    modelSecondsPerStep() const override
+    {
+        return static_cast<double>(array_.cyclesPerStep()) /
+               array_.clockHz();
+    }
+
+    double
+    membrane(size_t neuron) const override
+    {
+        return array_.neuron(neuron).state().v.toDouble();
+    }
+
+    FoldedFlexonArray &array() { return array_; }
+
+  private:
+    FoldedFlexonArray array_;
+    HardwareInputScaler scaler_;
+};
+
+} // namespace
+
+std::unique_ptr<NeuronBackend>
+makeReferenceBackend(const Network &network, IntegrationMode mode,
+                     SolverKind solver, size_t threads)
+{
+    return std::make_unique<ReferenceBackend>(network, mode, solver,
+                                              threads);
+}
+
+std::unique_ptr<NeuronBackend>
+makeFlexonBackend(const Network &network, size_t width,
+                  double clock_hz)
+{
+    return std::make_unique<FlexonBackend>(network, width, clock_hz);
+}
+
+std::unique_ptr<NeuronBackend>
+makeFoldedBackend(const Network &network, size_t width,
+                  double clock_hz)
+{
+    return std::make_unique<FoldedBackend>(network, width, clock_hz);
+}
+
+std::unique_ptr<NeuronBackend>
+makeBackend(BackendKind kind, const Network &network,
+            IntegrationMode mode, SolverKind solver, size_t threads)
+{
+    switch (kind) {
+      case BackendKind::Reference:
+        return makeReferenceBackend(network, mode, solver, threads);
+      case BackendKind::Flexon:
+        return makeFlexonBackend(network);
+      case BackendKind::Folded:
+        return makeFoldedBackend(network);
+      default:
+        panic("invalid backend kind %d", static_cast<int>(kind));
+    }
+}
+
+} // namespace flexon

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Neuron-computation backends for the SNN simulator.
+ *
+ * The simulator's neuron-computation phase is pluggable: the same
+ * network can run on the software reference models (the NEST/GeNN
+ * stand-in), on a baseline Flexon array, or on a spatially folded
+ * Flexon array. Hardware backends additionally report modelled
+ * execution time (cycles / clock) for the Figure 13 comparisons.
+ */
+
+#ifndef FLEXON_SNN_BACKEND_HH
+#define FLEXON_SNN_BACKEND_HH
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "models/population.hh"
+#include "snn/network.hh"
+
+namespace flexon {
+
+/** Which engine evaluates the neuron-computation phase. */
+enum class BackendKind {
+    Reference, ///< software double-precision models
+    Flexon,    ///< baseline Flexon array (single-cycle)
+    Folded,    ///< spatially folded Flexon array (2-stage pipeline)
+};
+
+/** Printable backend name. */
+const char *backendName(BackendKind kind);
+
+/**
+ * A neuron-computation engine stepping every neuron of a network.
+ *
+ * The input is the synapse-calculation output: row-major
+ * [neuron][synapseType] accumulated weights with stride
+ * maxSynapseTypes, in reference (unscaled) units. Backends perform
+ * any representation conversion internally.
+ */
+class NeuronBackend
+{
+  public:
+    virtual ~NeuronBackend() = default;
+
+    virtual const char *name() const = 0;
+
+    /** Evaluate one time step; fills `fired` (one flag per neuron). */
+    virtual void step(std::span<const double> input,
+                      std::vector<bool> &fired) = 0;
+
+    /** Reset all neuron state to rest. */
+    virtual void reset() = 0;
+
+    /**
+     * Modelled hardware seconds per simulation step (array cycles over
+     * clock); 0 for software backends, whose cost is wall-clock time.
+     */
+    virtual double modelSecondsPerStep() const { return 0.0; }
+
+    /** Membrane potential of one neuron, in reference units. */
+    virtual double membrane(size_t neuron) const = 0;
+};
+
+/**
+ * Build a software reference backend.
+ *
+ * @param mode discrete equations or continuous ODE integration
+ * @param solver solver for continuous mode (Table I column)
+ * @param threads worker threads for the neuron-update loop
+ *        (<= 1 = single-threaded); neurons are split into
+ *        contiguous chunks, as NEST does across cores
+ */
+std::unique_ptr<NeuronBackend>
+makeReferenceBackend(const Network &network,
+                     IntegrationMode mode = IntegrationMode::Discrete,
+                     SolverKind solver = SolverKind::Euler,
+                     size_t threads = 1);
+
+/** Build a baseline Flexon array backend. */
+std::unique_ptr<NeuronBackend>
+makeFlexonBackend(const Network &network, size_t width = 12,
+                  double clock_hz = 250.0e6);
+
+/** Build a spatially folded Flexon array backend. */
+std::unique_ptr<NeuronBackend>
+makeFoldedBackend(const Network &network, size_t width = 72,
+                  double clock_hz = 500.0e6);
+
+/** Dispatch on BackendKind with the default array shapes. */
+std::unique_ptr<NeuronBackend>
+makeBackend(BackendKind kind, const Network &network,
+            IntegrationMode mode = IntegrationMode::Discrete,
+            SolverKind solver = SolverKind::Euler,
+            size_t threads = 1);
+
+} // namespace flexon
+
+#endif // FLEXON_SNN_BACKEND_HH

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Event-driven simulation for LLIF networks (Section IV-A: linear
+ * decay "is suitable for event-driven execution", the property
+ * TrueNorth-class designs exploit).
+ *
+ * A silent LLIF neuron reaches the resting floor after finitely many
+ * steps and then stays there *exactly*, so the engine only touches
+ * neurons in its active set: those with non-zero state, a pending
+ * refractory countdown, or an arriving input. Because the linear
+ * decay is closed-form (v -> max(0, v - k * vLeak)), skipped steps
+ * are reconstructed exactly on wake-up; the engine is
+ * *step-equivalent* to the dense Simulator, which the test suite
+ * asserts spike-for-spike.
+ *
+ * Restrictions: every population must be LID + CUB (+ optional AR) —
+ * exactly the TrueNorth-style LLIF configuration.
+ */
+
+#ifndef FLEXON_SNN_EVENT_DRIVEN_HH
+#define FLEXON_SNN_EVENT_DRIVEN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "snn/network.hh"
+#include "snn/stimulus.hh"
+
+namespace flexon {
+
+/** Statistics of an event-driven run. */
+struct EventDrivenStats
+{
+    uint64_t steps = 0;
+    uint64_t spikes = 0;
+    /** Neuron updates actually performed. */
+    uint64_t updates = 0;
+    /** Updates a dense per-step engine would have performed. */
+    uint64_t denseUpdates = 0;
+
+    /** Fraction of dense updates skipped (the headline saving). */
+    double
+    savings() const
+    {
+        return denseUpdates == 0
+                   ? 0.0
+                   : 1.0 - static_cast<double>(updates) /
+                               static_cast<double>(denseUpdates);
+    }
+};
+
+/** The event-driven LLIF engine. */
+class EventDrivenSimulator
+{
+  public:
+    /**
+     * @param network finalized; every population must be LID + CUB
+     *        (+AR) — fatal() otherwise
+     */
+    EventDrivenSimulator(const Network &network,
+                         StimulusGenerator stimulus);
+
+    /** Run `steps` time steps. */
+    void run(uint64_t steps);
+
+    const EventDrivenStats &stats() const { return stats_; }
+    const std::vector<uint64_t> &spikeCounts() const
+    {
+        return spikeCounts_;
+    }
+
+    /** Membrane potential of a neuron *as of the current step*. */
+    double membrane(uint32_t neuron) const;
+
+  private:
+    struct NeuronState
+    {
+        double v = 0.0;
+        uint32_t refractory = 0; ///< remaining AR steps
+        uint64_t lastUpdate = 0; ///< step the state was valid at
+    };
+
+    /** Bring a neuron's state up to `now` via closed-form decay. */
+    void catchUp(uint32_t neuron, uint64_t now);
+
+    /** Evaluate one neuron that has input this step. */
+    void updateNeuron(uint32_t neuron, double input, uint64_t now);
+
+    const Network &network_;
+    StimulusGenerator stimulus_;
+    std::vector<NeuronState> state_;
+    /** Per-neuron cached parameters. */
+    std::vector<double> vLeak_;
+    std::vector<uint32_t> arSteps_;
+
+    /**
+     * Pending inputs: ring of (packed target<<2 | type, weight)
+     * entries in arrival order.
+     */
+    size_t ringDepth_;
+    std::vector<std::vector<std::pair<uint32_t, double>>> ring_;
+
+    std::vector<uint64_t> spikeCounts_;
+    EventDrivenStats stats_;
+    uint64_t t_ = 0;
+};
+
+} // namespace flexon
+
+#endif // FLEXON_SNN_EVENT_DRIVEN_HH

@@ -1,0 +1,211 @@
+#include "snn/network.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace flexon {
+
+size_t
+Network::addPopulation(std::string name, const NeuronParams &params,
+                       size_t count)
+{
+    flexon_assert(!finalized_);
+    flexon_assert(count > 0);
+    const std::string err = params.validate();
+    if (!err.empty()) {
+        fatal("population '%s' has invalid parameters: %s",
+              name.c_str(), err.c_str());
+    }
+    Population pop;
+    pop.name = std::move(name);
+    pop.params = params;
+    pop.base = numNeurons_;
+    pop.count = count;
+    populations_.push_back(std::move(pop));
+    numNeurons_ += count;
+    return populations_.size() - 1;
+}
+
+namespace {
+
+/** Draw a weight around the mean with 10 % sigma, preserving sign. */
+float
+drawWeight(double mean, Rng &rng)
+{
+    const double w = rng.normal(mean, 0.1 * std::abs(mean));
+    if (mean >= 0.0)
+        return static_cast<float>(std::max(0.0, w));
+    return static_cast<float>(std::min(0.0, w));
+}
+
+uint8_t
+drawDelay(uint8_t lo, uint8_t hi, Rng &rng)
+{
+    if (hi <= lo)
+        return lo;
+    return static_cast<uint8_t>(
+        lo + rng.uniformInt(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+} // namespace
+
+void
+Network::connectRandom(size_t src_pop, size_t dst_pop,
+                       double probability, double weight_mean,
+                       uint8_t delay_min, uint8_t delay_max,
+                       uint8_t type, Rng &rng)
+{
+    flexon_assert(!finalized_);
+    flexon_assert(src_pop < populations_.size());
+    flexon_assert(dst_pop < populations_.size());
+    flexon_assert(probability >= 0.0 && probability <= 1.0);
+    flexon_assert(delay_min >= 1);
+    flexon_assert(type < maxSynapseTypes);
+
+    const Population &src = populations_[src_pop];
+    const Population &dst = populations_[dst_pop];
+    for (size_t s = 0; s < src.count; ++s) {
+        const auto src_id = static_cast<uint32_t>(src.base + s);
+        for (size_t d = 0; d < dst.count; ++d) {
+            const auto dst_id = static_cast<uint32_t>(dst.base + d);
+            if (src_id == dst_id)
+                continue;
+            if (!rng.bernoulli(probability))
+                continue;
+            staging_.push_back(
+                {src_id,
+                 {dst_id, drawWeight(weight_mean, rng),
+                  drawDelay(delay_min, delay_max, rng), type}});
+        }
+    }
+}
+
+void
+Network::connectFixedFanout(size_t src_pop, size_t dst_pop,
+                            size_t fanout, double weight_mean,
+                            uint8_t delay_min, uint8_t delay_max,
+                            uint8_t type, Rng &rng)
+{
+    flexon_assert(!finalized_);
+    flexon_assert(src_pop < populations_.size());
+    flexon_assert(dst_pop < populations_.size());
+    flexon_assert(delay_min >= 1);
+    flexon_assert(type < maxSynapseTypes);
+
+    const Population &src = populations_[src_pop];
+    const Population &dst = populations_[dst_pop];
+    flexon_assert(fanout <= dst.count);
+
+    std::vector<uint32_t> candidates(dst.count);
+    for (size_t s = 0; s < src.count; ++s) {
+        const auto src_id = static_cast<uint32_t>(src.base + s);
+        // Partial Fisher-Yates: pick `fanout` distinct targets.
+        for (size_t i = 0; i < dst.count; ++i)
+            candidates[i] = static_cast<uint32_t>(dst.base + i);
+        size_t avail = candidates.size();
+        for (size_t k = 0; k < fanout && avail > 0; ++k) {
+            const size_t pick = rng.uniformInt(avail);
+            const uint32_t dst_id = candidates[pick];
+            candidates[pick] = candidates[--avail];
+            if (dst_id == src_id)
+                continue;
+            staging_.push_back(
+                {src_id,
+                 {dst_id, drawWeight(weight_mean, rng),
+                  drawDelay(delay_min, delay_max, rng), type}});
+        }
+    }
+}
+
+void
+Network::addSynapse(uint32_t src, const Synapse &synapse)
+{
+    flexon_assert(!finalized_);
+    flexon_assert(src < numNeurons_);
+    flexon_assert(synapse.target < numNeurons_);
+    flexon_assert(synapse.delay >= 1);
+    flexon_assert(synapse.type < maxSynapseTypes);
+    staging_.push_back({src, synapse});
+}
+
+void
+Network::finalize()
+{
+    flexon_assert(!finalized_);
+    // Stable: same-source synapses keep their insertion order, so
+    // save/load round-trips reproduce the CSR exactly.
+    std::stable_sort(staging_.begin(), staging_.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first < b.first;
+                     });
+
+    rowPtr_.assign(numNeurons_ + 1, 0);
+    synapses_.reserve(staging_.size());
+    for (const auto &[src, syn] : staging_) {
+        ++rowPtr_[src + 1];
+        synapses_.push_back(syn);
+        maxDelay_ = std::max(maxDelay_, syn.delay);
+    }
+    for (size_t i = 1; i <= numNeurons_; ++i)
+        rowPtr_[i] += rowPtr_[i - 1];
+
+    staging_.clear();
+    staging_.shrink_to_fit();
+    finalized_ = true;
+}
+
+const Population &
+Network::population(size_t i) const
+{
+    flexon_assert(i < populations_.size());
+    return populations_[i];
+}
+
+const Population &
+Network::populationOf(size_t neuron) const
+{
+    flexon_assert(neuron < numNeurons_);
+    for (const Population &pop : populations_) {
+        if (neuron >= pop.base && neuron < pop.base + pop.count)
+            return pop;
+    }
+    panic("neuron %zu not covered by any population", neuron);
+}
+
+std::span<const Synapse>
+Network::outgoing(uint32_t src) const
+{
+    flexon_assert(finalized_);
+    flexon_assert(src < numNeurons_);
+    const uint64_t begin = rowPtr_[src];
+    const uint64_t end = rowPtr_[src + 1];
+    return {synapses_.data() + begin, end - begin};
+}
+
+uint64_t
+Network::rowStart(uint32_t src) const
+{
+    flexon_assert(finalized_);
+    flexon_assert(src < numNeurons_);
+    return rowPtr_[src];
+}
+
+Synapse &
+Network::synapseAt(uint64_t index)
+{
+    flexon_assert(finalized_);
+    flexon_assert(index < synapses_.size());
+    return synapses_[index];
+}
+
+const Synapse &
+Network::synapseAt(uint64_t index) const
+{
+    flexon_assert(finalized_);
+    flexon_assert(index < synapses_.size());
+    return synapses_[index];
+}
+
+} // namespace flexon

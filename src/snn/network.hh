@@ -1,0 +1,128 @@
+/**
+ * @file
+ * SNN topology: neuron populations and synapses.
+ *
+ * A network is a set of homogeneous populations (each sharing one
+ * neuron parameterization, as in PyNN's sim.Population()) plus a
+ * synapse table in compressed sparse row form: for every source
+ * neuron, the list of (target, weight, delay, synapse type) entries.
+ * Synaptic delays are expressed in whole time steps (Section II-C:
+ * spikes propagate after a per-synapse delay).
+ */
+
+#ifndef FLEXON_SNN_NETWORK_HH
+#define FLEXON_SNN_NETWORK_HH
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "features/params.hh"
+
+namespace flexon {
+
+/** One synapse: target neuron, weight, delay, and synapse type. */
+struct Synapse
+{
+    uint32_t target;
+    float weight;
+    uint8_t delay;
+    uint8_t type;
+};
+
+/** A homogeneous group of neurons sharing one parameter set. */
+struct Population
+{
+    std::string name;
+    NeuronParams params;
+    size_t base = 0;  ///< global index of the first neuron
+    size_t count = 0;
+};
+
+/**
+ * An SNN: populations plus a CSR synapse table.
+ *
+ * Build with addPopulation() and the connect* methods, then call
+ * finalize() to sort the synapse lists into CSR form. The network is
+ * immutable after finalization.
+ */
+class Network
+{
+  public:
+    /** Add a population; returns its index. */
+    size_t addPopulation(std::string name, const NeuronParams &params,
+                         size_t count);
+
+    /**
+     * Randomly connect two populations: every (src, dst) pair is
+     * connected with the given probability (self-connections are
+     * skipped when src == dst).
+     *
+     * @param weight_mean mean synaptic weight (weights are drawn from
+     *        a normal distribution with 10 % relative sigma, clamped
+     *        to keep the sign)
+     * @param delay_min/delay_max synaptic delay range in time steps
+     * @param type synapse type index the weight accumulates into
+     */
+    void connectRandom(size_t src_pop, size_t dst_pop,
+                       double probability, double weight_mean,
+                       uint8_t delay_min, uint8_t delay_max,
+                       uint8_t type, Rng &rng);
+
+    /**
+     * Connect each source neuron to a fixed number of distinct random
+     * targets (in-degree style wiring, as in the Brunel network).
+     */
+    void connectFixedFanout(size_t src_pop, size_t dst_pop,
+                            size_t fanout, double weight_mean,
+                            uint8_t delay_min, uint8_t delay_max,
+                            uint8_t type, Rng &rng);
+
+    /** Add one explicit synapse (for small hand-built examples). */
+    void addSynapse(uint32_t src, const Synapse &synapse);
+
+    /** Sort synapses into CSR form; no further mutation allowed. */
+    void finalize();
+    bool finalized() const { return finalized_; }
+
+    size_t numPopulations() const { return populations_.size(); }
+    const Population &population(size_t i) const;
+    /** The population that owns a global neuron index. */
+    const Population &populationOf(size_t neuron) const;
+
+    size_t numNeurons() const { return numNeurons_; }
+    size_t numSynapses() const { return synapses_.size(); }
+
+    /** Largest synaptic delay in the network (steps); >= 1. */
+    uint8_t maxDelay() const { return maxDelay_; }
+
+    /** Outgoing synapses of a neuron (valid after finalize()). */
+    std::span<const Synapse> outgoing(uint32_t src) const;
+
+    /** Global index of the first synapse of `src`'s outgoing row. */
+    uint64_t rowStart(uint32_t src) const;
+
+    /**
+     * Mutable synapse access by global index, for plasticity engines
+     * (weights only should be modified; topology is immutable).
+     */
+    Synapse &synapseAt(uint64_t index);
+    const Synapse &synapseAt(uint64_t index) const;
+
+  private:
+    std::vector<Population> populations_;
+    size_t numNeurons_ = 0;
+    bool finalized_ = false;
+    uint8_t maxDelay_ = 1;
+
+    // Pre-finalize: (src, synapse) pairs; post-finalize: CSR.
+    std::vector<std::pair<uint32_t, Synapse>> staging_;
+    std::vector<Synapse> synapses_;
+    std::vector<uint64_t> rowPtr_;
+};
+
+} // namespace flexon
+
+#endif // FLEXON_SNN_NETWORK_HH

@@ -1,0 +1,169 @@
+#include "snn/serialize.hh"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace flexon {
+
+namespace {
+
+constexpr const char *magic = "flexon-network";
+constexpr int version = 1;
+
+void
+writeParams(std::ostream &os, const NeuronParams &p)
+{
+    os << p.features.raw() << ' ' << p.numSynapseTypes << ' '
+       << p.epsM << ' ' << p.vLeak;
+    for (size_t i = 0; i < maxSynapseTypes; ++i)
+        os << ' ' << p.syn[i].epsG << ' ' << p.syn[i].vG;
+    os << ' ' << p.deltaT << ' ' << p.vCrit << ' ' << p.vFiring << ' '
+       << p.epsW << ' ' << p.a << ' ' << p.vW << ' ' << p.b << ' '
+       << p.arSteps << ' ' << p.epsR << ' ' << p.vRR << ' ' << p.vAR
+       << ' ' << p.qR;
+}
+
+NeuronParams
+readParams(std::istream &is)
+{
+    NeuronParams p;
+    uint16_t features_raw = 0;
+    is >> features_raw >> p.numSynapseTypes >> p.epsM >> p.vLeak;
+    p.features = FeatureSet::fromRaw(features_raw);
+    for (size_t i = 0; i < maxSynapseTypes; ++i)
+        is >> p.syn[i].epsG >> p.syn[i].vG;
+    is >> p.deltaT >> p.vCrit >> p.vFiring >> p.epsW >> p.a >> p.vW >>
+        p.b >> p.arSteps >> p.epsR >> p.vRR >> p.vAR >> p.qR;
+    if (!is)
+        fatal("malformed neuron parameters in network file");
+    return p;
+}
+
+/** Escape spaces in population names (space is the field separator). */
+std::string
+escapeName(const std::string &name)
+{
+    std::string out;
+    for (char c : name)
+        out += (c == ' ') ? '\x1f' : c;
+    return out.empty() ? "_" : out;
+}
+
+std::string
+unescapeName(const std::string &name)
+{
+    std::string out;
+    for (char c : name)
+        out += (c == '\x1f') ? ' ' : c;
+    return out;
+}
+
+} // namespace
+
+void
+saveNetwork(std::ostream &os, const Network &network)
+{
+    if (!network.finalized())
+        fatal("saveNetwork requires a finalized network");
+
+    os << magic << " v" << version << '\n';
+    os << std::setprecision(17);
+
+    os << "populations " << network.numPopulations() << '\n';
+    for (size_t i = 0; i < network.numPopulations(); ++i) {
+        const Population &pop = network.population(i);
+        os << "pop " << escapeName(pop.name) << ' ' << pop.count
+           << ' ';
+        writeParams(os, pop.params);
+        os << '\n';
+    }
+
+    os << "synapses " << network.numSynapses() << '\n';
+    os << std::setprecision(9); // float weights
+    for (uint32_t n = 0; n < network.numNeurons(); ++n) {
+        for (const Synapse &s : network.outgoing(n)) {
+            os << n << ' ' << s.target << ' ' << s.weight << ' '
+               << static_cast<int>(s.delay) << ' '
+               << static_cast<int>(s.type) << '\n';
+        }
+    }
+}
+
+Network
+loadNetwork(std::istream &is)
+{
+    std::string word;
+    int file_version = 0;
+    is >> word;
+    if (word != magic)
+        fatal("not a flexon network file (bad magic '%s')",
+              word.c_str());
+    is >> word;
+    if (word.size() < 2 || word[0] != 'v')
+        fatal("malformed version field '%s'", word.c_str());
+    file_version = std::stoi(word.substr(1));
+    if (file_version != version)
+        fatal("unsupported network file version %d", file_version);
+
+    Network net;
+
+    size_t num_pops = 0;
+    is >> word >> num_pops;
+    if (word != "populations" || !is)
+        fatal("expected populations header");
+    for (size_t i = 0; i < num_pops; ++i) {
+        std::string tag, name;
+        size_t count = 0;
+        is >> tag >> name >> count;
+        if (tag != "pop" || !is)
+            fatal("malformed population record %zu", i);
+        const NeuronParams params = readParams(is);
+        net.addPopulation(unescapeName(name), params, count);
+    }
+
+    size_t num_synapses = 0;
+    is >> word >> num_synapses;
+    if (word != "synapses" || !is)
+        fatal("expected synapses header");
+    for (size_t i = 0; i < num_synapses; ++i) {
+        uint32_t src = 0;
+        Synapse s{};
+        int delay = 0, type = 0;
+        is >> src >> s.target >> s.weight >> delay >> type;
+        if (!is)
+            fatal("malformed synapse record %zu", i);
+        s.delay = static_cast<uint8_t>(delay);
+        s.type = static_cast<uint8_t>(type);
+        net.addSynapse(src, s);
+    }
+
+    net.finalize();
+    return net;
+}
+
+void
+saveNetworkFile(const std::string &path, const Network &network)
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot open '%s' for writing", path.c_str());
+    saveNetwork(os, network);
+    if (!os)
+        fatal("error writing '%s'", path.c_str());
+}
+
+Network
+loadNetworkFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        fatal("cannot open '%s' for reading", path.c_str());
+    return loadNetwork(is);
+}
+
+} // namespace flexon

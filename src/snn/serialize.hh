@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Network serialization: save a finalized Network (populations,
+ * parameters, synapses) to a versioned text format and load it back.
+ * Round-trips are exact (doubles are written with 17 significant
+ * digits), so saved networks reproduce simulations bit for bit on
+ * the hardware backends.
+ */
+
+#ifndef FLEXON_SNN_SERIALIZE_HH
+#define FLEXON_SNN_SERIALIZE_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "snn/network.hh"
+
+namespace flexon {
+
+/** Write a finalized network. fatal() on unfinalized networks. */
+void saveNetwork(std::ostream &os, const Network &network);
+
+/**
+ * Read a network previously written by saveNetwork(); the returned
+ * network is finalized. fatal() on format or validation errors.
+ */
+Network loadNetwork(std::istream &is);
+
+/** Convenience file wrappers (fatal() on I/O errors). */
+void saveNetworkFile(const std::string &path, const Network &network);
+Network loadNetworkFile(const std::string &path);
+
+} // namespace flexon
+
+#endif // FLEXON_SNN_SERIALIZE_HH

@@ -1,0 +1,200 @@
+#include "snn/simulator.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <iomanip>
+#include <ostream>
+
+#include "common/debug.hh"
+#include "common/logging.hh"
+
+namespace flexon {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+} // namespace
+
+Simulator::Simulator(const Network &network, StimulusGenerator stimulus,
+                     const SimulatorOptions &options)
+    : network_(network), stimulus_(std::move(stimulus)),
+      stimulusInitial_(stimulus_), options_(options)
+{
+    if (!network_.finalized())
+        fatal("network must be finalized before simulation");
+    backend_ = makeBackend(options_.backend, network_, options_.mode,
+                           options_.solver, options_.threads);
+    ringDepth_ = static_cast<size_t>(network_.maxDelay()) + 1;
+    ring_.assign(ringDepth_ * network_.numNeurons() * maxSynapseTypes,
+                 0.0);
+    spikeCounts_.assign(network_.numNeurons(), 0);
+    for (uint32_t probe : options_.probes)
+        flexon_assert(probe < network_.numNeurons());
+    probeTraces_.resize(options_.probes.size());
+}
+
+const std::vector<double> &
+Simulator::probeTrace(size_t probe) const
+{
+    flexon_assert(probe < probeTraces_.size());
+    return probeTraces_[probe];
+}
+
+std::span<double>
+Simulator::slot(uint64_t t)
+{
+    const size_t slot_size = network_.numNeurons() * maxSynapseTypes;
+    return {ring_.data() + (t % ringDepth_) * slot_size, slot_size};
+}
+
+void
+Simulator::phaseStimulus()
+{
+    const auto start = Clock::now();
+    auto current = slot(t_);
+    for (const StimulusSpike &s : stimulus_.generate(t_)) {
+        flexon_assert(s.target < network_.numNeurons());
+        flexon_assert(s.type < maxSynapseTypes);
+        current[s.target * maxSynapseTypes + s.type] += s.weight;
+    }
+    stats_.stimulusSec += secondsSince(start);
+}
+
+void
+Simulator::phaseNeuron()
+{
+    const auto start = Clock::now();
+    backend_->step(slot(t_), fired_);
+    stats_.neuronSec += secondsSince(start);
+    stats_.modelNeuronSec += backend_->modelSecondsPerStep();
+}
+
+void
+Simulator::phaseSynapse()
+{
+    const auto start = Clock::now();
+    // Consume the current slot, then route the new spikes into the
+    // future slots according to each synapse's delay.
+    auto current = slot(t_);
+    std::fill(current.begin(), current.end(), 0.0);
+
+    for (uint32_t n = 0; n < network_.numNeurons(); ++n) {
+        if (!fired_[n])
+            continue;
+        ++spikeCounts_[n];
+        ++stats_.spikes;
+        if (options_.recordSpikes)
+            spikeEvents_.push_back({t_, n});
+        for (const Synapse &syn : network_.outgoing(n)) {
+            auto future = slot(t_ + syn.delay);
+            future[syn.target * maxSynapseTypes + syn.type] +=
+                syn.weight;
+            ++stats_.synapseEvents;
+        }
+    }
+    stats_.synapseSec += secondsSince(start);
+}
+
+void
+Simulator::stepOnce()
+{
+    phaseStimulus();
+    phaseNeuron();
+    phaseSynapse();
+    FLEXON_DPRINTF(Simulator,
+                   "step %llu: %llu spikes so far, %llu synapse "
+                   "events",
+                   static_cast<unsigned long long>(t_),
+                   static_cast<unsigned long long>(stats_.spikes),
+                   static_cast<unsigned long long>(
+                       stats_.synapseEvents));
+    for (size_t i = 0; i < options_.probes.size(); ++i) {
+        probeTraces_[i].push_back(
+            backend_->membrane(options_.probes[i]));
+    }
+    ++t_;
+    ++stats_.steps;
+}
+
+void
+Simulator::run(uint64_t steps)
+{
+    for (uint64_t i = 0; i < steps; ++i)
+        stepOnce();
+}
+
+double
+Simulator::meanRate() const
+{
+    if (stats_.steps == 0 || network_.numNeurons() == 0)
+        return 0.0;
+    return static_cast<double>(stats_.spikes) /
+           (static_cast<double>(stats_.steps) *
+            static_cast<double>(network_.numNeurons()));
+}
+
+void
+Simulator::printStats(std::ostream &os) const
+{
+    auto line = [&os](const char *name, double value,
+                      const char *desc) {
+        os << std::left << std::setw(34) << name << ' '
+           << std::setprecision(9) << value << "  # " << desc
+           << '\n';
+    };
+    os << "---------- simulation statistics ----------\n";
+    line("sim.steps", static_cast<double>(stats_.steps),
+         "time steps simulated");
+    line("sim.neurons", static_cast<double>(network_.numNeurons()),
+         "neurons in the network");
+    line("sim.synapses", static_cast<double>(network_.numSynapses()),
+         "synapses in the network");
+    line("sim.spikes", static_cast<double>(stats_.spikes),
+         "output spikes fired");
+    line("sim.rate", meanRate(), "spikes per neuron per step");
+    line("sim.synapse_events",
+         static_cast<double>(stats_.synapseEvents),
+         "synaptic weight deliveries");
+    line("phase.stimulus_sec", stats_.stimulusSec,
+         "host seconds in stimulus generation");
+    line("phase.neuron_sec", stats_.neuronSec,
+         "host seconds in neuron computation");
+    line("phase.synapse_sec", stats_.synapseSec,
+         "host seconds in synapse calculation");
+    if (stats_.totalSec() > 0.0) {
+        line("phase.neuron_share",
+             stats_.neuronSec / stats_.totalSec(),
+             "neuron-computation fraction of the step (Figure 3)");
+    }
+    if (stats_.modelNeuronSec > 0.0) {
+        line("hw.model_neuron_sec", stats_.modelNeuronSec,
+             "modelled hardware neuron-phase seconds");
+        line("hw.speedup_vs_host",
+             stats_.neuronSec / stats_.modelNeuronSec,
+             "modelled hardware speedup over this host");
+    }
+    os << "--------------------------------------------\n";
+}
+
+void
+Simulator::reset()
+{
+    backend_->reset();
+    std::fill(ring_.begin(), ring_.end(), 0.0);
+    std::fill(spikeCounts_.begin(), spikeCounts_.end(), 0);
+    spikeEvents_.clear();
+    for (auto &trace : probeTraces_)
+        trace.clear();
+    stats_ = PhaseStats{};
+    t_ = 0;
+    stimulus_ = stimulusInitial_;
+}
+
+} // namespace flexon

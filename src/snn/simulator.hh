@@ -1,0 +1,153 @@
+/**
+ * @file
+ * The SNN simulation engine: evaluates the three per-step phases of
+ * Section II-C — stimulus generation, neuron computation, synapse
+ * calculation — and times each phase (the Figure 3 breakdown).
+ *
+ * Spike propagation uses a delay ring buffer: a fired neuron's
+ * synaptic weights are accumulated into the input buffer of time step
+ * t + delay; the neuron-computation phase of step t consumes buffer
+ * slot t mod D, where D is the network's maximum delay + 1.
+ */
+
+#ifndef FLEXON_SNN_SIMULATOR_HH
+#define FLEXON_SNN_SIMULATOR_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "snn/backend.hh"
+#include "snn/network.hh"
+#include "snn/stimulus.hh"
+
+namespace flexon {
+
+/** Options controlling a simulation run. */
+struct SimulatorOptions
+{
+    BackendKind backend = BackendKind::Reference;
+    IntegrationMode mode = IntegrationMode::Discrete;
+    SolverKind solver = SolverKind::Euler;
+    uint64_t stimulusSeed = 1;
+    /** Worker threads for the reference neuron-update loop. */
+    size_t threads = 1;
+    /** Record (step, neuron) spike events (memory-heavy). */
+    bool recordSpikes = false;
+    /** Neurons whose membrane potential is sampled every step. */
+    std::vector<uint32_t> probes;
+};
+
+/** Accumulated wall-clock time per phase, plus counters. */
+struct PhaseStats
+{
+    double stimulusSec = 0.0;
+    double neuronSec = 0.0;
+    double synapseSec = 0.0;
+    uint64_t steps = 0;
+    uint64_t spikes = 0;
+    uint64_t synapseEvents = 0;
+    /** Modelled hardware time (Flexon/folded backends only). */
+    double modelNeuronSec = 0.0;
+
+    double totalSec() const
+    {
+        return stimulusSec + neuronSec + synapseSec;
+    }
+};
+
+/** A recorded spike event. */
+struct SpikeEvent
+{
+    uint64_t step;
+    uint32_t neuron;
+};
+
+/** The three-phase SNN simulation engine. */
+class Simulator
+{
+  public:
+    /**
+     * @param network finalized network topology (kept by reference;
+     *        must outlive the simulator)
+     * @param stimulus stimulus sources (copied)
+     */
+    Simulator(const Network &network, StimulusGenerator stimulus,
+              const SimulatorOptions &options = {});
+
+    /** Run `steps` time steps. */
+    void run(uint64_t steps);
+
+    /** Run a single time step. */
+    void stepOnce();
+
+    const PhaseStats &stats() const { return stats_; }
+    const Network &network() const { return network_; }
+    NeuronBackend &backend() { return *backend_; }
+
+    /** Per-neuron output spike counts. */
+    const std::vector<uint64_t> &spikeCounts() const
+    {
+        return spikeCounts_;
+    }
+
+    /**
+     * The fired flags of the most recent step (empty before the
+     * first step). Plasticity engines consume this after stepOnce().
+     */
+    const std::vector<bool> &lastFired() const { return fired_; }
+
+    /**
+     * Membrane trace of the i-th probed neuron (options.probes),
+     * one sample per completed step.
+     */
+    const std::vector<double> &probeTrace(size_t probe) const;
+
+    /** Recorded spike events (empty unless recordSpikes). */
+    const std::vector<SpikeEvent> &spikeEvents() const
+    {
+        return spikeEvents_;
+    }
+
+    /** Mean firing rate in spikes per neuron per step. */
+    double meanRate() const;
+
+    /**
+     * Dump a gem5-style statistics block: one `name value # desc`
+     * line per statistic, hierarchical dot-separated names.
+     */
+    void printStats(std::ostream &os) const;
+
+    /** Reset state, statistics and time to zero. */
+    void reset();
+
+    uint64_t currentStep() const { return t_; }
+
+  private:
+    void phaseStimulus();
+    void phaseNeuron();
+    void phaseSynapse();
+
+    std::span<double> slot(uint64_t t);
+
+    const Network &network_;
+    StimulusGenerator stimulus_;
+    StimulusGenerator stimulusInitial_; ///< pristine copy for reset()
+    SimulatorOptions options_;
+    std::unique_ptr<NeuronBackend> backend_;
+
+    uint64_t t_ = 0;
+    size_t ringDepth_;
+    /** ringDepth_ buffers of numNeurons * maxSynapseTypes weights. */
+    std::vector<double> ring_;
+    std::vector<bool> fired_;
+    std::vector<uint64_t> spikeCounts_;
+    std::vector<SpikeEvent> spikeEvents_;
+    std::vector<std::vector<double>> probeTraces_;
+    PhaseStats stats_;
+};
+
+} // namespace flexon
+
+#endif // FLEXON_SNN_SIMULATOR_HH

@@ -1,0 +1,120 @@
+#include "snn/stdp.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace flexon {
+
+StdpEngine::StdpEngine(Network &network, const StdpConfig &config)
+    : network_(network), config_(config)
+{
+    if (!network_.finalized())
+        fatal("STDP requires a finalized network");
+    flexon_assert(config_.tauPlus > 0.0);
+    flexon_assert(config_.tauMinus > 0.0);
+    flexon_assert(config_.wMin <= config_.wMax);
+
+    decayPlus_ = std::exp(-1.0 / config_.tauPlus);
+    decayMinus_ = std::exp(-1.0 / config_.tauMinus);
+
+    preTrace_.assign(network_.numNeurons(), 0.0);
+    postTrace_.assign(network_.numNeurons(), 0.0);
+
+    // Reverse adjacency over the plastic synapses only.
+    incoming_.resize(network_.numNeurons());
+    for (uint32_t src = 0; src < network_.numNeurons(); ++src) {
+        const uint64_t base = network_.rowStart(src);
+        const auto out = network_.outgoing(src);
+        for (size_t i = 0; i < out.size(); ++i) {
+            if (out[i].type != config_.plasticType)
+                continue;
+            incoming_[out[i].target].push_back({src, base + i});
+            ++plasticCount_;
+        }
+    }
+}
+
+void
+StdpEngine::onStep(const std::vector<bool> &fired)
+{
+    flexon_assert(fired.size() == network_.numNeurons());
+
+    auto clamp = [&](float w) {
+        return std::clamp(w, config_.wMin, config_.wMax);
+    };
+
+    // Trace decay for every neuron, every step.
+    for (uint32_t n = 0; n < network_.numNeurons(); ++n) {
+        preTrace_[n] *= decayPlus_;
+        postTrace_[n] *= decayMinus_;
+    }
+
+    // LTD: a pre spike arriving after recent post activity weakens
+    // the synapse. Applied before the trace bumps so exact
+    // coincidences are not double counted.
+    for (uint32_t n = 0; n < network_.numNeurons(); ++n) {
+        if (!fired[n])
+            continue;
+        const uint64_t base = network_.rowStart(n);
+        const auto out = network_.outgoing(n);
+        for (size_t i = 0; i < out.size(); ++i) {
+            if (out[i].type != config_.plasticType)
+                continue;
+            Synapse &syn = network_.synapseAt(base + i);
+            syn.weight = clamp(static_cast<float>(
+                syn.weight -
+                config_.aMinus * postTrace_[syn.target]));
+        }
+    }
+
+    // LTP: a post spike following recent pre activity strengthens
+    // the incoming synapses.
+    for (uint32_t n = 0; n < network_.numNeurons(); ++n) {
+        if (!fired[n])
+            continue;
+        for (const auto &[src, index] : incoming_[n]) {
+            Synapse &syn = network_.synapseAt(index);
+            syn.weight = clamp(static_cast<float>(
+                syn.weight + config_.aPlus * preTrace_[src]));
+        }
+    }
+
+    // Trace bumps last.
+    for (uint32_t n = 0; n < network_.numNeurons(); ++n) {
+        if (fired[n]) {
+            preTrace_[n] += 1.0;
+            postTrace_[n] += 1.0;
+        }
+    }
+}
+
+double
+StdpEngine::preTrace(uint32_t neuron) const
+{
+    flexon_assert(neuron < preTrace_.size());
+    return preTrace_[neuron];
+}
+
+double
+StdpEngine::postTrace(uint32_t neuron) const
+{
+    flexon_assert(neuron < postTrace_.size());
+    return postTrace_[neuron];
+}
+
+double
+StdpEngine::meanPlasticWeight() const
+{
+    if (plasticCount_ == 0)
+        return 0.0;
+    double sum = 0.0;
+    for (uint32_t n = 0; n < network_.numNeurons(); ++n) {
+        for (const auto &[src, index] : incoming_[n])
+            sum += network_.synapseAt(index).weight;
+    }
+    return sum / static_cast<double>(plasticCount_);
+}
+
+} // namespace flexon

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Pair-based spike-timing-dependent plasticity (STDP).
+ *
+ * Flexon itself simulates fixed-weight neurons, but the SNN
+ * frameworks it plugs into (NEST, Brian, CARLsim) ship STDP as a
+ * standard synapse model, and the paper's related work highlights
+ * spike-timing learning (Masquelier & Thorpe; Bichler et al.). This
+ * engine implements the classic exponential pair rule on top of the
+ * Network substrate:
+ *
+ *   pre spike at t:  w -= aMinus * postTrace(target)   (LTD)
+ *                    preTrace(pre) += 1
+ *   post spike at t: w += aPlus  * preTrace(source)    (LTP)
+ *                    postTrace(post) += 1
+ *
+ * with both traces decaying as exp(-1/tau) per step and weights
+ * clamped to [wMin, wMax]. Only synapses of the configured plastic
+ * type are modified (inhibitory wiring stays fixed).
+ */
+
+#ifndef FLEXON_SNN_STDP_HH
+#define FLEXON_SNN_STDP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "snn/network.hh"
+
+namespace flexon {
+
+/** Pair-rule parameters (time constants in steps). */
+struct StdpConfig
+{
+    double aPlus = 0.005;   ///< LTP amplitude per coincidence
+    double aMinus = 0.006;  ///< LTD amplitude (slightly dominant)
+    double tauPlus = 200.0; ///< pre-trace time constant, steps
+    double tauMinus = 200.0;///< post-trace time constant, steps
+    float wMin = 0.0f;
+    float wMax = 1.0f;
+    uint8_t plasticType = 0; ///< synapse type subject to plasticity
+};
+
+/**
+ * The plasticity engine. Construct over a finalized network (held by
+ * non-const reference: weights are updated in place, visible to any
+ * simulator routing through the same Network), then call onStep()
+ * after every simulation step with that step's fired flags.
+ */
+class StdpEngine
+{
+  public:
+    StdpEngine(Network &network, const StdpConfig &config = {});
+
+    /** Apply one step of trace decay and spike-driven updates. */
+    void onStep(const std::vector<bool> &fired);
+
+    const StdpConfig &config() const { return config_; }
+    double preTrace(uint32_t neuron) const;
+    double postTrace(uint32_t neuron) const;
+
+    /** Number of plastic synapses under management. */
+    size_t plasticSynapses() const { return plasticCount_; }
+
+    /** Mean weight of the plastic synapses (learning diagnostics). */
+    double meanPlasticWeight() const;
+
+  private:
+    Network &network_;
+    StdpConfig config_;
+    double decayPlus_;
+    double decayMinus_;
+    std::vector<double> preTrace_;
+    std::vector<double> postTrace_;
+    /** Incoming plastic synapses per neuron: (source, index). */
+    std::vector<std::vector<std::pair<uint32_t, uint64_t>>> incoming_;
+    size_t plasticCount_ = 0;
+};
+
+} // namespace flexon
+
+#endif // FLEXON_SNN_STDP_HH

@@ -1,0 +1,129 @@
+#include "snn/stimulus.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace flexon {
+
+StimulusSource
+StimulusSource::poisson(uint32_t base, uint32_t count,
+                        double probability, float weight, uint8_t type)
+{
+    flexon_assert(probability >= 0.0 && probability <= 1.0);
+    flexon_assert(count > 0);
+    StimulusSource s;
+    s.kind_ = Kind::Poisson;
+    s.base_ = base;
+    s.count_ = count;
+    s.probability_ = probability;
+    s.weight_ = weight;
+    s.type_ = type;
+    return s;
+}
+
+StimulusSource
+StimulusSource::pattern(uint32_t base, uint32_t count, uint32_t period,
+                        float weight, uint8_t type)
+{
+    flexon_assert(period >= 1);
+    flexon_assert(count > 0);
+    StimulusSource s;
+    s.kind_ = Kind::Pattern;
+    s.base_ = base;
+    s.count_ = count;
+    s.period_ = period;
+    s.weight_ = weight;
+    s.type_ = type;
+    return s;
+}
+
+StimulusSource
+StimulusSource::ou(uint32_t base, uint32_t count, double mean,
+                   double sigma, double tau, uint8_t type)
+{
+    flexon_assert(count > 0);
+    flexon_assert(tau >= 1.0);
+    flexon_assert(sigma >= 0.0);
+    StimulusSource s;
+    s.kind_ = Kind::OrnsteinUhlenbeck;
+    s.base_ = base;
+    s.count_ = count;
+    s.ouMean_ = mean;
+    s.ouSigma_ = sigma;
+    s.ouTau_ = tau;
+    s.type_ = type;
+    return s;
+}
+
+void
+StimulusSource::generate(uint64_t t, Rng &rng,
+                         std::vector<StimulusSpike> &out)
+{
+    if (kind_ == Kind::Poisson) {
+        for (uint32_t i = 0; i < count_; ++i) {
+            if (rng.bernoulli(probability_))
+                out.push_back({base_ + i, weight_, type_});
+        }
+    } else if (kind_ == Kind::Pattern) {
+        if (t % period_ == 0) {
+            for (uint32_t i = 0; i < count_; ++i)
+                out.push_back({base_ + i, weight_, type_});
+        }
+    } else {
+        if (ouState_.empty())
+            ouState_.assign(count_, ouMean_);
+        const double noise_gain =
+            ouSigma_ * std::sqrt(2.0 / ouTau_);
+        for (uint32_t i = 0; i < count_; ++i) {
+            double &x = ouState_[i];
+            x += (ouMean_ - x) / ouTau_ + noise_gain * rng.normal();
+            x = std::max(0.0, x);
+            if (x > 0.0) {
+                out.push_back(
+                    {base_ + i, static_cast<float>(x), type_});
+            }
+        }
+    }
+}
+
+double
+StimulusSource::expectedSpikesPerStep() const
+{
+    if (kind_ == Kind::Poisson)
+        return probability_ * count_;
+    if (kind_ == Kind::Pattern)
+        return static_cast<double>(count_) / period_;
+    return static_cast<double>(count_); // OU: one input per neuron
+}
+
+StimulusGenerator::StimulusGenerator(uint64_t seed) : rng_(seed)
+{
+}
+
+void
+StimulusGenerator::addSource(const StimulusSource &source)
+{
+    sources_.push_back(source);
+}
+
+const std::vector<StimulusSpike> &
+StimulusGenerator::generate(uint64_t t)
+{
+    buffer_.clear();
+    for (StimulusSource &s : sources_)
+        s.generate(t, rng_, buffer_);
+    return buffer_;
+}
+
+double
+StimulusGenerator::expectedSpikesPerStep() const
+{
+    double total = 0.0;
+    for (const StimulusSource &s : sources_)
+        total += s.expectedSpikesPerStep();
+    return total;
+}
+
+} // namespace flexon

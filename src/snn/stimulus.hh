@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Stimulus generation (Section II-C): external input injected into the
+ * network each time step, either from a Poisson process mimicking
+ * background activity or from a pre-defined spike pattern.
+ */
+
+#ifndef FLEXON_SNN_STIMULUS_HH
+#define FLEXON_SNN_STIMULUS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hh"
+
+namespace flexon {
+
+/** One stimulus spike bound to a target neuron this step. */
+struct StimulusSpike
+{
+    uint32_t target;
+    float weight;
+    uint8_t type;
+};
+
+/**
+ * A stimulus source covering a contiguous range of neurons.
+ *
+ * Poisson sources draw an independent Bernoulli event per neuron per
+ * step with probability rate (the discretized Poisson process);
+ * pattern sources replay a fixed periodic schedule.
+ */
+class StimulusSource
+{
+  public:
+    /**
+     * Poisson background: every neuron in [base, base+count) receives
+     * an input spike of the given weight with probability
+     * `probability` each time step.
+     */
+    static StimulusSource poisson(uint32_t base, uint32_t count,
+                                  double probability, float weight,
+                                  uint8_t type);
+
+    /**
+     * Periodic pattern: every `period` steps, all neurons in the
+     * range receive one input spike (a synchronous volley).
+     */
+    static StimulusSource pattern(uint32_t base, uint32_t count,
+                                  uint32_t period, float weight,
+                                  uint8_t type);
+
+    /**
+     * Ornstein-Uhlenbeck conductance noise — Destexhe's
+     * point-conductance model of synaptic background activity (the
+     * fluctuating drive behind the Destexhe rows of Table I). Every
+     * neuron in the range receives an input every step, drawn from
+     * its own OU process
+     *
+     *     x <- x + (mean - x) / tau + sigma * sqrt(2/tau) * N(0,1)
+     *
+     * clamped at zero (conductances cannot be negative).
+     */
+    static StimulusSource ou(uint32_t base, uint32_t count,
+                             double mean, double sigma, double tau,
+                             uint8_t type);
+
+    /** Append this source's spikes for time step `t` to `out`. */
+    void generate(uint64_t t, Rng &rng,
+                  std::vector<StimulusSpike> &out);
+
+    /** Expected spikes per step (for cost accounting). */
+    double expectedSpikesPerStep() const;
+
+  private:
+    enum class Kind { Poisson, Pattern, OrnsteinUhlenbeck };
+
+    Kind kind_ = Kind::Poisson;
+    uint32_t base_ = 0;
+    uint32_t count_ = 0;
+    double probability_ = 0.0;
+    uint32_t period_ = 1;
+    float weight_ = 0.0f;
+    uint8_t type_ = 0;
+    double ouMean_ = 0.0;
+    double ouSigma_ = 0.0;
+    double ouTau_ = 1.0;
+    /** Per-neuron OU state (lazily sized). */
+    std::vector<double> ouState_;
+};
+
+/** A collection of stimulus sources evaluated each step. */
+class StimulusGenerator
+{
+  public:
+    explicit StimulusGenerator(uint64_t seed = 1);
+
+    void addSource(const StimulusSource &source);
+
+    /** Generate all stimulus spikes for time step `t`. */
+    const std::vector<StimulusSpike> &generate(uint64_t t);
+
+    size_t numSources() const { return sources_.size(); }
+    double expectedSpikesPerStep() const;
+
+  private:
+    Rng rng_;
+    std::vector<StimulusSource> sources_;
+    std::vector<StimulusSpike> buffer_;
+};
+
+} // namespace flexon
+
+#endif // FLEXON_SNN_STIMULUS_HH

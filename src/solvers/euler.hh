@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Forward Euler integration.
+ */
+
+#ifndef FLEXON_SOLVERS_EULER_HH
+#define FLEXON_SOLVERS_EULER_HH
+
+#include <span>
+
+#include "common/logging.hh"
+
+namespace flexon {
+
+/**
+ * Advance the state y by one forward-Euler step of size h.
+ *
+ * @param rhs callable (t, y, dydt) computing derivatives
+ * @param t current time
+ * @param h step size
+ * @param y state vector, updated in place
+ * @param scratch workspace of the same size as y
+ */
+template <typename Rhs>
+void
+eulerStep(Rhs &&rhs, double t, double h, std::span<double> y,
+          std::span<double> scratch)
+{
+    flexon_assert(scratch.size() >= y.size());
+    rhs(t, std::span<const double>(y.data(), y.size()),
+        scratch.subspan(0, y.size()));
+    for (size_t i = 0; i < y.size(); ++i)
+        y[i] += h * scratch[i];
+}
+
+} // namespace flexon
+
+#endif // FLEXON_SOLVERS_EULER_HH

@@ -1,0 +1,183 @@
+#include "solvers/rkf45.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace flexon {
+
+namespace {
+
+// Fehlberg's classic Butcher tableau (4th/5th order embedded pair).
+constexpr double A2 = 1.0 / 4.0;
+constexpr double B21 = 1.0 / 4.0;
+
+constexpr double A3 = 3.0 / 8.0;
+constexpr double B31 = 3.0 / 32.0;
+constexpr double B32 = 9.0 / 32.0;
+
+constexpr double A4 = 12.0 / 13.0;
+constexpr double B41 = 1932.0 / 2197.0;
+constexpr double B42 = -7200.0 / 2197.0;
+constexpr double B43 = 7296.0 / 2197.0;
+
+constexpr double A5 = 1.0;
+constexpr double B51 = 439.0 / 216.0;
+constexpr double B52 = -8.0;
+constexpr double B53 = 3680.0 / 513.0;
+constexpr double B54 = -845.0 / 4104.0;
+
+constexpr double A6 = 1.0 / 2.0;
+constexpr double B61 = -8.0 / 27.0;
+constexpr double B62 = 2.0;
+constexpr double B63 = -3544.0 / 2565.0;
+constexpr double B64 = 1859.0 / 4104.0;
+constexpr double B65 = -11.0 / 40.0;
+
+// 5th-order solution weights.
+constexpr double C1 = 16.0 / 135.0;
+constexpr double C3 = 6656.0 / 12825.0;
+constexpr double C4 = 28561.0 / 56430.0;
+constexpr double C5 = -9.0 / 50.0;
+constexpr double C6 = 2.0 / 55.0;
+
+// Error weights: difference between the 5th- and 4th-order solutions.
+constexpr double E1 = C1 - 25.0 / 216.0;
+constexpr double E3 = C3 - 1408.0 / 2565.0;
+constexpr double E4 = C4 - 2197.0 / 4104.0;
+constexpr double E5 = C5 - (-1.0 / 5.0);
+constexpr double E6 = C6;
+
+} // namespace
+
+Rkf45Workspace::Rkf45Workspace(size_t dim)
+    : dim_(dim), storage_(dim * 8, 0.0)
+{
+    flexon_assert(dim > 0);
+}
+
+std::span<double>
+Rkf45Workspace::k(int i)
+{
+    flexon_assert(i >= 0 && i < 6);
+    return {storage_.data() + static_cast<size_t>(i) * dim_, dim_};
+}
+
+std::span<double>
+Rkf45Workspace::ytmp()
+{
+    return {storage_.data() + 6 * dim_, dim_};
+}
+
+std::span<double>
+Rkf45Workspace::yerr()
+{
+    return {storage_.data() + 7 * dim_, dim_};
+}
+
+void
+rkf45SingleStep(const OdeRhs &rhs, double t, double h,
+                std::span<double> y, Rkf45Workspace &ws)
+{
+    const size_t n = y.size();
+    flexon_assert(n == ws.dim());
+
+    auto k1 = ws.k(0), k2 = ws.k(1), k3 = ws.k(2);
+    auto k4 = ws.k(3), k5 = ws.k(4), k6 = ws.k(5);
+    auto ytmp = ws.ytmp();
+    auto yerr = ws.yerr();
+    auto cy = [&](std::span<double> s) {
+        return std::span<const double>(s.data(), s.size());
+    };
+
+    rhs(t, cy(y), k1);
+
+    for (size_t i = 0; i < n; ++i)
+        ytmp[i] = y[i] + h * B21 * k1[i];
+    rhs(t + A2 * h, cy(ytmp), k2);
+
+    for (size_t i = 0; i < n; ++i)
+        ytmp[i] = y[i] + h * (B31 * k1[i] + B32 * k2[i]);
+    rhs(t + A3 * h, cy(ytmp), k3);
+
+    for (size_t i = 0; i < n; ++i)
+        ytmp[i] = y[i] + h * (B41 * k1[i] + B42 * k2[i] + B43 * k3[i]);
+    rhs(t + A4 * h, cy(ytmp), k4);
+
+    for (size_t i = 0; i < n; ++i) {
+        ytmp[i] = y[i] + h * (B51 * k1[i] + B52 * k2[i] + B53 * k3[i] +
+                              B54 * k4[i]);
+    }
+    rhs(t + A5 * h, cy(ytmp), k5);
+
+    for (size_t i = 0; i < n; ++i) {
+        ytmp[i] = y[i] + h * (B61 * k1[i] + B62 * k2[i] + B63 * k3[i] +
+                              B64 * k4[i] + B65 * k5[i]);
+    }
+    rhs(t + A6 * h, cy(ytmp), k6);
+
+    for (size_t i = 0; i < n; ++i) {
+        yerr[i] = h * (E1 * k1[i] + E3 * k3[i] + E4 * k4[i] +
+                       E5 * k5[i] + E6 * k6[i]);
+        y[i] += h * (C1 * k1[i] + C3 * k3[i] + C4 * k4[i] +
+                     C5 * k5[i] + C6 * k6[i]);
+    }
+}
+
+Rkf45Result
+rkf45Integrate(const OdeRhs &rhs, double t0, double h,
+               std::span<double> y, Rkf45Workspace &ws,
+               const Rkf45Options &opts)
+{
+    flexon_assert(h > 0.0);
+    Rkf45Result result;
+
+    const double t_end = t0 + h;
+    double t = t0;
+    double step = h;
+    std::vector<double> y_save(y.begin(), y.end());
+
+    while (t < t_end) {
+        if (result.stepsTaken + result.stepsRejected >= opts.maxSteps) {
+            result.converged = false;
+            return result;
+        }
+        step = std::min(step, t_end - t);
+        std::copy(y.begin(), y.end(), y_save.begin());
+
+        rkf45SingleStep(rhs, t, step, y, ws);
+        result.rhsEvaluations += 6;
+
+        double err = 0.0;
+        auto yerr = ws.yerr();
+        for (size_t i = 0; i < y.size(); ++i)
+            err = std::max(err, std::abs(yerr[i]));
+
+        const double tol = opts.tolerance * step / h;
+        if (err <= tol || step <= opts.minStep) {
+            // Accept.
+            t += step;
+            ++result.stepsTaken;
+            if (err > 0.0) {
+                const double factor =
+                    opts.safety * std::pow(tol / err, 0.2);
+                step *= std::clamp(factor, 0.2, 5.0);
+            } else {
+                step *= 5.0;
+            }
+            step = std::max(step, opts.minStep);
+        } else {
+            // Reject and retry with a smaller step.
+            std::copy(y_save.begin(), y_save.end(), y.begin());
+            ++result.stepsRejected;
+            const double factor = opts.safety * std::pow(tol / err, 0.25);
+            step *= std::clamp(factor, 0.1, 0.9);
+            step = std::max(step, opts.minStep);
+        }
+    }
+    return result;
+}
+
+} // namespace flexon

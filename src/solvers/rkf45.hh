@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Runge-Kutta-Fehlberg 4(5) integration with adaptive step control
+ * (Fehlberg, NASA TR R-315, 1969) — the "RKF45" solver of Table I.
+ */
+
+#ifndef FLEXON_SOLVERS_RKF45_HH
+#define FLEXON_SOLVERS_RKF45_HH
+
+#include <cstdint>
+#include <span>
+
+#include "solvers/solver.hh"
+
+namespace flexon {
+
+/** Tuning and reporting for the adaptive RKF45 driver. */
+struct Rkf45Options
+{
+    /** Absolute local error tolerance per unit step. */
+    double tolerance = 1e-7;
+    /** Smallest step the driver may take (guards stiff corners). */
+    double minStep = 1e-6;
+    /** Safety factor applied to the optimal-step estimate. */
+    double safety = 0.9;
+    /** Hard cap on internal sub-steps per integrate() call. */
+    uint32_t maxSteps = 10000;
+};
+
+/** Result of one integrate() call. */
+struct Rkf45Result
+{
+    /** Internal sub-steps accepted. */
+    uint32_t stepsTaken = 0;
+    /** Sub-steps rejected (error too large, step retried). */
+    uint32_t stepsRejected = 0;
+    /** Derivative (RHS) evaluations — the dominant cost metric. */
+    uint32_t rhsEvaluations = 0;
+    /** False if maxSteps was exhausted before reaching the end time. */
+    bool converged = true;
+};
+
+/**
+ * Scratch buffers for an RKF45 system of a fixed dimension; reusable
+ * across calls to avoid per-step allocation.
+ */
+class Rkf45Workspace
+{
+  public:
+    explicit Rkf45Workspace(size_t dim);
+
+    size_t dim() const { return dim_; }
+    std::span<double> k(int i);
+    std::span<double> ytmp();
+    std::span<double> yerr();
+
+  private:
+    size_t dim_;
+    std::vector<double> storage_;
+};
+
+/**
+ * Integrate y' = rhs(t, y) from t0 to t0 + h with adaptive internal
+ * sub-stepping. On return, y holds the state at t0 + h.
+ */
+Rkf45Result rkf45Integrate(const OdeRhs &rhs, double t0, double h,
+                           std::span<double> y, Rkf45Workspace &ws,
+                           const Rkf45Options &opts = {});
+
+/**
+ * Take one fixed RKF45 step of size h (no adaptivity); fills y_err
+ * with the embedded 4th/5th-order error estimate. Exposed for tests.
+ */
+void rkf45SingleStep(const OdeRhs &rhs, double t, double h,
+                     std::span<double> y, Rkf45Workspace &ws);
+
+} // namespace flexon
+
+#endif // FLEXON_SOLVERS_RKF45_HH

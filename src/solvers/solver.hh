@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Common ODE-solver interface.
+ *
+ * The Table I SNNs integrate their neuron ODEs either with the Euler
+ * method (cheap, fixed step) or with the adaptive Runge-Kutta-Fehlberg
+ * 4(5) method (accurate, more derivative evaluations per step). The
+ * reference simulator exposes both so that the Figure 3 latency
+ * breakdown reflects the per-benchmark solver choice.
+ */
+
+#ifndef FLEXON_SOLVERS_SOLVER_HH
+#define FLEXON_SOLVERS_SOLVER_HH
+
+#include <cstddef>
+#include <functional>
+#include <span>
+
+namespace flexon {
+
+/** Which differential-equation solver a benchmark uses (Table I). */
+enum class SolverKind {
+    Euler,
+    RKF45,
+};
+
+/** Printable solver name. */
+inline const char *
+solverName(SolverKind kind)
+{
+    return kind == SolverKind::Euler ? "Euler" : "RKF45";
+}
+
+/**
+ * Right-hand side of an ODE system: given time t and state y, fill
+ * dydt with the derivatives. Systems are small (a handful of state
+ * variables per neuron), so a std::function is acceptable for the
+ * reference path; hot paths use the templated free functions below.
+ */
+using OdeRhs = std::function<
+    void(double t, std::span<const double> y, std::span<double> dydt)>;
+
+} // namespace flexon
+
+#endif // FLEXON_SOLVERS_SOLVER_HH

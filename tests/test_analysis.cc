@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Tests for the spike-train analysis library: ISI statistics,
+ * population rates, Fano factor, coincidence metrics, raster
+ * rendering, and the cross-backend comparison used to quantify
+ * hardware/reference agreement.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/raster.hh"
+#include "analysis/trace_plot.hh"
+#include "analysis/spike_train.hh"
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "nets/table1.hh"
+
+namespace flexon {
+namespace {
+
+TEST(TrainStats, RegularTrain)
+{
+    std::vector<uint64_t> times;
+    for (uint64_t t = 10; t < 1000; t += 10)
+        times.push_back(t);
+    const TrainStats s = trainStats(times, 1000);
+    EXPECT_EQ(s.spikes, times.size());
+    EXPECT_DOUBLE_EQ(s.meanIsi, 10.0);
+    EXPECT_NEAR(s.cvIsi, 0.0, 1e-12);
+    EXPECT_NEAR(s.rate, 0.099, 0.001);
+}
+
+TEST(TrainStats, PoissonTrainHasUnitCv)
+{
+    Rng rng(5);
+    std::vector<uint64_t> times;
+    for (uint64_t t = 0; t < 200000; ++t)
+        if (rng.bernoulli(0.02))
+            times.push_back(t);
+    const TrainStats s = trainStats(times, 200000);
+    EXPECT_NEAR(s.cvIsi, 1.0, 0.05);
+    EXPECT_NEAR(s.rate, 0.02, 0.002);
+}
+
+TEST(TrainStats, DegenerateTrains)
+{
+    EXPECT_EQ(trainStats({}, 100).spikes, 0u);
+    EXPECT_EQ(trainStats({}, 100).meanIsi, 0.0);
+    const TrainStats one = trainStats({42}, 100);
+    EXPECT_EQ(one.spikes, 1u);
+    EXPECT_EQ(one.meanIsi, 0.0);
+}
+
+TEST(Analysis, GroupByNeuronSortsTimes)
+{
+    std::vector<SpikeEvent> events = {
+        {5, 1}, {2, 0}, {9, 1}, {1, 1}, {7, 0}};
+    const auto trains = groupByNeuron(events, 3);
+    ASSERT_EQ(trains.size(), 3u);
+    EXPECT_EQ(trains[0], (std::vector<uint64_t>{2, 7}));
+    EXPECT_EQ(trains[1], (std::vector<uint64_t>{1, 5, 9}));
+    EXPECT_TRUE(trains[2].empty());
+}
+
+TEST(Analysis, PopulationRateBins)
+{
+    // 2 neurons, 100 steps, all spikes in the first 10-step bin.
+    std::vector<SpikeEvent> events = {{0, 0}, {3, 1}, {9, 0}};
+    const auto rate = populationRate(events, 2, 100, 10);
+    ASSERT_EQ(rate.size(), 10u);
+    EXPECT_DOUBLE_EQ(rate[0], 3.0 / (2.0 * 10.0));
+    for (size_t b = 1; b < rate.size(); ++b)
+        EXPECT_DOUBLE_EQ(rate[b], 0.0);
+}
+
+TEST(Analysis, FanoFactorPoissonNearOne)
+{
+    Rng rng(11);
+    std::vector<SpikeEvent> events;
+    for (uint64_t t = 0; t < 100000; ++t)
+        if (rng.bernoulli(0.05))
+            events.push_back({t, 0});
+    EXPECT_NEAR(fanoFactor(events, 100000, 100), 1.0, 0.15);
+}
+
+TEST(Analysis, FanoFactorBurstyAboveOne)
+{
+    // All spikes crammed into every tenth window.
+    std::vector<SpikeEvent> events;
+    for (uint64_t t = 0; t < 100000; ++t)
+        if ((t / 100) % 10 == 0 && t % 2 == 0)
+            events.push_back({t, 0});
+    EXPECT_GT(fanoFactor(events, 100000, 100), 3.0);
+}
+
+TEST(Coincidence, IdenticalTrainsScoreOne)
+{
+    const std::vector<uint64_t> a = {10, 20, 30, 40};
+    EXPECT_DOUBLE_EQ(coincidence(a, a, 0), 1.0);
+}
+
+TEST(Coincidence, ToleranceWindowMatches)
+{
+    const std::vector<uint64_t> a = {10, 20, 30};
+    const std::vector<uint64_t> b = {12, 19, 33};
+    EXPECT_DOUBLE_EQ(coincidence(a, b, 0), 0.0);
+    EXPECT_NEAR(coincidence(a, b, 2), 2.0 / 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(coincidence(a, b, 3), 1.0);
+}
+
+TEST(Coincidence, EmptyTrains)
+{
+    EXPECT_DOUBLE_EQ(coincidence({}, {}, 5), 1.0);
+    EXPECT_DOUBLE_EQ(coincidence({1, 2}, {}, 5), 0.0);
+}
+
+TEST(Coincidence, DisjointTrainsScoreZero)
+{
+    EXPECT_DOUBLE_EQ(
+        coincidence({0, 100, 200}, {50, 150, 250}, 10), 0.0);
+}
+
+TEST(CompareRuns, HardwareBackendsAgreeNearPerfectly)
+{
+    // Quantify the paper's cross-validation: the same Vogels-Abbott
+    // instance on the reference vs the folded-Flexon backend.
+    auto record = [](BackendKind kind) {
+        BenchmarkInstance inst =
+            buildBenchmark(findBenchmark("Vogels-Abbott"), 40.0, 9);
+        SimulatorOptions opts;
+        opts.backend = kind;
+        opts.recordSpikes = true;
+        Simulator sim(inst.network, inst.stimulus, opts);
+        sim.run(1500);
+        return std::make_pair(sim.spikeEvents(),
+                              inst.network.numNeurons());
+    };
+    const auto [ref, n] = record(BackendKind::Reference);
+    const auto [hw, n2] = record(BackendKind::Folded);
+    ASSERT_EQ(n, n2);
+    // Chaotic recurrent dynamics diverge in exact timing, but the
+    // trains must stay strongly coincident at a 20-step (2 ms)
+    // tolerance.
+    EXPECT_GT(compareRuns(ref, hw, n, 20), 0.6);
+    // And the folded backend matches the baseline Flexon exactly.
+    const auto [flx, n3] = record(BackendKind::Flexon);
+    ASSERT_EQ(n, n3);
+    EXPECT_DOUBLE_EQ(compareRuns(flx, hw, n, 0), 1.0);
+}
+
+TEST(Raster, RendersExpectedGlyphs)
+{
+    std::vector<SpikeEvent> events = {{0, 0}, {1, 0}, {50, 1}};
+    RasterOptions opts;
+    opts.columns = 10;
+    opts.maxRows = 2;
+    const std::string r = renderRaster(events, 2, 100, opts);
+    // Neuron 0: two spikes in the first bin -> '#'; neuron 1: one
+    // spike mid-run -> '|'.
+    const size_t line_break = r.find('\n');
+    ASSERT_NE(line_break, std::string::npos);
+    EXPECT_NE(r.substr(0, line_break).find('#'), std::string::npos);
+    EXPECT_NE(r.substr(line_break).find('|'), std::string::npos);
+}
+
+TEST(Raster, SubsamplesLargePopulations)
+{
+    std::vector<SpikeEvent> events;
+    RasterOptions opts;
+    opts.maxRows = 5;
+    const std::string r = renderRaster(events, 1000, 100, opts);
+    size_t rows = 0;
+    for (char c : r)
+        rows += (c == '\n');
+    EXPECT_EQ(rows, 5u);
+}
+
+TEST(Raster, SparklineScalesToMax)
+{
+    const std::string s =
+        renderRateSparkline({0.0, 0.5, 1.0});
+    EXPECT_FALSE(s.empty());
+    // The last bin is the maximum -> full block.
+    EXPECT_NE(s.find("█"), std::string::npos);
+}
+
+TEST(Raster, CsvFormat)
+{
+    std::ostringstream oss;
+    writeSpikesCsv(oss, {{3, 7}, {4, 1}});
+    EXPECT_EQ(oss.str(), "step,neuron\n3,7\n4,1\n");
+}
+
+TEST(TracePlot, SingleTraceSpansRange)
+{
+    std::vector<double> ramp;
+    for (int i = 0; i < 100; ++i)
+        ramp.push_back(static_cast<double>(i));
+    TracePlotOptions opts;
+    opts.columns = 20;
+    opts.rows = 5;
+    opts.yMin = 0.0;
+    opts.yMax = 99.0; // fixed range so the border labels are exact
+    const std::string plot = renderTrace(ramp, {}, opts);
+    // The auto-scaled range labels appear on the border rows.
+    EXPECT_NE(plot.find("99.000"), std::string::npos);
+    EXPECT_NE(plot.find("0.000"), std::string::npos);
+    EXPECT_NE(plot.find('*'), std::string::npos);
+}
+
+TEST(TracePlot, OverlayUsesDistinctGlyphsAndLegend)
+{
+    const std::vector<double> up = {0.0, 1.0};
+    const std::vector<double> down = {1.0, 0.0};
+    const std::string plot =
+        renderTraces({up, down}, {"rising", "falling"});
+    EXPECT_NE(plot.find('a'), std::string::npos);
+    EXPECT_NE(plot.find('b'), std::string::npos);
+    EXPECT_NE(plot.find("a=rising"), std::string::npos);
+    EXPECT_NE(plot.find("b=falling"), std::string::npos);
+}
+
+TEST(TracePlot, EventsMarkedOnTopRow)
+{
+    std::vector<double> flat(100, 0.5);
+    TracePlotOptions opts;
+    opts.columns = 10;
+    const std::string plot = renderTrace(flat, {0, 99}, opts);
+    const std::string first = plot.substr(0, plot.find('\n'));
+    EXPECT_NE(first.find("spikes"), std::string::npos);
+    EXPECT_EQ(std::count(first.begin(), first.end(), '*'), 2);
+}
+
+TEST(TracePlot, FixedRangeClamps)
+{
+    std::vector<double> wild = {-10.0, 0.5, 10.0};
+    TracePlotOptions opts;
+    opts.yMin = 0.0;
+    opts.yMax = 1.0;
+    opts.columns = 3;
+    opts.rows = 4;
+    // Must not crash; out-of-range samples clamp to the borders.
+    const std::string plot = renderTrace(wild, {}, opts);
+    EXPECT_NE(plot.find("1.000"), std::string::npos);
+}
+
+TEST(TracePlot, ConstantTraceAvoidsZeroRange)
+{
+    std::vector<double> flat(50, 3.0);
+    const std::string plot = renderTrace(flat);
+    EXPECT_FALSE(plot.empty());
+}
+
+TEST(Science, AsynchronousIrregularStateOnFoldedFlexon)
+{
+    // The Vogels-Abbott scientific result (the reason the benchmark
+    // exists): a sparsely connected conductance E/I network settles
+    // into irregular (CV ~ 1), asynchronous (chi^2 << 1) firing —
+    // here computed by the folded hardware model.
+    Network net;
+    const NeuronParams p = defaultParams(ModelKind::DLIF);
+    const size_t exc = net.addPopulation("exc", p, 320);
+    const size_t inh = net.addPopulation("inh", p, 80);
+    Rng rng(2026);
+    net.connectRandom(exc, exc, 0.1, 0.06, 1, 6, 0, rng);
+    net.connectRandom(exc, inh, 0.1, 0.06, 1, 6, 0, rng);
+    net.connectRandom(inh, exc, 0.1, 0.24, 1, 6, 1, rng);
+    net.connectRandom(inh, inh, 0.1, 0.24, 1, 6, 1, rng);
+    net.finalize();
+
+    StimulusGenerator stim(7);
+    stim.addSource(StimulusSource::poisson(0, 400, 0.01, 2.0f, 0));
+    SimulatorOptions opts;
+    opts.backend = BackendKind::Folded;
+    opts.recordSpikes = true;
+    Simulator sim(net, stim, opts);
+    sim.run(20000);
+
+    const auto trains = groupByNeuron(sim.spikeEvents(), 400);
+    Summary cv;
+    for (const auto &train : trains) {
+        const TrainStats s = trainStats(train, 20000);
+        if (s.spikes >= 5)
+            cv.add(s.cvIsi);
+    }
+    EXPECT_GT(sim.meanRate(), 0.003);
+    EXPECT_LT(sim.meanRate(), 0.04);
+    EXPECT_GT(cv.mean(), 0.7);
+    EXPECT_LT(cv.mean(), 1.6);
+    EXPECT_LT(synchronyIndex(sim.spikeEvents(), 400, 20000, 50),
+              0.1);
+}
+
+} // namespace
+} // namespace flexon

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests that the closed-form predictions of models/analytic agree
+ * with the simulated reference dynamics — each formula is validated
+ * against an actual run, then the formulas are used as oracles for
+ * parameter sweeps (property-style).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "features/model_table.hh"
+#include "models/analytic.hh"
+#include "models/reference_neuron.hh"
+
+namespace flexon {
+namespace {
+
+TEST(Analytic, LifSteadyStateMatchesSimulation)
+{
+    for (double input : {0.2, 0.5, 0.9}) {
+        ReferenceNeuron n(defaultParams(ModelKind::LIF));
+        for (int t = 0; t < 5000; ++t)
+            n.step(input);
+        EXPECT_NEAR(n.state().v, analytic::lifSteadyState(input),
+                    1e-9);
+    }
+}
+
+TEST(Analytic, LifStepsToThresholdSweep)
+{
+    // Values chosen so no (input, eps_m) pair lands the membrane
+    // exactly on the threshold, where the result would depend on
+    // floating-point expression ordering.
+    for (double input : {1.1, 1.5, 2.0, 5.0, 19.7}) {
+        for (double eps_m : {0.005, 0.01, 0.05}) {
+            NeuronParams p = defaultParams(ModelKind::LIF);
+            p.epsM = eps_m;
+            ReferenceNeuron n(p);
+            uint64_t steps = 0;
+            while (!n.step(input)) {
+                ++steps;
+                ASSERT_LT(steps, 100000u);
+            }
+            ++steps; // the firing step itself
+            EXPECT_EQ(steps,
+                      analytic::lifStepsToThreshold(input, eps_m))
+                << "I=" << input << " epsM=" << eps_m;
+        }
+    }
+}
+
+TEST(Analytic, SubthresholdInputReportsZero)
+{
+    EXPECT_EQ(analytic::lifStepsToThreshold(0.99, 0.01), 0u);
+    EXPECT_EQ(analytic::lifStepsToThreshold(1.0, 0.01), 0u);
+}
+
+TEST(Analytic, ExdDecayMatchesSimulation)
+{
+    NeuronParams p = defaultParams(ModelKind::SLIF);
+    ReferenceNeuron n(p);
+    n.state().v = 0.73;
+    for (int t = 0; t < 321; ++t)
+        n.step(0.0);
+    EXPECT_NEAR(n.state().v, analytic::exdDecay(0.73, p.epsM, 321),
+                1e-12);
+}
+
+TEST(Analytic, LidDecayFloorsAtZero)
+{
+    EXPECT_NEAR(analytic::lidDecay(0.5, 0.002, 100), 0.3, 1e-12);
+    EXPECT_DOUBLE_EQ(analytic::lidDecay(0.5, 0.002, 10000), 0.0);
+}
+
+TEST(Analytic, AlphaPeakMatchesSimulation)
+{
+    for (double eps_g : {0.01, 0.02, 0.1}) {
+        NeuronParams p = defaultParams(ModelKind::IFPscAlpha);
+        p.syn[0].epsG = eps_g;
+        ReferenceNeuron n(p);
+        n.step(0.5);
+        double peak = 0.0;
+        uint64_t peak_t = 0;
+        for (uint64_t t = 1; t < 2000; ++t) {
+            n.step(0.0);
+            if (n.state().g[0] > peak) {
+                peak = n.state().g[0];
+                peak_t = t;
+            }
+        }
+        const uint64_t predicted = analytic::alphaPeakStep(eps_g);
+        EXPECT_NEAR(static_cast<double>(peak_t),
+                    static_cast<double>(predicted),
+                    std::max(2.0, 0.1 * predicted))
+            << "epsG=" << eps_g;
+    }
+}
+
+TEST(Analytic, QdiSeparatrixIsSharp)
+{
+    const NeuronParams p = defaultParams(ModelKind::QIF);
+    const double sep = analytic::qdiSeparatrix(p);
+
+    ReferenceNeuron below(p);
+    below.state().v = sep - 0.02;
+    int spikes = 0;
+    for (int t = 0; t < 20000; ++t)
+        spikes += below.step(0.0);
+    EXPECT_EQ(spikes, 0);
+
+    ReferenceNeuron above(p);
+    above.state().v = sep + 0.02;
+    spikes = 0;
+    for (int t = 0; t < 20000; ++t)
+        spikes += above.step(0.0);
+    EXPECT_EQ(spikes, 1);
+}
+
+TEST(Analytic, ExiRheobaseIsSharp)
+{
+    const NeuronParams p = defaultParams(ModelKind::EIF);
+    const double rheo = analytic::exiRheobase(p);
+    EXPECT_GT(rheo, 1.0);
+    EXPECT_LT(rheo, p.vFiring);
+
+    ReferenceNeuron below(p);
+    below.state().v = rheo - 0.02;
+    int spikes = 0;
+    for (int t = 0; t < 20000; ++t)
+        spikes += below.step(0.0);
+    EXPECT_EQ(spikes, 0);
+
+    ReferenceNeuron above(p);
+    above.state().v = rheo + 0.02;
+    spikes = 0;
+    for (int t = 0; t < 20000; ++t)
+        spikes += above.step(0.0);
+    EXPECT_EQ(spikes, 1);
+}
+
+TEST(Analytic, CobeSteadyStateMatchesSimulation)
+{
+    NeuronParams p = defaultParams(ModelKind::DSRM0);
+    ReferenceNeuron n(p);
+    // Hold a constant subthreshold conductance drive; AR blocks only
+    // after spikes, so keep it silent.
+    for (int t = 0; t < 5000; ++t)
+        n.step(0.001);
+    EXPECT_NEAR(n.state().g[0],
+                analytic::cobeSteadyState(0.001, p.syn[0].epsG),
+                1e-6);
+}
+
+} // namespace
+} // namespace flexon

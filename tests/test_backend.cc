@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for the back-end code generator (Section VII-B): shift &
+ * scale normalization from biological units, model compilation, the
+ * compilation report, and the compiled-program self-check across
+ * every Table III model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "backend/codegen.hh"
+
+namespace flexon {
+namespace {
+
+TEST(ShiftScale, MapsRestAndThreshold)
+{
+    BioParams bio;
+    bio.kind = ModelKind::LIF;
+    bio.vRestMv = -65.0;
+    bio.vThreshMv = -50.0;
+    bio.vResetMv = -65.0;
+    bio.tauMMs = 20.0;
+    bio.dtMs = 0.1;
+    const NeuronParams p = normalize(bio);
+    EXPECT_NEAR(p.epsM, 0.005, 1e-12);
+    // Threshold is implicitly 1.0; check a voltage landmark instead:
+    // -50 mV maps to 1.0, -65 mV to 0.0.
+    EXPECT_NEAR(weightScale(bio) * (-50.0 - -65.0), 1.0, 1e-12);
+    EXPECT_NEAR(weightScale(bio) * (-65.0 - -65.0), 0.0, 1e-12);
+}
+
+TEST(ShiftScale, ReversalPotentialsNormalized)
+{
+    BioParams bio;
+    bio.kind = ModelKind::DLIF;
+    bio.numSynapseTypes = 2;
+    bio.syn[0] = {5.0, 0.0};    // AMPA reversal at 0 mV
+    bio.syn[1] = {10.0, -80.0}; // GABA reversal at -80 mV
+    const NeuronParams p = normalize(bio);
+    // (0 - -65)/15 and (-80 - -65)/15.
+    EXPECT_NEAR(p.syn[0].vG, 65.0 / 15.0, 1e-9);
+    EXPECT_NEAR(p.syn[1].vG, -1.0, 1e-9);
+    EXPECT_NEAR(p.syn[0].epsG, 0.02, 1e-12);
+    EXPECT_NEAR(p.syn[1].epsG, 0.01, 1e-12);
+}
+
+TEST(ShiftScale, RefractoryStepsFromMilliseconds)
+{
+    BioParams bio;
+    bio.kind = ModelKind::SLIF;
+    bio.tRefMs = 2.0;
+    bio.dtMs = 0.1;
+    EXPECT_EQ(normalize(bio).arSteps, 20u);
+}
+
+TEST(ShiftScale, RejectsInconsistentDescriptions)
+{
+    BioParams bad;
+    bad.vThreshMv = bad.vRestMv; // no dynamic range
+    EXPECT_DEATH(normalize(bad), "vThresh");
+
+    BioParams reset;
+    reset.vResetMv = -70.0; // != vRest
+    EXPECT_DEATH(normalize(reset), "vReset");
+}
+
+TEST(Codegen, CompileEveryTableIIIModel)
+{
+    for (ModelKind kind : allModels()) {
+        const CompiledNeuron c = compileModel(kind);
+        EXPECT_EQ(c.params.features, modelFeatures(kind))
+            << modelName(kind);
+        EXPECT_GT(c.programLength(), 0u) << modelName(kind);
+    }
+}
+
+TEST(Codegen, CompiledProgramsMatchReferenceRates)
+{
+    // The folded program generated for each model must reproduce the
+    // reference spike counts within a few percent (Section VI-A's
+    // Brian cross-validation, with fixed-point tolerance).
+    for (ModelKind kind : allModels()) {
+        const CompiledNeuron c = compileModel(kind);
+        const double divergence = verifyCompiled(c, 20000, 123);
+        EXPECT_LT(divergence, 0.06) << modelName(kind);
+    }
+}
+
+TEST(Codegen, CompileFromBiologicalUnits)
+{
+    BioParams bio;
+    bio.kind = ModelKind::DLIF;
+    const CompiledNeuron c = compile(bio);
+    EXPECT_TRUE(c.config.features.has(Feature::COBE));
+    EXPECT_TRUE(c.config.features.has(Feature::REV));
+    EXPECT_LT(verifyCompiled(c, 10000, 7), 0.06);
+}
+
+TEST(Codegen, DescribeListsProgramAndConstants)
+{
+    const std::string report = describe(compileModel(ModelKind::AdEx));
+    EXPECT_NE(report.find("EXD+COBE+REV+EXI+ADT+SBT+AR"),
+              std::string::npos);
+    EXPECT_NE(report.find("MUL constants:"), std::string::npos);
+    EXPECT_NE(report.find("control signals (11"), std::string::npos);
+}
+
+TEST(Codegen, CustomModelViaFeatureComposition)
+{
+    // Discussion (Section VII-A): users can compose features beyond
+    // the Table III presets — e.g. a quadratic neuron with linear
+    // adaptation and relative refractory.
+    NeuronParams p = defaultParams(ModelKind::QIF);
+    p.features = FeatureSet{Feature::EXD, Feature::COBE, Feature::REV,
+                            Feature::QDI, Feature::AR, Feature::RR};
+    p.epsR = 0.05;
+    p.vRR = -0.5;
+    p.qR = -0.2;
+    p.vAR = -0.7;
+    p.epsW = 0.005;
+    p.b = -0.1;
+    const CompiledNeuron c = compile(p);
+    EXPECT_GT(c.programLength(),
+              compileModel(ModelKind::QIF).programLength());
+    EXPECT_LT(verifyCompiled(c, 10000, 11), 0.06);
+}
+
+} // namespace
+} // namespace flexon

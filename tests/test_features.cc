@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Tests for the biologically common features (Table II), the
+ * FeatureSet combination rules, the Table III model-to-feature map,
+ * and parameter validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "features/feature.hh"
+#include "features/model_table.hh"
+#include "features/params.hh"
+
+namespace flexon {
+namespace {
+
+TEST(Feature, TwelveFeaturesWithUniqueNames)
+{
+    EXPECT_EQ(numFeatures, 12u);
+    std::set<std::string> names;
+    for (size_t i = 0; i < numFeatures; ++i)
+        names.insert(featureName(static_cast<Feature>(i)));
+    EXPECT_EQ(names.size(), 12u);
+}
+
+TEST(Feature, CategoriesMatchTableII)
+{
+    using F = Feature;
+    using C = FeatureCategory;
+    EXPECT_EQ(featureCategory(F::EXD), C::MembraneDecay);
+    EXPECT_EQ(featureCategory(F::LID), C::MembraneDecay);
+    EXPECT_EQ(featureCategory(F::CUB), C::InputSpikeAccumulation);
+    EXPECT_EQ(featureCategory(F::COBE), C::InputSpikeAccumulation);
+    EXPECT_EQ(featureCategory(F::COBA), C::InputSpikeAccumulation);
+    EXPECT_EQ(featureCategory(F::REV), C::InputSpikeAccumulation);
+    EXPECT_EQ(featureCategory(F::QDI), C::SpikeInitiation);
+    EXPECT_EQ(featureCategory(F::EXI), C::SpikeInitiation);
+    EXPECT_EQ(featureCategory(F::ADT), C::SpikeTriggeredCurrent);
+    EXPECT_EQ(featureCategory(F::SBT), C::SpikeTriggeredCurrent);
+    EXPECT_EQ(featureCategory(F::AR), C::Refractory);
+    EXPECT_EQ(featureCategory(F::RR), C::Refractory);
+}
+
+TEST(Feature, RoundTripNames)
+{
+    for (size_t i = 0; i < numFeatures; ++i) {
+        const auto f = static_cast<Feature>(i);
+        EXPECT_EQ(featureFromName(featureName(f)), f);
+    }
+}
+
+TEST(FeatureSet, AddRemoveHas)
+{
+    FeatureSet s;
+    EXPECT_TRUE(s.empty());
+    s.add(Feature::EXD).add(Feature::CUB);
+    EXPECT_TRUE(s.has(Feature::EXD));
+    EXPECT_TRUE(s.has(Feature::CUB));
+    EXPECT_FALSE(s.has(Feature::AR));
+    EXPECT_EQ(s.count(), 2u);
+    s.remove(Feature::CUB);
+    EXPECT_FALSE(s.has(Feature::CUB));
+    EXPECT_EQ(s.count(), 1u);
+}
+
+TEST(FeatureSet, RawRoundTrip)
+{
+    const FeatureSet s{Feature::EXD, Feature::COBE, Feature::AR};
+    EXPECT_EQ(FeatureSet::fromRaw(s.raw()), s);
+}
+
+TEST(FeatureSet, ToStringListsInTableOrder)
+{
+    const FeatureSet s{Feature::AR, Feature::EXD, Feature::COBE};
+    EXPECT_EQ(s.toString(), "EXD+COBE+AR");
+    EXPECT_EQ(FeatureSet{}.toString(), "(none)");
+}
+
+TEST(FeatureSet, MutualExclusionRules)
+{
+    EXPECT_FALSE(FeatureSet({Feature::EXD, Feature::LID}).valid());
+    EXPECT_FALSE(FeatureSet({Feature::CUB, Feature::COBE}).valid());
+    EXPECT_FALSE(FeatureSet({Feature::COBE, Feature::COBA}).valid());
+    EXPECT_FALSE(FeatureSet({Feature::QDI, Feature::EXI}).valid());
+    EXPECT_FALSE(FeatureSet({Feature::CUB, Feature::REV}).valid());
+    EXPECT_FALSE(FeatureSet({Feature::REV}).valid());
+    EXPECT_FALSE(
+        FeatureSet({Feature::RR, Feature::ADT}).valid());
+    EXPECT_TRUE(
+        FeatureSet({Feature::EXD, Feature::COBE, Feature::REV})
+            .valid());
+}
+
+TEST(ModelTable, AllModelsHaveValidFeatureSets)
+{
+    for (ModelKind kind : allModels()) {
+        const FeatureSet fs = modelFeatures(kind);
+        EXPECT_TRUE(fs.valid())
+            << modelName(kind) << ": " << fs.validate();
+    }
+}
+
+/** The exact Table III rows. */
+TEST(ModelTable, MatchesTableIII)
+{
+    using F = Feature;
+    const auto fs = [](std::initializer_list<F> l) {
+        return FeatureSet(l);
+    };
+    EXPECT_EQ(modelFeatures(ModelKind::LLIF),
+              fs({F::LID, F::CUB, F::AR}));
+    EXPECT_EQ(modelFeatures(ModelKind::SLIF),
+              fs({F::EXD, F::CUB, F::AR}));
+    EXPECT_EQ(modelFeatures(ModelKind::DSRM0),
+              fs({F::EXD, F::COBE, F::AR}));
+    EXPECT_EQ(modelFeatures(ModelKind::DLIF),
+              fs({F::EXD, F::COBE, F::REV, F::AR}));
+    EXPECT_EQ(modelFeatures(ModelKind::QIF),
+              fs({F::EXD, F::COBE, F::REV, F::QDI, F::AR}));
+    EXPECT_EQ(modelFeatures(ModelKind::EIF),
+              fs({F::EXD, F::COBE, F::REV, F::EXI, F::AR}));
+    EXPECT_EQ(modelFeatures(ModelKind::Izhikevich),
+              fs({F::EXD, F::COBE, F::REV, F::QDI, F::ADT, F::AR}));
+    EXPECT_EQ(modelFeatures(ModelKind::AdEx),
+              fs({F::EXD, F::COBE, F::REV, F::EXI, F::ADT, F::SBT,
+                  F::AR}));
+    EXPECT_EQ(modelFeatures(ModelKind::AdExCOBA),
+              fs({F::EXD, F::COBA, F::REV, F::EXI, F::ADT, F::SBT,
+                  F::AR}));
+    EXPECT_EQ(modelFeatures(ModelKind::IFPscAlpha),
+              fs({F::EXD, F::COBA, F::AR}));
+    EXPECT_EQ(modelFeatures(ModelKind::IFCondExpGsfaGrr),
+              fs({F::EXD, F::COBE, F::REV, F::AR, F::RR}));
+}
+
+TEST(ModelTable, BaselineLifIsCubExd)
+{
+    EXPECT_EQ(modelFeatures(ModelKind::LIF),
+              FeatureSet({Feature::EXD, Feature::CUB}));
+}
+
+TEST(ModelTable, DefaultParamsValidateForEveryModel)
+{
+    for (ModelKind kind : allModels()) {
+        const NeuronParams p = defaultParams(kind);
+        EXPECT_EQ(p.validate(), "") << modelName(kind);
+        EXPECT_EQ(p.features, modelFeatures(kind)) << modelName(kind);
+    }
+}
+
+TEST(ModelTable, NameRoundTrip)
+{
+    for (ModelKind kind : allModels())
+        EXPECT_EQ(modelFromName(modelName(kind)), kind);
+}
+
+TEST(NeuronParams, ValidationCatchesBadValues)
+{
+    NeuronParams p = defaultParams(ModelKind::LIF);
+    EXPECT_EQ(p.validate(), "");
+
+    NeuronParams bad = p;
+    bad.epsM = 1.5;
+    EXPECT_NE(bad.validate(), "");
+
+    bad = p;
+    bad.numSynapseTypes = 0;
+    EXPECT_NE(bad.validate(), "");
+
+    bad = p;
+    bad.numSynapseTypes = maxSynapseTypes + 1;
+    EXPECT_NE(bad.validate(), "");
+
+    bad = defaultParams(ModelKind::EIF);
+    bad.deltaT = 0.0;
+    EXPECT_NE(bad.validate(), "");
+
+    bad = defaultParams(ModelKind::QIF);
+    bad.vFiring = 0.9;
+    EXPECT_NE(bad.validate(), "");
+
+    bad = defaultParams(ModelKind::SLIF);
+    bad.arSteps = 0;
+    EXPECT_NE(bad.validate(), "");
+
+    bad = p;
+    bad.features = FeatureSet{Feature::EXD};
+    EXPECT_NE(bad.validate(), ""); // no accumulation feature
+}
+
+TEST(NeuronParams, ThresholdDependsOnSpikeInitiation)
+{
+    EXPECT_DOUBLE_EQ(defaultParams(ModelKind::LIF).threshold(), 1.0);
+    const NeuronParams qif = defaultParams(ModelKind::QIF);
+    EXPECT_DOUBLE_EQ(qif.threshold(), qif.vFiring);
+    const NeuronParams eif = defaultParams(ModelKind::EIF);
+    EXPECT_DOUBLE_EQ(eif.threshold(), eif.vFiring);
+}
+
+} // namespace
+} // namespace flexon

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Validation of the baseline Flexon digital neuron against the
+ * double-precision reference model (the role Brian plays in Section
+ * VI-A), parameterized over every neuron model of Table III.
+ *
+ * Three complementary checks:
+ *  - single-step equivalence under teacher forcing: the reference
+ *    state is quantized into the Flexon state every step, so the
+ *    comparison isolates one step of fixed-point arithmetic;
+ *  - free-running subthreshold trajectories stay close;
+ *  - free-running spike rates match within a few percent.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.hh"
+#include "features/model_table.hh"
+#include "flexon/neuron.hh"
+#include "models/reference_neuron.hh"
+
+namespace flexon {
+namespace {
+
+/** Copy (and re-scale) a reference state into a Flexon state. */
+FlexonState
+quantize(const NeuronState &ref, const FlexonConfig &config)
+{
+    FlexonState s;
+    s.v = Fix::fromDouble(ref.v);
+    s.w = Fix::fromDouble(ref.w);
+    s.r = Fix::fromDouble(ref.r);
+    s.cnt = ref.cnt;
+    // Conductance-path variables absorb the epsilon_m pre-scaling
+    // (Table V convention), so g_hw = inputScale * g_ref.
+    const double scale = config.inputScale.toDouble();
+    for (size_t i = 0; i < config.numSynapseTypes; ++i) {
+        s.y[i] = Fix::fromDouble(ref.y[i] * scale);
+        s.g[i] = Fix::fromDouble(ref.g[i] * scale);
+    }
+    return s;
+}
+
+/** Scale raw per-type reference inputs into the hardware convention. */
+std::vector<Fix>
+scaleInputs(const std::vector<double> &raw, const FlexonConfig &config,
+            const NeuronParams &params)
+{
+    std::vector<Fix> out(config.numSynapseTypes, Fix::zero());
+    if (config.numSynapseTypes == params.numSynapseTypes) {
+        for (size_t i = 0; i < raw.size(); ++i)
+            out[i] = config.scaleWeight(raw[i]);
+    } else {
+        // CUB merges all synapse types into one signed input.
+        double sum = 0.0;
+        for (double w : raw)
+            sum += w;
+        out[0] = config.scaleWeight(sum);
+    }
+    return out;
+}
+
+/** Per-step tolerance: EXI configs include the fast-exp error. */
+double
+stepTolerance(const NeuronParams &p)
+{
+    if (p.features.has(Feature::EXI)) {
+        // ~5 % fast-exp error on the worst-case (near-firing) scaled
+        // exponential contribution.
+        const double worst = std::exp((p.vFiring - 1.0) / p.deltaT);
+        return 0.06 * p.epsM * p.deltaT * worst + 1e-4;
+    }
+    return 1e-4;
+}
+
+class FlexonVsReference : public ::testing::TestWithParam<ModelKind>
+{
+};
+
+TEST_P(FlexonVsReference, SingleStepTeacherForced)
+{
+    const ModelKind kind = GetParam();
+    const NeuronParams p = defaultParams(kind);
+    const FlexonConfig config = FlexonConfig::fromParams(p);
+    ReferenceNeuron ref(p);
+    FlexonNeuron hw(config);
+
+    Rng rng(1000 + static_cast<uint64_t>(kind));
+    const double tol = stepTolerance(p);
+    int compared = 0;
+
+    for (int t = 0; t < 4000; ++t) {
+        // Random per-type input: excitatory bursts, some inhibition.
+        std::vector<double> raw(p.numSynapseTypes, 0.0);
+        for (size_t i = 0; i < p.numSynapseTypes; ++i) {
+            if (rng.bernoulli(0.10))
+                raw[i] = (i == 1 ? -0.3 : 0.5) * rng.uniform();
+        }
+
+        // Force the hardware state to the quantized reference state.
+        hw.state() = quantize(ref.state(), config);
+
+        const bool ref_fired = ref.step(raw);
+        const bool hw_fired =
+            hw.step(std::span<const Fix>(scaleInputs(raw, config, p)));
+
+        // Near the threshold a sub-tolerance difference may flip the
+        // spike decision; skip only that ambiguous band.
+        const double margin =
+            std::abs(ref.preResetV() - p.threshold());
+        if (margin < 4.0 * tol)
+            continue;
+
+        ASSERT_EQ(ref_fired, hw_fired)
+            << modelName(kind) << " step " << t;
+        if (!ref_fired) {
+            ASSERT_NEAR(hw.state().v.toDouble(), ref.state().v, tol)
+                << modelName(kind) << " step " << t;
+        }
+        ++compared;
+    }
+    EXPECT_GT(compared, 3000);
+}
+
+TEST_P(FlexonVsReference, SubthresholdTrajectoryStaysClose)
+{
+    const ModelKind kind = GetParam();
+    const NeuronParams p = defaultParams(kind);
+    const FlexonConfig config = FlexonConfig::fromParams(p);
+    ReferenceNeuron ref(p);
+    FlexonNeuron hw(config);
+
+    Rng rng(2000 + static_cast<uint64_t>(kind));
+    double max_err = 0.0;
+    for (int t = 0; t < 1000; ++t) {
+        std::vector<double> raw(p.numSynapseTypes, 0.0);
+        // QDI is bistable around v_c: keep the drive far below the
+        // separatrix; other models tolerate a stronger kick.
+        const double amp = p.features.has(Feature::QDI) ? 0.01 : 0.1;
+        if (rng.bernoulli(0.05))
+            raw[0] = amp * rng.uniform();
+        const bool ref_fired = ref.step(raw);
+        const bool hw_fired =
+            hw.step(std::span<const Fix>(scaleInputs(raw, config, p)));
+        ASSERT_FALSE(ref_fired);
+        ASSERT_FALSE(hw_fired);
+        max_err = std::max(
+            max_err, std::abs(hw.state().v.toDouble() - ref.state().v));
+    }
+    // Accumulated fixed-point drift over 1000 subthreshold steps.
+    EXPECT_LT(max_err, 1000.0 * stepTolerance(p));
+    EXPECT_LT(max_err, 0.05);
+}
+
+TEST_P(FlexonVsReference, FreeRunningSpikeRateMatches)
+{
+    const ModelKind kind = GetParam();
+    const NeuronParams p = defaultParams(kind);
+    const FlexonConfig config = FlexonConfig::fromParams(p);
+    ReferenceNeuron ref(p);
+    FlexonNeuron hw(config);
+
+    Rng rng(3000 + static_cast<uint64_t>(kind));
+    int ref_spikes = 0, hw_spikes = 0;
+    const int steps = 20000;
+    for (int t = 0; t < steps; ++t) {
+        std::vector<double> raw(p.numSynapseTypes, 0.0);
+        // CUB injects instantaneous current (needs suprathreshold
+        // bursts); conductance inputs integrate over time.
+        const bool cub = p.features.has(Feature::CUB);
+        if (rng.bernoulli(0.2))
+            raw[0] = cub ? rng.uniform(3.0, 7.0)
+                         : rng.uniform(0.3, 0.8);
+        ref_spikes += ref.step(raw);
+        hw_spikes +=
+            hw.step(std::span<const Fix>(scaleInputs(raw, config, p)));
+    }
+    ASSERT_GT(ref_spikes, 20)
+        << modelName(kind) << ": drive too weak for a rate test";
+    EXPECT_NEAR(hw_spikes, ref_spikes, 0.05 * ref_spikes + 3.0)
+        << modelName(kind);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, FlexonVsReference, ::testing::ValuesIn(allModels()),
+    [](const ::testing::TestParamInfo<ModelKind> &info) {
+        return std::string(modelName(info.param));
+    });
+
+TEST(FlexonConfig, RequiresMembraneDecay)
+{
+    NeuronParams p = defaultParams(ModelKind::LIF);
+    p.features = FeatureSet{Feature::CUB};
+    EXPECT_DEATH(FlexonConfig::fromParams(p), "membrane-decay");
+}
+
+TEST(FlexonConfig, CubMergesSynapseTypes)
+{
+    NeuronParams p = defaultParams(ModelKind::LIF);
+    p.numSynapseTypes = 2;
+    const FlexonConfig c = FlexonConfig::fromParams(p);
+    EXPECT_EQ(c.numSynapseTypes, 1u);
+    const FlexonConfig d =
+        FlexonConfig::fromParams(defaultParams(ModelKind::DLIF));
+    EXPECT_EQ(d.numSynapseTypes, 2u);
+}
+
+TEST(FlexonConfig, InputScaleConvention)
+{
+    const FlexonConfig lif =
+        FlexonConfig::fromParams(defaultParams(ModelKind::LIF));
+    EXPECT_NEAR(lif.inputScale.toDouble(),
+                defaultParams(ModelKind::LIF).epsM, 1e-6);
+    const FlexonConfig llif =
+        FlexonConfig::fromParams(defaultParams(ModelKind::LLIF));
+    EXPECT_DOUBLE_EQ(llif.inputScale.toDouble(), 1.0);
+}
+
+TEST(FlexonConfig, StateBitsAccounting)
+{
+    FlexonConfig lif =
+        FlexonConfig::fromParams(defaultParams(ModelKind::LIF));
+    EXPECT_EQ(stateBits(lif), 32u); // v only
+    lif.truncateStorage = true;
+    EXPECT_EQ(stateBits(lif), 22u); // the paper's 31.3 % reduction
+
+    const FlexonConfig dlif =
+        FlexonConfig::fromParams(defaultParams(ModelKind::DLIF));
+    // v + 2 conductances + AR counter.
+    EXPECT_EQ(stateBits(dlif), 32u + 64u + 8u);
+
+    const FlexonConfig adex =
+        FlexonConfig::fromParams(defaultParams(ModelKind::AdExCOBA));
+    // v + 2g + 2y + w + cnt.
+    EXPECT_EQ(stateBits(adex), 32u + 64u + 64u + 32u + 8u);
+}
+
+TEST(FlexonNeuron, TruncationKeepsLifBehaviour)
+{
+    // With storage truncation on, a hard-threshold neuron still fires
+    // at the same rate (v stays in [0, 1) between steps).
+    NeuronParams p = defaultParams(ModelKind::SLIF);
+    FlexonConfig plain = FlexonConfig::fromParams(p);
+    FlexonConfig trunc = plain;
+    trunc.truncateStorage = true;
+    FlexonNeuron a(plain), b(trunc);
+    Rng rng(77);
+    int sa = 0, sb = 0;
+    for (int t = 0; t < 10000; ++t) {
+        const Fix in = rng.bernoulli(0.5)
+                           ? plain.scaleWeight(4.0)
+                           : Fix::zero();
+        sa += a.step(in);
+        sb += b.step(in);
+    }
+    EXPECT_GT(sa, 10);
+    EXPECT_NEAR(sb, sa, 0.02 * sa + 2.0);
+}
+
+} // namespace
+} // namespace flexon

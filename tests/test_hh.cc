@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for the Hodgkin-Huxley reference model: resting stability,
+ * gate steady states, the rheobase, spike shape, firing-rate
+ * monotonicity, solver agreement, and the cost gap vs the simple
+ * models (the paper's Section II-B motivation).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "features/model_table.hh"
+#include "models/hh.hh"
+#include "models/ode_neuron.hh"
+
+namespace flexon {
+namespace {
+
+int
+countSpikes(HHNeuron &n, double current, int steps)
+{
+    int spikes = 0;
+    for (int t = 0; t < steps; ++t)
+        spikes += n.step(current);
+    return spikes;
+}
+
+TEST(HodgkinHuxley, RestingStateIsStable)
+{
+    HHNeuron n;
+    for (int t = 0; t < 1000; ++t)
+        n.step(0.0);
+    EXPECT_NEAR(n.v(), -65.0, 1.0);
+    EXPECT_NEAR(n.m(), HHNeuron::mInf(-65.0), 0.01);
+    EXPECT_NEAR(n.h(), HHNeuron::hInf(-65.0), 0.01);
+    EXPECT_NEAR(n.n(), HHNeuron::nInf(-65.0), 0.01);
+}
+
+TEST(HodgkinHuxley, GateSteadyStatesAreSigmoid)
+{
+    // m activates with depolarization; h inactivates; n activates.
+    EXPECT_LT(HHNeuron::mInf(-80.0), HHNeuron::mInf(-40.0));
+    EXPECT_LT(HHNeuron::mInf(-40.0), HHNeuron::mInf(0.0));
+    EXPECT_GT(HHNeuron::hInf(-80.0), HHNeuron::hInf(-40.0));
+    EXPECT_LT(HHNeuron::nInf(-80.0), HHNeuron::nInf(-40.0));
+    // All within [0, 1].
+    for (double v = -100.0; v <= 50.0; v += 5.0) {
+        for (double g : {HHNeuron::mInf(v), HHNeuron::hInf(v),
+                         HHNeuron::nInf(v)}) {
+            EXPECT_GE(g, 0.0);
+            EXPECT_LE(g, 1.0);
+        }
+    }
+}
+
+TEST(HodgkinHuxley, RheobaseBetweenTwoAndTwentyMicroamps)
+{
+    // Squid-axon HH has a sharp current threshold for repetitive
+    // firing in the low-uA/cm^2 range.
+    HHNeuron low;
+    EXPECT_EQ(countSpikes(low, 1.0, 5000), 0);
+    HHNeuron high;
+    EXPECT_GT(countSpikes(high, 20.0, 5000), 5);
+}
+
+TEST(HodgkinHuxley, SpikeOvershootsZero)
+{
+    HHNeuron n;
+    double peak = -100.0;
+    for (int t = 0; t < 2000; ++t) {
+        n.step(15.0);
+        peak = std::max(peak, n.v());
+    }
+    EXPECT_GT(peak, 10.0);  // classic ~+40 mV overshoot
+    EXPECT_LT(peak, 60.0);  // bounded by E_Na
+}
+
+TEST(HodgkinHuxley, FiringRateIncreasesWithCurrent)
+{
+    HHNeuron a, b;
+    const int s10 = countSpikes(a, 10.0, 10000);
+    const int s40 = countSpikes(b, 40.0, 10000);
+    EXPECT_GT(s10, 0);
+    EXPECT_GT(s40, s10);
+}
+
+TEST(HodgkinHuxley, EulerAndRkf45Agree)
+{
+    HHNeuron euler(HHParams{}, SolverKind::Euler);
+    HHNeuron rkf(HHParams{}, SolverKind::RKF45);
+    const int se = countSpikes(euler, 12.0, 10000);
+    const int sr = countSpikes(rkf, 12.0, 10000);
+    ASSERT_GT(se, 3);
+    EXPECT_NEAR(se, sr, std::max(2.0, 0.05 * se));
+}
+
+TEST(HodgkinHuxley, ResetRestoresRest)
+{
+    HHNeuron n;
+    countSpikes(n, 15.0, 500);
+    n.reset();
+    EXPECT_NEAR(n.v(), -65.0, 1e-9);
+    EXPECT_EQ(n.rhsEvaluations(), 0u);
+}
+
+TEST(HodgkinHuxley, CostGapMotivatesTheWholePaper)
+{
+    // Section II-B: HH is too expensive for practical simulations.
+    // Compare derivative evaluations per simulation step against the
+    // Euler-mode AdEx reference (the most complex supported model).
+    HHNeuron hh;
+    for (int t = 0; t < 1000; ++t)
+        hh.step(10.0);
+
+    OdeNeuron adex(defaultParams(ModelKind::AdEx), SolverKind::Euler);
+    for (int t = 0; t < 1000; ++t)
+        adex.step(0.3);
+
+    EXPECT_GE(hh.rhsEvaluations(), 10u * adex.rhsEvaluations());
+}
+
+} // namespace
+} // namespace flexon

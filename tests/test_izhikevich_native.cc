@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for the native Izhikevich model: the published regimes'
+ * signatures (regular spiking adapts, fast spiking doesn't,
+ * chattering bursts), rheobase behaviour, reset semantics, and the
+ * f-I utility.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "models/izhikevich_native.hh"
+
+namespace flexon {
+namespace {
+
+std::vector<int>
+spikeTimes(IzhikevichNative &n, double current, int steps)
+{
+    std::vector<int> times;
+    for (int t = 0; t < steps; ++t)
+        if (n.step(current))
+            times.push_back(t);
+    return times;
+}
+
+TEST(IzhikevichNative, RestingStateIsQuiet)
+{
+    IzhikevichNative n(izhikevichRegularSpiking());
+    EXPECT_EQ(spikeTimes(n, 0.0, 20000).size(), 0u);
+    EXPECT_NEAR(n.v(), -65.0, 6.0); // settles near the fixed point
+}
+
+TEST(IzhikevichNative, RegularSpikingAdapts)
+{
+    IzhikevichNative n(izhikevichRegularSpiking());
+    const auto times = spikeTimes(n, 10.0, 20000);
+    ASSERT_GE(times.size(), 5u);
+    const int first = times[1] - times[0];
+    const int last = times.back() - times[times.size() - 2];
+    EXPECT_GT(last, first); // spike-frequency adaptation
+}
+
+TEST(IzhikevichNative, FastSpikingBarelyAdapts)
+{
+    IzhikevichNative n(izhikevichFastSpiking());
+    const auto times = spikeTimes(n, 10.0, 20000);
+    ASSERT_GE(times.size(), 10u);
+    // Compare after the onset transient (u settles within ~5
+    // spikes for a = 0.1): the steady ISI barely stretches.
+    const int early = times[5] - times[4];
+    const int last = times.back() - times[times.size() - 2];
+    EXPECT_LT(last, early * 1.3);
+    // And it fires faster than regular spiking under the same drive.
+    IzhikevichNative rs(izhikevichRegularSpiking());
+    EXPECT_GT(times.size(), spikeTimes(rs, 10.0, 20000).size());
+}
+
+TEST(IzhikevichNative, ChatteringProducesBursts)
+{
+    IzhikevichNative n(izhikevichChattering());
+    const auto times = spikeTimes(n, 10.0, 30000);
+    ASSERT_GE(times.size(), 6u);
+    // Bursting = bimodal ISIs: some very short (within-burst), some
+    // long (between bursts).
+    int short_isi = 0, long_isi = 0;
+    for (size_t i = 1; i < times.size(); ++i) {
+        const int isi = times[i] - times[i - 1];
+        (isi < 60 ? short_isi : long_isi) += 1;
+    }
+    EXPECT_GT(short_isi, 0) << "no within-burst intervals";
+    EXPECT_GT(long_isi, 0) << "no between-burst intervals";
+}
+
+TEST(IzhikevichNative, ResetToCAndRecoveryJump)
+{
+    IzhikevichParams p = izhikevichChattering(); // c = -50
+    IzhikevichNative n(p);
+    double u_before = n.u();
+    int guard = 0;
+    while (!n.step(10.0) && ++guard < 50000)
+        u_before = n.u();
+    ASSERT_LT(guard, 50000);
+    EXPECT_DOUBLE_EQ(n.v(), -50.0);    // reset to c, not to rest
+    EXPECT_GT(n.u(), u_before);        // u += d
+}
+
+TEST(IzhikevichNative, FiringRateUtilityMonotone)
+{
+    double prev = 0.0;
+    for (double current : {4.0, 8.0, 12.0, 20.0}) {
+        IzhikevichNative n(izhikevichRegularSpiking());
+        const double rate = firingRate(n, current, 30000);
+        EXPECT_GE(rate, prev) << "I=" << current;
+        prev = rate;
+    }
+    EXPECT_GT(prev, 0.0);
+}
+
+TEST(IzhikevichNative, SubRheobaseSilent)
+{
+    IzhikevichNative n(izhikevichRegularSpiking());
+    EXPECT_DOUBLE_EQ(firingRate(n, 1.0, 20000), 0.0);
+}
+
+} // namespace
+} // namespace flexon

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests for the Table I benchmark generators: the published
+ * structure (neuron counts, synapse counts, model, solver) must be
+ * reproduced at scale, and the scaled instances must show sustained,
+ * non-saturating activity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nets/table1.hh"
+#include "snn/simulator.hh"
+
+namespace flexon {
+namespace {
+
+TEST(Table1, TenBenchmarksWithPaperStructure)
+{
+    const auto &specs = table1Benchmarks();
+    ASSERT_EQ(specs.size(), 10u);
+
+    // Spot-check the published rows.
+    const BenchmarkSpec &brunel = findBenchmark("Brunel");
+    EXPECT_EQ(brunel.neurons, 5000u);
+    EXPECT_EQ(brunel.synapses, 2500000u);
+    EXPECT_EQ(brunel.model, ModelKind::IFPscAlpha);
+    EXPECT_EQ(brunel.solver, SolverKind::Euler);
+
+    const BenchmarkSpec &izh = findBenchmark("Izhikevich");
+    EXPECT_EQ(izh.neurons, 10000u);
+    EXPECT_EQ(izh.synapses, 10000000u);
+    EXPECT_EQ(izh.model, ModelKind::Izhikevich);
+    EXPECT_TRUE(izh.gpuNative);
+
+    const BenchmarkSpec &muller = findBenchmark("Muller");
+    EXPECT_EQ(muller.neurons, 1728u);
+    EXPECT_EQ(muller.model, ModelKind::IFCondExpGsfaGrr);
+    EXPECT_EQ(muller.solver, SolverKind::RKF45);
+
+    const BenchmarkSpec &potjans = findBenchmark("Potjans-Diesmann");
+    EXPECT_EQ(potjans.model, ModelKind::DSRM0);
+
+    const BenchmarkSpec &va = findBenchmark("Vogels-Abbott");
+    EXPECT_EQ(va.neurons, 4000u);
+    EXPECT_EQ(va.synapses, 320000u);
+    EXPECT_EQ(va.model, ModelKind::DLIF);
+}
+
+TEST(Table1, ScaledInstancePreservesDensity)
+{
+    const BenchmarkSpec &spec = findBenchmark("Vogels-Abbott");
+    BenchmarkInstance inst = buildBenchmark(spec, 10.0, 42);
+    EXPECT_NEAR(inst.network.numNeurons(), 400.0, 1.0);
+    // Density preserved: expected synapses ~ (N/10)^2 * p = 3200.
+    const double expected =
+        static_cast<double>(spec.synapses) / (10.0 * 10.0);
+    EXPECT_NEAR(static_cast<double>(inst.network.numSynapses()),
+                expected, 0.15 * expected);
+}
+
+TEST(Table1, EightyTwentySplit)
+{
+    BenchmarkInstance inst =
+        buildBenchmark(findBenchmark("Brunel"), 10.0, 42);
+    ASSERT_EQ(inst.network.numPopulations(), 2u);
+    const double exc =
+        static_cast<double>(inst.network.population(0).count);
+    const double inh =
+        static_cast<double>(inst.network.population(1).count);
+    EXPECT_NEAR(exc / (exc + inh), 0.8, 0.01);
+}
+
+TEST(Table1, InstanceIsDeterministic)
+{
+    const BenchmarkSpec &spec = findBenchmark("Nowotny");
+    BenchmarkInstance a = buildBenchmark(spec, 5.0, 7);
+    BenchmarkInstance b = buildBenchmark(spec, 5.0, 7);
+    EXPECT_EQ(a.network.numSynapses(), b.network.numSynapses());
+}
+
+/** Every benchmark must run with sustained, bounded activity. */
+class Table1Activity
+    : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(Table1Activity, SustainedBoundedFiring)
+{
+    const BenchmarkSpec &spec = table1Benchmarks()[GetParam()];
+    // Aggressive scaling keeps the test fast.
+    const double scale =
+        std::max(1.0, static_cast<double>(spec.neurons) / 300.0);
+    BenchmarkInstance inst = buildBenchmark(spec, scale, 99);
+
+    Simulator sim(inst.network, inst.stimulus);
+    sim.run(2000);
+
+    const double rate = sim.meanRate(); // spikes/neuron/step
+    EXPECT_GT(rate, 1e-4) << spec.name << ": network is silent";
+    EXPECT_LT(rate, 0.2) << spec.name << ": network saturates";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, Table1Activity, ::testing::Range<size_t>(0, 10),
+    [](const ::testing::TestParamInfo<size_t> &info) {
+        std::string name = table1Benchmarks()[info.param].name;
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+} // namespace
+} // namespace flexon

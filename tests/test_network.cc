@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for the SNN topology substrate: population bookkeeping, the
+ * wiring builders (random / fixed-fanout), CSR integrity, and delay
+ * handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "features/model_table.hh"
+#include "snn/network.hh"
+
+namespace flexon {
+namespace {
+
+NeuronParams
+lif()
+{
+    return defaultParams(ModelKind::LIF);
+}
+
+TEST(Network, PopulationIndexing)
+{
+    Network net;
+    const size_t a = net.addPopulation("a", lif(), 10);
+    const size_t b = net.addPopulation("b", lif(), 5);
+    EXPECT_EQ(a, 0u);
+    EXPECT_EQ(b, 1u);
+    EXPECT_EQ(net.numNeurons(), 15u);
+    EXPECT_EQ(net.population(0).base, 0u);
+    EXPECT_EQ(net.population(1).base, 10u);
+    EXPECT_EQ(net.populationOf(3).name, "a");
+    EXPECT_EQ(net.populationOf(12).name, "b");
+}
+
+TEST(Network, RandomConnectivityDensity)
+{
+    Network net;
+    const size_t a = net.addPopulation("a", lif(), 100);
+    const size_t b = net.addPopulation("b", lif(), 100);
+    Rng rng(5);
+    net.connectRandom(a, b, 0.1, 0.5, 1, 5, 0, rng);
+    net.finalize();
+    // Expect ~100*100*0.1 = 1000 synapses (binomial, sd ~30).
+    EXPECT_NEAR(net.numSynapses(), 1000.0, 150.0);
+}
+
+TEST(Network, RandomConnectivitySkipsSelf)
+{
+    Network net;
+    const size_t a = net.addPopulation("a", lif(), 50);
+    Rng rng(7);
+    net.connectRandom(a, a, 1.0, 0.5, 1, 1, 0, rng);
+    net.finalize();
+    EXPECT_EQ(net.numSynapses(), 50u * 49u);
+    for (uint32_t n = 0; n < 50; ++n)
+        for (const Synapse &s : net.outgoing(n))
+            EXPECT_NE(s.target, n);
+}
+
+TEST(Network, FixedFanoutExactDegree)
+{
+    Network net;
+    const size_t a = net.addPopulation("a", lif(), 20);
+    const size_t b = net.addPopulation("b", lif(), 100);
+    Rng rng(11);
+    net.connectFixedFanout(a, b, 10, 0.5, 1, 3, 0, rng);
+    net.finalize();
+    EXPECT_EQ(net.numSynapses(), 20u * 10u);
+    for (uint32_t n = 0; n < 20; ++n) {
+        auto out = net.outgoing(n);
+        EXPECT_EQ(out.size(), 10u);
+        std::set<uint32_t> targets;
+        for (const Synapse &s : out) {
+            EXPECT_GE(s.target, 20u); // all in population b
+            targets.insert(s.target);
+        }
+        EXPECT_EQ(targets.size(), 10u) << "targets must be distinct";
+    }
+}
+
+TEST(Network, CsrPartitionsAllSynapses)
+{
+    Network net;
+    const size_t a = net.addPopulation("a", lif(), 30);
+    Rng rng(13);
+    net.connectRandom(a, a, 0.2, 0.5, 1, 8, 0, rng);
+    net.finalize();
+    size_t total = 0;
+    for (uint32_t n = 0; n < net.numNeurons(); ++n)
+        total += net.outgoing(n).size();
+    EXPECT_EQ(total, net.numSynapses());
+}
+
+TEST(Network, WeightsFollowRequestedSign)
+{
+    Network net;
+    const size_t a = net.addPopulation("a", lif(), 40);
+    Rng rng(17);
+    net.connectRandom(a, a, 0.3, -0.5, 1, 1, 1, rng);
+    net.finalize();
+    for (uint32_t n = 0; n < 40; ++n) {
+        for (const Synapse &s : net.outgoing(n)) {
+            EXPECT_LE(s.weight, 0.0f);
+            EXPECT_EQ(s.type, 1);
+        }
+    }
+}
+
+TEST(Network, DelaysWithinRangeAndMaxTracked)
+{
+    Network net;
+    const size_t a = net.addPopulation("a", lif(), 40);
+    Rng rng(19);
+    net.connectRandom(a, a, 0.3, 0.5, 2, 9, 0, rng);
+    net.finalize();
+    uint8_t seen_max = 0;
+    for (uint32_t n = 0; n < 40; ++n) {
+        for (const Synapse &s : net.outgoing(n)) {
+            EXPECT_GE(s.delay, 2);
+            EXPECT_LE(s.delay, 9);
+            seen_max = std::max(seen_max, s.delay);
+        }
+    }
+    EXPECT_EQ(net.maxDelay(), seen_max);
+}
+
+TEST(Network, ExplicitSynapses)
+{
+    Network net;
+    net.addPopulation("a", lif(), 4);
+    net.addSynapse(0, {1, 0.25f, 3, 0});
+    net.addSynapse(0, {2, -0.5f, 1, 1});
+    net.addSynapse(3, {0, 1.0f, 1, 0});
+    net.finalize();
+    EXPECT_EQ(net.outgoing(0).size(), 2u);
+    EXPECT_EQ(net.outgoing(1).size(), 0u);
+    EXPECT_EQ(net.outgoing(3).size(), 1u);
+    EXPECT_FLOAT_EQ(net.outgoing(3)[0].weight, 1.0f);
+}
+
+TEST(Network, DeterministicWiringForSameSeed)
+{
+    auto build = [] {
+        Network net;
+        const size_t a =
+            net.addPopulation("a", defaultParams(ModelKind::LIF), 50);
+        Rng rng(23);
+        net.connectRandom(a, a, 0.15, 0.5, 1, 10, 0, rng);
+        net.finalize();
+        return net;
+    };
+    const Network n1 = build();
+    const Network n2 = build();
+    ASSERT_EQ(n1.numSynapses(), n2.numSynapses());
+    for (uint32_t n = 0; n < n1.numNeurons(); ++n) {
+        auto o1 = n1.outgoing(n), o2 = n2.outgoing(n);
+        ASSERT_EQ(o1.size(), o2.size());
+        for (size_t i = 0; i < o1.size(); ++i) {
+            EXPECT_EQ(o1[i].target, o2[i].target);
+            EXPECT_EQ(o1[i].weight, o2[i].weight);
+            EXPECT_EQ(o1[i].delay, o2[i].delay);
+        }
+    }
+}
+
+} // namespace
+} // namespace flexon

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Tests for the parallel helpers and the threaded reference backend:
+ * chunk coverage, and the property that threading changes neither
+ * spikes nor state (neurons are independent within a step).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "common/parallel.hh"
+#include "nets/table1.hh"
+#include "snn/simulator.hh"
+
+namespace flexon {
+namespace {
+
+TEST(ParallelFor, CoversRangeExactlyOnce)
+{
+    std::vector<std::atomic<int>> hits(1000);
+    parallelFor(hits.size(), 4, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i)
+            hits[i].fetch_add(1);
+    });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, SingleThreadRunsInline)
+{
+    int calls = 0;
+    parallelFor(100, 1, [&](size_t begin, size_t end) {
+        ++calls;
+        EXPECT_EQ(begin, 0u);
+        EXPECT_EQ(end, 100u);
+    });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, TinyRangesStayInline)
+{
+    int calls = 0;
+    parallelFor(3, 8, [&](size_t, size_t) { ++calls; });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, EmptyRange)
+{
+    bool called_with_work = false;
+    parallelFor(0, 4, [&](size_t begin, size_t end) {
+        called_with_work = begin < end;
+    });
+    EXPECT_FALSE(called_with_work);
+}
+
+TEST(ThreadedBackend, SpikesIdenticalToSingleThread)
+{
+    auto run = [](size_t threads) {
+        BenchmarkInstance inst =
+            buildBenchmark(findBenchmark("Vogels-Abbott"), 20.0, 5);
+        SimulatorOptions opts;
+        opts.threads = threads;
+        opts.recordSpikes = true;
+        Simulator sim(inst.network, inst.stimulus, opts);
+        sim.run(800);
+        return sim.spikeEvents();
+    };
+    const auto single = run(1);
+    const auto multi = run(4);
+    ASSERT_EQ(single.size(), multi.size());
+    for (size_t i = 0; i < single.size(); ++i) {
+        EXPECT_EQ(single[i].step, multi[i].step);
+        EXPECT_EQ(single[i].neuron, multi[i].neuron);
+    }
+    EXPECT_GT(single.size(), 0u);
+}
+
+TEST(ThreadedBackend, ContinuousModeAlsoDeterministic)
+{
+    auto spikes = [](size_t threads) {
+        BenchmarkInstance inst =
+            buildBenchmark(findBenchmark("Brunel"), 50.0, 5);
+        SimulatorOptions opts;
+        opts.threads = threads;
+        opts.mode = IntegrationMode::Continuous;
+        opts.solver = SolverKind::RKF45;
+        Simulator sim(inst.network, inst.stimulus, opts);
+        sim.run(300);
+        return sim.stats().spikes;
+    };
+    EXPECT_EQ(spikes(1), spikes(3));
+}
+
+} // namespace
+} // namespace flexon

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Tests for network serialization: exact round-trips of populations,
+ * parameters and synapses; format validation; and the end-to-end
+ * property that a saved-and-reloaded network reproduces the original
+ * simulation bit for bit on the hardware backends.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "nets/table1.hh"
+#include "snn/serialize.hh"
+#include "snn/simulator.hh"
+
+namespace flexon {
+namespace {
+
+Network
+sampleNetwork(uint64_t seed)
+{
+    Network net;
+    const size_t a = net.addPopulation(
+        "exc cells", defaultParams(ModelKind::AdEx), 30);
+    const size_t b = net.addPopulation(
+        "inh", defaultParams(ModelKind::IFCondExpGsfaGrr), 10);
+    Rng rng(seed);
+    net.connectRandom(a, b, 0.2, 0.3, 1, 9, 0, rng);
+    net.connectRandom(b, a, 0.3, -0.8, 2, 4, 1, rng);
+    net.finalize();
+    return net;
+}
+
+TEST(Serialize, RoundTripPreservesStructure)
+{
+    const Network original = sampleNetwork(5);
+    std::stringstream buffer;
+    saveNetwork(buffer, original);
+    const Network loaded = loadNetwork(buffer);
+
+    ASSERT_EQ(loaded.numPopulations(), original.numPopulations());
+    ASSERT_EQ(loaded.numNeurons(), original.numNeurons());
+    ASSERT_EQ(loaded.numSynapses(), original.numSynapses());
+    EXPECT_EQ(loaded.maxDelay(), original.maxDelay());
+
+    for (size_t p = 0; p < original.numPopulations(); ++p) {
+        const Population &orig = original.population(p);
+        const Population &got = loaded.population(p);
+        EXPECT_EQ(got.name, orig.name);
+        EXPECT_EQ(got.count, orig.count);
+        EXPECT_EQ(got.params.features, orig.params.features);
+        EXPECT_EQ(got.params.numSynapseTypes,
+                  orig.params.numSynapseTypes);
+        EXPECT_DOUBLE_EQ(got.params.epsM, orig.params.epsM);
+        EXPECT_DOUBLE_EQ(got.params.b, orig.params.b);
+        EXPECT_DOUBLE_EQ(got.params.vRR, orig.params.vRR);
+        EXPECT_EQ(got.params.arSteps, orig.params.arSteps);
+        for (size_t i = 0; i < orig.params.numSynapseTypes; ++i) {
+            EXPECT_DOUBLE_EQ(got.params.syn[i].epsG,
+                             orig.params.syn[i].epsG);
+            EXPECT_DOUBLE_EQ(got.params.syn[i].vG,
+                             orig.params.syn[i].vG);
+        }
+    }
+
+    for (uint32_t n = 0; n < original.numNeurons(); ++n) {
+        auto o = original.outgoing(n);
+        auto l = loaded.outgoing(n);
+        ASSERT_EQ(o.size(), l.size()) << "neuron " << n;
+        for (size_t i = 0; i < o.size(); ++i) {
+            EXPECT_EQ(l[i].target, o[i].target);
+            EXPECT_EQ(l[i].weight, o[i].weight);
+            EXPECT_EQ(l[i].delay, o[i].delay);
+            EXPECT_EQ(l[i].type, o[i].type);
+        }
+    }
+}
+
+TEST(Serialize, ReloadedNetworkSimulatesIdentically)
+{
+    const Network original = sampleNetwork(11);
+    std::stringstream buffer;
+    saveNetwork(buffer, original);
+    const Network loaded = loadNetwork(buffer);
+
+    auto run = [](const Network &net) {
+        StimulusGenerator stim(3);
+        stim.addSource(StimulusSource::poisson(
+            0, static_cast<uint32_t>(net.numNeurons()), 0.05, 0.5f,
+            0));
+        SimulatorOptions opts;
+        opts.backend = BackendKind::Folded;
+        opts.recordSpikes = true;
+        Simulator sim(net, stim, opts);
+        sim.run(1500);
+        return sim.spikeEvents();
+    };
+    const auto a = run(original);
+    const auto b = run(loaded);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].step, b[i].step);
+        EXPECT_EQ(a[i].neuron, b[i].neuron);
+    }
+    EXPECT_GT(a.size(), 0u);
+}
+
+TEST(Serialize, TableOneBenchmarkRoundTrips)
+{
+    BenchmarkInstance inst =
+        buildBenchmark(findBenchmark("Muller"), 20.0, 7);
+    std::stringstream buffer;
+    saveNetwork(buffer, inst.network);
+    const Network loaded = loadNetwork(buffer);
+    EXPECT_EQ(loaded.numNeurons(), inst.network.numNeurons());
+    EXPECT_EQ(loaded.numSynapses(), inst.network.numSynapses());
+}
+
+TEST(Serialize, RejectsBadMagic)
+{
+    std::stringstream buffer("not-a-network v1\n");
+    EXPECT_DEATH(loadNetwork(buffer), "magic");
+}
+
+TEST(Serialize, RejectsWrongVersion)
+{
+    std::stringstream buffer("flexon-network v999\npopulations 0\n");
+    EXPECT_DEATH(loadNetwork(buffer), "version");
+}
+
+TEST(Serialize, RejectsTruncatedFile)
+{
+    const Network original = sampleNetwork(13);
+    std::stringstream buffer;
+    saveNetwork(buffer, original);
+    std::string text = buffer.str();
+    text.resize(text.size() / 2);
+    std::stringstream truncated(text);
+    EXPECT_DEATH(loadNetwork(truncated), "malformed");
+}
+
+TEST(Serialize, RefusesUnfinalizedNetwork)
+{
+    Network net;
+    net.addPopulation("a", defaultParams(ModelKind::LIF), 4);
+    std::stringstream buffer;
+    EXPECT_DEATH(saveNetwork(buffer, net), "finalized");
+}
+
+} // namespace
+} // namespace flexon

@@ -1,0 +1,366 @@
+/**
+ * @file
+ * Tests for the three-phase SNN simulation engine: stimulus
+ * statistics, delayed spike propagation, backend agreement, phase
+ * timing plumbing, and determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include <cmath>
+
+#include "common/stats.hh"
+#include "features/model_table.hh"
+#include "snn/simulator.hh"
+
+namespace flexon {
+namespace {
+
+TEST(Stimulus, PoissonRateStatistics)
+{
+    StimulusGenerator gen(3);
+    gen.addSource(StimulusSource::poisson(0, 100, 0.05, 0.5f, 0));
+    uint64_t total = 0;
+    const int steps = 10000;
+    for (int t = 0; t < steps; ++t)
+        total += gen.generate(t).size();
+    // E = 100 * 0.05 * steps = 50000; binomial sd ~218.
+    EXPECT_NEAR(static_cast<double>(total), 50000.0, 1200.0);
+    EXPECT_NEAR(gen.expectedSpikesPerStep(), 5.0, 1e-12);
+}
+
+TEST(Stimulus, OrnsteinUhlenbeckStatistics)
+{
+    // Stationary OU: mean ~ ouMean, sd ~ sigma (before the
+    // non-negativity clamp, which barely binds at mean >> sigma).
+    StimulusGenerator gen(5);
+    gen.addSource(StimulusSource::ou(0, 1, 2.0, 0.3, 50.0, 0));
+    Summary s;
+    for (int t = 0; t < 60000; ++t) {
+        const auto &spikes = gen.generate(t);
+        ASSERT_EQ(spikes.size(), 1u); // one analog input per step
+        if (t > 1000)
+            s.add(spikes[0].weight);
+    }
+    EXPECT_NEAR(s.mean(), 2.0, 0.05);
+    EXPECT_NEAR(s.stddev(), 0.3, 0.05);
+    EXPECT_GE(s.min(), 0.0);
+}
+
+TEST(Stimulus, OrnsteinUhlenbeckIsTemporallyCorrelated)
+{
+    // Autocorrelation at lag tau should be ~ 1/e; at lag 10*tau ~ 0.
+    StimulusGenerator gen(9);
+    const double tau = 40.0;
+    gen.addSource(StimulusSource::ou(0, 1, 1.0, 0.2, tau, 0));
+    std::vector<double> x;
+    for (int t = 0; t < 60000; ++t)
+        x.push_back(gen.generate(t)[0].weight);
+    auto autocorr = [&](int lag) {
+        Summary all;
+        for (double v : x)
+            all.add(v);
+        double num = 0.0;
+        for (size_t i = 0; i + lag < x.size(); ++i)
+            num += (x[i] - all.mean()) * (x[i + lag] - all.mean());
+        return num / (static_cast<double>(x.size() - lag) *
+                      all.variance());
+    };
+    EXPECT_NEAR(autocorr(static_cast<int>(tau)), std::exp(-1.0),
+                0.08);
+    EXPECT_NEAR(autocorr(static_cast<int>(10 * tau)), 0.0, 0.1);
+}
+
+TEST(Stimulus, PatternFiresOnPeriod)
+{
+    StimulusGenerator gen(3);
+    gen.addSource(StimulusSource::pattern(10, 4, 25, 1.0f, 0));
+    EXPECT_EQ(gen.generate(0).size(), 4u);
+    EXPECT_EQ(gen.generate(1).size(), 0u);
+    EXPECT_EQ(gen.generate(24).size(), 0u);
+    EXPECT_EQ(gen.generate(25).size(), 4u);
+    const auto &spikes = gen.generate(50);
+    ASSERT_EQ(spikes.size(), 4u);
+    EXPECT_EQ(spikes[0].target, 10u);
+    EXPECT_EQ(spikes[3].target, 13u);
+}
+
+/** Two LIF neurons: 0 drives 1 through a synapse with delay d. */
+Network
+chainNetwork(uint8_t delay, float weight)
+{
+    Network net;
+    NeuronParams p = defaultParams(ModelKind::LIF);
+    net.addPopulation("chain", p, 2);
+    net.addSynapse(0, {1, weight, delay, 0});
+    net.finalize();
+    return net;
+}
+
+TEST(Simulator, SpikePropagatesAfterExactDelay)
+{
+    // CUB injects the weight as instantaneous current scaled by
+    // epsilon_m (Equation 2): a single-impulse weight of 150 yields
+    // dv = 1.5 and fires the LIF neuron in the same step.
+    for (uint8_t delay : {1, 3, 7}) {
+        Network net = chainNetwork(delay, 150.0f);
+        StimulusGenerator stim(1);
+        stim.addSource(StimulusSource::pattern(0, 1, 40, 150.0f, 0));
+
+        SimulatorOptions opts;
+        opts.recordSpikes = true;
+        Simulator sim(net, stim, opts);
+        sim.run(200);
+
+        // Neuron 1's earliest possible spike is neuron 0's spike
+        // plus exactly the synaptic delay.
+        std::vector<uint64_t> t0, t1;
+        for (const SpikeEvent &e : sim.spikeEvents())
+            (e.neuron == 0 ? t0 : t1).push_back(e.step);
+        ASSERT_FALSE(t0.empty());
+        ASSERT_FALSE(t1.empty()) << "delay " << int(delay);
+        // The input arrives at t0.front() + delay; the CUB current
+        // applies that same step, so neuron 1's first possible spike
+        // is at least that step.
+        EXPECT_GE(t1.front(), t0.front() + delay);
+    }
+}
+
+TEST(Simulator, WeightBelowThresholdNeverPropagates)
+{
+    // dv = 0.25 per kick; the 40-step decay keeps the steady peak
+    // well below threshold.
+    Network net = chainNetwork(1, 25.0f);
+    StimulusGenerator stim(1);
+    stim.addSource(StimulusSource::pattern(0, 1, 40, 150.0f, 0));
+    SimulatorOptions opts;
+    opts.recordSpikes = true;
+    Simulator sim(net, stim, opts);
+    sim.run(400);
+    for (const SpikeEvent &e : sim.spikeEvents())
+        EXPECT_EQ(e.neuron, 0u);
+}
+
+TEST(Simulator, StatsCountersConsistent)
+{
+    Network net = chainNetwork(1, 150.0f);
+    StimulusGenerator stim(1);
+    stim.addSource(StimulusSource::pattern(0, 1, 40, 150.0f, 0));
+    Simulator sim(net, stim);
+    sim.run(300);
+    const PhaseStats &st = sim.stats();
+    EXPECT_EQ(st.steps, 300u);
+    EXPECT_GT(st.spikes, 0u);
+    EXPECT_EQ(st.spikes,
+              sim.spikeCounts()[0] + sim.spikeCounts()[1]);
+    // Every neuron-0 spike crosses the single synapse.
+    EXPECT_EQ(st.synapseEvents, sim.spikeCounts()[0]);
+    EXPECT_GT(st.neuronSec, 0.0);
+    EXPECT_GT(st.totalSec(), 0.0);
+    EXPECT_NEAR(sim.meanRate(),
+                static_cast<double>(st.spikes) / (300.0 * 2.0), 1e-12);
+}
+
+TEST(Simulator, DeterministicAcrossRuns)
+{
+    auto run = [] {
+        Network net;
+        NeuronParams p = defaultParams(ModelKind::DLIF);
+        const size_t a = net.addPopulation("a", p, 50);
+        Rng rng(31);
+        net.connectRandom(a, a, 0.1, 0.05, 1, 5, 0, rng);
+        net.finalize();
+        StimulusGenerator stim(9);
+        stim.addSource(StimulusSource::poisson(0, 50, 0.05, 0.4f, 0));
+        Simulator sim(net, stim);
+        sim.run(500);
+        return sim.stats().spikes;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(Simulator, ResetRestoresInitialConditions)
+{
+    Network net = chainNetwork(1, 150.0f);
+    StimulusGenerator stim(1);
+    stim.addSource(StimulusSource::pattern(0, 1, 40, 150.0f, 0));
+    Simulator sim(net, stim);
+    sim.run(250);
+    const uint64_t first = sim.stats().spikes;
+    ASSERT_GT(first, 0u);
+    sim.reset();
+    EXPECT_EQ(sim.stats().spikes, 0u);
+    EXPECT_EQ(sim.currentStep(), 0u);
+    sim.run(250);
+    EXPECT_EQ(sim.stats().spikes, first);
+}
+
+/** All three backends must see identical spike totals on a LIF net
+ * (fixed-point error is far below the drive margin here). */
+TEST(Simulator, BackendsAgreeOnStronglyDrivenLif)
+{
+    for (BackendKind kind :
+         {BackendKind::Reference, BackendKind::Flexon,
+          BackendKind::Folded}) {
+        Network net = chainNetwork(2, 300.0f);
+        StimulusGenerator stim(1);
+        stim.addSource(StimulusSource::pattern(0, 1, 50, 150.0f, 0));
+        SimulatorOptions opts;
+        opts.backend = kind;
+        Simulator sim(net, stim, opts);
+        sim.run(500);
+        EXPECT_EQ(sim.spikeCounts()[0], 10u) << backendName(kind);
+        EXPECT_EQ(sim.spikeCounts()[1], 10u) << backendName(kind);
+    }
+}
+
+TEST(Simulator, HardwareBackendsReportModelTime)
+{
+    Network net = chainNetwork(1, 150.0f);
+    StimulusGenerator stim(1);
+    SimulatorOptions opts;
+    opts.backend = BackendKind::Folded;
+    Simulator sim(net, stim, opts);
+    sim.run(10);
+    EXPECT_GT(sim.stats().modelNeuronSec, 0.0);
+
+    SimulatorOptions ref_opts;
+    Simulator ref_sim(net, stim, ref_opts);
+    ref_sim.run(10);
+    EXPECT_EQ(ref_sim.stats().modelNeuronSec, 0.0);
+}
+
+TEST(Simulator, FlexonAndFoldedBackendsBitIdenticalOnNetwork)
+{
+    auto spikes = [](BackendKind kind) {
+        Network net;
+        NeuronParams p = defaultParams(ModelKind::Izhikevich);
+        const size_t a = net.addPopulation("a", p, 40);
+        Rng rng(41);
+        net.connectRandom(a, a, 0.15, 0.5, 1, 6, 0, rng);
+        net.finalize();
+        StimulusGenerator stim(17);
+        stim.addSource(StimulusSource::poisson(0, 40, 0.08, 2.0f, 0));
+        SimulatorOptions opts;
+        opts.backend = kind;
+        opts.recordSpikes = true;
+        Simulator sim(net, stim, opts);
+        sim.run(2000);
+        return sim.spikeEvents();
+    };
+    const auto a = spikes(BackendKind::Flexon);
+    const auto b = spikes(BackendKind::Folded);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].step, b[i].step);
+        EXPECT_EQ(a[i].neuron, b[i].neuron);
+    }
+}
+
+TEST(Simulator, ProbesRecordMembraneTraces)
+{
+    Network net = chainNetwork(1, 150.0f);
+    StimulusGenerator stim(1);
+    stim.addSource(StimulusSource::pattern(0, 1, 40, 90.0f, 0));
+    SimulatorOptions opts;
+    opts.probes = {0, 1};
+    Simulator sim(net, stim, opts);
+    sim.run(100);
+
+    const auto &v0 = sim.probeTrace(0);
+    const auto &v1 = sim.probeTrace(1);
+    ASSERT_EQ(v0.size(), 100u);
+    ASSERT_EQ(v1.size(), 100u);
+    // Neuron 0 receives a 0.9 kick at t=0 and decays exponentially;
+    // neuron 1 stays silent (the kick is subthreshold, no spikes).
+    EXPECT_NEAR(v0[0], 0.9, 1e-9);
+    EXPECT_LT(v0[30], v0[1]);
+    for (double v : v1)
+        EXPECT_DOUBLE_EQ(v, 0.0);
+
+    sim.reset();
+    EXPECT_TRUE(sim.probeTrace(0).empty());
+}
+
+TEST(Simulator, ProbesWorkOnHardwareBackends)
+{
+    Network net = chainNetwork(1, 150.0f);
+    StimulusGenerator stim(1);
+    stim.addSource(StimulusSource::pattern(0, 1, 40, 90.0f, 0));
+    SimulatorOptions opts;
+    opts.backend = BackendKind::Folded;
+    opts.probes = {0};
+    Simulator sim(net, stim, opts);
+    sim.run(50);
+    EXPECT_NEAR(sim.probeTrace(0)[0], 0.9, 1e-4);
+}
+
+TEST(Simulator, HeterogeneousModelMixOnHardwareBackends)
+{
+    // One network mixing four Table III models: the arrays must
+    // configure per-population datapaths/programs and stay
+    // bit-identical to each other.
+    Network net;
+    net.addPopulation("lif", defaultParams(ModelKind::LIF), 10);
+    net.addPopulation("dlif", defaultParams(ModelKind::DLIF), 10);
+    net.addPopulation("izh", defaultParams(ModelKind::Izhikevich),
+                      10);
+    net.addPopulation("gsfa",
+                      defaultParams(ModelKind::IFCondExpGsfaGrr), 10);
+    Rng rng(3);
+    for (size_t src = 0; src < 4; ++src)
+        for (size_t dst = 0; dst < 4; ++dst)
+            net.connectRandom(src, dst, 0.1, 0.4, 1, 4, 0, rng);
+    net.finalize();
+
+    auto events = [&](BackendKind kind) {
+        StimulusGenerator stim(5);
+        stim.addSource(StimulusSource::poisson(0, 40, 0.05, 1.5f, 0));
+        SimulatorOptions opts;
+        opts.backend = kind;
+        opts.recordSpikes = true;
+        Simulator sim(net, stim, opts);
+        sim.run(1500);
+        return sim.spikeEvents();
+    };
+    const auto flexon = events(BackendKind::Flexon);
+    const auto folded = events(BackendKind::Folded);
+    const auto reference = events(BackendKind::Reference);
+
+    ASSERT_EQ(flexon.size(), folded.size());
+    for (size_t i = 0; i < flexon.size(); ++i) {
+        EXPECT_EQ(flexon[i].step, folded[i].step);
+        EXPECT_EQ(flexon[i].neuron, folded[i].neuron);
+    }
+    EXPECT_GT(flexon.size(), 0u);
+    // The reference agrees within a few percent on totals.
+    EXPECT_NEAR(static_cast<double>(reference.size()),
+                static_cast<double>(flexon.size()),
+                0.1 * static_cast<double>(reference.size()) + 5.0);
+}
+
+TEST(Simulator, StatsDumpHasGem5Shape)
+{
+    Network net = chainNetwork(1, 150.0f);
+    StimulusGenerator stim(1);
+    stim.addSource(StimulusSource::pattern(0, 1, 40, 150.0f, 0));
+    SimulatorOptions opts;
+    opts.backend = BackendKind::Folded;
+    Simulator sim(net, stim, opts);
+    sim.run(200);
+
+    std::ostringstream oss;
+    sim.printStats(oss);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("sim.steps"), std::string::npos);
+    EXPECT_NE(out.find("sim.spikes"), std::string::npos);
+    EXPECT_NE(out.find("phase.neuron_share"), std::string::npos);
+    EXPECT_NE(out.find("hw.model_neuron_sec"), std::string::npos);
+    EXPECT_NE(out.find("# output spikes fired"), std::string::npos);
+    EXPECT_NE(out.find("200"), std::string::npos);
+}
+
+} // namespace
+} // namespace flexon

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests for the Euler and RKF45 solvers against closed-form solutions,
+ * and for the adaptive step controller's behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "solvers/euler.hh"
+#include "solvers/rkf45.hh"
+#include "solvers/solver.hh"
+
+namespace flexon {
+namespace {
+
+/** y' = -k y, y(0) = 1  =>  y(t) = exp(-k t). */
+OdeRhs
+decayRhs(double k)
+{
+    return [k](double, std::span<const double> y,
+               std::span<double> dydt) { dydt[0] = -k * y[0]; };
+}
+
+TEST(Euler, SingleStepMatchesFirstOrder)
+{
+    std::vector<double> y{1.0}, scratch(1);
+    auto rhs = decayRhs(2.0);
+    eulerStep(rhs, 0.0, 0.1, y, scratch);
+    EXPECT_NEAR(y[0], 1.0 - 0.2, 1e-12);
+}
+
+TEST(Euler, ConvergesWithStepSize)
+{
+    auto rhs = decayRhs(1.0);
+    auto integrate = [&](int n) {
+        std::vector<double> y{1.0}, scratch(1);
+        const double h = 1.0 / n;
+        for (int i = 0; i < n; ++i)
+            eulerStep(rhs, i * h, h, y, scratch);
+        return y[0];
+    };
+    const double exact = std::exp(-1.0);
+    const double err10 = std::abs(integrate(10) - exact);
+    const double err100 = std::abs(integrate(100) - exact);
+    // First-order convergence: 10x smaller step -> ~10x smaller error.
+    EXPECT_LT(err100, err10 / 5.0);
+    EXPECT_NEAR(integrate(1000), exact, 1e-3);
+}
+
+TEST(Rkf45, SingleStepIsFifthOrderAccurate)
+{
+    Rkf45Workspace ws(1);
+    std::vector<double> y{1.0};
+    auto rhs = decayRhs(1.0);
+    rkf45SingleStep(rhs, 0.0, 0.1, y, ws);
+    // Local truncation error of the 5th-order solution is O(h^6).
+    EXPECT_NEAR(y[0], std::exp(-0.1), 1e-8);
+}
+
+TEST(Rkf45, IntegrateExponentialDecay)
+{
+    Rkf45Workspace ws(1);
+    std::vector<double> y{1.0};
+    auto rhs = decayRhs(3.0);
+    auto result = rkf45Integrate(rhs, 0.0, 2.0, y, ws);
+    EXPECT_TRUE(result.converged);
+    EXPECT_NEAR(y[0], std::exp(-6.0), 1e-6);
+    EXPECT_GT(result.rhsEvaluations, 0u);
+}
+
+TEST(Rkf45, IntegrateHarmonicOscillator)
+{
+    // y'' = -y  as a 2d system; energy must be conserved.
+    OdeRhs rhs = [](double, std::span<const double> y,
+                    std::span<double> dydt) {
+        dydt[0] = y[1];
+        dydt[1] = -y[0];
+    };
+    Rkf45Workspace ws(2);
+    std::vector<double> y{1.0, 0.0};
+    auto result = rkf45Integrate(rhs, 0.0, 2.0 * M_PI, y, ws);
+    EXPECT_TRUE(result.converged);
+    EXPECT_NEAR(y[0], 1.0, 1e-4);
+    EXPECT_NEAR(y[1], 0.0, 1e-4);
+}
+
+TEST(Rkf45, TighterToleranceCostsMoreEvaluations)
+{
+    auto run = [](double tol) {
+        Rkf45Workspace ws(1);
+        std::vector<double> y{1.0};
+        OdeRhs rhs = [](double t, std::span<const double> y,
+                        std::span<double> dydt) {
+            dydt[0] = std::cos(10.0 * t) * y[0];
+        };
+        Rkf45Options opts;
+        opts.tolerance = tol;
+        auto result = rkf45Integrate(rhs, 0.0, 5.0, y, ws, opts);
+        EXPECT_TRUE(result.converged);
+        return result.rhsEvaluations;
+    };
+    EXPECT_GT(run(1e-11), run(1e-5));
+}
+
+TEST(Rkf45, RespectsMaxSteps)
+{
+    Rkf45Workspace ws(1);
+    std::vector<double> y{1.0};
+    auto rhs = decayRhs(1.0);
+    Rkf45Options opts;
+    opts.maxSteps = 1;
+    opts.tolerance = 1e-16;
+    opts.minStep = 1e-12;
+    auto result = rkf45Integrate(rhs, 0.0, 100.0, y, ws, opts);
+    EXPECT_FALSE(result.converged);
+}
+
+TEST(Rkf45, WorkspaceAccessors)
+{
+    Rkf45Workspace ws(3);
+    EXPECT_EQ(ws.dim(), 3u);
+    EXPECT_EQ(ws.k(0).size(), 3u);
+    EXPECT_EQ(ws.k(5).size(), 3u);
+    EXPECT_EQ(ws.ytmp().size(), 3u);
+    EXPECT_EQ(ws.yerr().size(), 3u);
+}
+
+TEST(Solver, Names)
+{
+    EXPECT_STREQ(solverName(SolverKind::Euler), "Euler");
+    EXPECT_STREQ(solverName(SolverKind::RKF45), "RKF45");
+}
+
+} // namespace
+} // namespace flexon

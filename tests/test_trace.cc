@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for the folded-Flexon execution tracer: agreement with the
+ * production interpreter (enforced internally by the shadow twin),
+ * cycle accounting, operand capture, and the rendered log format.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/random.hh"
+#include "features/model_table.hh"
+#include "folded/trace.hh"
+
+namespace flexon {
+namespace {
+
+FlexonConfig
+configFor(ModelKind kind)
+{
+    return FlexonConfig::fromParams(defaultParams(kind));
+}
+
+TEST(Trace, CycleCountMatchesProgramLength)
+{
+    TracedFoldedNeuron n(configFor(ModelKind::DLIF));
+    const size_t len = buildProgram(configFor(ModelKind::DLIF)).length();
+    for (int t = 0; t < 10; ++t)
+        n.step(Fix::zero());
+    EXPECT_EQ(n.totalCycles(), 10u * len);
+    EXPECT_EQ(n.fires().size(), 10u);
+}
+
+TEST(Trace, ShadowTwinStaysInLockStep)
+{
+    // The tracer asserts internally against an untraced
+    // FoldedFlexonNeuron; driving it hard for many steps exercises
+    // that cross-check (a divergence would abort).
+    const FlexonConfig config = configFor(ModelKind::AdEx);
+    TracedFoldedNeuron n(config);
+    Rng rng(3);
+    int spikes = 0;
+    for (int t = 0; t < 5000; ++t) {
+        const Fix in = rng.bernoulli(0.2)
+                           ? config.scaleWeight(rng.uniform(0.2, 0.7))
+                           : Fix::zero();
+        spikes += n.step(in);
+    }
+    EXPECT_GT(spikes, 0);
+}
+
+TEST(Trace, CapturesLifSemantics)
+{
+    // One LIF step with v = 0.5 and input 0.2 (pre-scaled): the
+    // single control signal computes eps'_m * v + I.
+    const FlexonConfig config = configFor(ModelKind::LIF);
+    TracedFoldedNeuron n(config);
+    n.step(Fix::zero()); // settle trace plumbing
+    n.clearTrace();
+
+    // Manually set v via a warm-up input, then inspect one cycle.
+    const Fix in = config.scaleWeight(30.0);
+    n.step(in);
+    ASSERT_EQ(n.cycles().size(), 1u);
+    const TraceCycle &c = n.cycles()[0];
+    EXPECT_EQ(c.op.s, StateVar::V);
+    EXPECT_EQ(c.addOperand.raw(), in.raw());
+    EXPECT_NEAR(c.mulOperand.toDouble(), 0.99, 1e-6);
+    EXPECT_EQ(c.result.raw(), c.vAccAfter.raw());
+    EXPECT_EQ(n.state().v.raw(), c.result.raw());
+}
+
+TEST(Trace, FireStageRecordsSpikes)
+{
+    const FlexonConfig config = configFor(ModelKind::LIF);
+    TracedFoldedNeuron n(config);
+    const bool fired = n.step(config.scaleWeight(200.0)); // dv = 2.0
+    EXPECT_TRUE(fired);
+    ASSERT_EQ(n.fires().size(), 1u);
+    EXPECT_TRUE(n.fires()[0].fired);
+    EXPECT_GT(n.fires()[0].preResetV.toDouble(), 1.0);
+    EXPECT_EQ(n.state().v.raw(), 0);
+}
+
+TEST(Trace, RenderedLogIsReadable)
+{
+    const FlexonConfig config = configFor(ModelKind::QIF);
+    TracedFoldedNeuron n(config);
+    n.step(config.scaleWeight(0.5));
+    n.step(Fix::zero());
+    std::ostringstream oss;
+    n.write(oss);
+    const std::string log = oss.str();
+    EXPECT_NE(log.find("step 0:"), std::string::npos);
+    EXPECT_NE(log.find("step 1:"), std::string::npos);
+    EXPECT_NE(log.find("fire-stage"), std::string::npos);
+    EXPECT_NE(log.find("v'="), std::string::npos);
+    EXPECT_NE(log.find("; tmp ="), std::string::npos);
+}
+
+TEST(Trace, ExponentiationCycleFlagged)
+{
+    const FlexonConfig config = configFor(ModelKind::EIF);
+    TracedFoldedNeuron n(config);
+    n.step(Fix::zero());
+    std::ostringstream oss;
+    n.write(oss);
+    EXPECT_NE(oss.str().find("|exp|"), std::string::npos);
+}
+
+TEST(Trace, ClearTraceKeepsState)
+{
+    const FlexonConfig config = configFor(ModelKind::DLIF);
+    TracedFoldedNeuron n(config);
+    n.step(config.scaleWeight(0.4));
+    const Fix v = n.state().v;
+    n.clearTrace();
+    EXPECT_EQ(n.totalCycles(), 0u);
+    EXPECT_EQ(n.state().v.raw(), v.raw());
+}
+
+} // namespace
+} // namespace flexon

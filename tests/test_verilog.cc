@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Tests for the Verilog emitter: the ROM encoding round-trips bit
+ * for bit, the generated text has the expected structure for every
+ * Table III model, and the embedded constants match the compiled
+ * program.
+ */
+
+#include <gtest/gtest.h>
+
+#include "backend/verilog.hh"
+#include "common/random.hh"
+
+namespace flexon {
+namespace {
+
+TEST(ControlWord, RoundTripsAllFields)
+{
+    MicroOp op;
+    op.a = MulSel::Tmp;
+    op.ca = 13;
+    op.b = AddSel::Input;
+    op.cb = 5;
+    op.type = 2;
+    op.s = StateVar::G3;
+    op.exp = true;
+    op.sWr = true;
+    op.vAcc = false;
+    const MicroOp back = unpackControlWord(packControlWord(op));
+    EXPECT_EQ(back.a, op.a);
+    EXPECT_EQ(back.ca, op.ca);
+    EXPECT_EQ(back.b, op.b);
+    EXPECT_EQ(back.cb, op.cb);
+    EXPECT_EQ(back.type, op.type);
+    EXPECT_EQ(back.s, op.s);
+    EXPECT_EQ(back.exp, op.exp);
+    EXPECT_EQ(back.sWr, op.sWr);
+    EXPECT_EQ(back.vAcc, op.vAcc);
+}
+
+TEST(ControlWord, RandomizedRoundTrip)
+{
+    Rng rng(55);
+    for (int trial = 0; trial < 2000; ++trial) {
+        MicroOp op;
+        op.a = static_cast<MulSel>(rng.uniformInt(2));
+        op.ca = static_cast<uint8_t>(rng.uniformInt(16));
+        op.b = static_cast<AddSel>(rng.uniformInt(4));
+        op.cb = static_cast<uint8_t>(rng.uniformInt(8));
+        op.type = static_cast<uint8_t>(rng.uniformInt(4));
+        op.s = static_cast<StateVar>(rng.uniformInt(numStateVars));
+        op.exp = rng.bernoulli(0.5);
+        op.sWr = rng.bernoulli(0.5);
+        op.vAcc = rng.bernoulli(0.5);
+
+        const uint32_t word = packControlWord(op);
+        ASSERT_LT(word, 1u << controlWordBits);
+        const MicroOp back = unpackControlWord(word);
+        ASSERT_EQ(packControlWord(back), word);
+    }
+}
+
+TEST(ControlWord, EveryCompiledOpFitsTheWord)
+{
+    for (ModelKind kind : allModels()) {
+        const CompiledNeuron c = compileModel(kind);
+        for (const MicroOp &op : c.program.ops()) {
+            const uint32_t word = packControlWord(op);
+            ASSERT_LT(word, 1u << controlWordBits);
+            const MicroOp back = unpackControlWord(word);
+            EXPECT_EQ(back.a, op.a);
+            EXPECT_EQ(back.ca, op.ca);
+            EXPECT_EQ(back.b, op.b);
+            EXPECT_EQ(back.cb, op.cb);
+            EXPECT_EQ(back.s, op.s);
+        }
+    }
+}
+
+TEST(Verilog, ModuleStructure)
+{
+    const CompiledNeuron adex = compileModel(ModelKind::AdEx);
+    const std::string rtl = emitFoldedVerilog(adex, "adex_neuron");
+    EXPECT_NE(rtl.find("module adex_neuron"), std::string::npos);
+    EXPECT_NE(rtl.find("endmodule"), std::string::npos);
+    EXPECT_NE(rtl.find("localparam integer PROG_LEN = 11;"),
+              std::string::npos);
+    EXPECT_NE(rtl.find("fast_exp_q10_22"), std::string::npos);
+    EXPECT_NE(rtl.find("EXD+COBE+REV+EXI+ADT+SBT+AR"),
+              std::string::npos);
+}
+
+TEST(Verilog, RomDepthMatchesProgram)
+{
+    for (ModelKind kind : {ModelKind::LIF, ModelKind::DLIF,
+                           ModelKind::IFCondExpGsfaGrr}) {
+        const CompiledNeuron c = compileModel(kind);
+        const std::string rtl = emitFoldedVerilog(c);
+        size_t entries = 0;
+        size_t pos = 0;
+        while ((pos = rtl.find("ucode[", pos)) != std::string::npos) {
+            ++entries;
+            ++pos;
+        }
+        // One declaration reference plus one initializer per op.
+        EXPECT_EQ(entries, 1u + c.programLength()) << modelName(kind);
+    }
+}
+
+TEST(Verilog, ConstantsEncodedAsRawHex)
+{
+    const CompiledNeuron lif = compileModel(ModelKind::LIF);
+    const std::string rtl = emitFoldedVerilog(lif);
+    // eps'_m = 0.99 in Q10.22.
+    const Fix eps_mp = lif.program.mulConstants().at(0);
+    char expected[32];
+    std::snprintf(expected, sizeof(expected), "32'h%08x",
+                  static_cast<uint32_t>(eps_mp.raw() & 0xffffffff));
+    EXPECT_NE(rtl.find(expected), std::string::npos);
+    // Threshold 1.0 = 0x00400000.
+    EXPECT_NE(rtl.find("THRESHOLD = 32'h00400000"),
+              std::string::npos);
+}
+
+TEST(Verilog, CommentsCarryTableVSemantics)
+{
+    const CompiledNeuron qif = compileModel(ModelKind::QIF);
+    const std::string rtl = emitFoldedVerilog(qif);
+    EXPECT_NE(rtl.find("v' += tmp*v"), std::string::npos);
+}
+
+TEST(Testbench, GoldenVectorsCoverEveryStep)
+{
+    const CompiledNeuron lif = compileModel(ModelKind::LIF);
+    const std::string tb = emitFoldedTestbench(lif, 50, 7);
+    EXPECT_NE(tb.find("localparam integer STEPS = 50;"),
+              std::string::npos);
+    size_t vexp = 0, spk = 0, vin = 0;
+    for (size_t pos = 0;
+         (pos = tb.find("vec_vexp[", pos)) != std::string::npos;
+         ++pos)
+        ++vexp;
+    for (size_t pos = 0;
+         (pos = tb.find("vec_spk[", pos)) != std::string::npos;
+         ++pos)
+        ++spk;
+    for (size_t pos = 0;
+         (pos = tb.find("vec_in[", pos)) != std::string::npos; ++pos)
+        ++vin;
+    // Declaration + one initializer per step + the checking-loop
+    // reference(s).
+    EXPECT_EQ(vexp, 2u + 50u);
+    EXPECT_EQ(spk, 2u + 50u);
+    EXPECT_EQ(vin, 4u + 4u * 50u);
+}
+
+TEST(Testbench, DrivenNeuronHasSpikesInTheVectors)
+{
+    const CompiledNeuron dlif = compileModel(ModelKind::DLIF);
+    const std::string tb = emitFoldedTestbench(dlif, 3000, 3);
+    EXPECT_NE(tb.find("= 1'b1;"), std::string::npos)
+        << "expected at least one golden spike";
+    EXPECT_NE(tb.find("PASS"), std::string::npos);
+    EXPECT_NE(tb.find("MISMATCH"), std::string::npos);
+}
+
+TEST(Testbench, InstantiatesTheRequestedModule)
+{
+    const CompiledNeuron lif = compileModel(ModelKind::LIF);
+    const std::string tb = emitFoldedTestbench(lif, 10, 1, "my_core");
+    EXPECT_NE(tb.find("module my_core_tb;"), std::string::npos);
+    EXPECT_NE(tb.find("my_core dut"), std::string::npos);
+}
+
+TEST(Testbench, DeterministicForSameSeed)
+{
+    const CompiledNeuron lif = compileModel(ModelKind::LIF);
+    EXPECT_EQ(emitFoldedTestbench(lif, 100, 9),
+              emitFoldedTestbench(lif, 100, 9));
+    EXPECT_NE(emitFoldedTestbench(lif, 100, 9),
+              emitFoldedTestbench(lif, 100, 10));
+}
+
+TEST(FastExpRtl, EmitsTheInstantiatedUnit)
+{
+    const std::string rtl = emitFastExpVerilog();
+    EXPECT_NE(rtl.find("module fast_exp_q10_22"), std::string::npos);
+    EXPECT_NE(rtl.find("$bitstoreal"), std::string::npos);
+    // The Schraudolph constants must match the C++ model.
+    EXPECT_NE(rtl.find("1048576.0 / 0.6931471805599453"),
+              std::string::npos);
+    EXPECT_NE(rtl.find("1072693248.0 - 60801.0"), std::string::npos);
+    // Q10.22 scale factor.
+    EXPECT_NE(rtl.find("4194304.0"), std::string::npos);
+}
+
+} // namespace
+} // namespace flexon

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * flexon_compare — the Brian-style cross-validation workflow as a
+ * command-line tool (Section VI-A: "the functional correctness ...
+ * is thoroughly verified ... by comparing the output spikes").
+ *
+ * Runs the same network (a Table I benchmark or a .fxs script) on
+ * two backends with identical stimulus and reports divergence
+ * metrics: spike totals, per-neuron rate deltas, and the
+ * coincidence of the spike trains at a configurable tolerance.
+ *
+ * Usage:
+ *   flexon_compare --benchmark NAME [--scale S] [--steps N]
+ *                  [--seed N] [--a reference|flexon|folded]
+ *                  [--b reference|flexon|folded] [--tolerance T]
+ *   flexon_compare --script FILE ...
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "analysis/spike_train.hh"
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "frontend/script.hh"
+#include "nets/table1.hh"
+#include "snn/simulator.hh"
+
+using namespace flexon;
+
+namespace {
+
+struct Args
+{
+    std::string benchmark;
+    std::string script;
+    double scale = 10.0;
+    uint64_t steps = 2000;
+    uint64_t seed = 1;
+    uint64_t tolerance = 20; // 2 ms at the 0.1 ms step
+    BackendKind a = BackendKind::Reference;
+    BackendKind b = BackendKind::Folded;
+};
+
+BackendKind
+parseBackend(const std::string &value)
+{
+    if (value == "reference")
+        return BackendKind::Reference;
+    if (value == "flexon")
+        return BackendKind::Flexon;
+    if (value == "folded")
+        return BackendKind::Folded;
+    fatal("unknown backend '%s'", value.c_str());
+}
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: flexon_compare --benchmark NAME | "
+                 "--script FILE\n"
+                 "  [--scale S] [--steps N] [--seed N]\n"
+                 "  [--a BACKEND] [--b BACKEND] [--tolerance T]\n");
+    std::exit(2);
+}
+
+Args
+parseArgs(int argc, char **argv)
+{
+    Args args;
+    auto value = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage();
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        if (flag == "--benchmark")
+            args.benchmark = value(i);
+        else if (flag == "--script")
+            args.script = value(i);
+        else if (flag == "--scale")
+            args.scale = std::stod(value(i));
+        else if (flag == "--steps")
+            args.steps = std::stoull(value(i));
+        else if (flag == "--seed")
+            args.seed = std::stoull(value(i));
+        else if (flag == "--tolerance")
+            args.tolerance = std::stoull(value(i));
+        else if (flag == "--a")
+            args.a = parseBackend(value(i));
+        else if (flag == "--b")
+            args.b = parseBackend(value(i));
+        else
+            usage();
+    }
+    if (args.benchmark.empty() == args.script.empty())
+        usage();
+    return args;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Args args = parseArgs(argc, argv);
+
+    auto load = [&]() {
+        if (!args.benchmark.empty()) {
+            BenchmarkInstance inst = buildBenchmark(
+                findBenchmark(args.benchmark), args.scale,
+                args.seed);
+            return std::make_pair(std::move(inst.network),
+                                  std::move(inst.stimulus));
+        }
+        ParsedScript parsed = parseScriptFile(args.script);
+        return std::make_pair(std::move(parsed.network),
+                              std::move(parsed.stimulus));
+    };
+
+    auto run = [&](BackendKind kind) {
+        auto [net, stim] = load();
+        SimulatorOptions opts;
+        opts.backend = kind;
+        opts.recordSpikes = true;
+        Simulator sim(net, std::move(stim), opts);
+        sim.run(args.steps);
+        struct Result
+        {
+            std::vector<SpikeEvent> events;
+            std::vector<uint64_t> counts;
+            size_t neurons;
+        };
+        return Result{sim.spikeEvents(), sim.spikeCounts(),
+                      net.numNeurons()};
+    };
+
+    const auto ra = run(args.a);
+    const auto rb = run(args.b);
+
+    std::printf("backend A = %s: %zu spikes\n", backendName(args.a),
+                ra.events.size());
+    std::printf("backend B = %s: %zu spikes\n", backendName(args.b),
+                rb.events.size());
+
+    Summary rate_delta;
+    size_t exact = 0;
+    for (size_t n = 0; n < ra.neurons; ++n) {
+        rate_delta.add(std::abs(
+            static_cast<double>(ra.counts[n]) -
+            static_cast<double>(rb.counts[n])));
+        exact += ra.counts[n] == rb.counts[n];
+    }
+    const double coincidence_score =
+        compareRuns(ra.events, rb.events, ra.neurons,
+                    args.tolerance);
+
+    std::printf("per-neuron spike-count delta: mean %.3f, max %.0f "
+                "(%zu/%zu neurons exact)\n",
+                rate_delta.mean(), rate_delta.max(), exact,
+                ra.neurons);
+    std::printf("train coincidence @ %llu steps: %.4f\n",
+                static_cast<unsigned long long>(args.tolerance),
+                coincidence_score);
+
+    const bool hardware_pair = args.a != BackendKind::Reference &&
+                               args.b != BackendKind::Reference;
+    if (hardware_pair && coincidence_score < 1.0) {
+        std::printf("FAIL: the two hardware models must be "
+                    "bit-exact\n");
+        return 1;
+    }
+    std::printf("%s\n", coincidence_score > 0.5
+                            ? "OK: backends agree"
+                            : "WARN: low coincidence — inspect "
+                              "parameters or tolerance");
+    return 0;
+}

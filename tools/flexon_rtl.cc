@@ -1,0 +1,58 @@
+/**
+ * @file
+ * flexon_rtl — emit the spatially folded Flexon Verilog for a neuron
+ * model (the code-generator path of Section VII-B, ending in RTL).
+ *
+ * Usage:
+ *   flexon_rtl MODEL [module_name]       # emit the module
+ *   flexon_rtl --testbench MODEL [name]  # emit a golden testbench
+ *   flexon_rtl --list
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "backend/verilog.hh"
+
+using namespace flexon;
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: flexon_rtl MODEL [module_name]\n"
+                     "       flexon_rtl --testbench MODEL [name]\n"
+                     "       flexon_rtl --list\n");
+        return 2;
+    }
+    std::string arg = argv[1];
+    if (arg == "--list") {
+        for (ModelKind kind : allModels())
+            std::printf("%s\n", modelName(kind));
+        return 0;
+    }
+
+    bool testbench = false;
+    int model_idx = 1;
+    if (arg == "--testbench") {
+        if (argc < 3) {
+            std::fprintf(stderr, "missing MODEL\n");
+            return 2;
+        }
+        testbench = true;
+        model_idx = 2;
+        arg = argv[model_idx];
+    }
+    const ModelKind kind = modelFromName(arg);
+    const CompiledNeuron compiled = compileModel(kind);
+    const std::string module = argc > model_idx + 1
+                                   ? argv[model_idx + 1]
+                                   : "flexon_folded_neuron";
+    const std::string text =
+        testbench ? emitFoldedTestbench(compiled, 200, 1, module)
+                  : emitFoldedVerilog(compiled, module) + "\n" +
+                        emitFastExpVerilog();
+    std::fputs(text.c_str(), stdout);
+    return 0;
+}

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * flexon_sim — command-line driver for the simulator.
+ *
+ * Run a Table I benchmark (or a saved network file) on any backend,
+ * print activity statistics, and optionally dump a raster, a rate
+ * sparkline, a spikes CSV, or the network itself.
+ *
+ * Usage:
+ *   flexon_sim --benchmark Vogels-Abbott [--scale 10] [--steps 1000]
+ *              [--backend reference|flexon|folded] [--seed 1]
+ *              [--solver euler|rkf45] [--threads N]
+ *              [--raster] [--csv spikes.csv] [--save net.fxn]
+ *   flexon_sim --load net.fxn [--steps 1000] ...
+ *   flexon_sim --list
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <optional>
+#include <string>
+
+#include "analysis/raster.hh"
+#include "analysis/spike_train.hh"
+#include "common/logging.hh"
+#include "frontend/script.hh"
+#include "nets/table1.hh"
+#include "snn/serialize.hh"
+#include "snn/simulator.hh"
+
+using namespace flexon;
+
+namespace {
+
+struct Args
+{
+    std::string benchmark;
+    std::string script;
+    std::string load;
+    std::string save;
+    std::string csv;
+    double scale = 10.0;
+    uint64_t steps = 1000;
+    uint64_t seed = 1;
+    size_t threads = 1;
+    BackendKind backend = BackendKind::Reference;
+    IntegrationMode mode = IntegrationMode::Discrete;
+    SolverKind solver = SolverKind::Euler;
+    bool raster = false;
+    bool stats = false;
+    bool list = false;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: flexon_sim --benchmark NAME | --script FILE |\n"
+        "                  --load FILE | --list\n"
+        "  [--scale S] [--steps N] [--seed N] [--threads N]\n"
+        "  [--backend reference|flexon|folded]\n"
+        "  [--solver euler|rkf45]  (reference backend only)\n"
+        "  [--raster] [--stats] [--csv FILE] [--save FILE]\n");
+    std::exit(2);
+}
+
+Args
+parseArgs(int argc, char **argv)
+{
+    Args args;
+    auto need_value = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage();
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        if (flag == "--benchmark") {
+            args.benchmark = need_value(i);
+        } else if (flag == "--script") {
+            args.script = need_value(i);
+        } else if (flag == "--load") {
+            args.load = need_value(i);
+        } else if (flag == "--save") {
+            args.save = need_value(i);
+        } else if (flag == "--csv") {
+            args.csv = need_value(i);
+        } else if (flag == "--scale") {
+            args.scale = std::stod(need_value(i));
+        } else if (flag == "--steps") {
+            args.steps = std::stoull(need_value(i));
+        } else if (flag == "--seed") {
+            args.seed = std::stoull(need_value(i));
+        } else if (flag == "--threads") {
+            args.threads = std::stoul(need_value(i));
+        } else if (flag == "--backend") {
+            const std::string v = need_value(i);
+            if (v == "reference")
+                args.backend = BackendKind::Reference;
+            else if (v == "flexon")
+                args.backend = BackendKind::Flexon;
+            else if (v == "folded")
+                args.backend = BackendKind::Folded;
+            else
+                usage();
+        } else if (flag == "--solver") {
+            const std::string v = need_value(i);
+            args.mode = IntegrationMode::Continuous;
+            if (v == "euler")
+                args.solver = SolverKind::Euler;
+            else if (v == "rkf45")
+                args.solver = SolverKind::RKF45;
+            else
+                usage();
+        } else if (flag == "--raster") {
+            args.raster = true;
+        } else if (flag == "--stats") {
+            args.stats = true;
+        } else if (flag == "--list") {
+            args.list = true;
+        } else {
+            std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
+            usage();
+        }
+    }
+    return args;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Args args = parseArgs(argc, argv);
+
+    if (args.list) {
+        std::printf("%-18s %8s %10s  %-22s %s\n", "benchmark",
+                    "neurons", "synapses", "model", "solver");
+        for (const BenchmarkSpec &spec : table1Benchmarks()) {
+            std::printf("%-18s %8zu %10zu  %-22s %s\n",
+                        spec.name.c_str(), spec.neurons,
+                        spec.synapses, modelName(spec.model),
+                        solverName(spec.solver));
+        }
+        return 0;
+    }
+    const int sources = (!args.benchmark.empty()) +
+                        (!args.script.empty()) + (!args.load.empty());
+    if (sources != 1)
+        usage(); // exactly one source required
+
+    Network net;
+    StimulusGenerator stim(args.seed);
+    std::string title;
+    if (!args.benchmark.empty()) {
+        BenchmarkInstance inst = buildBenchmark(
+            findBenchmark(args.benchmark), args.scale, args.seed);
+        net = std::move(inst.network);
+        stim = std::move(inst.stimulus);
+        title = args.benchmark;
+    } else if (!args.script.empty()) {
+        ParsedScript parsed = parseScriptFile(args.script);
+        net = std::move(parsed.network);
+        stim = std::move(parsed.stimulus);
+        title = args.script;
+    } else {
+        net = loadNetworkFile(args.load);
+        title = args.load;
+        // Generic background drive for loaded networks.
+        stim.addSource(StimulusSource::poisson(
+            0, static_cast<uint32_t>(net.numNeurons()), 0.01, 2.0f,
+            0));
+    }
+
+    if (!args.save.empty()) {
+        saveNetworkFile(args.save, net);
+        inform("saved network to %s", args.save.c_str());
+    }
+
+    SimulatorOptions opts;
+    opts.backend = args.backend;
+    opts.mode = args.mode;
+    opts.solver = args.solver;
+    opts.threads = args.threads;
+    opts.recordSpikes = args.raster || !args.csv.empty();
+    Simulator sim(net, stim, opts);
+    sim.run(args.steps);
+
+    const PhaseStats &st = sim.stats();
+    std::printf("%s: %zu neurons, %zu synapses, backend=%s\n",
+                title.c_str(), net.numNeurons(), net.numSynapses(),
+                backendName(args.backend));
+    std::printf("steps=%llu spikes=%llu rate=%.5f/neuron/step "
+                "synapse-events=%llu\n",
+                static_cast<unsigned long long>(st.steps),
+                static_cast<unsigned long long>(st.spikes),
+                sim.meanRate(),
+                static_cast<unsigned long long>(st.synapseEvents));
+    std::printf("wall time: stimulus %.2f ms, neuron %.2f ms, "
+                "synapse %.2f ms\n",
+                st.stimulusSec * 1e3, st.neuronSec * 1e3,
+                st.synapseSec * 1e3);
+    if (st.modelNeuronSec > 0.0) {
+        std::printf("modelled hardware neuron time: %.3f ms "
+                    "(%.1fx vs this host's reference loop)\n",
+                    st.modelNeuronSec * 1e3,
+                    st.neuronSec / st.modelNeuronSec);
+    }
+
+    if (args.stats) {
+        std::ostringstream oss;
+        sim.printStats(oss);
+        std::fputs(oss.str().c_str(), stdout);
+    }
+
+    if (args.raster) {
+        std::printf("\n%s",
+                    renderRaster(sim.spikeEvents(), net.numNeurons(),
+                                 st.steps)
+                        .c_str());
+        const auto rate = populationRate(
+            sim.spikeEvents(), net.numNeurons(), st.steps,
+            std::max<uint64_t>(1, st.steps / 72));
+        std::printf("rate    %s\n",
+                    renderRateSparkline(rate).c_str());
+    }
+    if (!args.csv.empty()) {
+        std::ofstream os(args.csv);
+        if (!os)
+            fatal("cannot open '%s'", args.csv.c_str());
+        writeSpikesCsv(os, sim.spikeEvents());
+        inform("wrote %zu spike events to %s",
+               sim.spikeEvents().size(), args.csv.c_str());
+    }
+    return 0;
+}
