@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_amdahl.dir/abl_amdahl.cc.o"
+  "CMakeFiles/abl_amdahl.dir/abl_amdahl.cc.o.d"
+  "abl_amdahl"
+  "abl_amdahl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_amdahl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

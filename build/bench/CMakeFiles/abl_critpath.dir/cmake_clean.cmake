@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_critpath.dir/abl_critpath.cc.o"
+  "CMakeFiles/abl_critpath.dir/abl_critpath.cc.o.d"
+  "abl_critpath"
+  "abl_critpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_critpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

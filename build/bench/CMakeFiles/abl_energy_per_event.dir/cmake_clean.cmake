@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_energy_per_event.dir/abl_energy_per_event.cc.o"
+  "CMakeFiles/abl_energy_per_event.dir/abl_energy_per_event.cc.o.d"
+  "abl_energy_per_event"
+  "abl_energy_per_event.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_energy_per_event.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_energy_per_event.
+# This may be replaced when dependencies are built.

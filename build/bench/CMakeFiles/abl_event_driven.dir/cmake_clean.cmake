@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_event_driven.dir/abl_event_driven.cc.o"
+  "CMakeFiles/abl_event_driven.dir/abl_event_driven.cc.o.d"
+  "abl_event_driven"
+  "abl_event_driven.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_event_driven.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

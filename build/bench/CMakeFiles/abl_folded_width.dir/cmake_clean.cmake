@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_folded_width.dir/abl_folded_width.cc.o"
+  "CMakeFiles/abl_folded_width.dir/abl_folded_width.cc.o.d"
+  "abl_folded_width"
+  "abl_folded_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_folded_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl_fullsystem.cc" "bench/CMakeFiles/abl_fullsystem.dir/abl_fullsystem.cc.o" "gcc" "bench/CMakeFiles/abl_fullsystem.dir/abl_fullsystem.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nets/CMakeFiles/flexon_nets.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwmodel/CMakeFiles/flexon_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/snn/CMakeFiles/flexon_snn.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/flexon_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/solvers/CMakeFiles/flexon_solvers.dir/DependInfo.cmake"
+  "/root/repo/build/src/folded/CMakeFiles/flexon_folded.dir/DependInfo.cmake"
+  "/root/repo/build/src/flexon/CMakeFiles/flexon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/flexon_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixed/CMakeFiles/flexon_fixed.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flexon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_fullsystem.dir/abl_fullsystem.cc.o"
+  "CMakeFiles/abl_fullsystem.dir/abl_fullsystem.cc.o.d"
+  "abl_fullsystem"
+  "abl_fullsystem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_fullsystem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_powergating.dir/abl_powergating.cc.o"
+  "CMakeFiles/abl_powergating.dir/abl_powergating.cc.o.d"
+  "abl_powergating"
+  "abl_powergating.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_powergating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

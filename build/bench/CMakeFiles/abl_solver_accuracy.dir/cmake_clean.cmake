@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_solver_accuracy.dir/abl_solver_accuracy.cc.o"
+  "CMakeFiles/abl_solver_accuracy.dir/abl_solver_accuracy.cc.o.d"
+  "abl_solver_accuracy"
+  "abl_solver_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_solver_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_truncation.dir/abl_truncation.cc.o"
+  "CMakeFiles/abl_truncation.dir/abl_truncation.cc.o.d"
+  "abl_truncation"
+  "abl_truncation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_truncation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

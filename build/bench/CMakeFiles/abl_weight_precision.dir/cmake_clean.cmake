@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_weight_precision.dir/abl_weight_precision.cc.o"
+  "CMakeFiles/abl_weight_precision.dir/abl_weight_precision.cc.o.d"
+  "abl_weight_precision"
+  "abl_weight_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_weight_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

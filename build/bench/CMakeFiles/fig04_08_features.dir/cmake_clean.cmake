@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_08_features.dir/fig04_08_features.cc.o"
+  "CMakeFiles/fig04_08_features.dir/fig04_08_features.cc.o.d"
+  "fig04_08_features"
+  "fig04_08_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_08_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

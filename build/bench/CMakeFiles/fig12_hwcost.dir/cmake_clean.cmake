@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_hwcost.dir/fig12_hwcost.cc.o"
+  "CMakeFiles/fig12_hwcost.dir/fig12_hwcost.cc.o.d"
+  "fig12_hwcost"
+  "fig12_hwcost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_hwcost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

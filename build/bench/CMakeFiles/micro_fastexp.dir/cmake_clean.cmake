@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_fastexp.dir/micro_fastexp.cc.o"
+  "CMakeFiles/micro_fastexp.dir/micro_fastexp.cc.o.d"
+  "micro_fastexp"
+  "micro_fastexp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_fastexp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_neuron.dir/micro_neuron.cc.o"
+  "CMakeFiles/micro_neuron.dir/micro_neuron.cc.o.d"
+  "micro_neuron"
+  "micro_neuron.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_neuron.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sci_network_states.dir/sci_network_states.cc.o"
+  "CMakeFiles/sci_network_states.dir/sci_network_states.cc.o.d"
+  "sci_network_states"
+  "sci_network_states.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sci_network_states.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab03_coverage.dir/tab03_coverage.cc.o"
+  "CMakeFiles/tab03_coverage.dir/tab03_coverage.cc.o.d"
+  "tab03_coverage"
+  "tab03_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab05_microcode.dir/tab05_microcode.cc.o"
+  "CMakeFiles/tab05_microcode.dir/tab05_microcode.cc.o.d"
+  "tab05_microcode"
+  "tab05_microcode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab05_microcode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab06_arrays.dir/tab06_arrays.cc.o"
+  "CMakeFiles/tab06_arrays.dir/tab06_arrays.cc.o.d"
+  "tab06_arrays"
+  "tab06_arrays.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab06_arrays.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adex_patterns.dir/adex_patterns.cc.o"
+  "CMakeFiles/adex_patterns.dir/adex_patterns.cc.o.d"
+  "adex_patterns"
+  "adex_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adex_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

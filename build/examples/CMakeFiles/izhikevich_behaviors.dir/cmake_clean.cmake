@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/izhikevich_behaviors.dir/izhikevich_behaviors.cc.o"
+  "CMakeFiles/izhikevich_behaviors.dir/izhikevich_behaviors.cc.o.d"
+  "izhikevich_behaviors"
+  "izhikevich_behaviors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/izhikevich_behaviors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

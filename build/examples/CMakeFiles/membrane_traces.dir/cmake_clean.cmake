@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/membrane_traces.dir/membrane_traces.cc.o"
+  "CMakeFiles/membrane_traces.dir/membrane_traces.cc.o.d"
+  "membrane_traces"
+  "membrane_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/membrane_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

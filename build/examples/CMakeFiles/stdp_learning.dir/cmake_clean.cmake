@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stdp_learning.dir/stdp_learning.cc.o"
+  "CMakeFiles/stdp_learning.dir/stdp_learning.cc.o.d"
+  "stdp_learning"
+  "stdp_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stdp_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vogels_abbott.dir/vogels_abbott.cc.o"
+  "CMakeFiles/vogels_abbott.dir/vogels_abbott.cc.o.d"
+  "vogels_abbott"
+  "vogels_abbott.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vogels_abbott.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vogels_abbott.
+# This may be replaced when dependencies are built.

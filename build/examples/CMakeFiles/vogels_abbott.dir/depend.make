@@ -1,0 +1,2 @@
+# Empty dependencies file for vogels_abbott.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("fixed")
+subdirs("features")
+subdirs("solvers")
+subdirs("models")
+subdirs("flexon")
+subdirs("folded")
+subdirs("backend")
+subdirs("snn")
+subdirs("nets")
+subdirs("hwmodel")
+subdirs("analysis")
+subdirs("frontend")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexon_analysis.dir/raster.cc.o"
+  "CMakeFiles/flexon_analysis.dir/raster.cc.o.d"
+  "CMakeFiles/flexon_analysis.dir/spike_train.cc.o"
+  "CMakeFiles/flexon_analysis.dir/spike_train.cc.o.d"
+  "CMakeFiles/flexon_analysis.dir/trace_plot.cc.o"
+  "CMakeFiles/flexon_analysis.dir/trace_plot.cc.o.d"
+  "libflexon_analysis.a"
+  "libflexon_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexon_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

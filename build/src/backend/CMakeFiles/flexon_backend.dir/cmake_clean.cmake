@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexon_backend.dir/bio_params.cc.o"
+  "CMakeFiles/flexon_backend.dir/bio_params.cc.o.d"
+  "CMakeFiles/flexon_backend.dir/codegen.cc.o"
+  "CMakeFiles/flexon_backend.dir/codegen.cc.o.d"
+  "CMakeFiles/flexon_backend.dir/verilog.cc.o"
+  "CMakeFiles/flexon_backend.dir/verilog.cc.o.d"
+  "libflexon_backend.a"
+  "libflexon_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexon_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexon_common.dir/debug.cc.o"
+  "CMakeFiles/flexon_common.dir/debug.cc.o.d"
+  "CMakeFiles/flexon_common.dir/logging.cc.o"
+  "CMakeFiles/flexon_common.dir/logging.cc.o.d"
+  "CMakeFiles/flexon_common.dir/random.cc.o"
+  "CMakeFiles/flexon_common.dir/random.cc.o.d"
+  "CMakeFiles/flexon_common.dir/stats.cc.o"
+  "CMakeFiles/flexon_common.dir/stats.cc.o.d"
+  "CMakeFiles/flexon_common.dir/table.cc.o"
+  "CMakeFiles/flexon_common.dir/table.cc.o.d"
+  "libflexon_common.a"
+  "libflexon_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexon_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/features/feature.cc" "src/features/CMakeFiles/flexon_features.dir/feature.cc.o" "gcc" "src/features/CMakeFiles/flexon_features.dir/feature.cc.o.d"
+  "/root/repo/src/features/model_table.cc" "src/features/CMakeFiles/flexon_features.dir/model_table.cc.o" "gcc" "src/features/CMakeFiles/flexon_features.dir/model_table.cc.o.d"
+  "/root/repo/src/features/params.cc" "src/features/CMakeFiles/flexon_features.dir/params.cc.o" "gcc" "src/features/CMakeFiles/flexon_features.dir/params.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/flexon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

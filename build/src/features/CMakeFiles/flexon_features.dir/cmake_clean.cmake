@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexon_features.dir/feature.cc.o"
+  "CMakeFiles/flexon_features.dir/feature.cc.o.d"
+  "CMakeFiles/flexon_features.dir/model_table.cc.o"
+  "CMakeFiles/flexon_features.dir/model_table.cc.o.d"
+  "CMakeFiles/flexon_features.dir/params.cc.o"
+  "CMakeFiles/flexon_features.dir/params.cc.o.d"
+  "libflexon_features.a"
+  "libflexon_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexon_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexon_fixed.dir/fast_exp.cc.o"
+  "CMakeFiles/flexon_fixed.dir/fast_exp.cc.o.d"
+  "libflexon_fixed.a"
+  "libflexon_fixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexon_fixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

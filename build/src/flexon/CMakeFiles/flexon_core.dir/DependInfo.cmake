@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flexon/array.cc" "src/flexon/CMakeFiles/flexon_core.dir/array.cc.o" "gcc" "src/flexon/CMakeFiles/flexon_core.dir/array.cc.o.d"
+  "/root/repo/src/flexon/config.cc" "src/flexon/CMakeFiles/flexon_core.dir/config.cc.o" "gcc" "src/flexon/CMakeFiles/flexon_core.dir/config.cc.o.d"
+  "/root/repo/src/flexon/neuron.cc" "src/flexon/CMakeFiles/flexon_core.dir/neuron.cc.o" "gcc" "src/flexon/CMakeFiles/flexon_core.dir/neuron.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/flexon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixed/CMakeFiles/flexon_fixed.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/flexon_features.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

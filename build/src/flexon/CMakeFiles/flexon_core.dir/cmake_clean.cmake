@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexon_core.dir/array.cc.o"
+  "CMakeFiles/flexon_core.dir/array.cc.o.d"
+  "CMakeFiles/flexon_core.dir/config.cc.o"
+  "CMakeFiles/flexon_core.dir/config.cc.o.d"
+  "CMakeFiles/flexon_core.dir/neuron.cc.o"
+  "CMakeFiles/flexon_core.dir/neuron.cc.o.d"
+  "libflexon_core.a"
+  "libflexon_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexon_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

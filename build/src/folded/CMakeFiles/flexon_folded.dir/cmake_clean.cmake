@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexon_folded.dir/array.cc.o"
+  "CMakeFiles/flexon_folded.dir/array.cc.o.d"
+  "CMakeFiles/flexon_folded.dir/neuron.cc.o"
+  "CMakeFiles/flexon_folded.dir/neuron.cc.o.d"
+  "CMakeFiles/flexon_folded.dir/program.cc.o"
+  "CMakeFiles/flexon_folded.dir/program.cc.o.d"
+  "CMakeFiles/flexon_folded.dir/trace.cc.o"
+  "CMakeFiles/flexon_folded.dir/trace.cc.o.d"
+  "libflexon_folded.a"
+  "libflexon_folded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexon_folded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for flexon_folded.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexon_frontend.dir/script.cc.o"
+  "CMakeFiles/flexon_frontend.dir/script.cc.o.d"
+  "libflexon_frontend.a"
+  "libflexon_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexon_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexon_hw.dir/array_cost.cc.o"
+  "CMakeFiles/flexon_hw.dir/array_cost.cc.o.d"
+  "CMakeFiles/flexon_hw.dir/baselines.cc.o"
+  "CMakeFiles/flexon_hw.dir/baselines.cc.o.d"
+  "CMakeFiles/flexon_hw.dir/datapath_cost.cc.o"
+  "CMakeFiles/flexon_hw.dir/datapath_cost.cc.o.d"
+  "CMakeFiles/flexon_hw.dir/full_system.cc.o"
+  "CMakeFiles/flexon_hw.dir/full_system.cc.o.d"
+  "CMakeFiles/flexon_hw.dir/sram.cc.o"
+  "CMakeFiles/flexon_hw.dir/sram.cc.o.d"
+  "CMakeFiles/flexon_hw.dir/timing.cc.o"
+  "CMakeFiles/flexon_hw.dir/timing.cc.o.d"
+  "CMakeFiles/flexon_hw.dir/unit_costs.cc.o"
+  "CMakeFiles/flexon_hw.dir/unit_costs.cc.o.d"
+  "libflexon_hw.a"
+  "libflexon_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexon_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

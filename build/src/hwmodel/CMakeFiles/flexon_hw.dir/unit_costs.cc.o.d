@@ -1,0 +1,3 @@
+src/hwmodel/CMakeFiles/flexon_hw.dir/unit_costs.cc.o: \
+ /root/repo/src/hwmodel/unit_costs.cc /usr/include/stdc-predef.h \
+ /root/repo/src/hwmodel/unit_costs.hh

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/analytic.cc" "src/models/CMakeFiles/flexon_models.dir/analytic.cc.o" "gcc" "src/models/CMakeFiles/flexon_models.dir/analytic.cc.o.d"
+  "/root/repo/src/models/hh.cc" "src/models/CMakeFiles/flexon_models.dir/hh.cc.o" "gcc" "src/models/CMakeFiles/flexon_models.dir/hh.cc.o.d"
+  "/root/repo/src/models/izhikevich_native.cc" "src/models/CMakeFiles/flexon_models.dir/izhikevich_native.cc.o" "gcc" "src/models/CMakeFiles/flexon_models.dir/izhikevich_native.cc.o.d"
+  "/root/repo/src/models/ode_neuron.cc" "src/models/CMakeFiles/flexon_models.dir/ode_neuron.cc.o" "gcc" "src/models/CMakeFiles/flexon_models.dir/ode_neuron.cc.o.d"
+  "/root/repo/src/models/population.cc" "src/models/CMakeFiles/flexon_models.dir/population.cc.o" "gcc" "src/models/CMakeFiles/flexon_models.dir/population.cc.o.d"
+  "/root/repo/src/models/reference_neuron.cc" "src/models/CMakeFiles/flexon_models.dir/reference_neuron.cc.o" "gcc" "src/models/CMakeFiles/flexon_models.dir/reference_neuron.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/flexon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/flexon_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/solvers/CMakeFiles/flexon_solvers.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexon_models.dir/analytic.cc.o"
+  "CMakeFiles/flexon_models.dir/analytic.cc.o.d"
+  "CMakeFiles/flexon_models.dir/hh.cc.o"
+  "CMakeFiles/flexon_models.dir/hh.cc.o.d"
+  "CMakeFiles/flexon_models.dir/izhikevich_native.cc.o"
+  "CMakeFiles/flexon_models.dir/izhikevich_native.cc.o.d"
+  "CMakeFiles/flexon_models.dir/ode_neuron.cc.o"
+  "CMakeFiles/flexon_models.dir/ode_neuron.cc.o.d"
+  "CMakeFiles/flexon_models.dir/population.cc.o"
+  "CMakeFiles/flexon_models.dir/population.cc.o.d"
+  "CMakeFiles/flexon_models.dir/reference_neuron.cc.o"
+  "CMakeFiles/flexon_models.dir/reference_neuron.cc.o.d"
+  "libflexon_models.a"
+  "libflexon_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexon_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexon_nets.dir/table1.cc.o"
+  "CMakeFiles/flexon_nets.dir/table1.cc.o.d"
+  "libflexon_nets.a"
+  "libflexon_nets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexon_nets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

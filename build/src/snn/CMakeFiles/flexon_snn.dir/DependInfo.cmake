@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/snn/backend.cc" "src/snn/CMakeFiles/flexon_snn.dir/backend.cc.o" "gcc" "src/snn/CMakeFiles/flexon_snn.dir/backend.cc.o.d"
+  "/root/repo/src/snn/event_driven.cc" "src/snn/CMakeFiles/flexon_snn.dir/event_driven.cc.o" "gcc" "src/snn/CMakeFiles/flexon_snn.dir/event_driven.cc.o.d"
+  "/root/repo/src/snn/network.cc" "src/snn/CMakeFiles/flexon_snn.dir/network.cc.o" "gcc" "src/snn/CMakeFiles/flexon_snn.dir/network.cc.o.d"
+  "/root/repo/src/snn/serialize.cc" "src/snn/CMakeFiles/flexon_snn.dir/serialize.cc.o" "gcc" "src/snn/CMakeFiles/flexon_snn.dir/serialize.cc.o.d"
+  "/root/repo/src/snn/simulator.cc" "src/snn/CMakeFiles/flexon_snn.dir/simulator.cc.o" "gcc" "src/snn/CMakeFiles/flexon_snn.dir/simulator.cc.o.d"
+  "/root/repo/src/snn/stdp.cc" "src/snn/CMakeFiles/flexon_snn.dir/stdp.cc.o" "gcc" "src/snn/CMakeFiles/flexon_snn.dir/stdp.cc.o.d"
+  "/root/repo/src/snn/stimulus.cc" "src/snn/CMakeFiles/flexon_snn.dir/stimulus.cc.o" "gcc" "src/snn/CMakeFiles/flexon_snn.dir/stimulus.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/flexon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/flexon_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/flexon_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/flexon/CMakeFiles/flexon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/folded/CMakeFiles/flexon_folded.dir/DependInfo.cmake"
+  "/root/repo/build/src/solvers/CMakeFiles/flexon_solvers.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixed/CMakeFiles/flexon_fixed.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

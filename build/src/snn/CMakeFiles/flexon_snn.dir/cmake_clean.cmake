@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexon_snn.dir/backend.cc.o"
+  "CMakeFiles/flexon_snn.dir/backend.cc.o.d"
+  "CMakeFiles/flexon_snn.dir/event_driven.cc.o"
+  "CMakeFiles/flexon_snn.dir/event_driven.cc.o.d"
+  "CMakeFiles/flexon_snn.dir/network.cc.o"
+  "CMakeFiles/flexon_snn.dir/network.cc.o.d"
+  "CMakeFiles/flexon_snn.dir/serialize.cc.o"
+  "CMakeFiles/flexon_snn.dir/serialize.cc.o.d"
+  "CMakeFiles/flexon_snn.dir/simulator.cc.o"
+  "CMakeFiles/flexon_snn.dir/simulator.cc.o.d"
+  "CMakeFiles/flexon_snn.dir/stdp.cc.o"
+  "CMakeFiles/flexon_snn.dir/stdp.cc.o.d"
+  "CMakeFiles/flexon_snn.dir/stimulus.cc.o"
+  "CMakeFiles/flexon_snn.dir/stimulus.cc.o.d"
+  "libflexon_snn.a"
+  "libflexon_snn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexon_snn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

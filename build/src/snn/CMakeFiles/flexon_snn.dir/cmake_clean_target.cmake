@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libflexon_snn.a"
+)

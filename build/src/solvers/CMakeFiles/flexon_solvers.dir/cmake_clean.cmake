@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexon_solvers.dir/rkf45.cc.o"
+  "CMakeFiles/flexon_solvers.dir/rkf45.cc.o.d"
+  "libflexon_solvers.a"
+  "libflexon_solvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexon_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

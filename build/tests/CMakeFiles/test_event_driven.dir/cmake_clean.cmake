@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_event_driven.dir/test_event_driven.cc.o"
+  "CMakeFiles/test_event_driven.dir/test_event_driven.cc.o.d"
+  "test_event_driven"
+  "test_event_driven.pdb"
+  "test_event_driven[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_event_driven.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flexon_neuron.dir/test_flexon_neuron.cc.o"
+  "CMakeFiles/test_flexon_neuron.dir/test_flexon_neuron.cc.o.d"
+  "test_flexon_neuron"
+  "test_flexon_neuron.pdb"
+  "test_flexon_neuron[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flexon_neuron.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

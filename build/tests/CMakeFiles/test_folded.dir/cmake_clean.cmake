@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_folded.dir/test_folded.cc.o"
+  "CMakeFiles/test_folded.dir/test_folded.cc.o.d"
+  "test_folded"
+  "test_folded.pdb"
+  "test_folded[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_folded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hh.dir/test_hh.cc.o"
+  "CMakeFiles/test_hh.dir/test_hh.cc.o.d"
+  "test_hh"
+  "test_hh.pdb"
+  "test_hh[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_izhikevich_native.dir/test_izhikevich_native.cc.o"
+  "CMakeFiles/test_izhikevich_native.dir/test_izhikevich_native.cc.o.d"
+  "test_izhikevich_native"
+  "test_izhikevich_native.pdb"
+  "test_izhikevich_native[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_izhikevich_native.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reference_neuron.dir/test_reference_neuron.cc.o"
+  "CMakeFiles/test_reference_neuron.dir/test_reference_neuron.cc.o.d"
+  "test_reference_neuron"
+  "test_reference_neuron.pdb"
+  "test_reference_neuron[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reference_neuron.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stdp.dir/test_stdp.cc.o"
+  "CMakeFiles/test_stdp.dir/test_stdp.cc.o.d"
+  "test_stdp"
+  "test_stdp.pdb"
+  "test_stdp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexon_compare.dir/flexon_compare.cc.o"
+  "CMakeFiles/flexon_compare.dir/flexon_compare.cc.o.d"
+  "flexon_compare"
+  "flexon_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexon_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexon_rtl.dir/flexon_rtl.cc.o"
+  "CMakeFiles/flexon_rtl.dir/flexon_rtl.cc.o.d"
+  "flexon_rtl"
+  "flexon_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexon_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

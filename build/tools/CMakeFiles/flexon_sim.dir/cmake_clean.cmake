@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexon_sim.dir/flexon_sim.cc.o"
+  "CMakeFiles/flexon_sim.dir/flexon_sim.cc.o.d"
+  "flexon_sim"
+  "flexon_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexon_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

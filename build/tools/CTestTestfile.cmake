@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_list "/root/repo/build/tools/flexon_sim" "--list")
+set_tests_properties(cli_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_benchmark_reference "/root/repo/build/tools/flexon_sim" "--benchmark" "Vogels-Abbott" "--scale" "40" "--steps" "200" "--backend" "reference" "--raster")
+set_tests_properties(cli_benchmark_reference PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_benchmark_folded "/root/repo/build/tools/flexon_sim" "--benchmark" "Brunel" "--scale" "50" "--steps" "200" "--backend" "folded" "--threads" "2")
+set_tests_properties(cli_benchmark_folded PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_save_load "sh" "-c" "/root/repo/build/tools/flexon_sim --benchmark Nowotny                  --scale 20 --steps 50 --save net.fxn &&                  /root/repo/build/tools/flexon_sim --load net.fxn --steps 50                  --backend flexon")
+set_tests_properties(cli_save_load PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_script "/root/repo/build/tools/flexon_sim" "--script" "/root/repo/examples/networks/ei_balance.fxs" "--steps" "300" "--backend" "folded" "--raster")
+set_tests_properties(cli_script PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_script_izhikevich "/root/repo/build/tools/flexon_sim" "--script" "/root/repo/examples/networks/izhikevich_column.fxs" "--steps" "300" "--backend" "flexon")
+set_tests_properties(cli_script_izhikevich PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;23;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rtl_list "/root/repo/build/tools/flexon_rtl" "--list")
+set_tests_properties(cli_rtl_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;29;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rtl_adex "/root/repo/build/tools/flexon_rtl" "AdEx" "adex_core")
+set_tests_properties(cli_rtl_adex PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;30;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rtl_testbench "/root/repo/build/tools/flexon_rtl" "--testbench" "LIF")
+set_tests_properties(cli_rtl_testbench PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;31;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_stats "/root/repo/build/tools/flexon_sim" "--benchmark" "Brunel" "--scale" "100" "--steps" "100" "--backend" "folded" "--stats")
+set_tests_properties(cli_stats PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;32;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_compare_hw "/root/repo/build/tools/flexon_compare" "--benchmark" "Vogels-Abbott" "--scale" "40" "--steps" "500" "--a" "flexon" "--b" "folded")
+set_tests_properties(cli_compare_hw PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;39;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_compare_ref "/root/repo/build/tools/flexon_compare" "--benchmark" "Brunel" "--scale" "50" "--steps" "500" "--a" "reference" "--b" "folded")
+set_tests_properties(cli_compare_ref PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;42;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bad_flag "sh" "-c" "! /root/repo/build/tools/flexon_sim --bogus")
+set_tests_properties(cli_bad_flag PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;45;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_requires_source "sh" "-c" "! /root/repo/build/tools/flexon_sim --steps 10")
+set_tests_properties(cli_requires_source PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;47;add_test;/root/repo/tools/CMakeLists.txt;0;")
