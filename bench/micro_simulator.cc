@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+
 #include "nets/table1.hh"
 #include "snn/simulator.hh"
 
@@ -63,6 +65,57 @@ BM_ReferenceScaling(benchmark::State &state)
         static_cast<int64_t>(inst.network.numNeurons()));
 }
 
+/**
+ * Full-step cost of each backend under the threaded execution
+ * engine: Arg is the worker-lane count. Scale 4 (~1000 neurons,
+ * ~21k synapses) gives the lanes enough work per dispatch for the
+ * pool barrier (~ microseconds) to amortize.
+ */
+void
+BM_StepThreaded(benchmark::State &state)
+{
+    const auto kind = static_cast<BackendKind>(state.range(0));
+    const auto threads = static_cast<size_t>(state.range(1));
+    BenchmarkInstance inst =
+        buildBenchmark(findBenchmark("Vogels-Abbott"), 4.0, 3);
+    SimulatorOptions opts;
+    opts.backend = kind;
+    opts.threads = threads;
+    Simulator sim(inst.network, inst.stimulus, opts);
+    sim.run(50);
+    state.SetLabel(std::string(backendName(kind)) + "/t" +
+                   std::to_string(threads));
+    for (auto _ : state)
+        sim.stepOnce();
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(inst.network.numNeurons()));
+}
+
+/**
+ * The continuous-mode (RKF45) reference backend is the paper's
+ * neuron-computation-dominated case (Fig. 3), so it is where the
+ * threaded neuron loop pays off most; sweep the lane count.
+ */
+void
+BM_StepRkf45Threaded(benchmark::State &state)
+{
+    const auto threads = static_cast<size_t>(state.range(0));
+    BenchmarkInstance inst =
+        buildBenchmark(findBenchmark("Vogels-Abbott"), 4.0, 3);
+    SimulatorOptions opts;
+    opts.mode = IntegrationMode::Continuous;
+    opts.solver = SolverKind::RKF45;
+    opts.threads = threads;
+    Simulator sim(inst.network, inst.stimulus, opts);
+    sim.run(50);
+    for (auto _ : state)
+        sim.stepOnce();
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(inst.network.numNeurons()));
+}
+
 } // namespace
 } // namespace flexon
 
@@ -72,3 +125,12 @@ BENCHMARK(flexon::BM_StepBackend)
     ->Arg(static_cast<int>(flexon::BackendKind::Folded));
 BENCHMARK(flexon::BM_StepRkf45Reference);
 BENCHMARK(flexon::BM_ReferenceScaling)->Arg(40)->Arg(20)->Arg(10);
+BENCHMARK(flexon::BM_StepThreaded)
+    ->Args({static_cast<int>(flexon::BackendKind::Reference), 1})
+    ->Args({static_cast<int>(flexon::BackendKind::Reference), 2})
+    ->Args({static_cast<int>(flexon::BackendKind::Reference), 4})
+    ->Args({static_cast<int>(flexon::BackendKind::Flexon), 1})
+    ->Args({static_cast<int>(flexon::BackendKind::Flexon), 4})
+    ->Args({static_cast<int>(flexon::BackendKind::Folded), 1})
+    ->Args({static_cast<int>(flexon::BackendKind::Folded), 4});
+BENCHMARK(flexon::BM_StepRkf45Threaded)->Arg(1)->Arg(2)->Arg(4);

@@ -64,7 +64,7 @@ BM_StdpStep(benchmark::State &state)
         buildBenchmark(findBenchmark("Vogels-Abbott"), 20.0, 1);
     StdpEngine engine(inst.network);
     Rng rng(3);
-    std::vector<bool> fired(inst.network.numNeurons());
+    std::vector<uint8_t> fired(inst.network.numNeurons());
     for (size_t i = 0; i < fired.size(); ++i)
         fired[i] = rng.bernoulli(0.02);
     for (auto _ : state)

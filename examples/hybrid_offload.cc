@@ -114,7 +114,7 @@ main()
         std::vector<double> hh_current(hh_count, 0.0);
         std::vector<Fix> input(adex_count * maxSynapseTypes,
                                Fix::zero());
-        std::vector<bool> fired;
+        std::vector<uint8_t> fired;
 
         for (int t = 0; t < steps; ++t) {
             for (size_t i = 0; i < adex_count; ++i) {

@@ -50,7 +50,7 @@ main()
     FoldedFlexonNeuron readout(hw);
 
     Rng rng(2026);
-    std::vector<bool> fired(inputs + 1, false);
+    std::vector<uint8_t> fired(inputs + 1, 0);
     double routed = 0.0; // one-step-delayed input to the readout
     uint64_t readout_spikes = 0;
 
@@ -74,7 +74,7 @@ main()
     report("initial");
 
     for (int t = 0; t < 80000; ++t) {
-        std::fill(fired.begin(), fired.end(), false);
+        std::fill(fired.begin(), fired.end(), uint8_t{0});
 
         // Stimulus: the pattern volley at ~1/200 steps; independent
         // background noise on every input at the same mean rate.

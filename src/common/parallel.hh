@@ -2,43 +2,38 @@
  * @file
  * Minimal data-parallel helper: split an index range across worker
  * threads (the way NEST parallelizes its neuron-update loop across
- * the Xeon's cores). Deliberately simple — threads are joined before
- * returning, so callers need no synchronization.
+ * the Xeon's cores). The range is executed by the persistent
+ * ThreadPool — the original implementation spawned and joined fresh
+ * std::threads on every call, which cost a thread create/destroy
+ * pair per simulation step. Workers are joined-equivalent before
+ * returning (barrier), so callers need no synchronization.
  */
 
 #ifndef FLEXON_COMMON_PARALLEL_HH
 #define FLEXON_COMMON_PARALLEL_HH
 
 #include <cstddef>
-#include <thread>
-#include <vector>
+#include <utility>
+
+#include "common/thread_pool.hh"
 
 namespace flexon {
 
 /**
  * Invoke fn(begin, end) on `threads` contiguous chunks of [0, n).
- * With threads <= 1 (or tiny n) the call runs inline.
+ * With threads <= 1 (or tiny n) the call runs inline. Legacy shim:
+ * new code should use ThreadPool::global().parallelFor directly,
+ * whose callback also receives the lane index for per-lane scratch.
  */
 template <typename Fn>
 void
 parallelFor(size_t n, size_t threads, Fn &&fn)
 {
-    if (threads <= 1 || n < 2 * threads) {
-        fn(size_t{0}, n);
-        return;
-    }
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    const size_t chunk = (n + threads - 1) / threads;
-    for (size_t t = 0; t < threads; ++t) {
-        const size_t begin = t * chunk;
-        const size_t end = std::min(n, begin + chunk);
-        if (begin >= end)
-            break;
-        pool.emplace_back([&fn, begin, end] { fn(begin, end); });
-    }
-    for (auto &worker : pool)
-        worker.join();
+    ThreadPool::global().parallelFor(
+        n, threads,
+        [&fn](size_t /*lane*/, size_t begin, size_t end) {
+            fn(begin, end);
+        });
 }
 
 } // namespace flexon

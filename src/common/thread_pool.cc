@@ -1,0 +1,138 @@
+#include "common/thread_pool.hh"
+
+#include <algorithm>
+
+namespace flexon {
+
+namespace {
+
+/** Set for the lifetime of a pool worker thread. */
+thread_local bool tlsInsideWorker = false;
+
+/** Set while a caller thread is inside run() (holds the dispatch). */
+thread_local bool tlsInDispatch = false;
+
+} // namespace
+
+bool
+ThreadPool::insideWorker()
+{
+    // Both a pool worker and a caller mid-dispatch must run nested
+    // forks inline: the worker to keep the barrier acyclic, the
+    // caller because it already holds the (non-recursive) dispatch
+    // mutex.
+    return tlsInsideWorker || tlsInDispatch;
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        shutdown_ = true;
+    }
+    wake_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+size_t
+ThreadPool::workerCount() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return workers_.size();
+}
+
+void
+ThreadPool::ensureWorkers(size_t count)
+{
+    count = std::min(count, maxLanes);
+    std::lock_guard<std::mutex> guard(mutex_);
+    while (workers_.size() < count)
+        workers_.emplace_back([this] { workerMain(); });
+}
+
+void
+ThreadPool::workerMain()
+{
+    tlsInsideWorker = true;
+    std::unique_lock<std::mutex> lock(mutex_);
+    uint64_t seen = 0;
+    for (;;) {
+        wake_.wait(lock, [&] {
+            return shutdown_ ||
+                   (generation_ != seen && nextLane_ < jobLanes_);
+        });
+        if (shutdown_)
+            return;
+        seen = generation_;
+        // Claim lanes until the job is drained. A worker may execute
+        // several lanes when the host is oversubscribed; the
+        // lane -> index-range mapping is fixed by (n, lanes) alone,
+        // so results do not depend on who runs which lane.
+        while (nextLane_ < jobLanes_) {
+            const size_t lane = nextLane_++;
+            const size_t begin = lane * jobChunk_;
+            const size_t end = std::min(jobN_, begin + jobChunk_);
+            const Task task = task_;
+            void *const ctx = ctx_;
+            lock.unlock();
+            if (begin < end)
+                task(ctx, lane, begin, end);
+            lock.lock();
+            if (--pending_ == 0)
+                done_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::run(size_t n, size_t lanes, Task task, void *ctx)
+{
+    // One dispatch at a time; concurrent callers queue here.
+    std::lock_guard<std::mutex> dispatch(dispatchMutex_);
+    struct DispatchFlag
+    {
+        DispatchFlag() { tlsInDispatch = true; }
+        ~DispatchFlag() { tlsInDispatch = false; }
+    } inDispatch;
+    ensureWorkers(lanes - 1);
+    const size_t chunk = (n + lanes - 1) / lanes;
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        task_ = task;
+        ctx_ = ctx;
+        jobN_ = n;
+        jobLanes_ = lanes;
+        jobChunk_ = chunk;
+        nextLane_ = 1; // the caller takes lane 0 itself
+        pending_ = lanes;
+        ++generation_;
+    }
+    wake_.notify_all();
+    task(ctx, 0, 0, std::min(n, chunk));
+    std::unique_lock<std::mutex> lock(mutex_);
+    --pending_;
+    // Help drain lanes the workers have not picked up yet (slow
+    // wakeups, oversubscribed hosts): the barrier never waits on a
+    // sleeping thread while there is runnable work.
+    while (nextLane_ < jobLanes_) {
+        const size_t lane = nextLane_++;
+        const size_t begin = lane * jobChunk_;
+        const size_t end = std::min(jobN_, begin + jobChunk_);
+        lock.unlock();
+        if (begin < end)
+            task(ctx, lane, begin, end);
+        lock.lock();
+        --pending_;
+    }
+    done_.wait(lock, [&] { return pending_ == 0; });
+}
+
+} // namespace flexon

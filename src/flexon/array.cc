@@ -1,6 +1,7 @@
 #include "flexon/array.hh"
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 
 namespace flexon {
 
@@ -30,14 +31,20 @@ FlexonArray::cyclesPerStep() const
 }
 
 void
-FlexonArray::step(std::span<const Fix> input, std::vector<bool> &fired)
+FlexonArray::step(std::span<const Fix> input,
+                  std::vector<uint8_t> &fired)
 {
     flexon_assert(input.size() >= neurons_.size() * maxSynapseTypes);
-    fired.assign(neurons_.size(), false);
-    for (size_t i = 0; i < neurons_.size(); ++i) {
-        fired[i] = neurons_[i].step(
-            input.subspan(i * maxSynapseTypes, maxSynapseTypes));
-    }
+    fired.resize(neurons_.size());
+    uint8_t *const flags = fired.data();
+    ThreadPool::global().parallelFor(
+        neurons_.size(), hostThreads_,
+        [&](size_t, size_t begin, size_t end) {
+            for (size_t i = begin; i < end; ++i) {
+                flags[i] = neurons_[i].step(input.subspan(
+                    i * maxSynapseTypes, maxSynapseTypes));
+            }
+        });
     cycles_ += cyclesPerStep();
 }
 

@@ -54,9 +54,21 @@ class FlexonArray
      *
      * @param input row-major [neuron][synapseType] pre-scaled
      *              accumulated weights; stride is maxSynapseTypes
-     * @param fired output spike flags, one per neuron
+     * @param fired output spike flags (0/1 bytes), one per neuron
      */
-    void step(std::span<const Fix> input, std::vector<bool> &fired);
+    void step(std::span<const Fix> input, std::vector<uint8_t> &fired);
+
+    /**
+     * Host worker threads evaluating the functional neuron loop
+     * (neurons are independent within a step, so threading does not
+     * change results). Purely a host-simulation knob: the modelled
+     * hardware timing (cyclesPerStep) is unaffected.
+     */
+    void setHostThreads(size_t threads)
+    {
+        hostThreads_ = threads == 0 ? 1 : threads;
+    }
+    size_t hostThreads() const { return hostThreads_; }
 
     /** Hardware cycles consumed so far. */
     uint64_t cycles() const { return cycles_; }
@@ -91,6 +103,7 @@ class FlexonArray
   private:
     size_t width_;
     double clockHz_;
+    size_t hostThreads_ = 1;
     std::vector<FlexonNeuron> neurons_;
     std::vector<PopulationInfo> populations_;
     uint64_t cycles_ = 0;

@@ -1,6 +1,7 @@
 #include "folded/array.hh"
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 
 namespace flexon {
 
@@ -19,6 +20,8 @@ FoldedFlexonArray::addPopulation(const FlexonConfig &config,
     MicrocodeProgram program = buildProgram(config);
     populations_.push_back(
         {neurons_.size(), count, config, program.length()});
+    signalsPerStep_ +=
+        static_cast<uint64_t>(count) * program.length();
     neurons_.reserve(neurons_.size() + count);
     for (size_t i = 0; i < count; ++i)
         neurons_.emplace_back(config, program);
@@ -41,15 +44,23 @@ FoldedFlexonArray::cyclesPerStep() const
 
 void
 FoldedFlexonArray::step(std::span<const Fix> input,
-                        std::vector<bool> &fired)
+                        std::vector<uint8_t> &fired)
 {
     flexon_assert(input.size() >= neurons_.size() * maxSynapseTypes);
-    fired.assign(neurons_.size(), false);
-    for (size_t i = 0; i < neurons_.size(); ++i) {
-        fired[i] = neurons_[i].step(
-            input.subspan(i * maxSynapseTypes, maxSynapseTypes));
-        controlSignals_ += neurons_[i].program().length();
-    }
+    fired.resize(neurons_.size());
+    uint8_t *const flags = fired.data();
+    ThreadPool::global().parallelFor(
+        neurons_.size(), hostThreads_,
+        [&](size_t, size_t begin, size_t end) {
+            for (size_t i = begin; i < end; ++i) {
+                flags[i] = neurons_[i].step(input.subspan(
+                    i * maxSynapseTypes, maxSynapseTypes));
+            }
+        });
+    // Every neuron executes its population's full program each step,
+    // so the control-signal tally is a precomputed per-step constant
+    // (also keeps the accounting off the parallel lanes).
+    controlSignals_ += signalsPerStep_;
     cycles_ += cyclesPerStep();
 }
 

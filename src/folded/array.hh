@@ -44,7 +44,17 @@ class FoldedFlexonArray
     double clockHz() const { return clockHz_; }
 
     /** Simulate one SNN time step (same contract as FlexonArray). */
-    void step(std::span<const Fix> input, std::vector<bool> &fired);
+    void step(std::span<const Fix> input, std::vector<uint8_t> &fired);
+
+    /**
+     * Host worker threads for the functional neuron loop; the
+     * modelled hardware timing (cyclesPerStep) is unaffected.
+     */
+    void setHostThreads(size_t threads)
+    {
+        hostThreads_ = threads == 0 ? 1 : threads;
+    }
+    size_t hostThreads() const { return hostThreads_; }
 
     uint64_t cycles() const { return cycles_; }
     double seconds() const
@@ -79,10 +89,13 @@ class FoldedFlexonArray
   private:
     size_t width_;
     double clockHz_;
+    size_t hostThreads_ = 1;
     std::vector<FoldedFlexonNeuron> neurons_;
     std::vector<PopulationInfo> populations_;
     uint64_t cycles_ = 0;
     uint64_t controlSignals_ = 0;
+    /** Sum over populations of count * programLength. */
+    uint64_t signalsPerStep_ = 0;
 };
 
 } // namespace flexon

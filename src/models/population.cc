@@ -24,11 +24,11 @@ ReferencePopulation::ReferencePopulation(const NeuronParams &params,
 
 void
 ReferencePopulation::step(std::span<const double> input,
-                          std::vector<bool> &fired)
+                          std::vector<uint8_t> &fired)
 {
     const size_t st = params_.numSynapseTypes;
     flexon_assert(input.size() >= size_ * st);
-    fired.assign(size_, false);
+    fired.assign(size_, 0);
 
     if (mode_ == IntegrationMode::Discrete) {
         for (size_t i = 0; i < size_; ++i)

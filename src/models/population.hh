@@ -12,6 +12,7 @@
 #ifndef FLEXON_MODELS_POPULATION_HH
 #define FLEXON_MODELS_POPULATION_HH
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <vector>
@@ -51,9 +52,10 @@ class ReferencePopulation
      *
      * @param input row-major [neuron][synapseType] accumulated
      *              weights; size must be size() * numSynapseTypes
-     * @param fired output flags, one per neuron
+     * @param fired output flags (0/1 bytes), one per neuron
      */
-    void step(std::span<const double> input, std::vector<bool> &fired);
+    void step(std::span<const double> input,
+              std::vector<uint8_t> &fired);
 
     /** Read one neuron's state. */
     const NeuronState &state(size_t idx) const;

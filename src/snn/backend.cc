@@ -1,7 +1,7 @@
 #include "snn/backend.hh"
 
 #include "common/logging.hh"
-#include "common/parallel.hh"
+#include "common/thread_pool.hh"
 #include "flexon/array.hh"
 #include "folded/array.hh"
 #include "models/ode_neuron.hh"
@@ -45,35 +45,34 @@ class ReferenceBackend : public NeuronBackend
 
     void
     step(std::span<const double> input,
-         std::vector<bool> &fired) override
+         std::vector<uint8_t> &fired) override
     {
         const size_t n = mode_ == IntegrationMode::Discrete
                              ? discrete_.size()
                              : continuous_.size();
         flexon_assert(input.size() >= n * maxSynapseTypes);
-        fired.assign(n, false);
-        // Chunked parallel neuron update (each neuron's state is
-        // private, so chunks share nothing but the input buffer;
-        // std::vector<bool> is written per disjoint index ranges
-        // only after collecting chunk-local flags).
-        std::vector<uint8_t> flags(n, 0);
-        parallelFor(n, threads_, [&](size_t begin, size_t end) {
-            if (mode_ == IntegrationMode::Discrete) {
-                for (size_t i = begin; i < end; ++i) {
-                    flags[i] = discrete_[i].step(
-                        input.subspan(i * maxSynapseTypes,
-                                      maxSynapseTypes));
+        // Chunked parallel neuron update on the persistent pool.
+        // Each neuron's state is private and every lane writes a
+        // disjoint byte range of `fired`, so no intermediate
+        // flag buffer (and no per-step allocation) is needed.
+        fired.resize(n);
+        uint8_t *const flags = fired.data();
+        ThreadPool::global().parallelFor(
+            n, threads_, [&](size_t, size_t begin, size_t end) {
+                if (mode_ == IntegrationMode::Discrete) {
+                    for (size_t i = begin; i < end; ++i) {
+                        flags[i] = discrete_[i].step(
+                            input.subspan(i * maxSynapseTypes,
+                                          maxSynapseTypes));
+                    }
+                } else {
+                    for (size_t i = begin; i < end; ++i) {
+                        flags[i] = continuous_[i].step(
+                            input.subspan(i * maxSynapseTypes,
+                                          maxSynapseTypes));
+                    }
                 }
-            } else {
-                for (size_t i = begin; i < end; ++i) {
-                    flags[i] = continuous_[i].step(
-                        input.subspan(i * maxSynapseTypes,
-                                      maxSynapseTypes));
-                }
-            }
-        });
-        for (size_t i = 0; i < n; ++i)
-            fired[i] = flags[i] != 0;
+            });
     }
 
     void
@@ -158,9 +157,10 @@ class FlexonBackend : public NeuronBackend
 {
   public:
     FlexonBackend(const Network &network, size_t width,
-                  double clock_hz)
+                  double clock_hz, size_t threads)
         : array_(width, clock_hz), scaler_(network)
     {
+        array_.setHostThreads(threads);
         for (size_t p = 0; p < network.numPopulations(); ++p) {
             const Population &pop = network.population(p);
             array_.addPopulation(FlexonConfig::fromParams(pop.params),
@@ -172,7 +172,7 @@ class FlexonBackend : public NeuronBackend
 
     void
     step(std::span<const double> input,
-         std::vector<bool> &fired) override
+         std::vector<uint8_t> &fired) override
     {
         array_.step(scaler_.scale(input, maxSynapseTypes), fired);
     }
@@ -204,9 +204,10 @@ class FoldedBackend : public NeuronBackend
 {
   public:
     FoldedBackend(const Network &network, size_t width,
-                  double clock_hz)
+                  double clock_hz, size_t threads)
         : array_(width, clock_hz), scaler_(network)
     {
+        array_.setHostThreads(threads);
         for (size_t p = 0; p < network.numPopulations(); ++p) {
             const Population &pop = network.population(p);
             array_.addPopulation(FlexonConfig::fromParams(pop.params),
@@ -218,7 +219,7 @@ class FoldedBackend : public NeuronBackend
 
     void
     step(std::span<const double> input,
-         std::vector<bool> &fired) override
+         std::vector<uint8_t> &fired) override
     {
         array_.step(scaler_.scale(input, maxSynapseTypes), fired);
     }
@@ -257,16 +258,18 @@ makeReferenceBackend(const Network &network, IntegrationMode mode,
 
 std::unique_ptr<NeuronBackend>
 makeFlexonBackend(const Network &network, size_t width,
-                  double clock_hz)
+                  double clock_hz, size_t threads)
 {
-    return std::make_unique<FlexonBackend>(network, width, clock_hz);
+    return std::make_unique<FlexonBackend>(network, width, clock_hz,
+                                           threads);
 }
 
 std::unique_ptr<NeuronBackend>
 makeFoldedBackend(const Network &network, size_t width,
-                  double clock_hz)
+                  double clock_hz, size_t threads)
 {
-    return std::make_unique<FoldedBackend>(network, width, clock_hz);
+    return std::make_unique<FoldedBackend>(network, width, clock_hz,
+                                           threads);
 }
 
 std::unique_ptr<NeuronBackend>
@@ -277,9 +280,13 @@ makeBackend(BackendKind kind, const Network &network,
       case BackendKind::Reference:
         return makeReferenceBackend(network, mode, solver, threads);
       case BackendKind::Flexon:
-        return makeFlexonBackend(network);
+        return makeFlexonBackend(network, FlexonArray::defaultWidth,
+                                 FlexonArray::defaultClockHz, threads);
       case BackendKind::Folded:
-        return makeFoldedBackend(network);
+        return makeFoldedBackend(network,
+                                 FoldedFlexonArray::defaultWidth,
+                                 FoldedFlexonArray::defaultClockHz,
+                                 threads);
       default:
         panic("invalid backend kind %d", static_cast<int>(kind));
     }

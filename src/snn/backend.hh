@@ -12,6 +12,7 @@
 #ifndef FLEXON_SNN_BACKEND_HH
 #define FLEXON_SNN_BACKEND_HH
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <vector>
@@ -46,9 +47,15 @@ class NeuronBackend
 
     virtual const char *name() const = 0;
 
-    /** Evaluate one time step; fills `fired` (one flag per neuron). */
+    /**
+     * Evaluate one time step; fills `fired` (one 0/1 flag per
+     * neuron). Plain bytes rather than std::vector<bool> so worker
+     * threads can write disjoint index ranges directly (bit proxies
+     * would race on shared words) and the spike-routing loop reads
+     * without bit extraction.
+     */
     virtual void step(std::span<const double> input,
-                      std::vector<bool> &fired) = 0;
+                      std::vector<uint8_t> &fired) = 0;
 
     /** Reset all neuron state to rest. */
     virtual void reset() = 0;
@@ -78,15 +85,20 @@ makeReferenceBackend(const Network &network,
                      SolverKind solver = SolverKind::Euler,
                      size_t threads = 1);
 
-/** Build a baseline Flexon array backend. */
+/**
+ * Build a baseline Flexon array backend.
+ *
+ * @param threads host worker threads for the functional neuron loop
+ *        (the modelled hardware timing is unaffected)
+ */
 std::unique_ptr<NeuronBackend>
 makeFlexonBackend(const Network &network, size_t width = 12,
-                  double clock_hz = 250.0e6);
+                  double clock_hz = 250.0e6, size_t threads = 1);
 
 /** Build a spatially folded Flexon array backend. */
 std::unique_ptr<NeuronBackend>
 makeFoldedBackend(const Network &network, size_t width = 72,
-                  double clock_hz = 500.0e6);
+                  double clock_hz = 500.0e6, size_t threads = 1);
 
 /** Dispatch on BackendKind with the default array shapes. */
 std::unique_ptr<NeuronBackend>

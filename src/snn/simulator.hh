@@ -45,9 +45,13 @@ struct PhaseStats
     double stimulusSec = 0.0;
     double neuronSec = 0.0;
     double synapseSec = 0.0;
+    /** Seconds of synapseSec spent in parallel spike routing. */
+    double synapseRouteSec = 0.0;
     uint64_t steps = 0;
     uint64_t spikes = 0;
     uint64_t synapseEvents = 0;
+    /** Worker lanes the engine was configured with. */
+    size_t threadsUsed = 1;
     /** Modelled hardware time (Flexon/folded backends only). */
     double modelNeuronSec = 0.0;
 
@@ -93,10 +97,11 @@ class Simulator
     }
 
     /**
-     * The fired flags of the most recent step (empty before the
-     * first step). Plasticity engines consume this after stepOnce().
+     * The fired flags (0/1 bytes) of the most recent step (empty
+     * before the first step). Plasticity engines consume this after
+     * stepOnce().
      */
-    const std::vector<bool> &lastFired() const { return fired_; }
+    const std::vector<uint8_t> &lastFired() const { return fired_; }
 
     /**
      * Membrane trace of the i-th probed neuron (options.probes),
@@ -129,6 +134,19 @@ class Simulator
     void phaseNeuron();
     void phaseSynapse();
 
+    /**
+     * Partition the synapse table into `threads` target shards of
+     * roughly equal delivery load (built once at construction).
+     * Shard s owns target neurons [shardTargetBegin_[s],
+     * shardTargetBegin_[s + 1]); every worker lane scans the fired
+     * neurons but applies only the synapses landing in its own
+     * shard, so the delivery is contention-free and every ring cell
+     * receives its additions in exactly the serial order (source
+     * ascending, row order within a source) — bit-identical results
+     * for any thread count.
+     */
+    void buildShards();
+
     std::span<double> slot(uint64_t t);
 
     const Network &network_;
@@ -141,11 +159,33 @@ class Simulator
     size_t ringDepth_;
     /** ringDepth_ buffers of numNeurons * maxSynapseTypes weights. */
     std::vector<double> ring_;
-    std::vector<bool> fired_;
+    std::vector<uint8_t> fired_;
     std::vector<uint64_t> spikeCounts_;
     std::vector<SpikeEvent> spikeEvents_;
     std::vector<std::vector<double>> probeTraces_;
     PhaseStats stats_;
+
+    // --- phaseSynapse scratch, allocated once at construction ---
+    /** Number of target shards (== configured threads, >= 1). */
+    size_t shardCount_ = 1;
+    /** First target neuron of each shard; size shardCount_ + 1. */
+    std::vector<uint32_t> shardTargetBegin_;
+    /**
+     * Global synapse indices grouped shard-major, then by source row
+     * ascending, preserving row order (one entry per synapse).
+     */
+    std::vector<uint64_t> synOrder_;
+    /**
+     * Per-shard CSR over synOrder_: shard s's slice of source row r
+     * is [shardRow_[s * (N + 1) + r], shardRow_[s * (N + 1) + r + 1]).
+     */
+    std::vector<uint64_t> shardRow_;
+    /** Fired neuron indices of the current step (capacity N). */
+    std::vector<uint32_t> firedList_;
+    /** Ring-slot base pointer per delay, recomputed each step. */
+    std::vector<double *> slotBase_;
+    /** Per-shard synapse-event tallies (reduced after the barrier). */
+    std::vector<uint64_t> shardEvents_;
 };
 
 } // namespace flexon

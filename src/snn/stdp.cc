@@ -37,7 +37,7 @@ StdpEngine::StdpEngine(Network &network, const StdpConfig &config)
 }
 
 void
-StdpEngine::onStep(const std::vector<bool> &fired)
+StdpEngine::onStep(const std::vector<uint8_t> &fired)
 {
     flexon_assert(fired.size() == network_.numNeurons());
 

@@ -52,8 +52,11 @@ class StdpEngine
   public:
     StdpEngine(Network &network, const StdpConfig &config = {});
 
-    /** Apply one step of trace decay and spike-driven updates. */
-    void onStep(const std::vector<bool> &fired);
+    /**
+     * Apply one step of trace decay and spike-driven updates.
+     * @param fired the step's 0/1 spike flags (Simulator::lastFired)
+     */
+    void onStep(const std::vector<uint8_t> &fired);
 
     const StdpConfig &config() const { return config_; }
     double preTrace(uint32_t neuron) const;

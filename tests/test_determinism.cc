@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Thread-count determinism: the execution engine must produce
+ * bit-identical simulation results (spike counts, spike events,
+ * probe traces, stats counters) for any `threads` setting, on every
+ * backend. The synapse phase guarantees this by target-sharding the
+ * delivery — each ring cell receives its floating-point additions in
+ * exactly the serial order regardless of the shard count — and the
+ * neuron phase by giving each lane a disjoint slice of independent
+ * neurons.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "nets/table1.hh"
+#include "snn/simulator.hh"
+
+namespace flexon {
+namespace {
+
+struct RunResult
+{
+    std::vector<uint64_t> spikeCounts;
+    std::vector<SpikeEvent> events;
+    std::vector<std::vector<double>> traces;
+    uint64_t spikes;
+    uint64_t synapseEvents;
+    uint64_t steps;
+};
+
+RunResult
+runVogelsAbbott(BackendKind backend, size_t threads, uint64_t steps)
+{
+    BenchmarkInstance inst =
+        buildBenchmark(findBenchmark("Vogels-Abbott"), 20.0, 5);
+    SimulatorOptions opts;
+    opts.backend = backend;
+    opts.threads = threads;
+    opts.recordSpikes = true;
+    opts.probes = {0, 7, 42};
+    Simulator sim(inst.network, inst.stimulus, opts);
+    sim.run(steps);
+
+    RunResult result;
+    result.spikeCounts = sim.spikeCounts();
+    result.events = sim.spikeEvents();
+    for (size_t p = 0; p < opts.probes.size(); ++p)
+        result.traces.push_back(sim.probeTrace(p));
+    result.spikes = sim.stats().spikes;
+    result.synapseEvents = sim.stats().synapseEvents;
+    result.steps = sim.stats().steps;
+    return result;
+}
+
+void
+expectIdentical(const RunResult &serial, const RunResult &threaded)
+{
+    EXPECT_EQ(serial.steps, threaded.steps);
+    EXPECT_EQ(serial.spikes, threaded.spikes);
+    EXPECT_EQ(serial.synapseEvents, threaded.synapseEvents);
+    EXPECT_EQ(serial.spikeCounts, threaded.spikeCounts);
+
+    ASSERT_EQ(serial.events.size(), threaded.events.size());
+    for (size_t i = 0; i < serial.events.size(); ++i) {
+        EXPECT_EQ(serial.events[i].step, threaded.events[i].step);
+        EXPECT_EQ(serial.events[i].neuron, threaded.events[i].neuron);
+    }
+
+    ASSERT_EQ(serial.traces.size(), threaded.traces.size());
+    for (size_t p = 0; p < serial.traces.size(); ++p) {
+        ASSERT_EQ(serial.traces[p].size(), threaded.traces[p].size());
+        for (size_t t = 0; t < serial.traces[p].size(); ++t) {
+            // Bit-identical membrane trajectories, not just "close".
+            EXPECT_EQ(serial.traces[p][t], threaded.traces[p][t])
+                << "probe " << p << " step " << t;
+        }
+    }
+}
+
+class BackendDeterminism
+    : public ::testing::TestWithParam<BackendKind>
+{
+};
+
+TEST_P(BackendDeterminism, FourThreadsBitIdenticalToOne)
+{
+    const BackendKind kind = GetParam();
+    const uint64_t steps = kind == BackendKind::Reference ? 600 : 400;
+    const RunResult serial = runVogelsAbbott(kind, 1, steps);
+    const RunResult threaded = runVogelsAbbott(kind, 4, steps);
+    expectIdentical(serial, threaded);
+    EXPECT_GT(serial.spikes, 0u) << "network stayed silent";
+}
+
+TEST_P(BackendDeterminism, OddThreadCountAlsoBitIdentical)
+{
+    const BackendKind kind = GetParam();
+    const RunResult serial = runVogelsAbbott(kind, 1, 300);
+    const RunResult threaded = runVogelsAbbott(kind, 3, 300);
+    expectIdentical(serial, threaded);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, BackendDeterminism,
+    ::testing::Values(BackendKind::Reference, BackendKind::Flexon,
+                      BackendKind::Folded),
+    [](const ::testing::TestParamInfo<BackendKind> &info) {
+        switch (info.param) {
+          case BackendKind::Reference: return "Reference";
+          case BackendKind::Flexon: return "Flexon";
+          case BackendKind::Folded: return "Folded";
+          default: return "Unknown";
+        }
+    });
+
+} // namespace
+} // namespace flexon

@@ -249,7 +249,7 @@ TEST(FlexonArrayTiming, SingleCycleThroughput)
     array.addPopulation(configFor(ModelKind::LIF), 30);
     EXPECT_EQ(array.cyclesPerStep(), 3u); // ceil(30/12)
     std::vector<Fix> input(30 * maxSynapseTypes, Fix::zero());
-    std::vector<bool> fired;
+    std::vector<uint8_t> fired;
     array.step(input, fired);
     array.step(input, fired);
     EXPECT_EQ(array.cycles(), 6u);
@@ -263,7 +263,7 @@ TEST(FoldedArrayTiming, PipelinedThroughput)
     // 2 rounds * 7 ops + 1 drain cycle.
     EXPECT_EQ(array.cyclesPerStep(), 15u);
     std::vector<Fix> input(144 * maxSynapseTypes, Fix::zero());
-    std::vector<bool> fired;
+    std::vector<uint8_t> fired;
     array.step(input, fired);
     EXPECT_EQ(array.cycles(), 15u);
     EXPECT_EQ(array.controlSignals(), 144u * 7u);
@@ -287,7 +287,7 @@ TEST(ArrayEquivalence, ArraysMatchSingleNeurons)
 
     Rng rng(9);
     std::vector<Fix> input(20 * maxSynapseTypes, Fix::zero());
-    std::vector<bool> fb, ff;
+    std::vector<uint8_t> fb, ff;
     for (int t = 0; t < 3000; ++t) {
         for (size_t n = 0; n < 20; ++n) {
             for (size_t i = 0; i < config.numSynapseTypes; ++i) {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/parallel.hh"
+#include "common/thread_pool.hh"
 #include "nets/table1.hh"
 #include "snn/simulator.hh"
 
@@ -53,6 +54,70 @@ TEST(ParallelFor, EmptyRange)
         called_with_work = begin < end;
     });
     EXPECT_FALSE(called_with_work);
+}
+
+TEST(ThreadPool, WorkersPersistAcrossDispatches)
+{
+    ThreadPool &pool = ThreadPool::global();
+    std::atomic<size_t> total{0};
+    pool.parallelFor(1000, 4, [&](size_t, size_t begin, size_t end) {
+        total.fetch_add(end - begin);
+    });
+    const size_t workersAfterFirst = pool.workerCount();
+    EXPECT_GE(workersAfterFirst, 3u); // lanes - 1, caller is lane 0
+    // Subsequent dispatches at the same width reuse the workers
+    // instead of spawning fresh threads (the seed's parallelFor
+    // spawned `threads` new std::threads per call).
+    for (int i = 0; i < 50; ++i) {
+        pool.parallelFor(1000, 4,
+                         [&](size_t, size_t begin, size_t end) {
+                             total.fetch_add(end - begin);
+                         });
+    }
+    EXPECT_EQ(pool.workerCount(), workersAfterFirst);
+    EXPECT_EQ(total.load(), 51u * 1000u);
+}
+
+TEST(ThreadPool, LaneChunksAreDeterministic)
+{
+    // The lane -> index-range mapping must be a pure function of
+    // (n, lanes): record it twice and compare.
+    auto capture = [](size_t n, size_t lanes) {
+        std::vector<std::pair<size_t, size_t>> ranges(lanes,
+                                                      {0, 0});
+        ThreadPool::global().parallelFor(
+            n, lanes, [&](size_t lane, size_t begin, size_t end) {
+                ranges[lane] = {begin, end};
+            });
+        return ranges;
+    };
+    EXPECT_EQ(capture(1003, 4), capture(1003, 4));
+    EXPECT_EQ(capture(64, 8), capture(64, 8));
+}
+
+TEST(ThreadPool, ForEachLaneRunsEveryLaneOnce)
+{
+    std::vector<std::atomic<int>> hits(6);
+    ThreadPool::global().forEachLane(
+        6, [&](size_t lane) { hits[lane].fetch_add(1); });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, NestedDispatchRunsInline)
+{
+    std::atomic<int> inner{0};
+    ThreadPool::global().parallelFor(
+        8, 2, [&](size_t, size_t begin, size_t end) {
+            // A dispatch from inside a worker must not deadlock.
+            ThreadPool::global().parallelFor(
+                4, 2, [&](size_t, size_t b, size_t e) {
+                    inner.fetch_add(static_cast<int>(e - b));
+                });
+            (void)begin;
+            (void)end;
+        });
+    EXPECT_EQ(inner.load(), 8); // 2 outer chunks x 4 inner items
 }
 
 TEST(ThreadedBackend, SpikesIdenticalToSingleThread)

@@ -313,7 +313,7 @@ TEST(Population, StepsAllNeuronsAndReportsSpikes)
     std::vector<double> input(8 * p.numSynapseTypes, 0.0);
     // Drive only neuron 3 above threshold.
     input[3 * p.numSynapseTypes] = 1.5;
-    std::vector<bool> fired;
+    std::vector<uint8_t> fired;
     int spikes3 = 0, others = 0;
     for (int t = 0; t < 500; ++t) {
         pop.step(input, fired);
@@ -331,7 +331,7 @@ TEST(Population, ResetRestoresRestingState)
     NeuronParams p = defaultParams(ModelKind::LIF);
     ReferencePopulation pop(p, 4);
     std::vector<double> input(4 * p.numSynapseTypes, 0.5);
-    std::vector<bool> fired;
+    std::vector<uint8_t> fired;
     pop.step(input, fired);
     EXPECT_GT(pop.state(0).v, 0.0);
     pop.reset();

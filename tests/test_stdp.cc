@@ -35,12 +35,12 @@ applySchedule(StdpEngine &engine, size_t neurons,
               const std::vector<std::pair<int, uint32_t>> &spikes,
               int steps)
 {
-    std::vector<bool> fired(neurons, false);
+    std::vector<uint8_t> fired(neurons, 0);
     for (int t = 0; t < steps; ++t) {
-        std::fill(fired.begin(), fired.end(), false);
+        std::fill(fired.begin(), fired.end(), uint8_t{0});
         for (const auto &[when, who] : spikes)
             if (when == t)
-                fired[who] = true;
+                fired[who] = 1;
         engine.onStep(fired);
     }
 }
@@ -164,7 +164,7 @@ TEST(Stdp, CorrelatedInputsWinTheCompetition)
     std::vector<double> input(net.numNeurons() * maxSynapseTypes,
                               0.0);
     std::vector<double> routed(input.size(), 0.0);
-    std::vector<bool> fired;
+    std::vector<uint8_t> fired;
     for (int t = 0; t < 60000; ++t) {
         std::swap(input, routed);
         std::fill(routed.begin(), routed.end(), 0.0);
