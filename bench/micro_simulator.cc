@@ -8,7 +8,9 @@
 #include <benchmark/benchmark.h>
 
 #include <string>
+#include <vector>
 
+#include "common/random.hh"
 #include "nets/table1.hh"
 #include "snn/simulator.hh"
 
@@ -116,6 +118,43 @@ BM_StepRkf45Threaded(benchmark::State &state)
         static_cast<int64_t>(inst.network.numNeurons()));
 }
 
+/**
+ * Neuron-computation phase in isolation: one backend->step call on a
+ * fixed sparse input buffer, with no synapse routing or stimulus
+ * around it. This is the loop the per-population kernels specialize,
+ * so it is the benchmark the kernel before/after comparison uses.
+ * Args: backend kind, worker-lane count.
+ */
+void
+BM_NeuronPhase(benchmark::State &state)
+{
+    const auto kind = static_cast<BackendKind>(state.range(0));
+    const auto threads = static_cast<size_t>(state.range(1));
+    BenchmarkInstance inst =
+        buildBenchmark(findBenchmark("Vogels-Abbott"), 4.0, 3);
+    auto backend = makeBackend(kind, inst.network,
+                               IntegrationMode::Discrete,
+                               SolverKind::Euler, threads);
+    const size_t n = inst.network.numNeurons();
+    // ~10 % of neurons receive an accumulated weight on synapse type
+    // 0, the rest of the buffer stays zero — the sparsity a live
+    // Vogels-Abbott synapse phase produces.
+    std::vector<double> input(n * maxSynapseTypes, 0.0);
+    Rng rng(7);
+    for (size_t i = 0; i < n; ++i) {
+        if (rng.uniform() < 0.1)
+            input[i * maxSynapseTypes] = rng.uniform(0.0, 0.5);
+    }
+    std::vector<uint8_t> fired;
+    backend->step(input, fired); // warm up / allocate
+    state.SetLabel(std::string(backendName(kind)) + "/t" +
+                   std::to_string(threads));
+    for (auto _ : state)
+        backend->step(input, fired);
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(n));
+}
+
 } // namespace
 } // namespace flexon
 
@@ -134,3 +173,10 @@ BENCHMARK(flexon::BM_StepThreaded)
     ->Args({static_cast<int>(flexon::BackendKind::Folded), 1})
     ->Args({static_cast<int>(flexon::BackendKind::Folded), 4});
 BENCHMARK(flexon::BM_StepRkf45Threaded)->Arg(1)->Arg(2)->Arg(4);
+BENCHMARK(flexon::BM_NeuronPhase)
+    ->Args({static_cast<int>(flexon::BackendKind::Reference), 1})
+    ->Args({static_cast<int>(flexon::BackendKind::Reference), 4})
+    ->Args({static_cast<int>(flexon::BackendKind::Flexon), 1})
+    ->Args({static_cast<int>(flexon::BackendKind::Flexon), 4})
+    ->Args({static_cast<int>(flexon::BackendKind::Folded), 1})
+    ->Args({static_cast<int>(flexon::BackendKind::Folded), 4});

@@ -1,5 +1,7 @@
 #include "flexon/array.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
 
@@ -16,10 +18,12 @@ PopulationId
 FlexonArray::addPopulation(const FlexonConfig &config, size_t count)
 {
     flexon_assert(count > 0);
-    populations_.push_back({neurons_.size(), count, config});
-    neurons_.reserve(neurons_.size() + count);
-    for (size_t i = 0; i < count; ++i)
-        neurons_.emplace_back(config);
+    flexon_assert(config.features.valid());
+    populations_.push_back({numNeurons_, count, config});
+    state_.emplace_back();
+    state_.back().resize(count, config.numSynapseTypes);
+    kernels_.push_back(selectStepKernel(config.features));
+    numNeurons_ += count;
     return populations_.size() - 1;
 }
 
@@ -27,46 +31,87 @@ uint64_t
 FlexonArray::cyclesPerStep() const
 {
     // Single-cycle design: each lane evaluates one neuron per cycle.
-    return (neurons_.size() + width_ - 1) / width_;
+    return (numNeurons_ + width_ - 1) / width_;
+}
+
+template <typename InputT>
+void
+FlexonArray::stepImpl(const InputT *input, std::vector<uint8_t> &fired)
+{
+    fired.resize(numNeurons_);
+    uint8_t *const flags = fired.data();
+    // Chunks are intersected with population ranges, so every kernel
+    // call stays inside one population and lane boundaries never
+    // change which kernel touches which neuron.
+    ThreadPool::global().parallelFor(
+        numNeurons_, hostThreads_,
+        [&](size_t, size_t begin, size_t end) {
+            for (size_t p = 0; p < populations_.size(); ++p) {
+                const PopulationInfo &pop = populations_[p];
+                const size_t lo = std::max(begin, pop.base);
+                const size_t hi = std::min(end, pop.base + pop.count);
+                if (lo >= hi)
+                    continue;
+                KernelArgs args;
+                args.config = &pop.config;
+                args.soa = &state_[p];
+                args.fired = flags + pop.base;
+                if constexpr (std::is_same_v<InputT, double>) {
+                    args.refInput =
+                        input + pop.base * maxSynapseTypes;
+                    kernels_[p].fused(args, lo - pop.base,
+                                      hi - pop.base);
+                } else {
+                    args.fixInput =
+                        input + pop.base * maxSynapseTypes;
+                    kernels_[p].scaled(args, lo - pop.base,
+                                       hi - pop.base);
+                }
+            }
+        });
+    cycles_ += cyclesPerStep();
 }
 
 void
 FlexonArray::step(std::span<const Fix> input,
                   std::vector<uint8_t> &fired)
 {
-    flexon_assert(input.size() >= neurons_.size() * maxSynapseTypes);
-    fired.resize(neurons_.size());
-    uint8_t *const flags = fired.data();
-    ThreadPool::global().parallelFor(
-        neurons_.size(), hostThreads_,
-        [&](size_t, size_t begin, size_t end) {
-            for (size_t i = begin; i < end; ++i) {
-                flags[i] = neurons_[i].step(input.subspan(
-                    i * maxSynapseTypes, maxSynapseTypes));
-            }
-        });
-    cycles_ += cyclesPerStep();
+    flexon_assert(input.size() >= numNeurons_ * maxSynapseTypes);
+    stepImpl(input.data(), fired);
 }
 
-const FlexonNeuron &
+void
+FlexonArray::step(std::span<const double> input,
+                  std::vector<uint8_t> &fired)
+{
+    flexon_assert(input.size() >= numNeurons_ * maxSynapseTypes);
+    stepImpl(input.data(), fired);
+}
+
+FlexonNeuronView
 FlexonArray::neuron(size_t idx) const
 {
-    flexon_assert(idx < neurons_.size());
-    return neurons_[idx];
+    flexon_assert(idx < numNeurons_);
+    for (size_t p = 0; p < populations_.size(); ++p) {
+        const PopulationInfo &pop = populations_[p];
+        if (idx < pop.base + pop.count)
+            return {pop.config, state_[p], idx - pop.base};
+    }
+    panic("neuron index %zu outside every population", idx);
 }
 
-FlexonNeuron &
-FlexonArray::neuron(size_t idx)
+bool
+FlexonArray::populationSpecialized(PopulationId p) const
 {
-    flexon_assert(idx < neurons_.size());
-    return neurons_[idx];
+    flexon_assert(p < kernels_.size());
+    return kernels_[p].specialized;
 }
 
 void
 FlexonArray::resetState()
 {
-    for (auto &n : neurons_)
-        n.reset();
+    for (auto &soa : state_)
+        soa.reset();
 }
 
 } // namespace flexon

@@ -8,9 +8,13 @@
  * streamed from the array's SRAMs. The paper's evaluation array has 12
  * lanes (matching the baseline CPU's core count) and runs at 250 MHz.
  *
- * Functionally the array is exact (it steps real FlexonNeuron
- * instances); the timing model counts ceil(N / width) cycles per
- * simulation time step, the throughput of a single-cycle design.
+ * Functionally the array is exact: each population's state lives in
+ * structure-of-arrays form (flexon/kernel.hh) and is stepped by a
+ * batch kernel specialized at addPopulation() time for the
+ * population's feature composition, bit-identical to stepping real
+ * FlexonNeuron instances. The timing model counts ceil(N / width)
+ * cycles per simulation time step, the throughput of a single-cycle
+ * design.
  */
 
 #ifndef FLEXON_FLEXON_ARRAY_HH
@@ -20,6 +24,7 @@
 #include <span>
 #include <vector>
 
+#include "flexon/kernel.hh"
 #include "flexon/neuron.hh"
 
 namespace flexon {
@@ -39,24 +44,35 @@ class FlexonArray
                          double clockHz = defaultClockHz);
 
     /**
-     * Add `count` neurons sharing one hardware configuration.
+     * Add `count` neurons sharing one hardware configuration. The
+     * configuration is stored once for the population (not copied per
+     * neuron) and its step kernel is dispatched here, once.
      * @return the population id (neurons are indexed globally in
      *         insertion order)
      */
     PopulationId addPopulation(const FlexonConfig &config, size_t count);
 
-    size_t numNeurons() const { return neurons_.size(); }
+    size_t numNeurons() const { return numNeurons_; }
     size_t width() const { return width_; }
     double clockHz() const { return clockHz_; }
 
     /**
-     * Simulate one SNN time step.
+     * Simulate one SNN time step from pre-scaled hardware inputs.
      *
      * @param input row-major [neuron][synapseType] pre-scaled
      *              accumulated weights; stride is maxSynapseTypes
      * @param fired output spike flags (0/1 bytes), one per neuron
      */
     void step(std::span<const Fix> input, std::vector<uint8_t> &fired);
+
+    /**
+     * Simulate one SNN time step from reference-unit (double) inputs:
+     * the double->Fix scaling of the synapse-calculation stage is
+     * fused into the batch kernel, so no dense staging buffer exists
+     * and refractory-blocked / all-zero slots skip conversion.
+     */
+    void step(std::span<const double> input,
+              std::vector<uint8_t> &fired);
 
     /**
      * Host worker threads evaluating the functional neuron loop
@@ -82,8 +98,8 @@ class FlexonArray
     /** Cycles one time step costs for the current occupancy. */
     uint64_t cyclesPerStep() const;
 
-    const FlexonNeuron &neuron(size_t idx) const;
-    FlexonNeuron &neuron(size_t idx);
+    /** Read-only view of one neuron's state (probes and tests). */
+    FlexonNeuronView neuron(size_t idx) const;
 
     /** Population base index and size. */
     struct PopulationInfo
@@ -97,15 +113,23 @@ class FlexonArray
         return populations_;
     }
 
+    /** True iff population p runs a compile-time specialized kernel. */
+    bool populationSpecialized(PopulationId p) const;
+
     void resetState();
     void resetCycles() { cycles_ = 0; }
 
   private:
+    template <typename InputT>
+    void stepImpl(const InputT *input, std::vector<uint8_t> &fired);
+
     size_t width_;
     double clockHz_;
     size_t hostThreads_ = 1;
-    std::vector<FlexonNeuron> neurons_;
+    size_t numNeurons_ = 0;
     std::vector<PopulationInfo> populations_;
+    std::vector<PopulationSoA> state_;
+    std::vector<SelectedKernel> kernels_;
     uint64_t cycles_ = 0;
 };
 

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Per-population, feature-specialized batch kernels over
+ * structure-of-arrays Flexon state.
+ *
+ * A Flexon population shares one FlexonConfig (Section III: the
+ * feature composition is a property of the population, not of the
+ * neuron), yet the scalar path re-decides that composition per neuron
+ * per step through ~15 FeatureSet::has() branches and drags a private
+ * FlexonConfig copy through the cache for every neuron. This layer
+ * hoists the model choice out of the inner loop: the state variables
+ * v/y/g/w/r/cnt live in contiguous per-population arrays, and the
+ * step kernel is instantiated from a compile-time feature mask —
+ * dispatched once per population at build time — so the specialized
+ * loop body contains only the datapaths the population actually
+ * enables. A generic kernel (same source body, runtime feature
+ * queries) covers feature combinations outside the dispatch table.
+ *
+ * Bit-exactness contract: every kernel performs the exact Fix
+ * operation order of FlexonNeuron::step (the Table V microcode
+ * order), so specialized, generic, and scalar paths produce identical
+ * spikes, membrane trajectories, and preResetV at any thread count.
+ * The double->Fix input scaling of the hardware backends is fused
+ * into the kernel (the Table V convention: weights pre-scaled by
+ * epsilon_m, CUB merging all synapse types into one signed input),
+ * eliminating the dense per-step staging buffer.
+ */
+
+#ifndef FLEXON_FLEXON_KERNEL_HH
+#define FLEXON_FLEXON_KERNEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "flexon/config.hh"
+
+namespace flexon {
+
+/**
+ * Structure-of-arrays dynamic state of one Flexon population.
+ *
+ * y and g are row-major [neuron][synapseType] with stride
+ * `synStride` = the population's active synapse-type count (not
+ * maxSynapseTypes), so a COBE population with one type streams 1/4 of
+ * the AoS footprint.
+ */
+struct PopulationSoA
+{
+    size_t count = 0;
+    size_t synStride = 1;
+    std::vector<Fix> v;
+    std::vector<Fix> w;
+    std::vector<Fix> r;
+    std::vector<Fix> preResetV;
+    std::vector<Fix> y; ///< count * synStride, COBA only
+    std::vector<Fix> g; ///< count * synStride, COBE/COBA/CUB scratch
+    std::vector<uint32_t> cnt;
+
+    /** Size the arrays for `count` neurons at rest. */
+    void resize(size_t count, size_t numSynapseTypes);
+
+    /** Return every neuron to the resting state. */
+    void reset();
+};
+
+/** One kernel invocation: a population slice and its data streams. */
+struct KernelArgs
+{
+    const FlexonConfig *config; ///< the population's shared config
+    PopulationSoA *soa;
+    /**
+     * Reference-unit double input, row-major stride maxSynapseTypes,
+     * already offset to the population base (fused-scaling kernels);
+     * null when fixInput is used.
+     */
+    const double *refInput = nullptr;
+    /** Pre-scaled Fix input, same layout (legacy-path kernels). */
+    const Fix *fixInput = nullptr;
+    /** Fired flags, offset to the population base. */
+    uint8_t *fired = nullptr;
+};
+
+/** Steps population-local neurons [begin, end). */
+using StepKernelFn = void (*)(const KernelArgs &args, size_t begin,
+                              size_t end);
+
+/** The two input-mode variants of one population's step kernel. */
+struct SelectedKernel
+{
+    /** Fused double->Fix scaling variant (reads KernelArgs::refInput). */
+    StepKernelFn fused;
+    /** Pre-scaled Fix variant (reads KernelArgs::fixInput). */
+    StepKernelFn scaled;
+    /** True iff a compile-time specialized instantiation was found. */
+    bool specialized;
+};
+
+/**
+ * Pick the step kernel for a feature set: a compile-time specialized
+ * instantiation when the mask is in the dispatch table (the Table III
+ * model combinations and their single-feature building blocks), else
+ * the generic runtime-dispatch kernel. Both are bit-identical.
+ */
+SelectedKernel selectStepKernel(FeatureSet features);
+
+/** Number of feature masks with compiled specializations (for tests). */
+size_t numSpecializedKernels();
+
+/**
+ * Read-only view of one neuron inside a PopulationSoA, materializing
+ * the AoS FlexonState probes and tests expect (y/g padded with zeros
+ * to maxSynapseTypes).
+ */
+class FlexonNeuronView
+{
+  public:
+    FlexonNeuronView(const FlexonConfig &config,
+                     const PopulationSoA &soa, size_t idx)
+        : config_(&config), soa_(&soa), idx_(idx)
+    {
+    }
+
+    FlexonState state() const;
+    Fix preResetV() const { return soa_->preResetV[idx_]; }
+    const FlexonConfig &config() const { return *config_; }
+
+  private:
+    const FlexonConfig *config_;
+    const PopulationSoA *soa_;
+    size_t idx_;
+};
+
+} // namespace flexon
+
+#endif // FLEXON_FLEXON_KERNEL_HH

@@ -1,0 +1,164 @@
+#include "models/reference_batch.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace flexon {
+
+ReferenceBatch::ReferenceBatch(const NeuronParams &params, size_t count)
+    : params_(params), count_(count),
+      stride_(params.numSynapseTypes == 0 ? 1 : params.numSynapseTypes)
+{
+    const std::string err = params_.validate();
+    if (!err.empty())
+        fatal("invalid neuron parameters: %s", err.c_str());
+    flexon_assert(count > 0);
+    v_.assign(count, 0.0);
+    w_.assign(count, 0.0);
+    r_.assign(count, 0.0);
+    preResetV_.assign(count, 0.0);
+    y_.assign(count * stride_, 0.0);
+    g_.assign(count * stride_, 0.0);
+    cnt_.assign(count, 0);
+}
+
+void
+ReferenceBatch::step(const double *input, uint8_t *fired, size_t begin,
+                     size_t end)
+{
+    const NeuronParams &p = params_;
+    const FeatureSet &f = p.features;
+
+    // Feature decisions hoisted out of the neuron loop: one branch
+    // pattern per population instead of per neuron.
+    const bool hasAR = f.has(Feature::AR);
+    const bool hasCOBA = f.has(Feature::COBA);
+    const bool hasCOBE = f.has(Feature::COBE);
+    const bool hasREV = f.has(Feature::REV);
+    const bool hasEXI = f.has(Feature::EXI);
+    const bool hasQDI = f.has(Feature::QDI);
+    const bool hasEXD = f.has(Feature::EXD);
+    const bool hasLID = f.has(Feature::LID);
+    const bool hasSBT = f.has(Feature::SBT);
+    const bool hasADT = f.has(Feature::ADT);
+    const bool hasRR = f.has(Feature::RR);
+    const bool wFeature = hasADT || hasSBT || hasRR;
+    const double threshold = p.threshold();
+
+    for (size_t i = begin; i < end; ++i) {
+        const double v_prev = v_[i];
+        const double *const in_row = input + i * maxSynapseTypes;
+        double *const y = y_.data() + i * stride_;
+        double *const g = g_.data() + i * stride_;
+
+        // --- Refractory gating (Equation 7).
+        const bool blocked = hasAR && cnt_[i] > 0;
+        if (blocked)
+            --cnt_[i];
+
+        // --- Input spike accumulation (Equation 4), in the exact
+        // operation order of ReferenceNeuron::step.
+        double acc = 0.0;
+        for (size_t t = 0; t < stride_; ++t) {
+            const double in = blocked ? 0.0 : in_row[t];
+            const double eps_g = p.syn[t].epsG;
+
+            if (hasCOBA) {
+                y[t] = (1.0 - eps_g) * y[t] + in;
+                g[t] = (1.0 - eps_g) * g[t] + M_E * eps_g * y[t];
+            } else if (hasCOBE) {
+                g[t] = (1.0 - eps_g) * g[t] + in;
+            } else {
+                g[t] = in;
+            }
+
+            const double v_rev =
+                hasREV ? (p.syn[t].vG - v_prev) : 1.0;
+            acc += v_rev * g[t];
+        }
+
+        // --- Membrane decay / spike initiation (Equations 3 and 5).
+        double leak = 0.0;
+        if (hasEXI) {
+            leak = -v_prev +
+                   p.deltaT * std::exp((v_prev - 1.0) / p.deltaT);
+        } else if (hasQDI) {
+            leak = (-v_prev) * (p.vCrit - v_prev);
+        } else if (hasEXD) {
+            leak = -v_prev;
+        }
+
+        // --- Spike-triggered current (Equation 6) / relative
+        // refractory (Equation 8).
+        double w_term = 0.0;
+        double r_term = 0.0;
+        if (hasSBT) {
+            w_[i] = (1.0 - p.epsW) * w_[i] +
+                    p.epsM * p.a * (v_prev - p.vW);
+            w_term = w_[i];
+        } else if (hasADT) {
+            w_[i] = (1.0 - p.epsW) * w_[i];
+            w_term = w_[i];
+        } else if (hasRR) {
+            w_[i] = (1.0 - p.epsW) * w_[i];
+            r_[i] = (1.0 - p.epsR) * r_[i];
+            w_term = w_[i] * (p.vAR - v_prev);
+            r_term = r_[i] * (p.vRR - v_prev);
+        }
+
+        // --- Membrane potential update.
+        double v_next;
+        if (hasLID) {
+            v_next = std::max(0.0, v_prev + acc - p.vLeak);
+        } else {
+            v_next =
+                v_prev + p.epsM * (leak + acc) + w_term + r_term;
+        }
+
+        // --- Firing check.
+        preResetV_[i] = v_next;
+        const bool spike = v_next > threshold;
+        if (spike) {
+            v_next = 0.0;
+            if (wFeature)
+                w_[i] -= p.b;
+            if (hasRR)
+                r_[i] -= p.qR;
+            if (hasAR)
+                cnt_[i] = p.arSteps;
+        }
+        v_[i] = v_next;
+        fired[i] = spike;
+    }
+}
+
+NeuronState
+ReferenceBatch::state(size_t idx) const
+{
+    flexon_assert(idx < count_);
+    NeuronState s;
+    s.v = v_[idx];
+    s.w = w_[idx];
+    s.r = r_[idx];
+    s.cnt = cnt_[idx];
+    for (size_t t = 0; t < stride_ && t < maxSynapseTypes; ++t) {
+        s.y[t] = y_[idx * stride_ + t];
+        s.g[t] = g_[idx * stride_ + t];
+    }
+    return s;
+}
+
+void
+ReferenceBatch::reset()
+{
+    std::fill(v_.begin(), v_.end(), 0.0);
+    std::fill(w_.begin(), w_.end(), 0.0);
+    std::fill(r_.begin(), r_.end(), 0.0);
+    std::fill(preResetV_.begin(), preResetV_.end(), 0.0);
+    std::fill(y_.begin(), y_.end(), 0.0);
+    std::fill(g_.begin(), g_.end(), 0.0);
+    std::fill(cnt_.begin(), cnt_.end(), 0);
+}
+
+} // namespace flexon

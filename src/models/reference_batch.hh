@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Structure-of-arrays batch stepper for the discrete reference model.
+ *
+ * The reference backend used to keep one ReferenceNeuron per network
+ * neuron, each dragging a private NeuronParams copy (hundreds of
+ * bytes) through the cache on every step. A ReferenceBatch stores the
+ * parameter set once per population, hoists the feature decisions out
+ * of the inner loop, and streams the state variables v/y/g/w/r/cnt as
+ * contiguous arrays — the same per-population SoA treatment the
+ * Flexon batch kernels apply (flexon/kernel.hh).
+ *
+ * Bit-exactness contract: step() performs the exact double-precision
+ * operation order of ReferenceNeuron::step (Equations 3-8), so the
+ * batch path is bit-identical to the scalar golden model.
+ */
+
+#ifndef FLEXON_MODELS_REFERENCE_BATCH_HH
+#define FLEXON_MODELS_REFERENCE_BATCH_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "features/params.hh"
+
+namespace flexon {
+
+/** A population of discrete reference neurons in SoA form. */
+class ReferenceBatch
+{
+  public:
+    /** @param params validated shared parameters (fatal on invalid). */
+    ReferenceBatch(const NeuronParams &params, size_t count);
+
+    size_t size() const { return count_; }
+    const NeuronParams &params() const { return params_; }
+
+    /**
+     * Step neurons [begin, end) of this batch.
+     *
+     * @param input row-major [neuron][synapseType] accumulated
+     *              weights with stride maxSynapseTypes, already
+     *              offset to this batch's first neuron
+     * @param fired 0/1 flags, offset to this batch's first neuron
+     */
+    void step(const double *input, uint8_t *fired, size_t begin,
+              size_t end);
+
+    double membrane(size_t idx) const { return v_[idx]; }
+    double preResetV(size_t idx) const { return preResetV_[idx]; }
+
+    /** Materialized AoS state of one neuron (probes and tests). */
+    NeuronState state(size_t idx) const;
+
+    void reset();
+
+  private:
+    NeuronParams params_;
+    size_t count_;
+    size_t stride_; ///< params_.numSynapseTypes
+
+    std::vector<double> v_;
+    std::vector<double> w_;
+    std::vector<double> r_;
+    std::vector<double> preResetV_;
+    std::vector<double> y_; ///< count * stride
+    std::vector<double> g_; ///< count * stride
+    std::vector<uint32_t> cnt_;
+};
+
+} // namespace flexon
+
+#endif // FLEXON_MODELS_REFERENCE_BATCH_HH

@@ -1,11 +1,13 @@
 #include "snn/backend.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
 #include "flexon/array.hh"
 #include "folded/array.hh"
 #include "models/ode_neuron.hh"
-#include "models/reference_neuron.hh"
+#include "models/reference_batch.hh"
 
 namespace flexon {
 
@@ -22,7 +24,12 @@ backendName(BackendKind kind)
 
 namespace {
 
-/** Software backend: one reference neuron per network neuron. */
+/**
+ * Software backend. Discrete mode runs one ReferenceBatch per
+ * population (shared parameters, SoA state — see
+ * models/reference_batch.hh); continuous mode keeps per-neuron
+ * OdeNeuron instances, whose solver state is inherently per-neuron.
+ */
 class ReferenceBackend : public NeuronBackend
 {
   public:
@@ -32,12 +39,14 @@ class ReferenceBackend : public NeuronBackend
     {
         for (size_t p = 0; p < network.numPopulations(); ++p) {
             const Population &pop = network.population(p);
-            for (size_t i = 0; i < pop.count; ++i) {
-                if (mode_ == IntegrationMode::Discrete)
-                    discrete_.emplace_back(pop.params);
-                else
+            if (mode_ == IntegrationMode::Discrete) {
+                bases_.push_back(numNeurons_);
+                batches_.emplace_back(pop.params, pop.count);
+            } else {
+                for (size_t i = 0; i < pop.count; ++i)
                     continuous_.emplace_back(pop.params, solver);
             }
+            numNeurons_ += pop.count;
         }
     }
 
@@ -47,23 +56,30 @@ class ReferenceBackend : public NeuronBackend
     step(std::span<const double> input,
          std::vector<uint8_t> &fired) override
     {
-        const size_t n = mode_ == IntegrationMode::Discrete
-                             ? discrete_.size()
-                             : continuous_.size();
-        flexon_assert(input.size() >= n * maxSynapseTypes);
+        flexon_assert(input.size() >= numNeurons_ * maxSynapseTypes);
         // Chunked parallel neuron update on the persistent pool.
         // Each neuron's state is private and every lane writes a
         // disjoint byte range of `fired`, so no intermediate
         // flag buffer (and no per-step allocation) is needed.
-        fired.resize(n);
+        fired.resize(numNeurons_);
         uint8_t *const flags = fired.data();
+        const double *const in = input.data();
         ThreadPool::global().parallelFor(
-            n, threads_, [&](size_t, size_t begin, size_t end) {
+            numNeurons_, threads_,
+            [&](size_t, size_t begin, size_t end) {
                 if (mode_ == IntegrationMode::Discrete) {
-                    for (size_t i = begin; i < end; ++i) {
-                        flags[i] = discrete_[i].step(
-                            input.subspan(i * maxSynapseTypes,
-                                          maxSynapseTypes));
+                    // Intersect the lane's chunk with each batch, so
+                    // kernel calls never straddle populations.
+                    for (size_t b = 0; b < batches_.size(); ++b) {
+                        const size_t base = bases_[b];
+                        const size_t lo = std::max(begin, base);
+                        const size_t hi = std::min(
+                            end, base + batches_[b].size());
+                        if (lo >= hi)
+                            continue;
+                        batches_[b].step(
+                            in + base * maxSynapseTypes,
+                            flags + base, lo - base, hi - base);
                     }
                 } else {
                     for (size_t i = begin; i < end; ++i) {
@@ -78,8 +94,8 @@ class ReferenceBackend : public NeuronBackend
     void
     reset() override
     {
-        for (auto &neuron : discrete_)
-            neuron.reset();
+        for (auto &batch : batches_)
+            batch.reset();
         for (auto &neuron : continuous_)
             neuron.reset();
     }
@@ -87,78 +103,112 @@ class ReferenceBackend : public NeuronBackend
     double
     membrane(size_t neuron) const override
     {
-        return mode_ == IntegrationMode::Discrete
-                   ? discrete_.at(neuron).state().v
-                   : continuous_.at(neuron).state().v;
+        if (mode_ != IntegrationMode::Discrete)
+            return continuous_.at(neuron).state().v;
+        for (size_t b = 0; b < batches_.size(); ++b) {
+            if (neuron < bases_[b] + batches_[b].size())
+                return batches_[b].membrane(neuron - bases_[b]);
+        }
+        panic("neuron index %zu outside every population", neuron);
     }
 
   private:
     IntegrationMode mode_;
     size_t threads_;
-    std::vector<ReferenceNeuron> discrete_;
+    size_t numNeurons_ = 0;
+    std::vector<size_t> bases_;
+    std::vector<ReferenceBatch> batches_;
     std::vector<OdeNeuron> continuous_;
 };
 
-/** Shared input-conversion logic for the two hardware backends. */
+/**
+ * Input conversion for the folded hardware backend: reference-unit
+ * accumulated weights scaled into the hardware convention (epsilon_m
+ * pre-scaling, CUB merging all synapse types into one signed input).
+ * One configuration is stored per population — not per neuron — and
+ * all-zero slots skip the double->Fix conversion (bit-exact:
+ * scaleWeight(0.0) == Fix::zero()).
+ *
+ * The baseline Flexon backend no longer uses this: its batch kernels
+ * fuse the scaling into the neuron step (flexon/kernel.hh).
+ */
 class HardwareInputScaler
 {
   public:
     explicit HardwareInputScaler(const Network &network)
     {
+        size_t base = 0;
         for (size_t p = 0; p < network.numPopulations(); ++p) {
             const Population &pop = network.population(p);
-            const FlexonConfig config =
-                FlexonConfig::fromParams(pop.params);
-            for (size_t i = 0; i < pop.count; ++i)
-                configs_.push_back(config);
+            pops_.push_back(
+                {base, pop.count,
+                 FlexonConfig::fromParams(pop.params)});
+            base += pop.count;
         }
-        scaled_.resize(configs_.size() * maxSynapseTypes, Fix::zero());
+        scaled_.resize(base * maxSynapseTypes, Fix::zero());
     }
 
-    /**
-     * Convert reference-unit accumulated weights into the hardware
-     * convention: scale by epsilon_m (Table V) and, for CUB
-     * configurations, merge all synapse types into one signed input.
-     */
     std::span<const Fix>
-    scale(std::span<const double> input, size_t ref_types_stride)
+    scale(std::span<const double> input)
     {
-        (void)ref_types_stride;
-        for (size_t i = 0; i < configs_.size(); ++i) {
-            const FlexonConfig &c = configs_[i];
-            const size_t base = i * maxSynapseTypes;
-            if (c.features.has(Feature::CUB)) {
-                double sum = 0.0;
-                for (size_t s = 0; s < maxSynapseTypes; ++s)
-                    sum += input[base + s];
-                scaled_[base] = c.scaleWeight(sum);
-                for (size_t s = 1; s < maxSynapseTypes; ++s)
-                    scaled_[base + s] = Fix::zero();
-            } else {
-                for (size_t s = 0; s < maxSynapseTypes; ++s)
-                    scaled_[base + s] = c.scaleWeight(input[base + s]);
+        for (const PopulationSlice &pop : pops_) {
+            const FlexonConfig &c = pop.config;
+            const bool cub = c.features.has(Feature::CUB);
+            for (size_t i = pop.base; i < pop.base + pop.count; ++i) {
+                const size_t base = i * maxSynapseTypes;
+                if (cub) {
+                    double sum = 0.0;
+                    for (size_t s = 0; s < maxSynapseTypes; ++s)
+                        sum += input[base + s];
+                    scaled_[base] = sum == 0.0 ? Fix::zero()
+                                               : c.scaleWeight(sum);
+                    for (size_t s = 1; s < maxSynapseTypes; ++s)
+                        scaled_[base + s] = Fix::zero();
+                } else {
+                    for (size_t s = 0; s < maxSynapseTypes; ++s) {
+                        const double in = input[base + s];
+                        scaled_[base + s] =
+                            in == 0.0 ? Fix::zero()
+                                      : c.scaleWeight(in);
+                    }
+                }
             }
         }
         return scaled_;
     }
 
-    const FlexonConfig &config(size_t neuron) const
+    const FlexonConfig &
+    config(size_t neuron) const
     {
-        return configs_.at(neuron);
+        for (const PopulationSlice &pop : pops_) {
+            if (neuron < pop.base + pop.count)
+                return pop.config;
+        }
+        panic("neuron index %zu outside every population", neuron);
     }
 
   private:
-    std::vector<FlexonConfig> configs_;
+    struct PopulationSlice
+    {
+        size_t base;
+        size_t count;
+        FlexonConfig config;
+    };
+    std::vector<PopulationSlice> pops_;
     std::vector<Fix> scaled_;
 };
 
-/** Baseline Flexon array backend. */
+/**
+ * Baseline Flexon array backend. Input scaling is fused into the
+ * array's per-population batch kernels, so the reference-unit input
+ * goes straight to the array.
+ */
 class FlexonBackend : public NeuronBackend
 {
   public:
     FlexonBackend(const Network &network, size_t width,
                   double clock_hz, size_t threads)
-        : array_(width, clock_hz), scaler_(network)
+        : array_(width, clock_hz)
     {
         array_.setHostThreads(threads);
         for (size_t p = 0; p < network.numPopulations(); ++p) {
@@ -174,7 +224,7 @@ class FlexonBackend : public NeuronBackend
     step(std::span<const double> input,
          std::vector<uint8_t> &fired) override
     {
-        array_.step(scaler_.scale(input, maxSynapseTypes), fired);
+        array_.step(input, fired);
     }
 
     void reset() override { array_.resetState(); }
@@ -196,7 +246,6 @@ class FlexonBackend : public NeuronBackend
 
   private:
     FlexonArray array_;
-    HardwareInputScaler scaler_;
 };
 
 /** Spatially folded Flexon array backend. */
@@ -221,7 +270,7 @@ class FoldedBackend : public NeuronBackend
     step(std::span<const double> input,
          std::vector<uint8_t> &fired) override
     {
-        array_.step(scaler_.scale(input, maxSynapseTypes), fired);
+        array_.step(scaler_.scale(input), fired);
     }
 
     void reset() override { array_.resetState(); }
