@@ -1,0 +1,72 @@
+/**
+ * @file
+ * A budgeted touch list: records which keys of a dense array were
+ * dirtied so the owner can later undo (clear) only those, with a
+ * running cost estimate and a saturation budget. Once the
+ * accumulated cost reaches the budget the keys stop being stored —
+ * the cost keeps counting, and the owner is expected to fall back to
+ * a dense wipe (which needs no key list). Used by the spike router
+ * for activity-proportional ring-slot clearing.
+ */
+
+#ifndef FLEXON_COMMON_TOUCH_LIST_HH
+#define FLEXON_COMMON_TOUCH_LIST_HH
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace flexon {
+
+class TouchList
+{
+  public:
+    explicit TouchList(
+        uint64_t budget = std::numeric_limits<uint64_t>::max())
+        : budget_(budget)
+    {
+    }
+
+    void setBudget(uint64_t budget) { budget_ = budget; }
+
+    /**
+     * Record a touched key whose undo costs `cost` units. Keys added
+     * after the budget is exhausted are counted but not stored.
+     */
+    void
+    add(uint64_t key, uint64_t cost)
+    {
+        if (cost_ < budget_)
+            keys_.push_back(key);
+        cost_ += cost;
+    }
+
+    /** Total undo cost recorded since the last clear(). */
+    uint64_t cost() const { return cost_; }
+
+    /** True once keys() no longer covers every touched key. */
+    bool saturated() const { return cost_ >= budget_; }
+
+    /** The recorded keys; complete only while !saturated(). */
+    std::span<const uint64_t> keys() const { return keys_; }
+
+    bool empty() const { return cost_ == 0; }
+
+    /** Forget all keys and cost; capacity is retained. */
+    void
+    clear()
+    {
+        keys_.clear();
+        cost_ = 0;
+    }
+
+  private:
+    std::vector<uint64_t> keys_;
+    uint64_t cost_ = 0;
+    uint64_t budget_;
+};
+
+} // namespace flexon
+
+#endif // FLEXON_COMMON_TOUCH_LIST_HH

@@ -9,7 +9,8 @@ namespace flexon {
 
 EventDrivenSimulator::EventDrivenSimulator(const Network &network,
                                            StimulusGenerator stimulus)
-    : network_(network), stimulus_(std::move(stimulus))
+    : network_(network), stimulus_(std::move(stimulus)),
+      table_(network, 1)
 {
     if (!network_.finalized())
         fatal("network must be finalized before simulation");
@@ -89,9 +90,17 @@ EventDrivenSimulator::updateNeuron(uint32_t neuron, double input,
         s.refractory = arSteps_[neuron];
         ++spikeCounts_[neuron];
         ++stats_.spikes;
-        for (const Synapse &syn : network_.outgoing(neuron)) {
-            ring_[(now + syn.delay) % ringDepth_].push_back(
-                {(syn.target << 2) | syn.type, syn.weight});
+        // Append the fired row's packed delivery records per delay
+        // bucket — same per-slot arrival order as the old per-synapse
+        // scan (records keep row order within a bucket), half the
+        // bytes per pending event.
+        for (size_t b = 0; b < table_.bucketCount(); ++b) {
+            const auto row = table_.row(0, b, neuron);
+            if (row.empty())
+                continue;
+            auto &slot =
+                ring_[(now + table_.bucketDelay(b)) % ringDepth_];
+            slot.insert(slot.end(), row.begin(), row.end());
         }
     }
 }
@@ -111,15 +120,19 @@ EventDrivenSimulator::run(uint64_t steps)
     for (uint64_t i = 0; i < steps; ++i, ++t_) {
         touched.clear();
 
+        // Pick up weight updates made between steps (cheap no-op
+        // compare when nothing changed).
+        table_.refreshWeights();
+
         auto &slot = ring_[t_ % ringDepth_];
-        for (const auto &[packed, weight] : slot) {
-            const uint32_t target = packed >> 2;
-            const uint32_t type = packed & 0x3;
+        for (const DeliveryRecord &rec : slot) {
+            const uint32_t target = rec.cell / maxSynapseTypes;
+            const uint32_t type = rec.cell % maxSynapseTypes;
             if (!queued[target]) {
                 queued[target] = 1;
                 touched.push_back(target);
             }
-            acc[target][type] += weight;
+            acc[target][type] += rec.weight;
         }
         slot.clear();
 

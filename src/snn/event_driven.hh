@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "snn/network.hh"
+#include "snn/routing.hh"
 #include "snn/stimulus.hh"
 
 namespace flexon {
@@ -88,17 +89,23 @@ class EventDrivenSimulator
 
     const Network &network_;
     StimulusGenerator stimulus_;
+    /**
+     * Packed delivery rows (single shard): a fired neuron's bucket
+     * rows are appended to the pending ring as-is, so delivery
+     * streams 8-byte records instead of gathering Synapse structs.
+     */
+    RoutingTable table_;
     std::vector<NeuronState> state_;
     /** Per-neuron cached parameters. */
     std::vector<double> vLeak_;
     std::vector<uint32_t> arSteps_;
 
     /**
-     * Pending inputs: ring of (packed target<<2 | type, weight)
-     * entries in arrival order.
+     * Pending inputs: ring of DeliveryRecords (cell = target *
+     * maxSynapseTypes + type) in arrival order.
      */
     size_t ringDepth_;
-    std::vector<std::vector<std::pair<uint32_t, double>>> ring_;
+    std::vector<std::vector<DeliveryRecord>> ring_;
 
     std::vector<uint64_t> spikeCounts_;
     EventDrivenStats stats_;

@@ -197,6 +197,12 @@ Network::synapseAt(uint64_t index)
 {
     flexon_assert(finalized_);
     flexon_assert(index < synapses_.size());
+    // Conservatively assume the caller writes the weight (mutable
+    // access has no other legitimate use).
+    if (weightLog_.empty())
+        weightLog_.resize(weightLogCapacity);
+    weightLog_[weightMutations_ % weightLogCapacity] = index;
+    ++weightMutations_;
     return synapses_[index];
 }
 

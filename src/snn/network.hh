@@ -107,9 +107,30 @@ class Network
     /**
      * Mutable synapse access by global index, for plasticity engines
      * (weights only should be modified; topology is immutable).
+     * Every call is recorded in the weight-mutation log so packed
+     * delivery tables (snn/routing.hh) can re-mirror the touched
+     * weights instead of rebuilding.
      */
     Synapse &synapseAt(uint64_t index);
     const Synapse &synapseAt(uint64_t index) const;
+
+    /** Ring capacity of the weight-mutation log (entries). */
+    static constexpr size_t weightLogCapacity = 4096;
+
+    /**
+     * Monotone count of weight mutations (non-const synapseAt()
+     * calls). Consumers snapshot this and later replay the entries
+     * in (seen, current] from the log ring; a consumer more than
+     * weightLogCapacity mutations behind must refresh every weight.
+     */
+    uint64_t weightMutations() const { return weightMutations_; }
+
+    /** Synapse index of mutation number `mutation` (log ring). */
+    uint64_t
+    weightLogEntry(uint64_t mutation) const
+    {
+        return weightLog_[mutation % weightLogCapacity];
+    }
 
   private:
     std::vector<Population> populations_;
@@ -121,6 +142,11 @@ class Network
     std::vector<std::pair<uint32_t, Synapse>> staging_;
     std::vector<Synapse> synapses_;
     std::vector<uint64_t> rowPtr_;
+
+    // Weight-mutation log: ring of the last weightLogCapacity
+    // mutated synapse indices (allocated on first mutation).
+    std::vector<uint64_t> weightLog_;
+    uint64_t weightMutations_ = 0;
 };
 
 } // namespace flexon

@@ -1,0 +1,321 @@
+#include "snn/routing.hh"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+
+namespace flexon {
+
+RoutingTable::RoutingTable(const Network &network, size_t shardCount)
+    : network_(network)
+{
+    if (!network.finalized())
+        fatal("network must be finalized before routing-table build");
+    const size_t n = network.numNeurons();
+    const uint64_t total = network.numSynapses();
+    if (total >= std::numeric_limits<uint32_t>::max()) {
+        fatal("routing table supports < 2^32 synapses (network has "
+              "%llu)",
+              static_cast<unsigned long long>(total));
+    }
+    if (n > std::numeric_limits<uint32_t>::max() / maxSynapseTypes)
+        fatal("routing table cell offsets overflow at %zu neurons", n);
+    rowStride_ = n + 1;
+
+    shardCount_ = shardCount == 0 ? 1 : shardCount;
+    shardCount_ = std::min(shardCount_, ThreadPool::maxLanes);
+    if (shardCount_ > n)
+        shardCount_ = n == 0 ? 1 : n;
+
+    // Incoming delivery count per target neuron: the load-balancing
+    // weight for the shard boundaries.
+    std::vector<uint64_t> incoming(n, 0);
+    for (uint32_t src = 0; src < n; ++src)
+        for (const Synapse &syn : network.outgoing(src))
+            ++incoming[syn.target];
+
+    // Cut the target axis into shardCount_ contiguous ranges of
+    // roughly equal incoming-synapse load.
+    shardTargetBegin_.assign(shardCount_ + 1, 0);
+    shardTargetBegin_[shardCount_] = static_cast<uint32_t>(n);
+    uint64_t accum = 0;
+    size_t shard = 1;
+    for (uint32_t target = 0; target < n && shard < shardCount_;
+         ++target) {
+        accum += incoming[target];
+        if (accum * shardCount_ >= total * shard) {
+            shardTargetBegin_[shard] = target + 1;
+            ++shard;
+        }
+    }
+    for (; shard < shardCount_; ++shard)
+        shardTargetBegin_[shard] = static_cast<uint32_t>(n);
+
+    // Target neuron -> owning shard.
+    std::vector<uint32_t> shardOf(n, 0);
+    for (size_t s = 0; s < shardCount_; ++s)
+        for (uint32_t t = shardTargetBegin_[s];
+             t < shardTargetBegin_[s + 1]; ++t)
+            shardOf[t] = static_cast<uint32_t>(s);
+
+    // Delay buckets cover only the delay values that occur, so the
+    // CSR does not scale with the ring depth of sparse delay sets.
+    std::array<bool, 256> delayUsed{};
+    for (uint32_t src = 0; src < n; ++src)
+        for (const Synapse &syn : network.outgoing(src))
+            delayUsed[syn.delay] = true;
+    std::array<uint8_t, 256> bucketOf{};
+    for (size_t d = 0; d < delayUsed.size(); ++d) {
+        if (delayUsed[d]) {
+            bucketOf[d] = static_cast<uint8_t>(bucketDelay_.size());
+            bucketDelay_.push_back(static_cast<uint8_t>(d));
+        }
+    }
+    const size_t buckets = bucketDelay_.size();
+    const size_t blocks = shardCount_ * buckets;
+
+    // Counting sort into (shard, bucket, source-row) runs, keeping
+    // row order within each run (the order-preservation invariant).
+    rowPtr_.assign(blocks * rowStride_, 0);
+    for (uint32_t src = 0; src < n; ++src) {
+        for (const Synapse &syn : network.outgoing(src)) {
+            const size_t block =
+                shardOf[syn.target] * buckets + bucketOf[syn.delay];
+            ++rowPtr_[block * rowStride_ + src + 1];
+        }
+    }
+    uint32_t running = 0;
+    for (size_t block = 0; block < blocks; ++block) {
+        uint32_t *ptr = rowPtr_.data() + block * rowStride_;
+        ptr[0] = running;
+        for (size_t r = 1; r <= n; ++r) {
+            running += ptr[r];
+            ptr[r] = running;
+        }
+    }
+
+    records_.resize(total);
+    recordOf_.resize(total);
+    std::vector<uint32_t> fill(rowPtr_.size());
+    for (size_t block = 0; block < blocks; ++block)
+        for (size_t r = 0; r < n; ++r)
+            fill[block * rowStride_ + r] =
+                rowPtr_[block * rowStride_ + r];
+    for (uint32_t src = 0; src < n; ++src) {
+        const uint64_t base = network.rowStart(src);
+        const auto row = network.outgoing(src);
+        for (size_t k = 0; k < row.size(); ++k) {
+            const Synapse &syn = row[k];
+            const size_t block =
+                shardOf[syn.target] * buckets + bucketOf[syn.delay];
+            const uint32_t pos = fill[block * rowStride_ + src]++;
+            records_[pos] = {static_cast<uint32_t>(
+                                 syn.target * maxSynapseTypes +
+                                 syn.type),
+                             syn.weight};
+            recordOf_[base + k] = pos;
+        }
+    }
+    weightsSeen_ = network.weightMutations();
+}
+
+void
+RoutingTable::refreshWeights()
+{
+    const uint64_t total = network_.weightMutations();
+    if (total == weightsSeen_)
+        return;
+    if (total - weightsSeen_ <= Network::weightLogCapacity) {
+        // Replay just the logged mutations (idempotent, duplicates
+        // and read-only accesses included).
+        for (uint64_t m = weightsSeen_; m < total; ++m) {
+            const uint64_t idx = network_.weightLogEntry(m);
+            records_[recordOf_[idx]].weight =
+                network_.synapseAt(idx).weight;
+        }
+    } else {
+        // Too far behind the log ring: mirror every weight.
+        const uint64_t count = network_.numSynapses();
+        for (uint64_t idx = 0; idx < count; ++idx) {
+            records_[recordOf_[idx]].weight =
+                network_.synapseAt(idx).weight;
+        }
+    }
+    weightsSeen_ = total;
+}
+
+size_t
+RoutingTable::memoryBytes() const
+{
+    return records_.capacity() * sizeof(DeliveryRecord) +
+           rowPtr_.capacity() * sizeof(uint32_t) +
+           recordOf_.capacity() * sizeof(uint32_t) +
+           shardTargetBegin_.capacity() * sizeof(uint32_t) +
+           bucketDelay_.capacity();
+}
+
+SpikeRouter::SpikeRouter(const Network &network, size_t shardCount)
+    : table_(network, shardCount),
+      ringDepth_(static_cast<size_t>(network.maxDelay()) + 1),
+      slotSize_(network.numNeurons() * maxSynapseTypes)
+{
+    ring_.assign(ringDepth_ * slotSize_, 0.0);
+    slotBase_.assign(ringDepth_, nullptr);
+    laneEvents_.assign(table_.shardCount(), 0);
+
+    // Crossover between undoing tracked writes and a dense fill: the
+    // sequential std::fill streams ~4x faster per cell than scattered
+    // zeroing, so clear sparsely only below a quarter of the slot.
+    sparseClearBudget_ = slotSize_ / 4 + 1;
+    touched_.assign(ringDepth_ * table_.shardCount(),
+                    TouchList(sparseClearBudget_));
+    stimTouched_.assign(ringDepth_, TouchList(sparseClearBudget_));
+}
+
+std::span<double>
+SpikeRouter::slot(uint64_t t)
+{
+    return {ring_.data() + (t % ringDepth_) * slotSize_, slotSize_};
+}
+
+std::span<const double>
+SpikeRouter::slot(uint64_t t) const
+{
+    return {ring_.data() + (t % ringDepth_) * slotSize_, slotSize_};
+}
+
+void
+SpikeRouter::laneClear(size_t slotIdx, size_t shard, bool dense)
+{
+    double *const base = ring_.data() + slotIdx * slotSize_;
+    const auto &targetBegin = table_.shardTargetBegin();
+    const uint32_t cellLo = targetBegin[shard] * maxSynapseTypes;
+    const uint32_t cellHi = targetBegin[shard + 1] * maxSynapseTypes;
+
+    if (dense) {
+        std::fill(base + cellLo, base + cellHi, 0.0);
+    } else {
+        // Undo the tracked writes of this shard's cell range only.
+        // Every lane scans the (small) stimulus list and zeroes just
+        // its own cells, so lanes never touch the same cell.
+        for (const uint64_t cell : stimTouched_[slotIdx].keys()) {
+            if (cell >= cellLo && cell < cellHi)
+                base[cell] = 0.0;
+        }
+        for (const uint64_t key : touch(slotIdx, shard).keys()) {
+            const size_t bucket = key >> 32;
+            const auto src = static_cast<uint32_t>(key);
+            for (const DeliveryRecord &rec :
+                 table_.row(shard, bucket, src))
+                base[rec.cell] = 0.0;
+        }
+    }
+    touch(slotIdx, shard).clear();
+}
+
+void
+SpikeRouter::laneRoute(uint64_t t, size_t shard,
+                       std::span<const uint32_t> fired)
+{
+    const DeliveryRecord *const recs = table_.records();
+    uint64_t events = 0;
+    for (size_t b = 0; b < table_.bucketCount(); ++b) {
+        if (table_.bucketEmpty(shard, b))
+            continue;
+        const uint32_t *const rows = table_.rowPtr(shard, b);
+        const uint8_t delay = table_.bucketDelay(b);
+        double *const base = slotBase_[delay];
+        TouchList &pending =
+            touch((t + delay) % ringDepth_, shard);
+        if (pending.saturated()) {
+            // The slot is already committed to a dense clear, so
+            // tracking further writes buys nothing: stream only.
+            for (const uint32_t n : fired) {
+                uint32_t k = rows[n];
+                const uint32_t end = rows[n + 1];
+                events += end - k;
+                for (; k < end; ++k)
+                    base[recs[k].cell] += recs[k].weight;
+            }
+            continue;
+        }
+        for (const uint32_t n : fired) {
+            uint32_t k = rows[n];
+            const uint32_t end = rows[n + 1];
+            if (k == end)
+                continue;
+            pending.add((static_cast<uint64_t>(b) << 32) | n,
+                        end - k);
+            events += end - k;
+            for (; k < end; ++k)
+                base[recs[k].cell] += recs[k].weight;
+        }
+    }
+    laneEvents_[shard] = events;
+}
+
+void
+SpikeRouter::routeStep(uint64_t t, std::span<const uint32_t> fired)
+{
+    const size_t slotIdx = t % ringDepth_;
+    const size_t shards = table_.shardCount();
+
+    // Dense/sparse decision for the consumed slot: total tracked
+    // undo cost vs. the crossover budget. Saturated touch lists have
+    // cost >= budget, so an incomplete key list always forces the
+    // dense path.
+    uint64_t cost = stimTouched_[slotIdx].cost();
+    for (size_t s = 0; s < shards; ++s)
+        cost += touch(slotIdx, s).cost();
+    const bool dense = cost >= sparseClearBudget_;
+    if (dense) {
+        ++denseClears_;
+    } else {
+        ++sparseClears_;
+        cellsCleared_ += cost;
+    }
+
+    if (fired.empty() || table_.bucketCount() == 0) {
+        // Quiet step: clear inline, no pool barrier.
+        for (size_t s = 0; s < shards; ++s)
+            laneClear(slotIdx, s, dense);
+        stimTouched_[slotIdx].clear();
+        return;
+    }
+
+    for (size_t d = 0; d < ringDepth_; ++d)
+        slotBase_[d] =
+            ring_.data() + ((t + d) % ringDepth_) * slotSize_;
+
+    // Each lane clears its own shard's cells, then streams its own
+    // shard's delivery records: contention-free, and every ring cell
+    // receives its additions in exactly the serial order (see the
+    // order-preservation argument in the file header) — results are
+    // bit-identical for any shard count.
+    ThreadPool::global().forEachLane(shards, [&](size_t s) {
+        laneClear(slotIdx, s, dense);
+        laneRoute(t, s, fired);
+    });
+    stimTouched_[slotIdx].clear();
+    for (size_t s = 0; s < shards; ++s)
+        events_ += laneEvents_[s];
+}
+
+void
+SpikeRouter::reset()
+{
+    std::fill(ring_.begin(), ring_.end(), 0.0);
+    for (TouchList &list : touched_)
+        list.clear();
+    for (TouchList &list : stimTouched_)
+        list.clear();
+    events_ = 0;
+    denseClears_ = 0;
+    sparseClears_ = 0;
+    cellsCleared_ = 0;
+}
+
+} // namespace flexon

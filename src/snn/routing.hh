@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Precompiled spike-routing tables and the delay-ring delivery
+ * engine.
+ *
+ * Spike delivery is a memory-bandwidth problem (Lindqvist & Podobas,
+ * arXiv:2405.02019): the per-event work is one multiply-free
+ * accumulate, so throughput is set by how compactly the synapse data
+ * streams. The seed path gathered 12-byte `Synapse` records through
+ * a 64-bit permutation per event; RoutingTable instead compiles the
+ * synapse table once, at construction, into delivery order:
+ *
+ *   per target shard, per delay bucket, a contiguous stream of
+ *   8-byte records {cell = target * maxSynapseTypes + type, weight}
+ *   with a CSR index over source rows.
+ *
+ * The hot loop per fired source and delay bucket is then a pure
+ * sequential stream of `base[cell] += weight` — no struct gather, no
+ * permutation indirection, and the ring-slot base pointer hoisted
+ * per bucket.
+ *
+ * Order preservation (the bit-identity argument): a ring cell is one
+ * (slot, target, type) location, and within a step exactly one delay
+ * bucket writes a given slot. Within that bucket records are laid
+ * out source-ascending with original row order preserved, and the
+ * fired list is scanned in ascending order — so every cell receives
+ * its floating-point additions in exactly the serial-scan order, for
+ * any shard count. Across steps, ordering follows simulation time as
+ * before. Results are therefore bit-identical to the serial path at
+ * any thread count (tests/test_routing.cc enforces this against a
+ * naive delivery oracle).
+ *
+ * Weights are copied into the records, so in-place plasticity
+ * updates (Network::synapseAt) are re-mirrored from the network's
+ * weight-mutation log by refreshWeights() — O(mutations), or one
+ * full O(synapses) pass when more than Network::weightLogCapacity
+ * mutations behind.
+ *
+ * SpikeRouter owns the delay ring on top of the table and makes ring
+ * maintenance activity-proportional: each slot tracks what was
+ * written into it (stimulus cells and routed (bucket, source) rows),
+ * and the consumed slot is cleared by undoing only those writes when
+ * activity is sparse, falling back to a dense std::fill above a
+ * density threshold — quiet steps of large networks no longer pay
+ * O(numNeurons * maxSynapseTypes) per step.
+ */
+
+#ifndef FLEXON_SNN_ROUTING_HH
+#define FLEXON_SNN_ROUTING_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/touch_list.hh"
+#include "snn/network.hh"
+
+namespace flexon {
+
+/** One packed delivery: flat ring-cell offset + weight (8 bytes). */
+struct DeliveryRecord
+{
+    uint32_t cell; ///< target * maxSynapseTypes + type
+    float weight;
+};
+
+/**
+ * The precompiled delivery layout: per (target shard, delay bucket),
+ * a contiguous run of DeliveryRecords with a CSR index over source
+ * rows. Shards partition the target axis into contiguous ranges of
+ * roughly equal incoming-synapse load, so concurrent lanes never
+ * write the same cell.
+ */
+class RoutingTable
+{
+  public:
+    /**
+     * @param network finalized topology (kept by reference; must
+     *        outlive the table)
+     * @param shardCount requested target shards (>= 1; clamped to
+     *        the neuron count)
+     */
+    RoutingTable(const Network &network, size_t shardCount);
+
+    size_t shardCount() const { return shardCount_; }
+
+    /** Delay values that actually occur, ascending. */
+    size_t bucketCount() const { return bucketDelay_.size(); }
+    uint8_t bucketDelay(size_t bucket) const
+    {
+        return bucketDelay_[bucket];
+    }
+
+    /** First target neuron of each shard; size shardCount() + 1. */
+    const std::vector<uint32_t> &shardTargetBegin() const
+    {
+        return shardTargetBegin_;
+    }
+
+    /**
+     * CSR row index of (shard, bucket): row src's records are
+     * records()[ptr[src] .. ptr[src + 1]). Offsets are global into
+     * records(), so one pointer serves the whole table.
+     */
+    const uint32_t *
+    rowPtr(size_t shard, size_t bucket) const
+    {
+        return rowPtr_.data() +
+               (shard * bucketDelay_.size() + bucket) * rowStride_;
+    }
+
+    const DeliveryRecord *records() const { return records_.data(); }
+
+    /** Delivery records of source row src in (shard, bucket). */
+    std::span<const DeliveryRecord>
+    row(size_t shard, size_t bucket, uint32_t src) const
+    {
+        const uint32_t *ptr = rowPtr(shard, bucket);
+        return {records_.data() + ptr[src], ptr[src + 1] - ptr[src]};
+    }
+
+    /** True when (shard, bucket) holds no records at all. */
+    bool
+    bucketEmpty(size_t shard, size_t bucket) const
+    {
+        const uint32_t *ptr = rowPtr(shard, bucket);
+        return ptr[0] == ptr[rowStride_ - 1];
+    }
+
+    /**
+     * Re-mirror weights mutated through Network::synapseAt() since
+     * the last call (or construction). Must not run concurrently
+     * with mutations; call it between steps.
+     */
+    void refreshWeights();
+
+    /** Bytes held by the table (records + CSR + refresh map). */
+    size_t memoryBytes() const;
+
+  private:
+    const Network &network_;
+    size_t shardCount_;
+    size_t rowStride_; ///< numNeurons + 1
+    std::vector<uint8_t> bucketDelay_;
+    std::vector<uint32_t> shardTargetBegin_;
+    std::vector<DeliveryRecord> records_;
+    std::vector<uint32_t> rowPtr_;
+    /** Global synapse index -> record position (weight refresh). */
+    std::vector<uint32_t> recordOf_;
+    /** Network::weightMutations() already mirrored. */
+    uint64_t weightsSeen_ = 0;
+};
+
+/**
+ * The delay ring plus its delivery engine: ring slots are cleared
+ * activity-proportionally and fired spikes are streamed through the
+ * RoutingTable, in parallel across target shards, with bit-identical
+ * results at any shard count.
+ */
+class SpikeRouter
+{
+  public:
+    SpikeRouter(const Network &network, size_t shardCount);
+
+    const RoutingTable &table() const { return table_; }
+
+    size_t ringDepth() const { return ringDepth_; }
+    size_t slotSize() const { return slotSize_; }
+
+    /** The weight buffer consumed by step t's neuron phase. */
+    std::span<double> slot(uint64_t t);
+    std::span<const double> slot(uint64_t t) const;
+
+    /** The raw ring (ringDepth * slotSize doubles, slot-major). */
+    const std::vector<double> &ringBuffer() const { return ring_; }
+
+    /**
+     * Record a stimulus write into step t's slot so the sparse clear
+     * can undo it (cell = target * maxSynapseTypes + type). Call for
+     * every cell the stimulus phase accumulates into.
+     */
+    void
+    noteStimulus(uint64_t t, uint32_t cell)
+    {
+        stimTouched_[t % ringDepth_].add(cell, 1);
+    }
+
+    /**
+     * One synapse-calculation step: clear the consumed slot of step
+     * t (sparse or dense), then deliver every fired source's
+     * outgoing synapses into the slots of t + delay. `fired` must be
+     * ascending. Runs across shardCount lanes when fired is
+     * non-empty; quiet steps clear inline without a pool barrier.
+     */
+    void routeStep(uint64_t t, std::span<const uint32_t> fired);
+
+    /** Re-mirror plasticity weight updates (cheap when unchanged). */
+    void refreshWeights() { table_.refreshWeights(); }
+
+    // Counters since construction / reset().
+    uint64_t events() const { return events_; }
+    uint64_t denseClears() const { return denseClears_; }
+    uint64_t sparseClears() const { return sparseClears_; }
+    /** Cell zeroings performed by sparse clears (incl. duplicates). */
+    uint64_t cellsCleared() const { return cellsCleared_; }
+
+    /** Zero the ring, the touch tracking and the counters. */
+    void reset();
+
+  private:
+    /**
+     * Clear the consumed slot for lane `shard`: its contiguous cell
+     * range densely, or only the tracked writes when sparse.
+     */
+    void laneClear(size_t slotIdx, size_t shard, bool dense);
+
+    /** Deliver `fired` through lane `shard`'s buckets for step t. */
+    void laneRoute(uint64_t t, size_t shard,
+                   std::span<const uint32_t> fired);
+
+    TouchList &touch(size_t slotIdx, size_t shard)
+    {
+        return touched_[slotIdx * table_.shardCount() + shard];
+    }
+
+    RoutingTable table_;
+    size_t ringDepth_;
+    size_t slotSize_;
+    std::vector<double> ring_;
+    /** Ring-slot base pointer per delay, recomputed each step. */
+    std::vector<double *> slotBase_;
+    /**
+     * Per (slot, shard): routed writes pending in that slot, as
+     * packed (bucket << 32 | source) keys with row-length cost.
+     */
+    std::vector<TouchList> touched_;
+    /** Per slot: stimulus cells pending in that slot. */
+    std::vector<TouchList> stimTouched_;
+    /** Per-shard event tallies (reduced after the barrier). */
+    std::vector<uint64_t> laneEvents_;
+    /** Sparse-clear cost cap: dense fill at or above this. */
+    uint64_t sparseClearBudget_;
+
+    uint64_t events_ = 0;
+    uint64_t denseClears_ = 0;
+    uint64_t sparseClears_ = 0;
+    uint64_t cellsCleared_ = 0;
+};
+
+} // namespace flexon
+
+#endif // FLEXON_SNN_ROUTING_HH

@@ -7,7 +7,6 @@
 
 #include "common/debug.hh"
 #include "common/logging.hh"
-#include "common/thread_pool.hh"
 
 namespace flexon {
 
@@ -32,93 +31,16 @@ Simulator::Simulator(const Network &network, StimulusGenerator stimulus,
         fatal("network must be finalized before simulation");
     backend_ = makeBackend(options_.backend, network_, options_.mode,
                            options_.solver, options_.threads);
-    ringDepth_ = static_cast<size_t>(network_.maxDelay()) + 1;
-    ring_.assign(ringDepth_ * network_.numNeurons() * maxSynapseTypes,
-                 0.0);
+    router_ = std::make_unique<SpikeRouter>(
+        network_, options_.threads == 0 ? 1 : options_.threads);
     spikeCounts_.assign(network_.numNeurons(), 0);
     for (uint32_t probe : options_.probes)
         flexon_assert(probe < network_.numNeurons());
     probeTraces_.resize(options_.probes.size());
 
     stats_.threadsUsed = options_.threads == 0 ? 1 : options_.threads;
+    stats_.routingTableBytes = router_->table().memoryBytes();
     firedList_.reserve(network_.numNeurons());
-    slotBase_.assign(ringDepth_, nullptr);
-    buildShards();
-}
-
-void
-Simulator::buildShards()
-{
-    const size_t n = network_.numNeurons();
-    shardCount_ =
-        std::min(options_.threads == 0 ? size_t{1} : options_.threads,
-                 ThreadPool::maxLanes);
-    if (shardCount_ > 1 && shardCount_ > n)
-        shardCount_ = n == 0 ? 1 : n;
-    shardEvents_.assign(shardCount_, 0);
-
-    // Incoming delivery count per target neuron: the load-balancing
-    // weight for the shard boundaries.
-    std::vector<uint64_t> incoming(n, 0);
-    const uint64_t total = network_.numSynapses();
-    for (uint32_t src = 0; src < n; ++src)
-        for (const Synapse &syn : network_.outgoing(src))
-            ++incoming[syn.target];
-
-    // Cut the target axis into shardCount_ contiguous ranges of
-    // roughly equal incoming-synapse load.
-    shardTargetBegin_.assign(shardCount_ + 1, 0);
-    shardTargetBegin_[shardCount_] = static_cast<uint32_t>(n);
-    uint64_t accum = 0;
-    size_t shard = 1;
-    for (uint32_t target = 0; target < n && shard < shardCount_;
-         ++target) {
-        accum += incoming[target];
-        if (accum * shardCount_ >= total * shard) {
-            shardTargetBegin_[shard] = target + 1;
-            ++shard;
-        }
-    }
-    for (; shard < shardCount_; ++shard)
-        shardTargetBegin_[shard] = static_cast<uint32_t>(n);
-
-    // Target neuron -> owning shard.
-    std::vector<uint32_t> shardOf(n, 0);
-    for (size_t s = 0; s < shardCount_; ++s)
-        for (uint32_t t = shardTargetBegin_[s];
-             t < shardTargetBegin_[s + 1]; ++t)
-            shardOf[t] = static_cast<uint32_t>(s);
-
-    // Counting sort of the synapse indices into shard-major,
-    // row-ascending order (row order preserved within a row, so the
-    // per-cell delivery order matches the serial scan exactly).
-    const size_t stride = n + 1;
-    shardRow_.assign(shardCount_ * stride, 0);
-    for (uint32_t src = 0; src < n; ++src) {
-        for (const Synapse &syn : network_.outgoing(src))
-            ++shardRow_[shardOf[syn.target] * stride + src + 1];
-    }
-    uint64_t running = 0;
-    for (size_t s = 0; s < shardCount_; ++s) {
-        shardRow_[s * stride] = running;
-        for (size_t r = 1; r <= n; ++r) {
-            running += shardRow_[s * stride + r];
-            shardRow_[s * stride + r] = running;
-        }
-    }
-    synOrder_.assign(total, 0);
-    std::vector<uint64_t> fill(shardCount_ * stride);
-    for (size_t s = 0; s < shardCount_; ++s)
-        for (size_t r = 0; r < n; ++r)
-            fill[s * stride + r] = shardRow_[s * stride + r];
-    for (uint32_t src = 0; src < n; ++src) {
-        const uint64_t base = network_.rowStart(src);
-        const auto row = network_.outgoing(src);
-        for (size_t k = 0; k < row.size(); ++k) {
-            const size_t s = shardOf[row[k].target];
-            synOrder_[fill[s * stride + src]++] = base + k;
-        }
-    }
 }
 
 const std::vector<double> &
@@ -131,8 +53,7 @@ Simulator::probeTrace(size_t probe) const
 std::span<double>
 Simulator::slot(uint64_t t)
 {
-    const size_t slot_size = network_.numNeurons() * maxSynapseTypes;
-    return {ring_.data() + (t % ringDepth_) * slot_size, slot_size};
+    return router_->slot(t);
 }
 
 void
@@ -143,7 +64,9 @@ Simulator::phaseStimulus()
     for (const StimulusSpike &s : stimulus_.generate(t_)) {
         flexon_assert(s.target < network_.numNeurons());
         flexon_assert(s.type < maxSynapseTypes);
-        current[s.target * maxSynapseTypes + s.type] += s.weight;
+        const uint32_t cell = s.target * maxSynapseTypes + s.type;
+        current[cell] += s.weight;
+        router_->noteStimulus(t_, cell);
     }
     stats_.stimulusSec += secondsSince(start);
 }
@@ -161,10 +84,10 @@ void
 Simulator::phaseSynapse()
 {
     const auto start = Clock::now();
-    // Consume the current slot, then route the new spikes into the
-    // future slots according to each synapse's delay.
-    auto current = slot(t_);
-    std::fill(current.begin(), current.end(), 0.0);
+
+    // Re-mirror any plasticity weight updates into the packed
+    // routing table (one counter compare when nothing changed).
+    router_->refreshWeights();
 
     // Serial bookkeeping sweep: spike counters, optional event
     // recording, and the fired list the routing lanes iterate.
@@ -181,45 +104,17 @@ Simulator::phaseSynapse()
             spikeEvents_.push_back({t_, n});
     }
 
-    if (!firedList_.empty() && network_.numSynapses() > 0) {
-        // Hoist the slot(t_ + delay) recomputation out of the inner
-        // loop: one base pointer per ring slot, indexed by delay.
-        const size_t slotSize =
-            network_.numNeurons() * maxSynapseTypes;
-        for (size_t d = 0; d < ringDepth_; ++d)
-            slotBase_[d] =
-                ring_.data() + ((t_ + d) % ringDepth_) * slotSize;
-
-        const auto routeStart = Clock::now();
-        const Synapse *const syns = &network_.synapseAt(0);
-        const uint64_t *const synOrder = synOrder_.data();
-        const size_t stride = network_.numNeurons() + 1;
-        // Each lane delivers only the synapses whose targets fall in
-        // its own shard: contention-free, and every ring cell is
-        // written in exactly the serial order regardless of the
-        // shard count, so results are bit-identical for any
-        // `threads` setting.
-        ThreadPool::global().forEachLane(
-            shardCount_, [&](size_t s) {
-                const uint64_t *const rowPtr =
-                    shardRow_.data() + s * stride;
-                uint64_t events = 0;
-                for (const uint32_t n : firedList_) {
-                    const uint64_t rowEnd = rowPtr[n + 1];
-                    for (uint64_t k = rowPtr[n]; k < rowEnd; ++k) {
-                        const Synapse &syn = syns[synOrder[k]];
-                        slotBase_[syn.delay]
-                                 [syn.target * maxSynapseTypes +
-                                  syn.type] += syn.weight;
-                        ++events;
-                    }
-                }
-                shardEvents_[s] = events;
-            });
-        for (size_t s = 0; s < shardCount_; ++s)
-            stats_.synapseEvents += shardEvents_[s];
-        stats_.synapseRouteSec += secondsSince(routeStart);
-    }
+    // Clear the consumed slot (activity-proportionally) and stream
+    // the fired rows' delivery records into the t_ + delay slots —
+    // bit-identical to the serial scan at any thread count (see
+    // snn/routing.hh).
+    const auto routeStart = Clock::now();
+    router_->routeStep(t_, firedList_);
+    stats_.synapseRouteSec += secondsSince(routeStart);
+    stats_.synapseEvents = router_->events();
+    stats_.ringDenseClears = router_->denseClears();
+    stats_.ringSparseClears = router_->sparseClears();
+    stats_.ringCellsCleared = router_->cellsCleared();
     stats_.synapseSec += secondsSince(start);
 }
 
@@ -247,6 +142,26 @@ Simulator::stepOnce()
 void
 Simulator::run(uint64_t steps)
 {
+    if (steps == 0)
+        return;
+    // Reserve recording capacity up front so per-step push_backs do
+    // not reallocate mid-run. Spike-event growth is estimated from
+    // the observed rate (a modest prior on a fresh simulator) and
+    // capped so absurd step counts cannot over-commit memory.
+    if (options_.recordSpikes && network_.numNeurons() > 0) {
+        constexpr uint64_t maxReserveAhead = uint64_t{1} << 22;
+        const double rate = stats_.steps > 0 ? meanRate() : 0.02;
+        const double expected =
+            1.25 * rate * static_cast<double>(steps) *
+            static_cast<double>(network_.numNeurons());
+        const auto ahead = static_cast<uint64_t>(
+            std::min(expected, 1e18));
+        spikeEvents_.reserve(spikeEvents_.size() +
+                             std::min(ahead, maxReserveAhead));
+    }
+    for (auto &trace : probeTraces_)
+        trace.reserve(trace.size() + steps);
+
     for (uint64_t i = 0; i < steps; ++i)
         stepOnce();
 }
@@ -296,8 +211,20 @@ Simulator::printStats(std::ostream &os) const
     if (stats_.synapseSec > 0.0) {
         line("engine.route_share",
              stats_.synapseRouteSec / stats_.synapseSec,
-             "parallel fraction of the synapse phase");
+             "delivery-engine fraction of the synapse phase");
     }
+    line("engine.routing_table_bytes",
+         static_cast<double>(stats_.routingTableBytes),
+         "precompiled spike-routing table footprint");
+    line("engine.ring_dense_clears",
+         static_cast<double>(stats_.ringDenseClears),
+         "ring-slot clears via dense fill");
+    line("engine.ring_sparse_clears",
+         static_cast<double>(stats_.ringSparseClears),
+         "ring-slot clears via tracked-write undo");
+    line("engine.ring_cells_cleared",
+         static_cast<double>(stats_.ringCellsCleared),
+         "cells zeroed by sparse clears");
     if (stats_.totalSec() > 0.0) {
         line("phase.neuron_share",
              stats_.neuronSec / stats_.totalSec(),
@@ -317,13 +244,18 @@ void
 Simulator::reset()
 {
     backend_->reset();
-    std::fill(ring_.begin(), ring_.end(), 0.0);
+    router_->reset();
     std::fill(spikeCounts_.begin(), spikeCounts_.end(), 0);
+    // Drop the previous run's fired flags too: lastFired() must
+    // report "no step taken yet" after a reset, not stale spikes.
+    fired_.clear();
+    firedList_.clear();
     spikeEvents_.clear();
     for (auto &trace : probeTraces_)
         trace.clear();
     stats_ = PhaseStats{};
     stats_.threadsUsed = options_.threads == 0 ? 1 : options_.threads;
+    stats_.routingTableBytes = router_->table().memoryBytes();
     t_ = 0;
     stimulus_ = stimulusInitial_;
 }

@@ -20,6 +20,7 @@
 
 #include "snn/backend.hh"
 #include "snn/network.hh"
+#include "snn/routing.hh"
 #include "snn/stimulus.hh"
 
 namespace flexon {
@@ -45,7 +46,7 @@ struct PhaseStats
     double stimulusSec = 0.0;
     double neuronSec = 0.0;
     double synapseSec = 0.0;
-    /** Seconds of synapseSec spent in parallel spike routing. */
+    /** Seconds of synapseSec in the delivery engine (clear+route). */
     double synapseRouteSec = 0.0;
     uint64_t steps = 0;
     uint64_t spikes = 0;
@@ -54,6 +55,14 @@ struct PhaseStats
     size_t threadsUsed = 1;
     /** Modelled hardware time (Flexon/folded backends only). */
     double modelNeuronSec = 0.0;
+    /** Bytes of the precompiled spike-routing table. */
+    uint64_t routingTableBytes = 0;
+    /** Ring-slot clears done densely (std::fill over the slot). */
+    uint64_t ringDenseClears = 0;
+    /** Ring-slot clears done sparsely (tracked writes undone). */
+    uint64_t ringSparseClears = 0;
+    /** Cells zeroed by sparse clears (incl. duplicate zeroings). */
+    uint64_t ringCellsCleared = 0;
 
     double totalSec() const
     {
@@ -129,23 +138,22 @@ class Simulator
 
     uint64_t currentStep() const { return t_; }
 
+    /**
+     * The delivery engine: precompiled routing table + delay ring
+     * (read-only; for tests, benchmarks and diagnostics).
+     */
+    const SpikeRouter &router() const { return *router_; }
+
+    /** The raw delay ring (for equivalence tests). */
+    const std::vector<double> &ringBuffer() const
+    {
+        return router_->ringBuffer();
+    }
+
   private:
     void phaseStimulus();
     void phaseNeuron();
     void phaseSynapse();
-
-    /**
-     * Partition the synapse table into `threads` target shards of
-     * roughly equal delivery load (built once at construction).
-     * Shard s owns target neurons [shardTargetBegin_[s],
-     * shardTargetBegin_[s + 1]); every worker lane scans the fired
-     * neurons but applies only the synapses landing in its own
-     * shard, so the delivery is contention-free and every ring cell
-     * receives its additions in exactly the serial order (source
-     * ascending, row order within a source) — bit-identical results
-     * for any thread count.
-     */
-    void buildShards();
 
     std::span<double> slot(uint64_t t);
 
@@ -156,36 +164,21 @@ class Simulator
     std::unique_ptr<NeuronBackend> backend_;
 
     uint64_t t_ = 0;
-    size_t ringDepth_;
-    /** ringDepth_ buffers of numNeurons * maxSynapseTypes weights. */
-    std::vector<double> ring_;
+    /**
+     * Spike delivery: routing table, delay ring, and
+     * activity-proportional ring maintenance (snn/routing.hh).
+     * Shard count == configured threads; results are bit-identical
+     * to serial at any thread count.
+     */
+    std::unique_ptr<SpikeRouter> router_;
     std::vector<uint8_t> fired_;
     std::vector<uint64_t> spikeCounts_;
     std::vector<SpikeEvent> spikeEvents_;
     std::vector<std::vector<double>> probeTraces_;
     PhaseStats stats_;
 
-    // --- phaseSynapse scratch, allocated once at construction ---
-    /** Number of target shards (== configured threads, >= 1). */
-    size_t shardCount_ = 1;
-    /** First target neuron of each shard; size shardCount_ + 1. */
-    std::vector<uint32_t> shardTargetBegin_;
-    /**
-     * Global synapse indices grouped shard-major, then by source row
-     * ascending, preserving row order (one entry per synapse).
-     */
-    std::vector<uint64_t> synOrder_;
-    /**
-     * Per-shard CSR over synOrder_: shard s's slice of source row r
-     * is [shardRow_[s * (N + 1) + r], shardRow_[s * (N + 1) + r + 1]).
-     */
-    std::vector<uint64_t> shardRow_;
     /** Fired neuron indices of the current step (capacity N). */
     std::vector<uint32_t> firedList_;
-    /** Ring-slot base pointer per delay, recomputed each step. */
-    std::vector<double *> slotBase_;
-    /** Per-shard synapse-event tallies (reduced after the barrier). */
-    std::vector<uint64_t> shardEvents_;
 };
 
 } // namespace flexon

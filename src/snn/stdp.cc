@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/logging.hh"
 
@@ -111,8 +112,10 @@ StdpEngine::meanPlasticWeight() const
         return 0.0;
     double sum = 0.0;
     for (uint32_t n = 0; n < network_.numNeurons(); ++n) {
+        // Const access: a read must not pollute the network's
+        // weight-mutation log.
         for (const auto &[src, index] : incoming_[n])
-            sum += network_.synapseAt(index).weight;
+            sum += std::as_const(network_).synapseAt(index).weight;
     }
     return sum / static_cast<double>(plasticCount_);
 }

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 #include <cmath>
@@ -359,7 +360,60 @@ TEST(Simulator, StatsDumpHasGem5Shape)
     EXPECT_NE(out.find("phase.neuron_share"), std::string::npos);
     EXPECT_NE(out.find("hw.model_neuron_sec"), std::string::npos);
     EXPECT_NE(out.find("# output spikes fired"), std::string::npos);
+    EXPECT_NE(out.find("engine.routing_table_bytes"),
+              std::string::npos);
+    EXPECT_NE(out.find("engine.ring_dense_clears"), std::string::npos);
+    EXPECT_NE(out.find("engine.ring_sparse_clears"),
+              std::string::npos);
+    EXPECT_NE(out.find("engine.ring_cells_cleared"),
+              std::string::npos);
     EXPECT_NE(out.find("200"), std::string::npos);
+}
+
+TEST(Simulator, ResetClearsLastFired)
+{
+    // A reset right after a step with spikes must not leave stale
+    // fired flags behind: a plasticity engine consulting lastFired()
+    // after reset() would otherwise apply phantom updates.
+    Network net = chainNetwork(1, 150.0f);
+    StimulusGenerator stim(1);
+    stim.addSource(StimulusSource::pattern(0, 1, 1, 150.0f, 0));
+    Simulator sim(net, stim);
+    uint64_t steps = 0;
+    while (sim.stats().spikes == 0 && steps < 100) {
+        sim.stepOnce();
+        ++steps;
+    }
+    ASSERT_GT(sim.stats().spikes, 0u);
+    ASSERT_NE(std::count(sim.lastFired().begin(),
+                         sim.lastFired().end(), uint8_t{1}),
+              0);
+    sim.reset();
+    EXPECT_TRUE(sim.lastFired().empty());
+    EXPECT_EQ(sim.router().events(), 0u);
+    // And stats survive the reset with the table footprint intact.
+    EXPECT_GT(sim.stats().routingTableBytes, 0u);
+    EXPECT_EQ(sim.stats().ringDenseClears +
+                  sim.stats().ringSparseClears,
+              0u);
+}
+
+TEST(Simulator, RunReservesSpikeEventStorage)
+{
+    // run() pre-sizes the spike-event log from the step count and
+    // the observed rate, so recording does not reallocate per spike.
+    Network net = chainNetwork(1, 150.0f);
+    StimulusGenerator stim(1);
+    stim.addSource(StimulusSource::pattern(0, 1, 2, 150.0f, 0));
+    SimulatorOptions opts;
+    opts.recordSpikes = true;
+    opts.probes = {0};
+    Simulator sim(net, stim, opts);
+    sim.run(200);
+    EXPECT_GT(sim.spikeEvents().size(), 0u);
+    EXPECT_GE(sim.spikeEvents().capacity(), sim.spikeEvents().size());
+    EXPECT_EQ(sim.probeTrace(0).size(), 200u);
+    EXPECT_GE(sim.probeTrace(0).capacity(), 200u);
 }
 
 } // namespace
