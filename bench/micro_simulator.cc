@@ -8,10 +8,12 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "common/random.hh"
+#include "common/telemetry.hh"
 #include "common/thread_pool.hh"
 #include "nets/table1.hh"
 #include "snn/routing.hh"
@@ -359,3 +361,49 @@ BENCHMARK(flexon::BM_SynapsePhaseLegacy)
     ->Args({10, 1})
     ->Args({100, 1})
     ->Args({10, 4});
+
+/**
+ * Custom main (overrides the benchmark_main archive member):
+ * identical to the stock one plus environment-variable telemetry
+ * hooks, since google-benchmark owns the argv namespace:
+ *
+ *   FLEXON_TELEMETRY=1         enable the deep counters
+ *   FLEXON_TRACE=trace.json    enable + dump the flight recorder
+ *   FLEXON_REPORT=report.json  dump pool/global metrics on exit
+ *
+ * The report carries the pool lane accounting and the process-wide
+ * registry (kernel dispatch mix); per-simulator sections stay empty
+ * because each benchmark owns short-lived simulators.
+ */
+int
+main(int argc, char **argv)
+{
+    const char *const trace = std::getenv("FLEXON_TRACE");
+    const char *const report = std::getenv("FLEXON_REPORT");
+    const char *const detail = std::getenv("FLEXON_TELEMETRY");
+    if ((detail != nullptr && detail[0] != '\0' &&
+         detail[0] != '0') ||
+        trace != nullptr) {
+        flexon::telemetry::TelemetryConfig config;
+        config.detail = true;
+        config.trace = trace != nullptr;
+        flexon::telemetry::configure(config);
+    }
+
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    if (report != nullptr) {
+        flexon::telemetry::ReportContext context;
+        context.config.emplace_back(
+            "binary",
+            flexon::telemetry::jsonQuoted("micro_simulator"));
+        flexon::telemetry::writeReportFile(report, context);
+    }
+    if (trace != nullptr)
+        flexon::telemetry::writeTraceFile(trace);
+    return 0;
+}

@@ -7,8 +7,12 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
+#include "common/logging.hh"
 #include "common/stats.hh"
+#include "common/telemetry.hh"
 #include "flexon/array.hh"
 #include "hwmodel/array_cost.hh"
 #include "hwmodel/baselines.hh"
@@ -20,6 +24,15 @@ using namespace flexon;
 int
 main()
 {
+    // FLEXON_REPORT=dir writes one run-report JSON per backend (and
+    // enables the deep telemetry counters that feed it).
+    const char *const reportDir = std::getenv("FLEXON_REPORT");
+    if (reportDir != nullptr) {
+        telemetry::TelemetryConfig config;
+        config.detail = true;
+        telemetry::configure(config);
+    }
+
     const BenchmarkSpec &spec = findBenchmark("Vogels-Abbott");
     std::printf("=== Vogels-Abbott (Table I): %zu neurons, %zu "
                 "synapses, %s, %s ===\n\n",
@@ -71,6 +84,14 @@ main()
             std::printf("                modelled hardware time: "
                         "%.2f ms (%.1fx vs host reference)\n",
                         hw_sec * 1e3, reference_neuron_sec / hw_sec);
+        }
+
+        if (reportDir != nullptr) {
+            const std::string path = std::string(reportDir) +
+                                     "/vogels_abbott_" +
+                                     backendName(kind) + ".json";
+            if (sim.writeRunReport(path))
+                inform("wrote run report to %s", path.c_str());
         }
     }
 

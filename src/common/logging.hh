@@ -64,6 +64,17 @@ void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
         }                                                                 \
     } while (0)
 
+/**
+ * Debug-build-only invariant check: like flexon_assert, but compiled
+ * out under NDEBUG. For conditions worth checking continuously in
+ * development but too hot (or too statistical) for release builds.
+ */
+#ifdef NDEBUG
+#define flexon_debug_assert(cond) ((void)0)
+#else
+#define flexon_debug_assert(cond) flexon_assert(cond)
+#endif
+
 } // namespace flexon
 
 #endif // FLEXON_COMMON_LOGGING_HH

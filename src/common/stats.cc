@@ -85,4 +85,35 @@ Histogram::binCenter(size_t i) const
     return lo_ + (static_cast<double>(i) + 0.5) * width;
 }
 
+double
+Histogram::percentile(double p) const
+{
+    if (total_ == 0)
+        return 0.0;
+    p = std::clamp(p, 0.0, 100.0);
+    const double threshold =
+        p / 100.0 * static_cast<double>(total_);
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        cumulative += counts_[i];
+        if (static_cast<double>(cumulative) >= threshold &&
+            cumulative > 0) {
+            return binCenter(i);
+        }
+    }
+    // Unreachable with total_ > 0; keep the last bin as a backstop.
+    return binCenter(counts_.size() - 1);
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    flexon_assert(other.lo_ == lo_);
+    flexon_assert(other.hi_ == hi_);
+    flexon_assert(other.counts_.size() == counts_.size());
+    for (size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    total_ += other.total_;
+}
+
 } // namespace flexon

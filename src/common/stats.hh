@@ -63,6 +63,23 @@ class Histogram
     uint64_t total() const { return total_; }
     /** Center value of bin i. */
     double binCenter(size_t i) const;
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
+
+    /**
+     * The value below which approximately p percent of the samples
+     * fall, at bin-center resolution: the center of the first bin
+     * whose cumulative count reaches p% of total(). p is clamped to
+     * [0, 100]; an empty histogram reports 0.
+     */
+    double percentile(double p) const;
+
+    /**
+     * Fold another histogram's counts into this one. Both must have
+     * the identical [lo, hi) range and bin count (asserted) — the
+     * shape sharded telemetry aggregation produces.
+     */
+    void merge(const Histogram &other);
 
   private:
     double lo_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/telemetry.hh"
+
 namespace flexon {
 
 namespace {
@@ -50,6 +52,70 @@ ThreadPool::workerCount() const
 }
 
 void
+ThreadPool::execChunk(Task task, void *ctx, size_t lane,
+                      size_t begin, size_t end)
+{
+    if (begin >= end)
+        return;
+    const bool detail = telemetry::detailEnabled();
+    const bool trace = telemetry::traceEnabled();
+    if (!detail && !trace) {
+        task(ctx, lane, begin, end);
+        return;
+    }
+    if (trace)
+        telemetry::traceBegin("pool.chunk");
+    const uint64_t start = telemetry::nowNanos();
+    task(ctx, lane, begin, end);
+    const uint64_t elapsed = telemetry::nowNanos() - start;
+    if (trace)
+        telemetry::traceEnd("pool.chunk");
+    LaneMetrics &metrics = laneMetrics_[lane];
+    metrics.busyNs.fetch_add(elapsed, std::memory_order_relaxed);
+    metrics.chunks.fetch_add(1, std::memory_order_relaxed);
+}
+
+ThreadPool::TelemetrySnapshot
+ThreadPool::telemetrySnapshot() const
+{
+    TelemetrySnapshot snap;
+    snap.workers = workerCount();
+    snap.dispatches = dispatches_.load(std::memory_order_relaxed);
+    snap.wallNs = wallNs_.load(std::memory_order_relaxed);
+    snap.laneNs = laneNs_.load(std::memory_order_relaxed);
+    size_t used = 0;
+    for (size_t i = 0; i < maxLanes; ++i) {
+        if (laneMetrics_[i].chunks.load(std::memory_order_relaxed) >
+            0) {
+            used = i + 1;
+        }
+    }
+    snap.laneBusyNs.resize(used);
+    snap.laneChunks.resize(used);
+    for (size_t i = 0; i < used; ++i) {
+        snap.laneBusyNs[i] =
+            laneMetrics_[i].busyNs.load(std::memory_order_relaxed);
+        snap.laneChunks[i] =
+            laneMetrics_[i].chunks.load(std::memory_order_relaxed);
+        snap.busyNs += snap.laneBusyNs[i];
+        snap.chunks += snap.laneChunks[i];
+    }
+    return snap;
+}
+
+void
+ThreadPool::resetTelemetry()
+{
+    for (LaneMetrics &metrics : laneMetrics_) {
+        metrics.busyNs.store(0, std::memory_order_relaxed);
+        metrics.chunks.store(0, std::memory_order_relaxed);
+    }
+    dispatches_.store(0, std::memory_order_relaxed);
+    wallNs_.store(0, std::memory_order_relaxed);
+    laneNs_.store(0, std::memory_order_relaxed);
+}
+
+void
 ThreadPool::ensureWorkers(size_t count)
 {
     count = std::min(count, maxLanes);
@@ -83,8 +149,7 @@ ThreadPool::workerMain()
             const Task task = task_;
             void *const ctx = ctx_;
             lock.unlock();
-            if (begin < end)
-                task(ctx, lane, begin, end);
+            execChunk(task, ctx, lane, begin, end);
             lock.lock();
             if (--pending_ == 0)
                 done_.notify_all();
@@ -103,6 +168,8 @@ ThreadPool::run(size_t n, size_t lanes, Task task, void *ctx)
         ~DispatchFlag() { tlsInDispatch = false; }
     } inDispatch;
     ensureWorkers(lanes - 1);
+    const bool detail = telemetry::detailEnabled();
+    const uint64_t dispatchStart = detail ? telemetry::nowNanos() : 0;
     const size_t chunk = (n + lanes - 1) / lanes;
     {
         std::lock_guard<std::mutex> guard(mutex_);
@@ -116,7 +183,7 @@ ThreadPool::run(size_t n, size_t lanes, Task task, void *ctx)
         ++generation_;
     }
     wake_.notify_all();
-    task(ctx, 0, 0, std::min(n, chunk));
+    execChunk(task, ctx, 0, 0, std::min(n, chunk));
     std::unique_lock<std::mutex> lock(mutex_);
     --pending_;
     // Help drain lanes the workers have not picked up yet (slow
@@ -127,12 +194,19 @@ ThreadPool::run(size_t n, size_t lanes, Task task, void *ctx)
         const size_t begin = lane * jobChunk_;
         const size_t end = std::min(jobN_, begin + jobChunk_);
         lock.unlock();
-        if (begin < end)
-            task(ctx, lane, begin, end);
+        execChunk(task, ctx, lane, begin, end);
         lock.lock();
         --pending_;
     }
     done_.wait(lock, [&] { return pending_ == 0; });
+    lock.unlock();
+    if (detail) {
+        const uint64_t wall =
+            telemetry::nowNanos() - dispatchStart;
+        dispatches_.fetch_add(1, std::memory_order_relaxed);
+        wallNs_.fetch_add(wall, std::memory_order_relaxed);
+        laneNs_.fetch_add(wall * lanes, std::memory_order_relaxed);
+    }
 }
 
 } // namespace flexon

@@ -21,8 +21,11 @@
 #ifndef FLEXON_COMMON_THREAD_POOL_HH
 #define FLEXON_COMMON_THREAD_POOL_HH
 
+#include <array>
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
 #include <thread>
 #include <type_traits>
@@ -112,8 +115,41 @@ class ThreadPool
     /** Workers currently alive (grows on demand, for tests/stats). */
     size_t workerCount() const;
 
+    /**
+     * Aggregated lane accounting, populated only while
+     * telemetry::detailEnabled() (otherwise all zero: the hot path
+     * takes no clock reads). Lane vectors are trimmed to the highest
+     * lane that ever ran a chunk.
+     */
+    struct TelemetrySnapshot
+    {
+        /** Workers alive (excludes the per-dispatch caller lane 0). */
+        size_t workers = 0;
+        /** parallelFor/forEachLane dispatches that hit the pool. */
+        uint64_t dispatches = 0;
+        /** Chunks executed across all lanes. */
+        uint64_t chunks = 0;
+        /** Nanoseconds spent inside chunk bodies, summed over lanes. */
+        uint64_t busyNs = 0;
+        /** Wall nanoseconds spent inside run() by the callers. */
+        uint64_t wallNs = 0;
+        /** wallNs x lanes per dispatch: the busy-time denominator
+         *  (busyNs / laneNs = parallel efficiency). */
+        uint64_t laneNs = 0;
+        std::vector<uint64_t> laneBusyNs;
+        std::vector<uint64_t> laneChunks;
+    };
+
+    /** Snapshot the pool's telemetry counters (sum-on-read). */
+    TelemetrySnapshot telemetrySnapshot() const;
+
+    /** Zero the pool's telemetry counters (between measured runs). */
+    void resetTelemetry();
+
   private:
     void run(size_t n, size_t lanes, Task task, void *ctx);
+    void execChunk(Task task, void *ctx, size_t lane, size_t begin,
+                   size_t end);
     void ensureWorkers(size_t count);
     void workerMain();
     static bool insideWorker();
@@ -137,6 +173,18 @@ class ThreadPool
     size_t nextLane_ = 0;
     size_t pending_ = 0;
     bool shutdown_ = false;
+
+    // Telemetry (written only while telemetry::detailEnabled()).
+    // Lane slots are line-padded so concurrent lanes never share one.
+    struct alignas(64) LaneMetrics
+    {
+        std::atomic<uint64_t> busyNs{0};
+        std::atomic<uint64_t> chunks{0};
+    };
+    std::array<LaneMetrics, maxLanes> laneMetrics_;
+    std::atomic<uint64_t> dispatches_{0};
+    std::atomic<uint64_t> wallNs_{0};
+    std::atomic<uint64_t> laneNs_{0};
 };
 
 } // namespace flexon

@@ -23,6 +23,26 @@ FlexonArray::addPopulation(const FlexonConfig &config, size_t count)
     state_.emplace_back();
     state_.back().resize(count, config.numSynapseTypes);
     kernels_.push_back(selectStepKernel(config.features));
+
+    // Dispatch-mix telemetry is keyed by feature mask, so every
+    // population (and every array) with the same composition shares
+    // one set of process-wide counters.
+    auto &registry = telemetry::Registry::global();
+    const std::string prefix =
+        "kernel." + config.features.toString() +
+        (kernels_.back().specialized ? "" : ".generic");
+    popTelemetry_.push_back(
+        {&registry.counter(prefix + ".calls",
+                           "batch-kernel invocations"),
+         &registry.counter(prefix + ".neurons",
+                           "neuron slots stepped"),
+         &registry.counter(prefix + ".blocked",
+                           "refractory-blocked slots entering the "
+                           "step"),
+         &registry.counter(prefix + ".zero_input",
+                           "all-zero input rows entering the fused "
+                           "step")});
+
     numNeurons_ += count;
     return populations_.size() - 1;
 }
@@ -32,6 +52,42 @@ FlexonArray::cyclesPerStep() const
 {
     // Single-cycle design: each lane evaluates one neuron per cycle.
     return (numNeurons_ + width_ - 1) / width_;
+}
+
+template <typename InputT>
+void
+FlexonArray::notePopulationSlice(size_t p, const InputT *input,
+                                 size_t lo, size_t hi) const
+{
+    const PopulationInfo &pop = populations_[p];
+    const PopulationTelemetry &pt = popTelemetry_[p];
+    pt.calls->add(1);
+    pt.neurons->add(hi - lo);
+    // Sampled before the kernel runs: the kernel itself decrements
+    // the refractory counters of the slots it skips.
+    if (pop.config.features.has(Feature::AR)) {
+        const uint32_t *const cnt = state_[p].cnt.data();
+        uint64_t blocked = 0;
+        for (size_t i = lo - pop.base; i < hi - pop.base; ++i)
+            blocked += cnt[i] > 0 ? 1 : 0;
+        if (blocked > 0)
+            pt.blocked->add(blocked);
+    }
+    if constexpr (std::is_same_v<InputT, double>) {
+        // Fused-scaling path: rows whose live synapse-type cells are
+        // all zero skip the double->Fix conversion in the kernel.
+        const size_t types = pop.config.numSynapseTypes;
+        uint64_t zeroRows = 0;
+        for (size_t i = lo; i < hi; ++i) {
+            const double *const row = input + i * maxSynapseTypes;
+            bool zero = true;
+            for (size_t s = 0; s < types; ++s)
+                zero = zero && row[s] == 0.0;
+            zeroRows += zero ? 1 : 0;
+        }
+        if (zeroRows > 0)
+            pt.zeroInput->add(zeroRows);
+    }
 }
 
 template <typename InputT>
@@ -52,6 +108,8 @@ FlexonArray::stepImpl(const InputT *input, std::vector<uint8_t> &fired)
                 const size_t hi = std::min(end, pop.base + pop.count);
                 if (lo >= hi)
                     continue;
+                if (telemetry::detailEnabled())
+                    notePopulationSlice<InputT>(p, input, lo, hi);
                 KernelArgs args;
                 args.config = &pop.config;
                 args.soa = &state_[p];

@@ -24,6 +24,7 @@
 #include <span>
 #include <vector>
 
+#include "common/telemetry.hh"
 #include "flexon/kernel.hh"
 #include "flexon/neuron.hh"
 
@@ -123,6 +124,12 @@ class FlexonArray
     template <typename InputT>
     void stepImpl(const InputT *input, std::vector<uint8_t> &fired);
 
+    /** Dispatch-mix sampling for one population slice (detail only,
+     *  called before the kernel: the kernel mutates cnt). */
+    template <typename InputT>
+    void notePopulationSlice(size_t p, const InputT *input,
+                             size_t lo, size_t hi) const;
+
     size_t width_;
     double clockHz_;
     size_t hostThreads_ = 1;
@@ -131,6 +138,20 @@ class FlexonArray
     std::vector<PopulationSoA> state_;
     std::vector<SelectedKernel> kernels_;
     uint64_t cycles_ = 0;
+
+    /**
+     * Per-population handles into Registry::global(), keyed by the
+     * population's feature mask (the process-wide kernel dispatch
+     * mix). Sampled only while telemetry::detailEnabled().
+     */
+    struct PopulationTelemetry
+    {
+        telemetry::Counter *calls;
+        telemetry::Counter *neurons;
+        telemetry::Counter *blocked;
+        telemetry::Counter *zeroInput;
+    };
+    std::vector<PopulationTelemetry> popTelemetry_;
 };
 
 } // namespace flexon

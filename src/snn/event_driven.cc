@@ -10,7 +10,18 @@ namespace flexon {
 EventDrivenSimulator::EventDrivenSimulator(const Network &network,
                                            StimulusGenerator stimulus)
     : network_(network), stimulus_(std::move(stimulus)),
-      table_(network, 1)
+      table_(network, 1, &metrics_),
+      runTimer_(metrics_.timer("ev.run",
+                               "host seconds inside run() calls")),
+      stepsCounter_(
+          metrics_.counter("ev.steps", "time steps simulated")),
+      spikesCounter_(
+          metrics_.counter("ev.spikes", "output spikes fired")),
+      updatesCounter_(metrics_.counter(
+          "ev.updates", "neuron updates actually performed")),
+      denseUpdatesCounter_(metrics_.counter(
+          "ev.dense_updates",
+          "updates a dense per-step engine would have performed"))
 {
     if (!network_.finalized())
         fatal("network must be finalized before simulation");
@@ -108,6 +119,9 @@ EventDrivenSimulator::updateNeuron(uint32_t neuron, double input,
 void
 EventDrivenSimulator::run(uint64_t steps)
 {
+    telemetry::ScopedTimer runScope(runTimer_, "ev.run");
+    const EventDrivenStats before = stats_;
+
     // Per-type buckets summed in type order, exactly as the dense
     // engine's synapse-calculation slot does — so the floating-point
     // accumulation order (and hence every spike) matches bit for bit.
@@ -163,6 +177,14 @@ EventDrivenSimulator::run(uint64_t steps)
         ++stats_.steps;
         stats_.denseUpdates += network_.numNeurons();
     }
+
+    // Mirror this run's deltas into the registry (the hot loop above
+    // increments only the plain struct).
+    stepsCounter_.add(stats_.steps - before.steps);
+    spikesCounter_.add(stats_.spikes - before.spikes);
+    updatesCounter_.add(stats_.updates - before.updates);
+    denseUpdatesCounter_.add(stats_.denseUpdates -
+                             before.denseUpdates);
 }
 
 double

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/telemetry.hh"
 #include "snn/network.hh"
 #include "snn/routing.hh"
 #include "snn/stimulus.hh"
@@ -70,6 +71,14 @@ class EventDrivenSimulator
         return spikeCounts_;
     }
 
+    /**
+     * This engine's private metrics registry: run()-level counters
+     * ("ev.*", mirrored from EventDrivenStats after each run) and
+     * the routing table's refresh counters.
+     */
+    telemetry::Registry &metrics() { return metrics_; }
+    const telemetry::Registry &metrics() const { return metrics_; }
+
     /** Membrane potential of a neuron *as of the current step*. */
     double membrane(uint32_t neuron) const;
 
@@ -89,6 +98,8 @@ class EventDrivenSimulator
 
     const Network &network_;
     StimulusGenerator stimulus_;
+    /** Declared before table_: the table registers counters here. */
+    telemetry::Registry metrics_;
     /**
      * Packed delivery rows (single shard): a fired neuron's bucket
      * rows are appended to the pending ring as-is, so delivery
@@ -110,6 +121,13 @@ class EventDrivenSimulator
     std::vector<uint64_t> spikeCounts_;
     EventDrivenStats stats_;
     uint64_t t_ = 0;
+
+    /** Cached registry handles (see the class comment on metrics()). */
+    telemetry::Timer &runTimer_;
+    telemetry::Counter &stepsCounter_;
+    telemetry::Counter &spikesCounter_;
+    telemetry::Counter &updatesCounter_;
+    telemetry::Counter &denseUpdatesCounter_;
 };
 
 } // namespace flexon

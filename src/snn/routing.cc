@@ -9,9 +9,18 @@
 
 namespace flexon {
 
-RoutingTable::RoutingTable(const Network &network, size_t shardCount)
+RoutingTable::RoutingTable(const Network &network, size_t shardCount,
+                           telemetry::Registry *metrics)
     : network_(network)
 {
+    if (metrics != nullptr) {
+        tailRefreshCounter_ = &metrics->counter(
+            "route.refresh_tail",
+            "weight refreshes replayed from the mutation-log tail");
+        fullRefreshCounter_ = &metrics->counter(
+            "route.refresh_full",
+            "weight refreshes via a full-table mirror");
+    }
     if (!network.finalized())
         fatal("network must be finalized before routing-table build");
     const size_t n = network.numNeurons();
@@ -136,6 +145,8 @@ RoutingTable::refreshWeights()
             records_[recordOf_[idx]].weight =
                 network_.synapseAt(idx).weight;
         }
+        if (tailRefreshCounter_ != nullptr)
+            tailRefreshCounter_->add(1);
     } else {
         // Too far behind the log ring: mirror every weight.
         const uint64_t count = network_.numSynapses();
@@ -143,6 +154,8 @@ RoutingTable::refreshWeights()
             records_[recordOf_[idx]].weight =
                 network_.synapseAt(idx).weight;
         }
+        if (fullRefreshCounter_ != nullptr)
+            fullRefreshCounter_->add(1);
     }
     weightsSeen_ = total;
 }
@@ -157,11 +170,21 @@ RoutingTable::memoryBytes() const
            bucketDelay_.capacity();
 }
 
-SpikeRouter::SpikeRouter(const Network &network, size_t shardCount)
-    : table_(network, shardCount),
+SpikeRouter::SpikeRouter(const Network &network, size_t shardCount,
+                         telemetry::Registry *metrics)
+    : table_(network, shardCount, metrics),
       ringDepth_(static_cast<size_t>(network.maxDelay()) + 1),
       slotSize_(network.numNeurons() * maxSynapseTypes)
 {
+    if (metrics != nullptr && slotSize_ > 0) {
+        touchedCellsCounter_ = &metrics->counter(
+            "route.touched_cells",
+            "ring cells tracked as written, summed over steps");
+        occupancyHist_ = &metrics->histogram(
+            "route.ring_occupancy", 0.0, 1.0, 20,
+            "per-step fraction of the consumed slot's cells "
+            "tracked as written (1.0 = saturated/dense)");
+    }
     ring_.assign(ringDepth_ * slotSize_, 0.0);
     slotBase_.assign(ringDepth_, nullptr);
     laneEvents_.assign(table_.shardCount(), 0);
@@ -276,6 +299,11 @@ SpikeRouter::routeStep(uint64_t t, std::span<const uint32_t> fired)
     } else {
         ++sparseClears_;
         cellsCleared_ += cost;
+    }
+    if (occupancyHist_ != nullptr && telemetry::detailEnabled()) {
+        touchedCellsCounter_->add(cost);
+        occupancyHist_->sample(static_cast<double>(cost) /
+                               static_cast<double>(slotSize_));
     }
 
     if (fired.empty() || table_.bucketCount() == 0) {

@@ -52,6 +52,7 @@
 #include <span>
 #include <vector>
 
+#include "common/telemetry.hh"
 #include "common/touch_list.hh"
 #include "snn/network.hh"
 
@@ -79,8 +80,11 @@ class RoutingTable
      *        outlive the table)
      * @param shardCount requested target shards (>= 1; clamped to
      *        the neuron count)
+     * @param metrics optional registry for refresh-path counters
+     *        (must outlive the table; nullptr = no telemetry)
      */
-    RoutingTable(const Network &network, size_t shardCount);
+    RoutingTable(const Network &network, size_t shardCount,
+                 telemetry::Registry *metrics = nullptr);
 
     size_t shardCount() const { return shardCount_; }
 
@@ -149,6 +153,9 @@ class RoutingTable
     std::vector<uint32_t> recordOf_;
     /** Network::weightMutations() already mirrored. */
     uint64_t weightsSeen_ = 0;
+    /** Refresh-path telemetry (null without a registry). */
+    telemetry::Counter *tailRefreshCounter_ = nullptr;
+    telemetry::Counter *fullRefreshCounter_ = nullptr;
 };
 
 /**
@@ -160,7 +167,15 @@ class RoutingTable
 class SpikeRouter
 {
   public:
-    SpikeRouter(const Network &network, size_t shardCount);
+    /**
+     * @param metrics optional registry (must outlive the router;
+     *        nullptr = no telemetry). Registers refresh counters, a
+     *        ring-occupancy histogram and a touched-cells counter;
+     *        the deep per-step samples only fire while
+     *        telemetry::detailEnabled().
+     */
+    SpikeRouter(const Network &network, size_t shardCount,
+                telemetry::Registry *metrics = nullptr);
 
     const RoutingTable &table() const { return table_; }
 
@@ -245,6 +260,10 @@ class SpikeRouter
     uint64_t denseClears_ = 0;
     uint64_t sparseClears_ = 0;
     uint64_t cellsCleared_ = 0;
+
+    /** Deep telemetry, sampled per step while detailEnabled(). */
+    telemetry::Counter *touchedCellsCounter_ = nullptr;
+    telemetry::HistogramMetric *occupancyHist_ = nullptr;
 };
 
 } // namespace flexon

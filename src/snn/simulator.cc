@@ -1,7 +1,6 @@
 #include "snn/simulator.hh"
 
 #include <algorithm>
-#include <chrono>
 #include <iomanip>
 #include <ostream>
 
@@ -10,36 +9,40 @@
 
 namespace flexon {
 
-namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double
-secondsSince(Clock::time_point start)
-{
-    return std::chrono::duration<double>(Clock::now() - start).count();
-}
-
-} // namespace
-
 Simulator::Simulator(const Network &network, StimulusGenerator stimulus,
                      const SimulatorOptions &options)
     : network_(network), stimulus_(std::move(stimulus)),
-      stimulusInitial_(stimulus_), options_(options)
+      stimulusInitial_(stimulus_), options_(options),
+      stimulusTimer_(metrics_.timer(
+          "phase.stimulus", "host seconds in stimulus generation")),
+      neuronTimer_(metrics_.timer(
+          "phase.neuron", "host seconds in neuron computation")),
+      synapseTimer_(metrics_.timer(
+          "phase.synapse", "host seconds in synapse calculation")),
+      routeTimer_(metrics_.timer(
+          "phase.synapse.route",
+          "host seconds in the delivery engine (clear + route)")),
+      probeTimer_(metrics_.timer(
+          "phase.probe", "host seconds sampling membrane probes")),
+      stepsCounter_(
+          metrics_.counter("sim.steps", "time steps simulated")),
+      spikesCounter_(
+          metrics_.counter("sim.spikes", "output spikes fired")),
+      modelNeuronSecGauge_(metrics_.gauge(
+          "hw.model_neuron_sec",
+          "modelled hardware neuron-phase seconds"))
 {
     if (!network_.finalized())
         fatal("network must be finalized before simulation");
     backend_ = makeBackend(options_.backend, network_, options_.mode,
                            options_.solver, options_.threads);
     router_ = std::make_unique<SpikeRouter>(
-        network_, options_.threads == 0 ? 1 : options_.threads);
+        network_, options_.threads == 0 ? 1 : options_.threads,
+        &metrics_);
     spikeCounts_.assign(network_.numNeurons(), 0);
     for (uint32_t probe : options_.probes)
         flexon_assert(probe < network_.numNeurons());
     probeTraces_.resize(options_.probes.size());
-
-    stats_.threadsUsed = options_.threads == 0 ? 1 : options_.threads;
-    stats_.routingTableBytes = router_->table().memoryBytes();
     firedList_.reserve(network_.numNeurons());
 }
 
@@ -59,7 +62,7 @@ Simulator::slot(uint64_t t)
 void
 Simulator::phaseStimulus()
 {
-    const auto start = Clock::now();
+    telemetry::ScopedTimer scope(stimulusTimer_, "sim.stimulus");
     auto current = slot(t_);
     for (const StimulusSpike &s : stimulus_.generate(t_)) {
         flexon_assert(s.target < network_.numNeurons());
@@ -68,22 +71,22 @@ Simulator::phaseStimulus()
         current[cell] += s.weight;
         router_->noteStimulus(t_, cell);
     }
-    stats_.stimulusSec += secondsSince(start);
 }
 
 void
 Simulator::phaseNeuron()
 {
-    const auto start = Clock::now();
-    backend_->step(slot(t_), fired_);
-    stats_.neuronSec += secondsSince(start);
-    stats_.modelNeuronSec += backend_->modelSecondsPerStep();
+    {
+        telemetry::ScopedTimer scope(neuronTimer_, "sim.neuron");
+        backend_->step(slot(t_), fired_);
+    }
+    modelNeuronSecGauge_.add(backend_->modelSecondsPerStep());
 }
 
 void
 Simulator::phaseSynapse()
 {
-    const auto start = Clock::now();
+    telemetry::ScopedTimer scope(synapseTimer_, "sim.synapse");
 
     // Re-mirror any plasticity weight updates into the packed
     // routing table (one counter compare when nothing changed).
@@ -99,28 +102,24 @@ Simulator::phaseSynapse()
             continue;
         firedList_.push_back(n);
         ++spikeCounts_[n];
-        ++stats_.spikes;
         if (options_.recordSpikes)
             spikeEvents_.push_back({t_, n});
     }
+    spikesCounter_.add(firedList_.size());
 
     // Clear the consumed slot (activity-proportionally) and stream
     // the fired rows' delivery records into the t_ + delay slots —
     // bit-identical to the serial scan at any thread count (see
     // snn/routing.hh).
-    const auto routeStart = Clock::now();
+    telemetry::ScopedTimer routeScope(routeTimer_,
+                                      "sim.synapse.route");
     router_->routeStep(t_, firedList_);
-    stats_.synapseRouteSec += secondsSince(routeStart);
-    stats_.synapseEvents = router_->events();
-    stats_.ringDenseClears = router_->denseClears();
-    stats_.ringSparseClears = router_->sparseClears();
-    stats_.ringCellsCleared = router_->cellsCleared();
-    stats_.synapseSec += secondsSince(start);
 }
 
 void
 Simulator::stepOnce()
 {
+    telemetry::TraceScope step("sim.step");
     phaseStimulus();
     phaseNeuron();
     phaseSynapse();
@@ -128,15 +127,19 @@ Simulator::stepOnce()
                    "step %llu: %llu spikes so far, %llu synapse "
                    "events",
                    static_cast<unsigned long long>(t_),
-                   static_cast<unsigned long long>(stats_.spikes),
                    static_cast<unsigned long long>(
-                       stats_.synapseEvents));
-    for (size_t i = 0; i < options_.probes.size(); ++i) {
-        probeTraces_[i].push_back(
-            backend_->membrane(options_.probes[i]));
+                       spikesCounter_.value()),
+                   static_cast<unsigned long long>(
+                       router_->events()));
+    if (!options_.probes.empty()) {
+        telemetry::ScopedTimer scope(probeTimer_);
+        for (size_t i = 0; i < options_.probes.size(); ++i) {
+            probeTraces_[i].push_back(
+                backend_->membrane(options_.probes[i]));
+        }
     }
     ++t_;
-    ++stats_.steps;
+    stepsCounter_.add(1);
 }
 
 void
@@ -150,7 +153,8 @@ Simulator::run(uint64_t steps)
     // capped so absurd step counts cannot over-commit memory.
     if (options_.recordSpikes && network_.numNeurons() > 0) {
         constexpr uint64_t maxReserveAhead = uint64_t{1} << 22;
-        const double rate = stats_.steps > 0 ? meanRate() : 0.02;
+        const double rate =
+            stepsCounter_.value() > 0 ? meanRate() : 0.02;
         const double expected =
             1.25 * rate * static_cast<double>(steps) *
             static_cast<double>(network_.numNeurons());
@@ -169,16 +173,43 @@ Simulator::run(uint64_t steps)
 double
 Simulator::meanRate() const
 {
-    if (stats_.steps == 0 || network_.numNeurons() == 0)
+    const uint64_t steps = stepsCounter_.value();
+    if (steps == 0 || network_.numNeurons() == 0)
         return 0.0;
-    return static_cast<double>(stats_.spikes) /
-           (static_cast<double>(stats_.steps) *
+    return static_cast<double>(spikesCounter_.value()) /
+           (static_cast<double>(steps) *
             static_cast<double>(network_.numNeurons()));
+}
+
+const PhaseStats &
+Simulator::stats() const
+{
+    statsView_.stimulusSec = stimulusTimer_.seconds();
+    statsView_.neuronSec = neuronTimer_.seconds();
+    statsView_.synapseSec = synapseTimer_.seconds();
+    statsView_.synapseRouteSec = routeTimer_.seconds();
+    statsView_.probeSec = probeTimer_.seconds();
+    statsView_.steps = stepsCounter_.value();
+    statsView_.spikes = spikesCounter_.value();
+    statsView_.modelNeuronSec = modelNeuronSecGauge_.value();
+    statsView_.threadsUsed =
+        options_.threads == 0 ? 1 : options_.threads;
+    statsView_.synapseEvents = router_->events();
+    statsView_.routingTableBytes = router_->table().memoryBytes();
+    statsView_.ringDenseClears = router_->denseClears();
+    statsView_.ringSparseClears = router_->sparseClears();
+    statsView_.ringCellsCleared = router_->cellsCleared();
+    // The route interval is strictly nested inside the synapse-phase
+    // interval on the same steady clock.
+    flexon_debug_assert(statsView_.synapseRouteSec <=
+                        statsView_.synapseSec);
+    return statsView_;
 }
 
 void
 Simulator::printStats(std::ostream &os) const
 {
+    const PhaseStats &view = stats();
     auto line = [&os](const char *name, double value,
                       const char *desc) {
         os << std::left << std::setw(34) << name << ' '
@@ -186,55 +217,66 @@ Simulator::printStats(std::ostream &os) const
            << '\n';
     };
     os << "---------- simulation statistics ----------\n";
-    line("sim.steps", static_cast<double>(stats_.steps),
+    line("sim.steps", static_cast<double>(view.steps),
          "time steps simulated");
     line("sim.neurons", static_cast<double>(network_.numNeurons()),
          "neurons in the network");
     line("sim.synapses", static_cast<double>(network_.numSynapses()),
          "synapses in the network");
-    line("sim.spikes", static_cast<double>(stats_.spikes),
+    line("sim.spikes", static_cast<double>(view.spikes),
          "output spikes fired");
     line("sim.rate", meanRate(), "spikes per neuron per step");
     line("sim.synapse_events",
-         static_cast<double>(stats_.synapseEvents),
+         static_cast<double>(view.synapseEvents),
          "synaptic weight deliveries");
-    line("phase.stimulus_sec", stats_.stimulusSec,
+    line("phase.stimulus_sec", view.stimulusSec,
          "host seconds in stimulus generation");
-    line("phase.neuron_sec", stats_.neuronSec,
+    line("phase.neuron_sec", view.neuronSec,
          "host seconds in neuron computation");
-    line("phase.synapse_sec", stats_.synapseSec,
+    line("phase.synapse_sec", view.synapseSec,
          "host seconds in synapse calculation");
-    line("phase.synapse_route_sec", stats_.synapseRouteSec,
+    line("phase.synapse_route_sec", view.synapseRouteSec,
          "host seconds in parallel spike routing");
-    line("engine.threads", static_cast<double>(stats_.threadsUsed),
+    line("phase.probe_sec", view.probeSec,
+         "host seconds sampling membrane probes");
+    if (view.totalSec() > 0.0) {
+        line("sim.steps_per_sec",
+             static_cast<double>(view.steps) / view.totalSec(),
+             "simulated steps per host second");
+        line("sim.synapse_events_per_sec",
+             static_cast<double>(view.synapseEvents) /
+                 view.totalSec(),
+             "synaptic deliveries per host second");
+    }
+    line("engine.threads", static_cast<double>(view.threadsUsed),
          "worker lanes per phase (1 = serial)");
-    if (stats_.synapseSec > 0.0) {
+    if (view.synapseSec > 0.0) {
         line("engine.route_share",
-             stats_.synapseRouteSec / stats_.synapseSec,
+             view.synapseRouteSec / view.synapseSec,
              "delivery-engine fraction of the synapse phase");
     }
     line("engine.routing_table_bytes",
-         static_cast<double>(stats_.routingTableBytes),
+         static_cast<double>(view.routingTableBytes),
          "precompiled spike-routing table footprint");
     line("engine.ring_dense_clears",
-         static_cast<double>(stats_.ringDenseClears),
+         static_cast<double>(view.ringDenseClears),
          "ring-slot clears via dense fill");
     line("engine.ring_sparse_clears",
-         static_cast<double>(stats_.ringSparseClears),
+         static_cast<double>(view.ringSparseClears),
          "ring-slot clears via tracked-write undo");
     line("engine.ring_cells_cleared",
-         static_cast<double>(stats_.ringCellsCleared),
+         static_cast<double>(view.ringCellsCleared),
          "cells zeroed by sparse clears");
-    if (stats_.totalSec() > 0.0) {
+    if (view.totalSec() > 0.0) {
         line("phase.neuron_share",
-             stats_.neuronSec / stats_.totalSec(),
+             view.neuronSec / view.totalSec(),
              "neuron-computation fraction of the step (Figure 3)");
     }
-    if (stats_.modelNeuronSec > 0.0) {
-        line("hw.model_neuron_sec", stats_.modelNeuronSec,
+    if (view.modelNeuronSec > 0.0) {
+        line("hw.model_neuron_sec", view.modelNeuronSec,
              "modelled hardware neuron-phase seconds");
         line("hw.speedup_vs_host",
-             stats_.neuronSec / stats_.modelNeuronSec,
+             view.neuronSec / view.modelNeuronSec,
              "modelled hardware speedup over this host");
     }
     os << "--------------------------------------------\n";
@@ -253,11 +295,70 @@ Simulator::reset()
     spikeEvents_.clear();
     for (auto &trace : probeTraces_)
         trace.clear();
-    stats_ = PhaseStats{};
-    stats_.threadsUsed = options_.threads == 0 ? 1 : options_.threads;
-    stats_.routingTableBytes = router_->table().memoryBytes();
+    metrics_.reset();
+    statsView_ = PhaseStats{};
     t_ = 0;
     stimulus_ = stimulusInitial_;
+}
+
+bool
+Simulator::writeRunReport(const std::string &path) const
+{
+    const PhaseStats &view = stats();
+    telemetry::ReportContext context;
+    auto &config = context.config;
+    config.emplace_back(
+        "backend",
+        telemetry::jsonQuoted(backendName(options_.backend)));
+    config.emplace_back("threads",
+                        std::to_string(view.threadsUsed));
+    config.emplace_back("stimulus_seed",
+                        std::to_string(options_.stimulusSeed));
+    config.emplace_back("neurons",
+                        std::to_string(network_.numNeurons()));
+    config.emplace_back("synapses",
+                        std::to_string(network_.numSynapses()));
+    config.emplace_back("probes",
+                        std::to_string(options_.probes.size()));
+    config.emplace_back("record_spikes",
+                        options_.recordSpikes ? "true" : "false");
+
+    auto &stats = context.stats;
+    auto num = [](double x) { return telemetry::jsonNumber(x); };
+    stats.emplace_back("steps", std::to_string(view.steps));
+    stats.emplace_back("spikes", std::to_string(view.spikes));
+    stats.emplace_back("synapse_events",
+                       std::to_string(view.synapseEvents));
+    stats.emplace_back("mean_rate", num(meanRate()));
+    stats.emplace_back("stimulus_sec", num(view.stimulusSec));
+    stats.emplace_back("neuron_sec", num(view.neuronSec));
+    stats.emplace_back("synapse_sec", num(view.synapseSec));
+    stats.emplace_back("synapse_route_sec",
+                       num(view.synapseRouteSec));
+    stats.emplace_back("probe_sec", num(view.probeSec));
+    stats.emplace_back("total_sec", num(view.totalSec()));
+    stats.emplace_back("model_neuron_sec",
+                       num(view.modelNeuronSec));
+    stats.emplace_back("routing_table_bytes",
+                       std::to_string(view.routingTableBytes));
+    stats.emplace_back("ring_dense_clears",
+                       std::to_string(view.ringDenseClears));
+    stats.emplace_back("ring_sparse_clears",
+                       std::to_string(view.ringSparseClears));
+    stats.emplace_back("ring_cells_cleared",
+                       std::to_string(view.ringCellsCleared));
+    if (view.totalSec() > 0.0) {
+        stats.emplace_back(
+            "steps_per_sec",
+            num(static_cast<double>(view.steps) / view.totalSec()));
+        stats.emplace_back(
+            "synapse_events_per_sec",
+            num(static_cast<double>(view.synapseEvents) /
+                view.totalSec()));
+    }
+
+    context.metrics = &metrics_;
+    return telemetry::writeReportFile(path, context);
 }
 
 } // namespace flexon

@@ -16,8 +16,10 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "common/telemetry.hh"
 #include "snn/backend.hh"
 #include "snn/network.hh"
 #include "snn/routing.hh"
@@ -40,20 +42,43 @@ struct SimulatorOptions
     std::vector<uint32_t> probes;
 };
 
-/** Accumulated wall-clock time per phase, plus counters. */
+/**
+ * Accumulated per-phase wall-clock time plus event counters. This is
+ * a *materialized view* over the simulator's telemetry registry:
+ * Simulator::stats() refreshes it from the underlying counters and
+ * timers, so the struct stays a plain value type for callers while
+ * the phases write through wait-free sharded metrics.
+ *
+ * Units: every `*Sec` field is host wall-clock seconds accumulated
+ * over all steps of the run (steady clock); counter fields are event
+ * counts over the same extent.
+ */
 struct PhaseStats
 {
+    /** Host seconds in stimulus generation (phase 1). */
     double stimulusSec = 0.0;
+    /** Host seconds in neuron computation (phase 2). */
     double neuronSec = 0.0;
+    /** Host seconds in synapse calculation (phase 3). */
     double synapseSec = 0.0;
-    /** Seconds of synapseSec in the delivery engine (clear+route). */
+    /**
+     * Host seconds of synapseSec spent inside the delivery engine
+     * (ring clear + routing). Strictly nested within the synapse
+     * phase interval, so synapseRouteSec <= synapseSec up to clock
+     * resolution (debug-asserted in stats()).
+     */
     double synapseRouteSec = 0.0;
+    /** Host seconds sampling membrane probes (0 without probes). */
+    double probeSec = 0.0;
+    /** Time steps completed. */
     uint64_t steps = 0;
+    /** Output spikes fired (sum over neurons). */
     uint64_t spikes = 0;
+    /** Synaptic weight deliveries into the delay ring. */
     uint64_t synapseEvents = 0;
     /** Worker lanes the engine was configured with. */
     size_t threadsUsed = 1;
-    /** Modelled hardware time (Flexon/folded backends only). */
+    /** Modelled hardware seconds (Flexon/folded backends only). */
     double modelNeuronSec = 0.0;
     /** Bytes of the precompiled spike-routing table. */
     uint64_t routingTableBytes = 0;
@@ -64,9 +89,10 @@ struct PhaseStats
     /** Cells zeroed by sparse clears (incl. duplicate zeroings). */
     uint64_t ringCellsCleared = 0;
 
+    /** Host seconds across every tracked per-step phase. */
     double totalSec() const
     {
-        return stimulusSec + neuronSec + synapseSec;
+        return stimulusSec + neuronSec + synapseSec + probeSec;
     }
 };
 
@@ -95,7 +121,12 @@ class Simulator
     /** Run a single time step. */
     void stepOnce();
 
-    const PhaseStats &stats() const { return stats_; }
+    /**
+     * Refresh and return the statistics view (sums the sharded
+     * telemetry slots; cheap, but not free — cache the reference's
+     * fields rather than calling per step in hot loops).
+     */
+    const PhaseStats &stats() const;
     const Network &network() const { return network_; }
     NeuronBackend &backend() { return *backend_; }
 
@@ -133,8 +164,23 @@ class Simulator
      */
     void printStats(std::ostream &os) const;
 
-    /** Reset state, statistics and time to zero. */
+    /**
+     * Reset state, statistics and time to zero. Also zeroes every
+     * metric in this simulator's telemetry registry, so two identical
+     * runs separated by reset() report identical counters.
+     */
     void reset();
+
+    /** This simulator's private metrics registry. */
+    telemetry::Registry &metrics() { return metrics_; }
+    const telemetry::Registry &metrics() const { return metrics_; }
+
+    /**
+     * Write a "flexon-run-report-v1" JSON document (config, stats,
+     * this registry, the process registry, pool lane accounting) to
+     * `path`. Returns false (after warn()) on I/O failure.
+     */
+    bool writeRunReport(const std::string &path) const;
 
     uint64_t currentStep() const { return t_; }
 
@@ -175,7 +221,23 @@ class Simulator
     std::vector<uint64_t> spikeCounts_;
     std::vector<SpikeEvent> spikeEvents_;
     std::vector<std::vector<double>> probeTraces_;
-    PhaseStats stats_;
+
+    /**
+     * Private metrics registry plus cached handles for the hot
+     * paths. Declared before the handles (initialization order).
+     */
+    telemetry::Registry metrics_;
+    telemetry::Timer &stimulusTimer_;
+    telemetry::Timer &neuronTimer_;
+    telemetry::Timer &synapseTimer_;
+    telemetry::Timer &routeTimer_;
+    telemetry::Timer &probeTimer_;
+    telemetry::Counter &stepsCounter_;
+    telemetry::Counter &spikesCounter_;
+    telemetry::Gauge &modelNeuronSecGauge_;
+
+    /** Materialized by stats() from the registry + router. */
+    mutable PhaseStats statsView_;
 
     /** Fired neuron indices of the current step (capacity N). */
     std::vector<uint32_t> firedList_;

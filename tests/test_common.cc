@@ -160,6 +160,55 @@ TEST(Histogram, BinningAndClamping)
     EXPECT_NEAR(h.binCenter(9), 9.5, 1e-12);
 }
 
+TEST(Histogram, PercentileInterpolatesBinCenters)
+{
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 100; ++i)
+        h.add(i / 10.0); // uniform over [0, 10)
+    // Uniform fill: percentiles track the matching bin centers.
+    EXPECT_NEAR(h.percentile(50.0), 4.5, 1.0);
+    EXPECT_NEAR(h.percentile(90.0), 8.5, 1.0);
+    // Out-of-range p clamps to [0, 100].
+    EXPECT_DOUBLE_EQ(h.percentile(-5.0), h.percentile(0.0));
+    EXPECT_DOUBLE_EQ(h.percentile(150.0), h.percentile(100.0));
+}
+
+TEST(Histogram, PercentileOfEmptyIsZero)
+{
+    Histogram h(0.0, 1.0, 4);
+    EXPECT_EQ(h.percentile(50.0), 0.0);
+    EXPECT_EQ(h.percentile(0.0), 0.0);
+    EXPECT_EQ(h.percentile(100.0), 0.0);
+}
+
+TEST(Histogram, PercentileSingleBin)
+{
+    Histogram h(0.0, 2.0, 1);
+    h.add(0.3);
+    h.add(1.7);
+    // Everything lands in the lone bin; every percentile is its
+    // center.
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(h.percentile(50.0), 1.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100.0), 1.0);
+}
+
+TEST(Histogram, MergeAddsBinwise)
+{
+    Histogram a(0.0, 10.0, 10), b(0.0, 10.0, 10);
+    a.add(0.5);
+    a.add(5.5);
+    b.add(5.5);
+    b.add(9.5);
+    a.merge(b);
+    EXPECT_EQ(a.total(), 4u);
+    EXPECT_EQ(a.binCount(0), 1u);
+    EXPECT_EQ(a.binCount(5), 2u);
+    EXPECT_EQ(a.binCount(9), 1u);
+    // The merged-from histogram is untouched.
+    EXPECT_EQ(b.total(), 2u);
+}
+
 TEST(Table, AlignedOutputContainsCells)
 {
     Table t({"name", "value"});

@@ -11,6 +11,7 @@
  *              [--backend reference|flexon|folded] [--seed 1]
  *              [--solver euler|rkf45] [--threads N]
  *              [--raster] [--csv spikes.csv] [--save net.fxn]
+ *              [--telemetry] [--report run.json] [--trace trace.json]
  *   flexon_sim --load net.fxn [--steps 1000] ...
  *   flexon_sim --list
  */
@@ -51,6 +52,9 @@ struct Args
     bool raster = false;
     bool stats = false;
     bool list = false;
+    bool telemetry = false;
+    std::string report;
+    std::string trace;
 };
 
 [[noreturn]] void
@@ -63,7 +67,11 @@ usage()
         "  [--scale S] [--steps N] [--seed N] [--threads N]\n"
         "  [--backend reference|flexon|folded]\n"
         "  [--solver euler|rkf45]  (reference backend only)\n"
-        "  [--raster] [--stats] [--csv FILE] [--save FILE]\n");
+        "  [--raster] [--stats] [--csv FILE] [--save FILE]\n"
+        "  [--telemetry]     enable deep counters + flight recorder\n"
+        "  [--report FILE]   write a run-report JSON document\n"
+        "  [--trace FILE]    write a Chrome trace.json "
+        "(implies --telemetry)\n");
     std::exit(2);
 }
 
@@ -115,6 +123,12 @@ parseArgs(int argc, char **argv)
                 args.solver = SolverKind::RKF45;
             else
                 usage();
+        } else if (flag == "--telemetry") {
+            args.telemetry = true;
+        } else if (flag == "--report") {
+            args.report = need_value(i);
+        } else if (flag == "--trace") {
+            args.trace = need_value(i);
         } else if (flag == "--raster") {
             args.raster = true;
         } else if (flag == "--stats") {
@@ -135,6 +149,13 @@ int
 main(int argc, char **argv)
 {
     const Args args = parseArgs(argc, argv);
+
+    if (args.telemetry || !args.trace.empty()) {
+        telemetry::TelemetryConfig cfg;
+        cfg.detail = true;
+        cfg.trace = !args.trace.empty();
+        telemetry::configure(cfg);
+    }
 
     if (args.list) {
         std::printf("%-18s %8s %10s  %-22s %s\n", "benchmark",
@@ -234,6 +255,13 @@ main(int argc, char **argv)
         writeSpikesCsv(os, sim.spikeEvents());
         inform("wrote %zu spike events to %s",
                sim.spikeEvents().size(), args.csv.c_str());
+    }
+    if (!args.report.empty() && sim.writeRunReport(args.report))
+        inform("wrote run report to %s", args.report.c_str());
+    if (!args.trace.empty() &&
+        telemetry::writeTraceFile(args.trace)) {
+        inform("wrote %zu trace events to %s",
+               telemetry::traceEventCount(), args.trace.c_str());
     }
     return 0;
 }
