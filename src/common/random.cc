@@ -149,4 +149,26 @@ Rng::split()
     return Rng(child_seed);
 }
 
+RngState
+Rng::state() const
+{
+    RngState st;
+    for (size_t i = 0; i < st.s.size(); ++i)
+        st.s[i] = s_[i];
+    st.cachedNormal = cachedNormal_;
+    st.hasCachedNormal = hasCachedNormal_;
+    return st;
+}
+
+void
+Rng::setState(const RngState &state)
+{
+    if ((state.s[0] | state.s[1] | state.s[2] | state.s[3]) == 0)
+        fatal("Rng::setState: all-zero xoshiro state is invalid");
+    for (size_t i = 0; i < state.s.size(); ++i)
+        s_[i] = state.s[i];
+    cachedNormal_ = state.cachedNormal;
+    hasCachedNormal_ = state.hasCachedNormal;
+}
+
 } // namespace flexon

@@ -11,9 +11,23 @@
 #ifndef FLEXON_COMMON_RANDOM_HH
 #define FLEXON_COMMON_RANDOM_HH
 
+#include <array>
 #include <cstdint>
 
 namespace flexon {
+
+/**
+ * The complete stream state of an Rng: the xoshiro256** words plus
+ * the Box-Muller pair cache (normal() hands out variates in pairs, so
+ * the cached second half is part of the stream — dropping it would
+ * desynchronize a restored stream by one normal draw).
+ */
+struct RngState
+{
+    std::array<uint64_t, 4> s{};
+    double cachedNormal = 0.0;
+    bool hasCachedNormal = false;
+};
 
 /**
  * A seedable, splittable pseudo-random number generator.
@@ -67,6 +81,14 @@ class Rng
      * population / stimulus source its own stream.
      */
     Rng split();
+
+    /**
+     * Capture / restore the exact stream state: a generator restored
+     * from state() continues the identical variate sequence across
+     * every distribution, including in-flight Box-Muller pairs.
+     */
+    RngState state() const;
+    void setState(const RngState &state);
 
   private:
     uint64_t s_[4];

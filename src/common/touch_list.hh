@@ -61,6 +61,19 @@ class TouchList
         cost_ = 0;
     }
 
+    /**
+     * Replace the contents with a previously captured (keys, cost)
+     * pair — the checkpoint/restore path. A saturated list round
+     * trips exactly: cost >= budget with an incomplete key list keeps
+     * forcing the dense-clear fallback after restore.
+     */
+    void
+    restore(std::vector<uint64_t> keys, uint64_t cost)
+    {
+        keys_ = std::move(keys);
+        cost_ = cost;
+    }
+
   private:
     std::vector<uint64_t> keys_;
     uint64_t cost_ = 0;

@@ -1,6 +1,9 @@
 #include "flexon/array.hh"
 
 #include <algorithm>
+#include <istream>
+#include <ostream>
+#include <string>
 
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
@@ -170,6 +173,77 @@ FlexonArray::resetState()
 {
     for (auto &soa : state_)
         soa.reset();
+}
+
+namespace {
+
+void
+writeFixArray(std::ostream &os, const std::vector<Fix> &a)
+{
+    for (const Fix x : a)
+        os << ' ' << x.raw();
+}
+
+void
+readFixArray(std::istream &is, std::vector<Fix> &a)
+{
+    for (Fix &x : a) {
+        int64_t raw = 0;
+        is >> raw;
+        x = Fix::fromRaw(raw);
+    }
+}
+
+} // namespace
+
+void
+FlexonArray::saveState(std::ostream &os) const
+{
+    os << "flexon-array " << state_.size() << ' ' << cycles_ << '\n';
+    for (const PopulationSoA &soa : state_) {
+        os << "soa " << soa.count << ' ' << soa.synStride;
+        writeFixArray(os, soa.v);
+        writeFixArray(os, soa.w);
+        writeFixArray(os, soa.r);
+        writeFixArray(os, soa.preResetV);
+        writeFixArray(os, soa.y);
+        writeFixArray(os, soa.g);
+        for (const uint32_t c : soa.cnt)
+            os << ' ' << c;
+        os << '\n';
+    }
+}
+
+void
+FlexonArray::loadState(std::istream &is)
+{
+    std::string tag;
+    size_t pops = 0;
+    is >> tag >> pops >> cycles_;
+    if (tag != "flexon-array" || !is || pops != state_.size())
+        fatal("checkpoint flexon-array shape mismatch (expected %zu "
+              "populations)",
+              state_.size());
+    for (PopulationSoA &soa : state_) {
+        size_t count = 0, stride = 0;
+        is >> tag >> count >> stride;
+        if (tag != "soa" || !is || count != soa.count ||
+            stride != soa.synStride) {
+            fatal("checkpoint population shape mismatch (expected "
+                  "%zu x %zu)",
+                  soa.count, soa.synStride);
+        }
+        readFixArray(is, soa.v);
+        readFixArray(is, soa.w);
+        readFixArray(is, soa.r);
+        readFixArray(is, soa.preResetV);
+        readFixArray(is, soa.y);
+        readFixArray(is, soa.g);
+        for (uint32_t &c : soa.cnt)
+            is >> c;
+    }
+    if (!is)
+        fatal("truncated flexon-array state in checkpoint");
 }
 
 } // namespace flexon

@@ -21,6 +21,7 @@
 #define FLEXON_FLEXON_ARRAY_HH
 
 #include <cstdint>
+#include <iosfwd>
 #include <span>
 #include <vector>
 
@@ -119,6 +120,15 @@ class FlexonArray
 
     void resetState();
     void resetCycles() { cycles_ = 0; }
+
+    /**
+     * Checkpoint the array's dynamic state: the cycle counter and
+     * every population's SoA arrays, Fix values as raw fixed-point
+     * integers (exact by construction). loadState fatal()s when the
+     * recorded shape does not match this array.
+     */
+    void saveState(std::ostream &os) const;
+    void loadState(std::istream &is);
 
   private:
     template <typename InputT>

@@ -1,5 +1,9 @@
 #include "folded/array.hh"
 
+#include <istream>
+#include <ostream>
+#include <string>
+
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
 
@@ -83,6 +87,54 @@ FoldedFlexonArray::resetState()
 {
     for (auto &n : neurons_)
         n.reset();
+}
+
+void
+FoldedFlexonArray::saveState(std::ostream &os) const
+{
+    os << "folded-array " << neurons_.size() << ' ' << cycles_ << ' '
+       << controlSignals_ << '\n';
+    for (const FoldedFlexonNeuron &n : neurons_) {
+        const FlexonState &s = n.state();
+        os << s.v.raw();
+        for (const Fix y : s.y)
+            os << ' ' << y.raw();
+        for (const Fix g : s.g)
+            os << ' ' << g.raw();
+        os << ' ' << s.w.raw() << ' ' << s.r.raw() << ' ' << s.cnt
+           << ' ' << n.preResetV().raw() << '\n';
+    }
+}
+
+void
+FoldedFlexonArray::loadState(std::istream &is)
+{
+    std::string tag;
+    size_t count = 0;
+    is >> tag >> count >> cycles_ >> controlSignals_;
+    if (tag != "folded-array" || !is || count != neurons_.size())
+        fatal("checkpoint folded-array shape mismatch (expected %zu "
+              "neurons)",
+              neurons_.size());
+    auto readFix = [&is]() {
+        int64_t raw = 0;
+        is >> raw;
+        return Fix::fromRaw(raw);
+    };
+    for (FoldedFlexonNeuron &n : neurons_) {
+        FlexonState &s = n.state();
+        s.v = readFix();
+        for (Fix &y : s.y)
+            y = readFix();
+        for (Fix &g : s.g)
+            g = readFix();
+        s.w = readFix();
+        s.r = readFix();
+        is >> s.cnt;
+        n.setPreResetV(readFix());
+    }
+    if (!is)
+        fatal("truncated folded-array state in checkpoint");
 }
 
 } // namespace flexon

@@ -15,6 +15,7 @@
 #define FLEXON_FOLDED_ARRAY_HH
 
 #include <cstdint>
+#include <iosfwd>
 #include <span>
 #include <vector>
 
@@ -85,6 +86,15 @@ class FoldedFlexonArray
 
     void resetState();
     void resetCycles() { cycles_ = 0; controlSignals_ = 0; }
+
+    /**
+     * Checkpoint the array's dynamic state: cycle / control-signal
+     * counters and every neuron's FlexonState, Fix values as raw
+     * fixed-point integers (exact by construction). loadState
+     * fatal()s when the recorded neuron count does not match.
+     */
+    void saveState(std::ostream &os) const;
+    void loadState(std::istream &is);
 
   private:
     size_t width_;

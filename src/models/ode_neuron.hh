@@ -54,6 +54,15 @@ class OdeNeuron
     const NeuronParams &params() const { return params_; }
     SolverKind solver() const { return solver_; }
 
+    /**
+     * Overwrite the dynamic state (checkpoint restore). The solver
+     * workspace is pure per-step scratch and rhsEvals_ is a cost
+     * metric, not dynamics, so NeuronState is the complete restart
+     * state: stepping from a restored state is bit-identical to an
+     * uninterrupted run.
+     */
+    void setState(const NeuronState &state) { state_ = state; }
+
     /** Total derivative evaluations so far (the solver cost metric). */
     uint64_t rhsEvaluations() const { return rhsEvals_; }
 

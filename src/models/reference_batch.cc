@@ -1,6 +1,9 @@
 #include "models/reference_batch.hh"
 
 #include <cmath>
+#include <istream>
+#include <ostream>
+#include <string>
 
 #include "common/logging.hh"
 
@@ -159,6 +162,60 @@ ReferenceBatch::reset()
     std::fill(y_.begin(), y_.end(), 0.0);
     std::fill(g_.begin(), g_.end(), 0.0);
     std::fill(cnt_.begin(), cnt_.end(), 0);
+}
+
+namespace {
+
+void
+writeArray(std::ostream &os, const std::vector<double> &a)
+{
+    for (const double x : a)
+        os << ' ' << x;
+}
+
+void
+readArray(std::istream &is, std::vector<double> &a)
+{
+    for (double &x : a)
+        is >> x;
+}
+
+} // namespace
+
+void
+ReferenceBatch::saveState(std::ostream &os) const
+{
+    os << "batch " << count_ << ' ' << stride_;
+    writeArray(os, v_);
+    writeArray(os, w_);
+    writeArray(os, r_);
+    writeArray(os, preResetV_);
+    writeArray(os, y_);
+    writeArray(os, g_);
+    for (const uint32_t c : cnt_)
+        os << ' ' << c;
+    os << '\n';
+}
+
+void
+ReferenceBatch::loadState(std::istream &is)
+{
+    std::string tag;
+    size_t count = 0, stride = 0;
+    is >> tag >> count >> stride;
+    if (tag != "batch" || !is || count != count_ || stride != stride_)
+        fatal("checkpoint batch shape mismatch (expected %zu x %zu)",
+              count_, stride_);
+    readArray(is, v_);
+    readArray(is, w_);
+    readArray(is, r_);
+    readArray(is, preResetV_);
+    readArray(is, y_);
+    readArray(is, g_);
+    for (uint32_t &c : cnt_)
+        is >> c;
+    if (!is)
+        fatal("truncated reference-batch state in checkpoint");
 }
 
 } // namespace flexon

@@ -19,6 +19,7 @@
 #define FLEXON_MODELS_REFERENCE_BATCH_HH
 
 #include <cstdint>
+#include <iosfwd>
 #include <span>
 #include <vector>
 
@@ -54,6 +55,15 @@ class ReferenceBatch
     NeuronState state(size_t idx) const;
 
     void reset();
+
+    /**
+     * Checkpoint the batch's dynamic state (v/w/r/preResetV/y/g/cnt
+     * arrays). Text, exact round trip; the stream must carry 17
+     * significant digits (snn/serialize.hh checkpoint framing).
+     * loadState fatal()s when the recorded shape does not match.
+     */
+    void saveState(std::ostream &os) const;
+    void loadState(std::istream &is);
 
   private:
     NeuronParams params_;

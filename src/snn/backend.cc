@@ -1,6 +1,9 @@
 #include "snn/backend.hh"
 
 #include <algorithm>
+#include <istream>
+#include <ostream>
+#include <string>
 
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
@@ -110,6 +113,57 @@ class ReferenceBackend : public NeuronBackend
                 return batches_[b].membrane(neuron - bases_[b]);
         }
         panic("neuron index %zu outside every population", neuron);
+    }
+
+    void
+    saveState(std::ostream &os) const override
+    {
+        os << "backend reference "
+           << (mode_ == IntegrationMode::Discrete ? "discrete"
+                                                  : "continuous")
+           << ' ' << numNeurons_ << '\n';
+        for (const ReferenceBatch &batch : batches_)
+            batch.saveState(os);
+        for (const OdeNeuron &neuron : continuous_) {
+            const NeuronState &s = neuron.state();
+            os << s.v;
+            for (const double y : s.y)
+                os << ' ' << y;
+            for (const double g : s.g)
+                os << ' ' << g;
+            os << ' ' << s.w << ' ' << s.r << ' ' << s.cnt << '\n';
+        }
+    }
+
+    void
+    loadState(std::istream &is) override
+    {
+        std::string tag, name, mode;
+        size_t count = 0;
+        is >> tag >> name >> mode >> count;
+        const char *const expected =
+            mode_ == IntegrationMode::Discrete ? "discrete"
+                                               : "continuous";
+        if (tag != "backend" || name != "reference" ||
+            mode != expected || !is || count != numNeurons_) {
+            fatal("checkpoint backend state is not a %s reference "
+                  "backend with %zu neurons",
+                  expected, numNeurons_);
+        }
+        for (ReferenceBatch &batch : batches_)
+            batch.loadState(is);
+        for (OdeNeuron &neuron : continuous_) {
+            NeuronState s;
+            is >> s.v;
+            for (double &y : s.y)
+                is >> y;
+            for (double &g : s.g)
+                is >> g;
+            is >> s.w >> s.r >> s.cnt;
+            neuron.setState(s);
+        }
+        if (!is)
+            fatal("truncated reference-backend state in checkpoint");
     }
 
   private:
@@ -242,6 +296,23 @@ class FlexonBackend : public NeuronBackend
         return array_.neuron(neuron).state().v.toDouble();
     }
 
+    void
+    saveState(std::ostream &os) const override
+    {
+        os << "backend flexon\n";
+        array_.saveState(os);
+    }
+
+    void
+    loadState(std::istream &is) override
+    {
+        std::string tag, name;
+        is >> tag >> name;
+        if (tag != "backend" || name != "flexon" || !is)
+            fatal("checkpoint backend state is not a flexon backend");
+        array_.loadState(is);
+    }
+
     FlexonArray &array() { return array_; }
 
   private:
@@ -286,6 +357,24 @@ class FoldedBackend : public NeuronBackend
     membrane(size_t neuron) const override
     {
         return array_.neuron(neuron).state().v.toDouble();
+    }
+
+    void
+    saveState(std::ostream &os) const override
+    {
+        os << "backend folded-flexon\n";
+        array_.saveState(os);
+    }
+
+    void
+    loadState(std::istream &is) override
+    {
+        std::string tag, name;
+        is >> tag >> name;
+        if (tag != "backend" || name != "folded-flexon" || !is)
+            fatal("checkpoint backend state is not a folded-flexon "
+                  "backend");
+        array_.loadState(is);
     }
 
     FoldedFlexonArray &array() { return array_; }

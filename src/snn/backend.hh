@@ -13,6 +13,7 @@
 #define FLEXON_SNN_BACKEND_HH
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <span>
 #include <vector>
@@ -68,6 +69,17 @@ class NeuronBackend
 
     /** Membrane potential of one neuron, in reference units. */
     virtual double membrane(size_t neuron) const = 0;
+
+    /**
+     * Checkpoint the backend's complete dynamic neuron state to /
+     * from the exact text format (snn/serialize.hh checkpoint
+     * framing: the stream carries 17 significant digits). After
+     * loadState, stepping is bit-identical to the uninterrupted run
+     * the state was captured from. loadState fatal()s on a state
+     * blob recorded by a different backend or network shape.
+     */
+    virtual void saveState(std::ostream &os) const = 0;
+    virtual void loadState(std::istream &is) = 0;
 };
 
 /**

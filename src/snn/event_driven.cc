@@ -1,37 +1,32 @@
 #include "snn/event_driven.hh"
 
 #include <algorithm>
-#include <array>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <utility>
 
 #include "common/logging.hh"
 
 namespace flexon {
 
-EventDrivenSimulator::EventDrivenSimulator(const Network &network,
-                                           StimulusGenerator stimulus)
-    : network_(network), stimulus_(std::move(stimulus)),
-      table_(network, 1, &metrics_),
-      runTimer_(metrics_.timer("ev.run",
-                               "host seconds inside run() calls")),
-      stepsCounter_(
-          metrics_.counter("ev.steps", "time steps simulated")),
-      spikesCounter_(
-          metrics_.counter("ev.spikes", "output spikes fired")),
-      updatesCounter_(metrics_.counter(
+EventDrivenSimulator::EventDrivenSimulator(
+    const Network &network, StimulusGenerator stimulus,
+    const SessionOptions &options)
+    : SimulationSession(network, std::move(stimulus), options),
+      table_(network, 1, &metrics()),
+      updatesCounter_(metrics().counter(
           "ev.updates", "neuron updates actually performed")),
-      denseUpdatesCounter_(metrics_.counter(
+      denseUpdatesCounter_(metrics().counter(
           "ev.dense_updates",
           "updates a dense per-step engine would have performed"))
 {
-    if (!network_.finalized())
-        fatal("network must be finalized before simulation");
-
     // Validate the LLIF restriction and cache per-neuron parameters.
-    state_.resize(network_.numNeurons());
-    vLeak_.resize(network_.numNeurons());
-    arSteps_.resize(network_.numNeurons());
-    for (size_t p = 0; p < network_.numPopulations(); ++p) {
-        const Population &pop = network_.population(p);
+    state_.resize(network.numNeurons());
+    vLeak_.resize(network.numNeurons());
+    arSteps_.resize(network.numNeurons());
+    for (size_t p = 0; p < network.numPopulations(); ++p) {
+        const Population &pop = network.population(p);
         const FeatureSet &f = pop.params.features;
         if (!f.has(Feature::LID) || !f.has(Feature::CUB)) {
             fatal("event-driven execution requires LLIF populations "
@@ -54,9 +49,12 @@ EventDrivenSimulator::EventDrivenSimulator(const Network &network,
         }
     }
 
-    ringDepth_ = static_cast<size_t>(network_.maxDelay()) + 1;
+    ringDepth_ = static_cast<size_t>(network.maxDelay()) + 1;
     ring_.resize(ringDepth_);
-    spikeCounts_.assign(network_.numNeurons(), 0);
+    acc_.assign(network.numNeurons(),
+                std::array<double, maxSynapseTypes>{});
+    queued_.assign(network.numNeurons(), 0);
+    touched_.reserve(network.numNeurons());
 }
 
 void
@@ -81,7 +79,8 @@ EventDrivenSimulator::catchUp(uint32_t neuron, uint64_t now)
 
 void
 EventDrivenSimulator::updateNeuron(uint32_t neuron, double input,
-                                   uint64_t now)
+                                   uint64_t now,
+                                   std::vector<uint8_t> &fired)
 {
     // Bring the state to the entry of step `now`, then apply the
     // dense engine's per-step semantics (Equations 3 + 7).
@@ -94,107 +93,220 @@ EventDrivenSimulator::updateNeuron(uint32_t neuron, double input,
     const double in = blocked ? 0.0 : input;
     s.v = std::max(0.0, s.v + in - vLeak_[neuron]);
     s.lastUpdate = now + 1;
-    ++stats_.updates;
 
     if (s.v > 1.0) {
         s.v = 0.0;
         s.refractory = arSteps_[neuron];
-        ++spikeCounts_[neuron];
-        ++stats_.spikes;
-        // Append the fired row's packed delivery records per delay
-        // bucket — same per-slot arrival order as the old per-synapse
-        // scan (records keep row order within a bucket), half the
-        // bytes per pending event.
+        fired[neuron] = 1;
+    }
+}
+
+void
+EventDrivenSimulator::engineInjectStimulus(
+    uint64_t t, std::span<const StimulusSpike> spikes)
+{
+    touched_.clear();
+
+    // Pending deliveries first, then this step's stimulus — the same
+    // per-cell arrival order as the dense engine's ring slot (ring
+    // writes land in earlier steps, stimulus in phase 1 of step t).
+    auto &slot = ring_[t % ringDepth_];
+    for (const DeliveryRecord &rec : slot) {
+        const uint32_t target = rec.cell / maxSynapseTypes;
+        const uint32_t type = rec.cell % maxSynapseTypes;
+        if (!queued_[target]) {
+            queued_[target] = 1;
+            touched_.push_back(target);
+        }
+        acc_[target][type] += rec.weight;
+    }
+    slot.clear();
+
+    for (const StimulusSpike &s : spikes) {
+        if (!queued_[s.target]) {
+            queued_[s.target] = 1;
+            touched_.push_back(s.target);
+        }
+        acc_[s.target][s.type] += s.weight;
+    }
+}
+
+void
+EventDrivenSimulator::engineStepNeurons(uint64_t t,
+                                        std::vector<uint8_t> &fired)
+{
+    // Per-type buckets summed in type order, exactly as the dense
+    // engine's synapse-calculation slot does — so the floating-point
+    // accumulation order (and hence every spike) matches bit for bit.
+    for (const uint32_t neuron : touched_) {
+        double input = 0.0;
+        for (size_t type = 0; type < maxSynapseTypes; ++type) {
+            input += acc_[neuron][type];
+            acc_[neuron][type] = 0.0;
+        }
+        updateNeuron(neuron, input, t, fired);
+        queued_[neuron] = 0;
+    }
+
+    // Refractory neurons must tick even without input (their
+    // countdown is part of the dense semantics, and a spike is
+    // impossible for them, so the closed-form catch-up in the next
+    // touch is exact). Nothing to do here: catchUp handles both the
+    // decay and the countdown lazily.
+
+    updatesCounter_.add(touched_.size());
+    denseUpdatesCounter_.add(network().numNeurons());
+}
+
+void
+EventDrivenSimulator::enginePrepareDelivery()
+{
+    // Pick up weight updates made between steps (cheap no-op compare
+    // when nothing changed).
+    table_.refreshWeights();
+}
+
+void
+EventDrivenSimulator::engineDeliverSpikes(
+    uint64_t t, std::span<const uint32_t> fired)
+{
+    // Append the fired rows' packed delivery records per delay
+    // bucket, sources ascending — the same per-slot arrival order as
+    // the dense router's lanes (records keep row order within a
+    // bucket), half the bytes per pending event.
+    for (const uint32_t neuron : fired) {
         for (size_t b = 0; b < table_.bucketCount(); ++b) {
             const auto row = table_.row(0, b, neuron);
             if (row.empty())
                 continue;
             auto &slot =
-                ring_[(now + table_.bucketDelay(b)) % ringDepth_];
+                ring_[(t + table_.bucketDelay(b)) % ringDepth_];
             slot.insert(slot.end(), row.begin(), row.end());
+            evEvents_ += row.size();
         }
     }
 }
 
 void
-EventDrivenSimulator::run(uint64_t steps)
+EventDrivenSimulator::engineReset()
 {
-    telemetry::ScopedTimer runScope(runTimer_, "ev.run");
-    const EventDrivenStats before = stats_;
-
-    // Per-type buckets summed in type order, exactly as the dense
-    // engine's synapse-calculation slot does — so the floating-point
-    // accumulation order (and hence every spike) matches bit for bit.
-    std::vector<std::array<double, maxSynapseTypes>> acc(
-        network_.numNeurons(),
-        std::array<double, maxSynapseTypes>{});
-    std::vector<uint8_t> queued(network_.numNeurons(), 0);
-    std::vector<uint32_t> touched;
-
-    for (uint64_t i = 0; i < steps; ++i, ++t_) {
-        touched.clear();
-
-        // Pick up weight updates made between steps (cheap no-op
-        // compare when nothing changed).
-        table_.refreshWeights();
-
-        auto &slot = ring_[t_ % ringDepth_];
-        for (const DeliveryRecord &rec : slot) {
-            const uint32_t target = rec.cell / maxSynapseTypes;
-            const uint32_t type = rec.cell % maxSynapseTypes;
-            if (!queued[target]) {
-                queued[target] = 1;
-                touched.push_back(target);
-            }
-            acc[target][type] += rec.weight;
-        }
+    state_.assign(state_.size(), NeuronState{});
+    for (auto &slot : ring_)
         slot.clear();
+    acc_.assign(acc_.size(), std::array<double, maxSynapseTypes>{});
+    std::fill(queued_.begin(), queued_.end(), 0);
+    touched_.clear();
+    evEvents_ = 0;
+}
 
-        for (const StimulusSpike &s : stimulus_.generate(t_)) {
-            if (!queued[s.target]) {
-                queued[s.target] = 1;
-                touched.push_back(s.target);
-            }
-            acc[s.target][s.type] += s.weight;
-        }
+void
+EventDrivenSimulator::refreshEngineStats(PhaseStats &view) const
+{
+    view.synapseEvents = evEvents_;
+    view.routingTableBytes = table_.memoryBytes();
+    view.ringDenseClears = 0;
+    view.ringSparseClears = 0;
+    view.ringCellsCleared = 0;
+}
 
-        for (uint32_t neuron : touched) {
-            double input = 0.0;
-            for (size_t type = 0; type < maxSynapseTypes; ++type) {
-                input += acc[neuron][type];
-                acc[neuron][type] = 0.0;
-            }
-            updateNeuron(neuron, input, t_);
-            queued[neuron] = 0;
-        }
+const EventDrivenStats &
+EventDrivenSimulator::stats() const
+{
+    const PhaseStats &view = SimulationSession::stats();
+    evStats_.steps = view.steps;
+    evStats_.spikes = view.spikes;
+    evStats_.updates = updatesCounter_.value();
+    evStats_.denseUpdates = denseUpdatesCounter_.value();
+    return evStats_;
+}
 
-        // Refractory neurons must tick even without input (their
-        // countdown is part of the dense semantics, and a spike is
-        // impossible for them, so the closed-form catch-up in the
-        // next touch is exact). Nothing to do here: catchUp handles
-        // both the decay and the countdown lazily.
+void
+EventDrivenSimulator::engineReportConfig(
+    telemetry::ReportFields &config) const
+{
+    config.emplace_back("backend",
+                        telemetry::jsonQuoted("event-driven"));
+}
 
-        ++stats_.steps;
-        stats_.denseUpdates += network_.numNeurons();
-    }
-
-    // Mirror this run's deltas into the registry (the hot loop above
-    // increments only the plain struct).
-    stepsCounter_.add(stats_.steps - before.steps);
-    spikesCounter_.add(stats_.spikes - before.spikes);
-    updatesCounter_.add(stats_.updates - before.updates);
-    denseUpdatesCounter_.add(stats_.denseUpdates -
-                             before.denseUpdates);
+void
+EventDrivenSimulator::engineReportStats(
+    telemetry::ReportFields &stats) const
+{
+    const EventDrivenStats &ev = this->stats();
+    stats.emplace_back("updates", std::to_string(ev.updates));
+    stats.emplace_back("dense_updates",
+                       std::to_string(ev.denseUpdates));
+    stats.emplace_back("update_savings",
+                       telemetry::jsonNumber(ev.savings()));
 }
 
 double
 EventDrivenSimulator::membrane(uint32_t neuron) const
 {
-    flexon_assert(neuron < network_.numNeurons());
+    flexon_assert(neuron < network().numNeurons());
     const NeuronState &s = state_[neuron];
-    const uint64_t elapsed = t_ - std::min(t_, s.lastUpdate);
+    const uint64_t now = currentStep();
+    const uint64_t elapsed = now - std::min(now, s.lastUpdate);
     return std::max(0.0, s.v - vLeak_[neuron] *
                              static_cast<double>(elapsed));
+}
+
+void
+EventDrivenSimulator::engineSaveState(std::ostream &os) const
+{
+    os << "ev " << state_.size() << ' ' << ringDepth_ << ' '
+       << evEvents_ << ' ' << updatesCounter_.value() << ' '
+       << denseUpdatesCounter_.value() << '\n';
+    os << "states";
+    for (const NeuronState &s : state_)
+        os << ' ' << s.v << ' ' << s.refractory << ' '
+           << s.lastUpdate;
+    os << '\n';
+    // Pending deliveries, in arrival order (the order is part of the
+    // bit-identity contract: per-cell accumulation replays it).
+    for (const auto &slot : ring_) {
+        os << "slot " << slot.size();
+        for (const DeliveryRecord &rec : slot)
+            os << ' ' << rec.cell << ' ' << rec.weight;
+        os << '\n';
+    }
+}
+
+void
+EventDrivenSimulator::engineLoadState(std::istream &is)
+{
+    std::string tag;
+    size_t numNeurons = 0, ringDepth = 0;
+    uint64_t events = 0, updates = 0, denseUpdates = 0;
+    is >> tag >> numNeurons >> ringDepth >> events >> updates >>
+        denseUpdates;
+    if (tag != "ev" || !is || numNeurons != state_.size() ||
+        ringDepth != ringDepth_) {
+        fatal("checkpoint event-driven state does not match this "
+              "engine (%zu neurons, ring depth %zu)",
+              state_.size(), ringDepth_);
+    }
+    evEvents_ = events;
+    updatesCounter_.add(updates);
+    denseUpdatesCounter_.add(denseUpdates);
+
+    is >> tag;
+    if (tag != "states")
+        fatal("malformed checkpoint event-driven states block");
+    for (NeuronState &s : state_)
+        is >> s.v >> s.refractory >> s.lastUpdate;
+
+    for (auto &slot : ring_) {
+        size_t count = 0;
+        is >> tag >> count;
+        if (tag != "slot" || !is)
+            fatal("malformed checkpoint event-driven slot block");
+        slot.resize(count);
+        for (DeliveryRecord &rec : slot)
+            is >> rec.cell >> rec.weight;
+    }
+    if (!is)
+        fatal("truncated event-driven state in checkpoint");
 }
 
 } // namespace flexon

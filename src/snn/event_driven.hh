@@ -13,6 +13,12 @@
  * *step-equivalent* to the dense Simulator, which the test suite
  * asserts spike-for-spike.
  *
+ * The engine is a SimulationSession: it shares the dense engine's
+ * orchestration (stimulus stream, spike recording, membrane probes,
+ * printStats, run reports, reset, checkpoint/restore) and plugs in
+ * sparse phase bodies — stimulus and pending deliveries fold into
+ * per-neuron accumulators, and only the touched set is updated.
+ *
  * Restrictions: every population must be LID + CUB (+ optional AR) —
  * exactly the TrueNorth-style LLIF configuration.
  */
@@ -20,12 +26,14 @@
 #ifndef FLEXON_SNN_EVENT_DRIVEN_HH
 #define FLEXON_SNN_EVENT_DRIVEN_HH
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 #include "common/telemetry.hh"
 #include "snn/network.hh"
 #include "snn/routing.hh"
+#include "snn/session.hh"
 #include "snn/stimulus.hh"
 
 namespace flexon {
@@ -52,7 +60,7 @@ struct EventDrivenStats
 };
 
 /** The event-driven LLIF engine. */
-class EventDrivenSimulator
+class EventDrivenSimulator : public SimulationSession
 {
   public:
     /**
@@ -60,27 +68,35 @@ class EventDrivenSimulator
      *        (+AR) — fatal() otherwise
      */
     EventDrivenSimulator(const Network &network,
-                         StimulusGenerator stimulus);
-
-    /** Run `steps` time steps. */
-    void run(uint64_t steps);
-
-    const EventDrivenStats &stats() const { return stats_; }
-    const std::vector<uint64_t> &spikeCounts() const
-    {
-        return spikeCounts_;
-    }
+                         StimulusGenerator stimulus,
+                         const SessionOptions &options = {});
 
     /**
-     * This engine's private metrics registry: run()-level counters
-     * ("ev.*", mirrored from EventDrivenStats after each run) and
-     * the routing table's refresh counters.
+     * Event-driven statistics view (hides the base PhaseStats view;
+     * use SimulationSession::stats() for the phase breakdown).
      */
-    telemetry::Registry &metrics() { return metrics_; }
-    const telemetry::Registry &metrics() const { return metrics_; }
+    const EventDrivenStats &stats() const;
 
     /** Membrane potential of a neuron *as of the current step*. */
-    double membrane(uint32_t neuron) const;
+    double membrane(uint32_t neuron) const override;
+
+  protected:
+    const char *engineKind() const override { return "event-driven"; }
+    void engineInjectStimulus(
+        uint64_t t, std::span<const StimulusSpike> spikes) override;
+    void engineStepNeurons(uint64_t t,
+                           std::vector<uint8_t> &fired) override;
+    void enginePrepareDelivery() override;
+    void engineDeliverSpikes(
+        uint64_t t, std::span<const uint32_t> fired) override;
+    void engineReset() override;
+    void refreshEngineStats(PhaseStats &view) const override;
+    void engineReportConfig(
+        telemetry::ReportFields &config) const override;
+    void engineReportStats(
+        telemetry::ReportFields &stats) const override;
+    void engineSaveState(std::ostream &os) const override;
+    void engineLoadState(std::istream &is) override;
 
   private:
     struct NeuronState
@@ -94,16 +110,15 @@ class EventDrivenSimulator
     void catchUp(uint32_t neuron, uint64_t now);
 
     /** Evaluate one neuron that has input this step. */
-    void updateNeuron(uint32_t neuron, double input, uint64_t now);
+    void updateNeuron(uint32_t neuron, double input, uint64_t now,
+                      std::vector<uint8_t> &fired);
 
-    const Network &network_;
-    StimulusGenerator stimulus_;
-    /** Declared before table_: the table registers counters here. */
-    telemetry::Registry metrics_;
     /**
      * Packed delivery rows (single shard): a fired neuron's bucket
      * rows are appended to the pending ring as-is, so delivery
      * streams 8-byte records instead of gathering Synapse structs.
+     * Constructed after the base class, so the session registry is
+     * live for the table's refresh counters.
      */
     RoutingTable table_;
     std::vector<NeuronState> state_;
@@ -118,14 +133,24 @@ class EventDrivenSimulator
     size_t ringDepth_;
     std::vector<std::vector<DeliveryRecord>> ring_;
 
-    std::vector<uint64_t> spikeCounts_;
-    EventDrivenStats stats_;
-    uint64_t t_ = 0;
+    /**
+     * Per-step scratch, members so checkpoints never have to capture
+     * them (they are empty/zero between steps): per-neuron per-type
+     * accumulators summed in type order — exactly as the dense
+     * engine's ring slot is — a queued flag per neuron, and the
+     * touched set in discovery order.
+     */
+    std::vector<std::array<double, maxSynapseTypes>> acc_;
+    std::vector<uint8_t> queued_;
+    std::vector<uint32_t> touched_;
 
-    /** Cached registry handles (see the class comment on metrics()). */
-    telemetry::Timer &runTimer_;
-    telemetry::Counter &stepsCounter_;
-    telemetry::Counter &spikesCounter_;
+    /** Delivery records appended to the pending ring (synapse
+     *  events). */
+    uint64_t evEvents_ = 0;
+
+    /** Materialized by stats() from the session counters. */
+    mutable EventDrivenStats evStats_;
+
     telemetry::Counter &updatesCounter_;
     telemetry::Counter &denseUpdatesCounter_;
 };

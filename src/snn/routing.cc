@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <array>
+#include <cmath>
+#include <istream>
 #include <limits>
+#include <ostream>
+#include <string>
 
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
@@ -330,6 +334,127 @@ SpikeRouter::routeStep(uint64_t t, std::span<const uint32_t> fired)
     stimTouched_[slotIdx].clear();
     for (size_t s = 0; s < shards; ++s)
         events_ += laneEvents_[s];
+}
+
+namespace {
+
+/**
+ * Write `values` with runs of exact +0.0 encoded as `zN`. Only the
+ * canonical positive zero is eligible: a negative zero (which the
+ * delivery path never produces, but the encoder must not assume) is
+ * written as a plain value so the bit pattern survives.
+ */
+void
+writeRingRle(std::ostream &os, const std::vector<double> &values)
+{
+    size_t i = 0;
+    while (i < values.size()) {
+        const double x = values[i];
+        if (x == 0.0 && !std::signbit(x)) {
+            size_t run = 1;
+            while (i + run < values.size() &&
+                   values[i + run] == 0.0 &&
+                   !std::signbit(values[i + run]))
+                ++run;
+            os << " z" << run;
+            i += run;
+        } else {
+            os << ' ' << x;
+            ++i;
+        }
+    }
+}
+
+void
+readRingRle(std::istream &is, std::vector<double> &values)
+{
+    size_t i = 0;
+    std::string token;
+    while (i < values.size() && is >> token) {
+        if (token[0] == 'z') {
+            const size_t run = std::stoull(token.substr(1));
+            if (run == 0 || run > values.size() - i)
+                fatal("corrupt ring run length in checkpoint");
+            std::fill(values.begin() + i, values.begin() + i + run,
+                      0.0);
+            i += run;
+        } else {
+            values[i++] = std::stod(token);
+        }
+    }
+    if (i != values.size())
+        fatal("truncated delay-ring data in checkpoint");
+}
+
+void
+writeTouchList(std::ostream &os, const TouchList &list)
+{
+    const auto keys = list.keys();
+    os << "touch " << list.cost() << ' ' << keys.size();
+    for (const uint64_t key : keys)
+        os << ' ' << key;
+    os << '\n';
+}
+
+void
+readTouchList(std::istream &is, TouchList &list)
+{
+    std::string tag;
+    uint64_t cost = 0;
+    size_t count = 0;
+    is >> tag >> cost >> count;
+    if (tag != "touch" || !is)
+        fatal("malformed touch list in checkpoint");
+    std::vector<uint64_t> keys(count);
+    for (uint64_t &key : keys)
+        is >> key;
+    if (!is)
+        fatal("truncated touch list in checkpoint");
+    list.restore(std::move(keys), cost);
+}
+
+} // namespace
+
+void
+SpikeRouter::saveState(std::ostream &os) const
+{
+    os << "router " << ringDepth_ << ' ' << slotSize_ << ' '
+       << table_.shardCount() << '\n';
+    os << "ring";
+    writeRingRle(os, ring_);
+    os << '\n';
+    for (const TouchList &list : touched_)
+        writeTouchList(os, list);
+    for (const TouchList &list : stimTouched_)
+        writeTouchList(os, list);
+    os << "counters " << events_ << ' ' << denseClears_ << ' '
+       << sparseClears_ << ' ' << cellsCleared_ << '\n';
+}
+
+void
+SpikeRouter::loadState(std::istream &is)
+{
+    std::string tag;
+    size_t depth = 0, slot = 0, shards = 0;
+    is >> tag >> depth >> slot >> shards;
+    if (tag != "router" || !is || depth != ringDepth_ ||
+        slot != slotSize_ || shards != table_.shardCount()) {
+        fatal("checkpoint router geometry mismatch (expected "
+              "%zu x %zu x %zu)",
+              ringDepth_, slotSize_, table_.shardCount());
+    }
+    is >> tag;
+    if (tag != "ring" || !is)
+        fatal("malformed ring section in checkpoint");
+    readRingRle(is, ring_);
+    for (TouchList &list : touched_)
+        readTouchList(is, list);
+    for (TouchList &list : stimTouched_)
+        readTouchList(is, list);
+    is >> tag >> events_ >> denseClears_ >> sparseClears_ >>
+        cellsCleared_;
+    if (tag != "counters" || !is)
+        fatal("truncated router counters in checkpoint");
 }
 
 void

@@ -49,6 +49,7 @@
 #define FLEXON_SNN_ROUTING_HH
 
 #include <cstdint>
+#include <iosfwd>
 #include <span>
 #include <vector>
 
@@ -221,6 +222,21 @@ class SpikeRouter
 
     /** Zero the ring, the touch tracking and the counters. */
     void reset();
+
+    /**
+     * Checkpoint the router's dynamic state: the delay ring (runs of
+     * exact +0.0 run-length encoded as `zN` tokens — quiet slots
+     * dominate the ring), every per-(slot, shard) and per-slot
+     * stimulus touch list, and the event/clear counters. The touch
+     * lists are part of correctness, not just telemetry: a restored
+     * ring without its pending-write tracking would let a sparse
+     * clear miss stale cells. Saturated lists round trip as
+     * saturated, so the dense/sparse decision sequence — and with it
+     * every counter — continues deterministically. loadState
+     * fatal()s on a geometry mismatch.
+     */
+    void saveState(std::ostream &os) const;
+    void loadState(std::istream &is);
 
   private:
     /**

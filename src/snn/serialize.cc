@@ -166,4 +166,42 @@ loadNetworkFile(const std::string &path)
     return loadNetwork(is);
 }
 
+namespace {
+
+constexpr const char *checkpointMagic = "flexon-checkpoint";
+constexpr int checkpointVersion = 1;
+
+} // namespace
+
+void
+writeCheckpointHeader(std::ostream &os, std::string_view engine)
+{
+    os << checkpointMagic << " v" << checkpointVersion << ' '
+       << engine << '\n';
+    os << std::setprecision(17);
+}
+
+std::string
+readCheckpointHeader(std::istream &is)
+{
+    std::string word;
+    is >> word;
+    if (word != checkpointMagic)
+        fatal("not a flexon checkpoint file (bad magic '%s')",
+              word.c_str());
+    is >> word;
+    if (word.size() < 2 || word[0] != 'v')
+        fatal("malformed checkpoint version field '%s'", word.c_str());
+    const int file_version = std::stoi(word.substr(1));
+    if (file_version != checkpointVersion)
+        fatal("unsupported checkpoint version %d (this build reads "
+              "v%d)",
+              file_version, checkpointVersion);
+    std::string engine;
+    is >> engine;
+    if (!is)
+        fatal("truncated checkpoint header");
+    return engine;
+}
+
 } // namespace flexon

@@ -12,6 +12,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "snn/network.hh"
 
@@ -29,6 +30,23 @@ Network loadNetwork(std::istream &is);
 /** Convenience file wrappers (fatal() on I/O errors). */
 void saveNetworkFile(const std::string &path, const Network &network);
 Network loadNetworkFile(const std::string &path);
+
+/**
+ * Checkpoint file framing ("flexon-checkpoint v1"): the versioned
+ * header of a SimulationSession snapshot. The header writer arms the
+ * stream for exact round trips — 17 significant digits, the precision
+ * at which every finite double (and, a fortiori, float) survives a
+ * text round trip bit for bit — so the per-subsystem saveState()
+ * blocks that follow can stream values with plain operator<<.
+ */
+void writeCheckpointHeader(std::ostream &os, std::string_view engine);
+
+/**
+ * Read and validate a checkpoint header; returns the engine kind
+ * recorded by the writer. fatal() on bad magic or an unsupported
+ * version.
+ */
+std::string readCheckpointHeader(std::istream &is);
 
 } // namespace flexon
 

@@ -1,0 +1,562 @@
+#include "snn/session.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <utility>
+
+#include "common/debug.hh"
+#include "common/logging.hh"
+#include "snn/serialize.hh"
+
+namespace flexon {
+
+SimulationSession::SimulationSession(const Network &network,
+                                     StimulusGenerator stimulus,
+                                     const SessionOptions &options)
+    : network_(network), stimulus_(std::move(stimulus)),
+      stimulusInitial_(stimulus_), options_(options),
+      stimulusTimer_(metrics_.timer(
+          "phase.stimulus", "host seconds in stimulus generation")),
+      neuronTimer_(metrics_.timer(
+          "phase.neuron", "host seconds in neuron computation")),
+      synapseTimer_(metrics_.timer(
+          "phase.synapse", "host seconds in synapse calculation")),
+      routeTimer_(metrics_.timer(
+          "phase.synapse.route",
+          "host seconds in the delivery engine (clear + route)")),
+      probeTimer_(metrics_.timer(
+          "phase.probe", "host seconds sampling membrane probes")),
+      stepsCounter_(
+          metrics_.counter("sim.steps", "time steps simulated")),
+      spikesCounter_(
+          metrics_.counter("sim.spikes", "output spikes fired")),
+      modelNeuronSecGauge_(metrics_.gauge(
+          "hw.model_neuron_sec",
+          "modelled hardware neuron-phase seconds"))
+{
+    if (!network_.finalized())
+        fatal("network must be finalized before simulation");
+    spikeCounts_.assign(network_.numNeurons(), 0);
+    for (uint32_t probe : options_.probes)
+        flexon_assert(probe < network_.numNeurons());
+    probeTraces_.resize(options_.probes.size());
+    firedList_.reserve(network_.numNeurons());
+}
+
+SimulationSession::~SimulationSession() = default;
+
+const std::vector<double> &
+SimulationSession::probeTrace(size_t probe) const
+{
+    flexon_assert(probe < probeTraces_.size());
+    return probeTraces_[probe];
+}
+
+void
+SimulationSession::phaseStimulus()
+{
+    telemetry::ScopedTimer scope(stimulusTimer_, "sim.stimulus");
+    engineInjectStimulus(t_, stimulus_.generate(t_));
+}
+
+void
+SimulationSession::phaseNeuron()
+{
+    {
+        telemetry::ScopedTimer scope(neuronTimer_, "sim.neuron");
+        engineStepNeurons(t_, fired_);
+    }
+    modelNeuronSecGauge_.add(engineModelSecondsPerStep());
+}
+
+void
+SimulationSession::phaseSynapse()
+{
+    telemetry::ScopedTimer scope(synapseTimer_, "sim.synapse");
+
+    // Re-mirror any plasticity weight updates into the engine's
+    // delivery structures (one counter compare when nothing changed).
+    enginePrepareDelivery();
+
+    // Serial bookkeeping sweep: spike counters, optional event
+    // recording, and the ascending fired list delivery iterates.
+    firedList_.clear();
+    const uint32_t numNeurons =
+        static_cast<uint32_t>(network_.numNeurons());
+    for (uint32_t n = 0; n < numNeurons; ++n) {
+        if (!fired_[n])
+            continue;
+        firedList_.push_back(n);
+        ++spikeCounts_[n];
+        if (options_.recordSpikes)
+            spikeEvents_.push_back({t_, n});
+    }
+    spikesCounter_.add(firedList_.size());
+
+    telemetry::ScopedTimer routeScope(routeTimer_,
+                                      "sim.synapse.route");
+    engineDeliverSpikes(t_, firedList_);
+}
+
+void
+SimulationSession::stepOnce()
+{
+    telemetry::TraceScope step("sim.step");
+
+    // Clear the previous step's fired flags before the engine runs:
+    // only the neurons in firedList_ are set, so undoing those beats
+    // an O(N) fill (sparse engines skip silent neurons entirely).
+    if (fired_.size() != network_.numNeurons()) {
+        fired_.assign(network_.numNeurons(), 0);
+    } else {
+        for (uint32_t n : firedList_)
+            fired_[n] = 0;
+    }
+
+    phaseStimulus();
+    phaseNeuron();
+    phaseSynapse();
+    FLEXON_DPRINTF(Simulator, "step %llu: %llu spikes so far",
+                   static_cast<unsigned long long>(t_),
+                   static_cast<unsigned long long>(
+                       spikesCounter_.value()));
+    ++t_;
+    stepsCounter_.add(1);
+    // Probes sample after the step counter advances so membrane()
+    // implementations that reconstruct state from elapsed steps (the
+    // event-driven engine) see t_ = completed steps, exactly as an
+    // external caller between steps would.
+    if (!options_.probes.empty()) {
+        telemetry::ScopedTimer scope(probeTimer_);
+        for (size_t i = 0; i < options_.probes.size(); ++i)
+            probeTraces_[i].push_back(membrane(options_.probes[i]));
+    }
+}
+
+void
+SimulationSession::run(uint64_t steps)
+{
+    if (steps == 0)
+        return;
+    // Reserve recording capacity up front so per-step push_backs do
+    // not reallocate mid-run. Spike-event growth is estimated from
+    // the observed rate (a modest prior on a fresh session) and
+    // capped so absurd step counts cannot over-commit memory.
+    if (options_.recordSpikes && network_.numNeurons() > 0) {
+        constexpr uint64_t maxReserveAhead = uint64_t{1} << 22;
+        const double rate =
+            stepsCounter_.value() > 0 ? meanRate() : 0.02;
+        const double expected =
+            1.25 * rate * static_cast<double>(steps) *
+            static_cast<double>(network_.numNeurons());
+        const auto ahead = static_cast<uint64_t>(
+            std::min(expected, 1e18));
+        spikeEvents_.reserve(spikeEvents_.size() +
+                             std::min(ahead, maxReserveAhead));
+    }
+    for (auto &trace : probeTraces_)
+        trace.reserve(trace.size() + steps);
+
+    for (uint64_t i = 0; i < steps; ++i)
+        stepOnce();
+}
+
+double
+SimulationSession::meanRate() const
+{
+    const uint64_t steps = stepsCounter_.value();
+    if (steps == 0 || network_.numNeurons() == 0)
+        return 0.0;
+    return static_cast<double>(spikesCounter_.value()) /
+           (static_cast<double>(steps) *
+            static_cast<double>(network_.numNeurons()));
+}
+
+const PhaseStats &
+SimulationSession::stats() const
+{
+    statsView_.stimulusSec = stimulusTimer_.seconds();
+    statsView_.neuronSec = neuronTimer_.seconds();
+    statsView_.synapseSec = synapseTimer_.seconds();
+    statsView_.synapseRouteSec = routeTimer_.seconds();
+    statsView_.probeSec = probeTimer_.seconds();
+    statsView_.steps = stepsCounter_.value();
+    statsView_.spikes = spikesCounter_.value();
+    statsView_.modelNeuronSec = modelNeuronSecGauge_.value();
+    statsView_.threadsUsed =
+        options_.threads == 0 ? 1 : options_.threads;
+    refreshEngineStats(statsView_);
+    // The route interval is strictly nested inside the synapse-phase
+    // interval on the same steady clock.
+    flexon_debug_assert(statsView_.synapseRouteSec <=
+                        statsView_.synapseSec);
+    return statsView_;
+}
+
+void
+SimulationSession::printStats(std::ostream &os) const
+{
+    const PhaseStats &view = stats();
+    auto line = [&os](const char *name, double value,
+                      const char *desc) {
+        os << std::left << std::setw(34) << name << ' '
+           << std::setprecision(9) << value << "  # " << desc
+           << '\n';
+    };
+    os << "---------- simulation statistics ----------\n";
+    line("sim.steps", static_cast<double>(view.steps),
+         "time steps simulated");
+    line("sim.neurons", static_cast<double>(network_.numNeurons()),
+         "neurons in the network");
+    line("sim.synapses", static_cast<double>(network_.numSynapses()),
+         "synapses in the network");
+    line("sim.spikes", static_cast<double>(view.spikes),
+         "output spikes fired");
+    line("sim.rate", meanRate(), "spikes per neuron per step");
+    line("sim.synapse_events",
+         static_cast<double>(view.synapseEvents),
+         "synaptic weight deliveries");
+    line("phase.stimulus_sec", view.stimulusSec,
+         "host seconds in stimulus generation");
+    line("phase.neuron_sec", view.neuronSec,
+         "host seconds in neuron computation");
+    line("phase.synapse_sec", view.synapseSec,
+         "host seconds in synapse calculation");
+    line("phase.synapse_route_sec", view.synapseRouteSec,
+         "host seconds in parallel spike routing");
+    line("phase.probe_sec", view.probeSec,
+         "host seconds sampling membrane probes");
+    if (view.totalSec() > 0.0) {
+        line("sim.steps_per_sec",
+             static_cast<double>(view.steps) / view.totalSec(),
+             "simulated steps per host second");
+        line("sim.synapse_events_per_sec",
+             static_cast<double>(view.synapseEvents) /
+                 view.totalSec(),
+             "synaptic deliveries per host second");
+    }
+    line("engine.threads", static_cast<double>(view.threadsUsed),
+         "worker lanes per phase (1 = serial)");
+    if (view.synapseSec > 0.0) {
+        line("engine.route_share",
+             view.synapseRouteSec / view.synapseSec,
+             "delivery-engine fraction of the synapse phase");
+    }
+    line("engine.routing_table_bytes",
+         static_cast<double>(view.routingTableBytes),
+         "precompiled spike-routing table footprint");
+    line("engine.ring_dense_clears",
+         static_cast<double>(view.ringDenseClears),
+         "ring-slot clears via dense fill");
+    line("engine.ring_sparse_clears",
+         static_cast<double>(view.ringSparseClears),
+         "ring-slot clears via tracked-write undo");
+    line("engine.ring_cells_cleared",
+         static_cast<double>(view.ringCellsCleared),
+         "cells zeroed by sparse clears");
+    if (view.totalSec() > 0.0) {
+        line("phase.neuron_share",
+             view.neuronSec / view.totalSec(),
+             "neuron-computation fraction of the step (Figure 3)");
+    }
+    if (view.modelNeuronSec > 0.0) {
+        line("hw.model_neuron_sec", view.modelNeuronSec,
+             "modelled hardware neuron-phase seconds");
+        line("hw.speedup_vs_host",
+             view.neuronSec / view.modelNeuronSec,
+             "modelled hardware speedup over this host");
+    }
+    os << "--------------------------------------------\n";
+}
+
+void
+SimulationSession::reset()
+{
+    engineReset();
+    std::fill(spikeCounts_.begin(), spikeCounts_.end(), 0);
+    // Drop the previous run's fired flags too: lastFired() must
+    // report "no step taken yet" after a reset, not stale spikes.
+    fired_.clear();
+    firedList_.clear();
+    spikeEvents_.clear();
+    for (auto &trace : probeTraces_)
+        trace.clear();
+    metrics_.reset();
+    statsView_ = PhaseStats{};
+    t_ = 0;
+    stimulus_ = stimulusInitial_;
+    restored_ = false;
+    restoredStep_ = 0;
+}
+
+bool
+SimulationSession::writeRunReport(const std::string &path) const
+{
+    const PhaseStats &view = stats();
+    telemetry::ReportContext context;
+    auto &config = context.config;
+    engineReportConfig(config);
+    config.emplace_back("threads",
+                        std::to_string(view.threadsUsed));
+    config.emplace_back("stimulus_seed",
+                        std::to_string(options_.stimulusSeed));
+    config.emplace_back("neurons",
+                        std::to_string(network_.numNeurons()));
+    config.emplace_back("synapses",
+                        std::to_string(network_.numSynapses()));
+    config.emplace_back("probes",
+                        std::to_string(options_.probes.size()));
+    config.emplace_back("record_spikes",
+                        options_.recordSpikes ? "true" : "false");
+
+    auto &stats = context.stats;
+    auto num = [](double x) { return telemetry::jsonNumber(x); };
+    stats.emplace_back("steps", std::to_string(view.steps));
+    stats.emplace_back("spikes", std::to_string(view.spikes));
+    stats.emplace_back("synapse_events",
+                       std::to_string(view.synapseEvents));
+    stats.emplace_back("mean_rate", num(meanRate()));
+    stats.emplace_back("stimulus_sec", num(view.stimulusSec));
+    stats.emplace_back("neuron_sec", num(view.neuronSec));
+    stats.emplace_back("synapse_sec", num(view.synapseSec));
+    stats.emplace_back("synapse_route_sec",
+                       num(view.synapseRouteSec));
+    stats.emplace_back("probe_sec", num(view.probeSec));
+    stats.emplace_back("total_sec", num(view.totalSec()));
+    stats.emplace_back("model_neuron_sec",
+                       num(view.modelNeuronSec));
+    stats.emplace_back("routing_table_bytes",
+                       std::to_string(view.routingTableBytes));
+    stats.emplace_back("ring_dense_clears",
+                       std::to_string(view.ringDenseClears));
+    stats.emplace_back("ring_sparse_clears",
+                       std::to_string(view.ringSparseClears));
+    stats.emplace_back("ring_cells_cleared",
+                       std::to_string(view.ringCellsCleared));
+    if (view.totalSec() > 0.0) {
+        stats.emplace_back(
+            "steps_per_sec",
+            num(static_cast<double>(view.steps) / view.totalSec()));
+        stats.emplace_back(
+            "synapse_events_per_sec",
+            num(static_cast<double>(view.synapseEvents) /
+                view.totalSec()));
+    }
+    engineReportStats(stats);
+
+    telemetry::ReportFields checkpoint;
+    checkpoint.emplace_back(
+        "enabled", checkpointEvery_ > 0 ? "true" : "false");
+    checkpoint.emplace_back("every",
+                            std::to_string(checkpointEvery_));
+    checkpoint.emplace_back("saves",
+                            std::to_string(checkpointSaves_));
+    checkpoint.emplace_back("restored",
+                            restored_ ? "true" : "false");
+    checkpoint.emplace_back("restored_step",
+                            std::to_string(restoredStep_));
+    context.sections.emplace_back("checkpoint",
+                                  std::move(checkpoint));
+
+    context.metrics = &metrics_;
+    return telemetry::writeReportFile(path, context);
+}
+
+// ---- Checkpoint/restore ----------------------------------------
+
+void
+SimulationSession::saveCheckpoint(std::ostream &os) const
+{
+    // Arms the stream: 17 significant digits from here on.
+    writeCheckpointHeader(os, engineKind());
+
+    os << "session " << network_.numNeurons() << ' ' << t_ << '\n';
+    // Only simulation-meaningful counters are captured; wall-clock
+    // phase timers are host-specific and restart from zero.
+    os << "counters " << stepsCounter_.value() << ' '
+       << spikesCounter_.value() << ' '
+       << modelNeuronSecGauge_.value() << '\n';
+
+    os << "spike_counts";
+    for (const uint64_t c : spikeCounts_)
+        os << ' ' << c;
+    os << '\n';
+
+    os << "probes " << probeTraces_.size() << '\n';
+    for (const auto &trace : probeTraces_) {
+        os << "trace " << trace.size();
+        for (const double v : trace)
+            os << ' ' << v;
+        os << '\n';
+    }
+
+    os << "spike_events " << spikeEvents_.size();
+    for (const SpikeEvent &e : spikeEvents_)
+        os << ' ' << e.step << ' ' << e.neuron;
+    os << '\n';
+
+    stimulus_.saveState(os);
+
+    // Plasticity-mutated weights. The watermark is informational
+    // (diagnostics); restore rewrites the full weight vector, which
+    // floods the network's mutation log and lets routing tables
+    // re-mirror on their next refreshWeights().
+    const bool haveWeights = network_.weightMutations() > 0;
+    os << "weights " << (haveWeights ? 1 : 0) << '\n';
+    if (haveWeights) {
+        os << network_.weightMutations() << ' '
+           << network_.numSynapses();
+        for (uint64_t i = 0; i < network_.numSynapses(); ++i)
+            os << ' ' << network_.synapseAt(i).weight;
+        os << '\n';
+    }
+
+    os << "engine\n";
+    engineSaveState(os);
+    os << "end\n";
+
+    ++checkpointSaves_;
+}
+
+void
+SimulationSession::loadCheckpoint(std::istream &is,
+                                  Network *mutableNetwork)
+{
+    // Restoring onto a used session must equal restoring onto a
+    // fresh one: wipe everything first (also zeroes the registry the
+    // counters below are re-seeded into).
+    reset();
+
+    const std::string engine = readCheckpointHeader(is);
+    if (engine != engineKind()) {
+        fatal("checkpoint was written by a '%s' engine, cannot "
+              "restore into '%s'",
+              engine.c_str(), engineKind());
+    }
+
+    std::string tag;
+    uint64_t neurons = 0;
+    is >> tag >> neurons >> t_;
+    if (tag != "session" || !is)
+        fatal("malformed checkpoint session line");
+    if (neurons != network_.numNeurons()) {
+        fatal("checkpoint is for %llu neurons, this network has "
+              "%llu",
+              static_cast<unsigned long long>(neurons),
+              static_cast<unsigned long long>(
+                  network_.numNeurons()));
+    }
+
+    uint64_t steps = 0, spikes = 0;
+    double modelSec = 0.0;
+    is >> tag >> steps >> spikes >> modelSec;
+    if (tag != "counters" || !is)
+        fatal("malformed checkpoint counters line");
+    stepsCounter_.add(steps);
+    spikesCounter_.add(spikes);
+    modelNeuronSecGauge_.add(modelSec);
+
+    is >> tag;
+    if (tag != "spike_counts")
+        fatal("malformed checkpoint spike_counts block");
+    for (uint64_t &c : spikeCounts_)
+        is >> c;
+
+    size_t numProbes = 0;
+    is >> tag >> numProbes;
+    if (tag != "probes" || !is)
+        fatal("malformed checkpoint probes block");
+    if (numProbes != probeTraces_.size()) {
+        fatal("checkpoint has %zu probe traces, session is "
+              "configured with %zu probes",
+              numProbes, probeTraces_.size());
+    }
+    for (auto &trace : probeTraces_) {
+        size_t len = 0;
+        is >> tag >> len;
+        if (tag != "trace" || !is)
+            fatal("malformed checkpoint probe trace");
+        trace.resize(len);
+        for (double &v : trace)
+            is >> v;
+    }
+
+    size_t numEvents = 0;
+    is >> tag >> numEvents;
+    if (tag != "spike_events" || !is)
+        fatal("malformed checkpoint spike_events block");
+    spikeEvents_.resize(numEvents);
+    for (SpikeEvent &e : spikeEvents_)
+        is >> e.step >> e.neuron;
+
+    stimulus_.loadState(is);
+
+    int haveWeights = 0;
+    is >> tag >> haveWeights;
+    if (tag != "weights" || !is)
+        fatal("malformed checkpoint weights block");
+    if (haveWeights) {
+        if (mutableNetwork != &network_) {
+            fatal("checkpoint carries mutated synapse weights; "
+                  "loadCheckpoint needs the session's own Network "
+                  "passed as mutableNetwork");
+        }
+        uint64_t watermark = 0, numSynapses = 0;
+        is >> watermark >> numSynapses;
+        if (!is || numSynapses != network_.numSynapses())
+            fatal("checkpoint weight vector does not match the "
+                  "network's synapse count");
+        for (uint64_t i = 0; i < numSynapses; ++i) {
+            float w = 0.0f;
+            is >> w;
+            // Through the logging mutator: delivery tables notice
+            // and re-mirror on their next refreshWeights().
+            mutableNetwork->synapseAt(i).weight = w;
+        }
+    }
+
+    is >> tag;
+    if (tag != "engine" || !is)
+        fatal("malformed checkpoint engine block");
+    engineLoadState(is);
+
+    is >> tag;
+    if (tag != "end" || !is)
+        fatal("truncated checkpoint (missing end marker)");
+
+    restored_ = true;
+    restoredStep_ = t_;
+}
+
+bool
+SimulationSession::saveCheckpointFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os) {
+        warn("cannot open checkpoint file '%s' for writing",
+             path.c_str());
+        return false;
+    }
+    saveCheckpoint(os);
+    os.flush();
+    if (!os) {
+        warn("failed writing checkpoint file '%s'", path.c_str());
+        return false;
+    }
+    return true;
+}
+
+void
+SimulationSession::loadCheckpointFile(const std::string &path,
+                                      Network *mutableNetwork)
+{
+    std::ifstream is(path);
+    if (!is)
+        fatal("cannot open checkpoint file '%s'", path.c_str());
+    loadCheckpoint(is, mutableNetwork);
+}
+
+} // namespace flexon

@@ -1,364 +1,119 @@
 #include "snn/simulator.hh"
 
-#include <algorithm>
-#include <iomanip>
-#include <ostream>
+#include <utility>
 
-#include "common/debug.hh"
 #include "common/logging.hh"
 
 namespace flexon {
 
+namespace {
+
+SessionOptions
+toSessionOptions(const SimulatorOptions &options)
+{
+    SessionOptions session;
+    session.stimulusSeed = options.stimulusSeed;
+    session.threads = options.threads;
+    session.recordSpikes = options.recordSpikes;
+    session.probes = options.probes;
+    return session;
+}
+
+} // namespace
+
 Simulator::Simulator(const Network &network, StimulusGenerator stimulus,
                      const SimulatorOptions &options)
-    : network_(network), stimulus_(std::move(stimulus)),
-      stimulusInitial_(stimulus_), options_(options),
-      stimulusTimer_(metrics_.timer(
-          "phase.stimulus", "host seconds in stimulus generation")),
-      neuronTimer_(metrics_.timer(
-          "phase.neuron", "host seconds in neuron computation")),
-      synapseTimer_(metrics_.timer(
-          "phase.synapse", "host seconds in synapse calculation")),
-      routeTimer_(metrics_.timer(
-          "phase.synapse.route",
-          "host seconds in the delivery engine (clear + route)")),
-      probeTimer_(metrics_.timer(
-          "phase.probe", "host seconds sampling membrane probes")),
-      stepsCounter_(
-          metrics_.counter("sim.steps", "time steps simulated")),
-      spikesCounter_(
-          metrics_.counter("sim.spikes", "output spikes fired")),
-      modelNeuronSecGauge_(metrics_.gauge(
-          "hw.model_neuron_sec",
-          "modelled hardware neuron-phase seconds"))
+    : SimulationSession(network, std::move(stimulus),
+                        toSessionOptions(options)),
+      options_(options)
 {
-    if (!network_.finalized())
-        fatal("network must be finalized before simulation");
-    backend_ = makeBackend(options_.backend, network_, options_.mode,
+    backend_ = makeBackend(options_.backend, network, options_.mode,
                            options_.solver, options_.threads);
     router_ = std::make_unique<SpikeRouter>(
-        network_, options_.threads == 0 ? 1 : options_.threads,
-        &metrics_);
-    spikeCounts_.assign(network_.numNeurons(), 0);
-    for (uint32_t probe : options_.probes)
-        flexon_assert(probe < network_.numNeurons());
-    probeTraces_.resize(options_.probes.size());
-    firedList_.reserve(network_.numNeurons());
-}
-
-const std::vector<double> &
-Simulator::probeTrace(size_t probe) const
-{
-    flexon_assert(probe < probeTraces_.size());
-    return probeTraces_[probe];
-}
-
-std::span<double>
-Simulator::slot(uint64_t t)
-{
-    return router_->slot(t);
+        network, options_.threads == 0 ? 1 : options_.threads,
+        &metrics());
 }
 
 void
-Simulator::phaseStimulus()
+Simulator::engineInjectStimulus(uint64_t t,
+                                std::span<const StimulusSpike> spikes)
 {
-    telemetry::ScopedTimer scope(stimulusTimer_, "sim.stimulus");
-    auto current = slot(t_);
-    for (const StimulusSpike &s : stimulus_.generate(t_)) {
-        flexon_assert(s.target < network_.numNeurons());
+    auto current = router_->slot(t);
+    for (const StimulusSpike &s : spikes) {
+        flexon_assert(s.target < network().numNeurons());
         flexon_assert(s.type < maxSynapseTypes);
         const uint32_t cell = s.target * maxSynapseTypes + s.type;
         current[cell] += s.weight;
-        router_->noteStimulus(t_, cell);
+        router_->noteStimulus(t, cell);
     }
 }
 
 void
-Simulator::phaseNeuron()
+Simulator::engineStepNeurons(uint64_t t, std::vector<uint8_t> &fired)
 {
-    {
-        telemetry::ScopedTimer scope(neuronTimer_, "sim.neuron");
-        backend_->step(slot(t_), fired_);
-    }
-    modelNeuronSecGauge_.add(backend_->modelSecondsPerStep());
+    backend_->step(router_->slot(t), fired);
 }
 
 void
-Simulator::phaseSynapse()
+Simulator::enginePrepareDelivery()
 {
-    telemetry::ScopedTimer scope(synapseTimer_, "sim.synapse");
-
-    // Re-mirror any plasticity weight updates into the packed
-    // routing table (one counter compare when nothing changed).
     router_->refreshWeights();
+}
 
-    // Serial bookkeeping sweep: spike counters, optional event
-    // recording, and the fired list the routing lanes iterate.
-    firedList_.clear();
-    const uint32_t numNeurons =
-        static_cast<uint32_t>(network_.numNeurons());
-    for (uint32_t n = 0; n < numNeurons; ++n) {
-        if (!fired_[n])
-            continue;
-        firedList_.push_back(n);
-        ++spikeCounts_[n];
-        if (options_.recordSpikes)
-            spikeEvents_.push_back({t_, n});
-    }
-    spikesCounter_.add(firedList_.size());
-
+void
+Simulator::engineDeliverSpikes(uint64_t t,
+                               std::span<const uint32_t> fired)
+{
     // Clear the consumed slot (activity-proportionally) and stream
-    // the fired rows' delivery records into the t_ + delay slots —
+    // the fired rows' delivery records into the t + delay slots —
     // bit-identical to the serial scan at any thread count (see
     // snn/routing.hh).
-    telemetry::ScopedTimer routeScope(routeTimer_,
-                                      "sim.synapse.route");
-    router_->routeStep(t_, firedList_);
+    router_->routeStep(t, fired);
 }
 
 void
-Simulator::stepOnce()
-{
-    telemetry::TraceScope step("sim.step");
-    phaseStimulus();
-    phaseNeuron();
-    phaseSynapse();
-    FLEXON_DPRINTF(Simulator,
-                   "step %llu: %llu spikes so far, %llu synapse "
-                   "events",
-                   static_cast<unsigned long long>(t_),
-                   static_cast<unsigned long long>(
-                       spikesCounter_.value()),
-                   static_cast<unsigned long long>(
-                       router_->events()));
-    if (!options_.probes.empty()) {
-        telemetry::ScopedTimer scope(probeTimer_);
-        for (size_t i = 0; i < options_.probes.size(); ++i) {
-            probeTraces_[i].push_back(
-                backend_->membrane(options_.probes[i]));
-        }
-    }
-    ++t_;
-    stepsCounter_.add(1);
-}
-
-void
-Simulator::run(uint64_t steps)
-{
-    if (steps == 0)
-        return;
-    // Reserve recording capacity up front so per-step push_backs do
-    // not reallocate mid-run. Spike-event growth is estimated from
-    // the observed rate (a modest prior on a fresh simulator) and
-    // capped so absurd step counts cannot over-commit memory.
-    if (options_.recordSpikes && network_.numNeurons() > 0) {
-        constexpr uint64_t maxReserveAhead = uint64_t{1} << 22;
-        const double rate =
-            stepsCounter_.value() > 0 ? meanRate() : 0.02;
-        const double expected =
-            1.25 * rate * static_cast<double>(steps) *
-            static_cast<double>(network_.numNeurons());
-        const auto ahead = static_cast<uint64_t>(
-            std::min(expected, 1e18));
-        spikeEvents_.reserve(spikeEvents_.size() +
-                             std::min(ahead, maxReserveAhead));
-    }
-    for (auto &trace : probeTraces_)
-        trace.reserve(trace.size() + steps);
-
-    for (uint64_t i = 0; i < steps; ++i)
-        stepOnce();
-}
-
-double
-Simulator::meanRate() const
-{
-    const uint64_t steps = stepsCounter_.value();
-    if (steps == 0 || network_.numNeurons() == 0)
-        return 0.0;
-    return static_cast<double>(spikesCounter_.value()) /
-           (static_cast<double>(steps) *
-            static_cast<double>(network_.numNeurons()));
-}
-
-const PhaseStats &
-Simulator::stats() const
-{
-    statsView_.stimulusSec = stimulusTimer_.seconds();
-    statsView_.neuronSec = neuronTimer_.seconds();
-    statsView_.synapseSec = synapseTimer_.seconds();
-    statsView_.synapseRouteSec = routeTimer_.seconds();
-    statsView_.probeSec = probeTimer_.seconds();
-    statsView_.steps = stepsCounter_.value();
-    statsView_.spikes = spikesCounter_.value();
-    statsView_.modelNeuronSec = modelNeuronSecGauge_.value();
-    statsView_.threadsUsed =
-        options_.threads == 0 ? 1 : options_.threads;
-    statsView_.synapseEvents = router_->events();
-    statsView_.routingTableBytes = router_->table().memoryBytes();
-    statsView_.ringDenseClears = router_->denseClears();
-    statsView_.ringSparseClears = router_->sparseClears();
-    statsView_.ringCellsCleared = router_->cellsCleared();
-    // The route interval is strictly nested inside the synapse-phase
-    // interval on the same steady clock.
-    flexon_debug_assert(statsView_.synapseRouteSec <=
-                        statsView_.synapseSec);
-    return statsView_;
-}
-
-void
-Simulator::printStats(std::ostream &os) const
-{
-    const PhaseStats &view = stats();
-    auto line = [&os](const char *name, double value,
-                      const char *desc) {
-        os << std::left << std::setw(34) << name << ' '
-           << std::setprecision(9) << value << "  # " << desc
-           << '\n';
-    };
-    os << "---------- simulation statistics ----------\n";
-    line("sim.steps", static_cast<double>(view.steps),
-         "time steps simulated");
-    line("sim.neurons", static_cast<double>(network_.numNeurons()),
-         "neurons in the network");
-    line("sim.synapses", static_cast<double>(network_.numSynapses()),
-         "synapses in the network");
-    line("sim.spikes", static_cast<double>(view.spikes),
-         "output spikes fired");
-    line("sim.rate", meanRate(), "spikes per neuron per step");
-    line("sim.synapse_events",
-         static_cast<double>(view.synapseEvents),
-         "synaptic weight deliveries");
-    line("phase.stimulus_sec", view.stimulusSec,
-         "host seconds in stimulus generation");
-    line("phase.neuron_sec", view.neuronSec,
-         "host seconds in neuron computation");
-    line("phase.synapse_sec", view.synapseSec,
-         "host seconds in synapse calculation");
-    line("phase.synapse_route_sec", view.synapseRouteSec,
-         "host seconds in parallel spike routing");
-    line("phase.probe_sec", view.probeSec,
-         "host seconds sampling membrane probes");
-    if (view.totalSec() > 0.0) {
-        line("sim.steps_per_sec",
-             static_cast<double>(view.steps) / view.totalSec(),
-             "simulated steps per host second");
-        line("sim.synapse_events_per_sec",
-             static_cast<double>(view.synapseEvents) /
-                 view.totalSec(),
-             "synaptic deliveries per host second");
-    }
-    line("engine.threads", static_cast<double>(view.threadsUsed),
-         "worker lanes per phase (1 = serial)");
-    if (view.synapseSec > 0.0) {
-        line("engine.route_share",
-             view.synapseRouteSec / view.synapseSec,
-             "delivery-engine fraction of the synapse phase");
-    }
-    line("engine.routing_table_bytes",
-         static_cast<double>(view.routingTableBytes),
-         "precompiled spike-routing table footprint");
-    line("engine.ring_dense_clears",
-         static_cast<double>(view.ringDenseClears),
-         "ring-slot clears via dense fill");
-    line("engine.ring_sparse_clears",
-         static_cast<double>(view.ringSparseClears),
-         "ring-slot clears via tracked-write undo");
-    line("engine.ring_cells_cleared",
-         static_cast<double>(view.ringCellsCleared),
-         "cells zeroed by sparse clears");
-    if (view.totalSec() > 0.0) {
-        line("phase.neuron_share",
-             view.neuronSec / view.totalSec(),
-             "neuron-computation fraction of the step (Figure 3)");
-    }
-    if (view.modelNeuronSec > 0.0) {
-        line("hw.model_neuron_sec", view.modelNeuronSec,
-             "modelled hardware neuron-phase seconds");
-        line("hw.speedup_vs_host",
-             view.neuronSec / view.modelNeuronSec,
-             "modelled hardware speedup over this host");
-    }
-    os << "--------------------------------------------\n";
-}
-
-void
-Simulator::reset()
+Simulator::engineReset()
 {
     backend_->reset();
     router_->reset();
-    std::fill(spikeCounts_.begin(), spikeCounts_.end(), 0);
-    // Drop the previous run's fired flags too: lastFired() must
-    // report "no step taken yet" after a reset, not stale spikes.
-    fired_.clear();
-    firedList_.clear();
-    spikeEvents_.clear();
-    for (auto &trace : probeTraces_)
-        trace.clear();
-    metrics_.reset();
-    statsView_ = PhaseStats{};
-    t_ = 0;
-    stimulus_ = stimulusInitial_;
 }
 
-bool
-Simulator::writeRunReport(const std::string &path) const
+double
+Simulator::engineModelSecondsPerStep() const
 {
-    const PhaseStats &view = stats();
-    telemetry::ReportContext context;
-    auto &config = context.config;
+    return backend_->modelSecondsPerStep();
+}
+
+void
+Simulator::refreshEngineStats(PhaseStats &view) const
+{
+    view.synapseEvents = router_->events();
+    view.routingTableBytes = router_->table().memoryBytes();
+    view.ringDenseClears = router_->denseClears();
+    view.ringSparseClears = router_->sparseClears();
+    view.ringCellsCleared = router_->cellsCleared();
+}
+
+void
+Simulator::engineReportConfig(telemetry::ReportFields &config) const
+{
     config.emplace_back(
         "backend",
         telemetry::jsonQuoted(backendName(options_.backend)));
-    config.emplace_back("threads",
-                        std::to_string(view.threadsUsed));
-    config.emplace_back("stimulus_seed",
-                        std::to_string(options_.stimulusSeed));
-    config.emplace_back("neurons",
-                        std::to_string(network_.numNeurons()));
-    config.emplace_back("synapses",
-                        std::to_string(network_.numSynapses()));
-    config.emplace_back("probes",
-                        std::to_string(options_.probes.size()));
-    config.emplace_back("record_spikes",
-                        options_.recordSpikes ? "true" : "false");
+}
 
-    auto &stats = context.stats;
-    auto num = [](double x) { return telemetry::jsonNumber(x); };
-    stats.emplace_back("steps", std::to_string(view.steps));
-    stats.emplace_back("spikes", std::to_string(view.spikes));
-    stats.emplace_back("synapse_events",
-                       std::to_string(view.synapseEvents));
-    stats.emplace_back("mean_rate", num(meanRate()));
-    stats.emplace_back("stimulus_sec", num(view.stimulusSec));
-    stats.emplace_back("neuron_sec", num(view.neuronSec));
-    stats.emplace_back("synapse_sec", num(view.synapseSec));
-    stats.emplace_back("synapse_route_sec",
-                       num(view.synapseRouteSec));
-    stats.emplace_back("probe_sec", num(view.probeSec));
-    stats.emplace_back("total_sec", num(view.totalSec()));
-    stats.emplace_back("model_neuron_sec",
-                       num(view.modelNeuronSec));
-    stats.emplace_back("routing_table_bytes",
-                       std::to_string(view.routingTableBytes));
-    stats.emplace_back("ring_dense_clears",
-                       std::to_string(view.ringDenseClears));
-    stats.emplace_back("ring_sparse_clears",
-                       std::to_string(view.ringSparseClears));
-    stats.emplace_back("ring_cells_cleared",
-                       std::to_string(view.ringCellsCleared));
-    if (view.totalSec() > 0.0) {
-        stats.emplace_back(
-            "steps_per_sec",
-            num(static_cast<double>(view.steps) / view.totalSec()));
-        stats.emplace_back(
-            "synapse_events_per_sec",
-            num(static_cast<double>(view.synapseEvents) /
-                view.totalSec()));
-    }
+void
+Simulator::engineSaveState(std::ostream &os) const
+{
+    backend_->saveState(os);
+    router_->saveState(os);
+}
 
-    context.metrics = &metrics_;
-    return telemetry::writeReportFile(path, context);
+void
+Simulator::engineLoadState(std::istream &is)
+{
+    backend_->loadState(is);
+    router_->loadState(is);
 }
 
 } // namespace flexon

@@ -1,8 +1,14 @@
 /**
  * @file
- * The SNN simulation engine: evaluates the three per-step phases of
- * Section II-C — stimulus generation, neuron computation, synapse
- * calculation — and times each phase (the Figure 3 breakdown).
+ * The dense SNN simulation engine: evaluates the three per-step
+ * phases of Section II-C — stimulus generation, neuron computation,
+ * synapse calculation — and times each phase (the Figure 3
+ * breakdown). Orchestration (stimulus stream, recording, stats,
+ * reports, reset, checkpointing) lives in the shared
+ * SimulationSession core; this class supplies the dense phase
+ * bodies: a pluggable NeuronBackend evaluates every neuron each
+ * step, and a SpikeRouter delivers spikes through precompiled
+ * routing tables.
  *
  * Spike propagation uses a delay ring buffer: a fired neuron's
  * synaptic weights are accumulated into the input buffer of time step
@@ -14,15 +20,13 @@
 #define FLEXON_SNN_SIMULATOR_HH
 
 #include <cstdint>
-#include <iosfwd>
 #include <memory>
-#include <string>
 #include <vector>
 
-#include "common/telemetry.hh"
 #include "snn/backend.hh"
 #include "snn/network.hh"
 #include "snn/routing.hh"
+#include "snn/session.hh"
 #include "snn/stimulus.hh"
 
 namespace flexon {
@@ -42,69 +46,8 @@ struct SimulatorOptions
     std::vector<uint32_t> probes;
 };
 
-/**
- * Accumulated per-phase wall-clock time plus event counters. This is
- * a *materialized view* over the simulator's telemetry registry:
- * Simulator::stats() refreshes it from the underlying counters and
- * timers, so the struct stays a plain value type for callers while
- * the phases write through wait-free sharded metrics.
- *
- * Units: every `*Sec` field is host wall-clock seconds accumulated
- * over all steps of the run (steady clock); counter fields are event
- * counts over the same extent.
- */
-struct PhaseStats
-{
-    /** Host seconds in stimulus generation (phase 1). */
-    double stimulusSec = 0.0;
-    /** Host seconds in neuron computation (phase 2). */
-    double neuronSec = 0.0;
-    /** Host seconds in synapse calculation (phase 3). */
-    double synapseSec = 0.0;
-    /**
-     * Host seconds of synapseSec spent inside the delivery engine
-     * (ring clear + routing). Strictly nested within the synapse
-     * phase interval, so synapseRouteSec <= synapseSec up to clock
-     * resolution (debug-asserted in stats()).
-     */
-    double synapseRouteSec = 0.0;
-    /** Host seconds sampling membrane probes (0 without probes). */
-    double probeSec = 0.0;
-    /** Time steps completed. */
-    uint64_t steps = 0;
-    /** Output spikes fired (sum over neurons). */
-    uint64_t spikes = 0;
-    /** Synaptic weight deliveries into the delay ring. */
-    uint64_t synapseEvents = 0;
-    /** Worker lanes the engine was configured with. */
-    size_t threadsUsed = 1;
-    /** Modelled hardware seconds (Flexon/folded backends only). */
-    double modelNeuronSec = 0.0;
-    /** Bytes of the precompiled spike-routing table. */
-    uint64_t routingTableBytes = 0;
-    /** Ring-slot clears done densely (std::fill over the slot). */
-    uint64_t ringDenseClears = 0;
-    /** Ring-slot clears done sparsely (tracked writes undone). */
-    uint64_t ringSparseClears = 0;
-    /** Cells zeroed by sparse clears (incl. duplicate zeroings). */
-    uint64_t ringCellsCleared = 0;
-
-    /** Host seconds across every tracked per-step phase. */
-    double totalSec() const
-    {
-        return stimulusSec + neuronSec + synapseSec + probeSec;
-    }
-};
-
-/** A recorded spike event. */
-struct SpikeEvent
-{
-    uint64_t step;
-    uint32_t neuron;
-};
-
-/** The three-phase SNN simulation engine. */
-class Simulator
+/** The dense three-phase SNN simulation engine. */
+class Simulator : public SimulationSession
 {
   public:
     /**
@@ -115,74 +58,16 @@ class Simulator
     Simulator(const Network &network, StimulusGenerator stimulus,
               const SimulatorOptions &options = {});
 
-    /** Run `steps` time steps. */
-    void run(uint64_t steps);
-
-    /** Run a single time step. */
-    void stepOnce();
-
-    /**
-     * Refresh and return the statistics view (sums the sharded
-     * telemetry slots; cheap, but not free — cache the reference's
-     * fields rather than calling per step in hot loops).
-     */
-    const PhaseStats &stats() const;
-    const Network &network() const { return network_; }
     NeuronBackend &backend() { return *backend_; }
 
-    /** Per-neuron output spike counts. */
-    const std::vector<uint64_t> &spikeCounts() const
+    /**
+     * Membrane potential of one neuron as of the last completed
+     * step, in reference units.
+     */
+    double membrane(uint32_t neuron) const override
     {
-        return spikeCounts_;
+        return backend_->membrane(neuron);
     }
-
-    /**
-     * The fired flags (0/1 bytes) of the most recent step (empty
-     * before the first step). Plasticity engines consume this after
-     * stepOnce().
-     */
-    const std::vector<uint8_t> &lastFired() const { return fired_; }
-
-    /**
-     * Membrane trace of the i-th probed neuron (options.probes),
-     * one sample per completed step.
-     */
-    const std::vector<double> &probeTrace(size_t probe) const;
-
-    /** Recorded spike events (empty unless recordSpikes). */
-    const std::vector<SpikeEvent> &spikeEvents() const
-    {
-        return spikeEvents_;
-    }
-
-    /** Mean firing rate in spikes per neuron per step. */
-    double meanRate() const;
-
-    /**
-     * Dump a gem5-style statistics block: one `name value # desc`
-     * line per statistic, hierarchical dot-separated names.
-     */
-    void printStats(std::ostream &os) const;
-
-    /**
-     * Reset state, statistics and time to zero. Also zeroes every
-     * metric in this simulator's telemetry registry, so two identical
-     * runs separated by reset() report identical counters.
-     */
-    void reset();
-
-    /** This simulator's private metrics registry. */
-    telemetry::Registry &metrics() { return metrics_; }
-    const telemetry::Registry &metrics() const { return metrics_; }
-
-    /**
-     * Write a "flexon-run-report-v1" JSON document (config, stats,
-     * this registry, the process registry, pool lane accounting) to
-     * `path`. Returns false (after warn()) on I/O failure.
-     */
-    bool writeRunReport(const std::string &path) const;
-
-    uint64_t currentStep() const { return t_; }
 
     /**
      * The delivery engine: precompiled routing table + delay ring
@@ -196,20 +81,26 @@ class Simulator
         return router_->ringBuffer();
     }
 
+  protected:
+    const char *engineKind() const override { return "dense"; }
+    void engineInjectStimulus(
+        uint64_t t, std::span<const StimulusSpike> spikes) override;
+    void engineStepNeurons(uint64_t t,
+                           std::vector<uint8_t> &fired) override;
+    void enginePrepareDelivery() override;
+    void engineDeliverSpikes(
+        uint64_t t, std::span<const uint32_t> fired) override;
+    void engineReset() override;
+    double engineModelSecondsPerStep() const override;
+    void refreshEngineStats(PhaseStats &view) const override;
+    void engineReportConfig(
+        telemetry::ReportFields &config) const override;
+    void engineSaveState(std::ostream &os) const override;
+    void engineLoadState(std::istream &is) override;
+
   private:
-    void phaseStimulus();
-    void phaseNeuron();
-    void phaseSynapse();
-
-    std::span<double> slot(uint64_t t);
-
-    const Network &network_;
-    StimulusGenerator stimulus_;
-    StimulusGenerator stimulusInitial_; ///< pristine copy for reset()
     SimulatorOptions options_;
     std::unique_ptr<NeuronBackend> backend_;
-
-    uint64_t t_ = 0;
     /**
      * Spike delivery: routing table, delay ring, and
      * activity-proportional ring maintenance (snn/routing.hh).
@@ -217,30 +108,6 @@ class Simulator
      * to serial at any thread count.
      */
     std::unique_ptr<SpikeRouter> router_;
-    std::vector<uint8_t> fired_;
-    std::vector<uint64_t> spikeCounts_;
-    std::vector<SpikeEvent> spikeEvents_;
-    std::vector<std::vector<double>> probeTraces_;
-
-    /**
-     * Private metrics registry plus cached handles for the hot
-     * paths. Declared before the handles (initialization order).
-     */
-    telemetry::Registry metrics_;
-    telemetry::Timer &stimulusTimer_;
-    telemetry::Timer &neuronTimer_;
-    telemetry::Timer &synapseTimer_;
-    telemetry::Timer &routeTimer_;
-    telemetry::Timer &probeTimer_;
-    telemetry::Counter &stepsCounter_;
-    telemetry::Counter &spikesCounter_;
-    telemetry::Gauge &modelNeuronSecGauge_;
-
-    /** Materialized by stats() from the registry + router. */
-    mutable PhaseStats statsView_;
-
-    /** Fired neuron indices of the current step (capacity N). */
-    std::vector<uint32_t> firedList_;
 };
 
 } // namespace flexon

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <istream>
+#include <ostream>
+#include <string>
 #include <utility>
 
 #include "common/logging.hh"
@@ -118,6 +121,35 @@ StdpEngine::meanPlasticWeight() const
             sum += std::as_const(network_).synapseAt(index).weight;
     }
     return sum / static_cast<double>(plasticCount_);
+}
+
+void
+StdpEngine::saveState(std::ostream &os) const
+{
+    os << "stdp " << preTrace_.size();
+    for (const double x : preTrace_)
+        os << ' ' << x;
+    for (const double x : postTrace_)
+        os << ' ' << x;
+    os << '\n';
+}
+
+void
+StdpEngine::loadState(std::istream &is)
+{
+    std::string tag;
+    size_t count = 0;
+    is >> tag >> count;
+    if (tag != "stdp" || !is || count != preTrace_.size())
+        fatal("checkpoint STDP state size mismatch (expected %zu "
+              "neurons)",
+              preTrace_.size());
+    for (double &x : preTrace_)
+        is >> x;
+    for (double &x : postTrace_)
+        is >> x;
+    if (!is)
+        fatal("truncated STDP state in checkpoint");
 }
 
 } // namespace flexon

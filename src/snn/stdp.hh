@@ -23,6 +23,7 @@
 #define FLEXON_SNN_STDP_HH
 
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
 #include "snn/network.hh"
@@ -67,6 +68,15 @@ class StdpEngine
 
     /** Mean weight of the plastic synapses (learning diagnostics). */
     double meanPlasticWeight() const;
+
+    /**
+     * Checkpoint the engine's dynamic state — the pre/post traces.
+     * The weights themselves live in the Network and are captured by
+     * the session checkpoint; restoring both sides resumes learning
+     * bit-identically. loadState fatal()s on a size mismatch.
+     */
+    void saveState(std::ostream &os) const;
+    void loadState(std::istream &is);
 
   private:
     Network &network_;

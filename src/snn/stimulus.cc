@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <istream>
+#include <ostream>
 
 #include "common/logging.hh"
 
@@ -98,6 +100,34 @@ StimulusSource::expectedSpikesPerStep() const
     return static_cast<double>(count_); // OU: one input per neuron
 }
 
+void
+StimulusSource::saveState(std::ostream &os) const
+{
+    // Only the OU trajectory is dynamic; everything else is
+    // configuration, reconstructed by the owner. An OU source whose
+    // state is still lazily unallocated writes length 0, and loading
+    // length 0 restores exactly that (the first generate() seeds it).
+    os << "source " << ouState_.size();
+    for (const double x : ouState_)
+        os << ' ' << x;
+    os << '\n';
+}
+
+void
+StimulusSource::loadState(std::istream &is)
+{
+    std::string tag;
+    size_t len = 0;
+    is >> tag >> len;
+    if (tag != "source" || !is)
+        fatal("malformed stimulus-source state in checkpoint");
+    ouState_.resize(len);
+    for (double &x : ouState_)
+        is >> x;
+    if (!is)
+        fatal("truncated stimulus-source state in checkpoint");
+}
+
 StimulusGenerator::StimulusGenerator(uint64_t seed) : rng_(seed)
 {
 }
@@ -124,6 +154,43 @@ StimulusGenerator::expectedSpikesPerStep() const
     for (const StimulusSource &s : sources_)
         total += s.expectedSpikesPerStep();
     return total;
+}
+
+void
+StimulusGenerator::saveState(std::ostream &os) const
+{
+    const RngState rng = rng_.state();
+    os << "stimulus " << sources_.size() << '\n';
+    os << "rng " << rng.s[0] << ' ' << rng.s[1] << ' ' << rng.s[2]
+       << ' ' << rng.s[3] << ' ' << rng.cachedNormal << ' '
+       << (rng.hasCachedNormal ? 1 : 0) << '\n';
+    for (const StimulusSource &s : sources_)
+        s.saveState(os);
+}
+
+void
+StimulusGenerator::loadState(std::istream &is)
+{
+    std::string tag;
+    size_t count = 0;
+    is >> tag >> count;
+    if (tag != "stimulus" || !is)
+        fatal("malformed stimulus state in checkpoint");
+    if (count != sources_.size()) {
+        fatal("checkpoint has %zu stimulus sources, generator has "
+              "%zu — the run configuration must match",
+              count, sources_.size());
+    }
+    RngState rng;
+    int hasCached = 0;
+    is >> tag >> rng.s[0] >> rng.s[1] >> rng.s[2] >> rng.s[3] >>
+        rng.cachedNormal >> hasCached;
+    if (tag != "rng" || !is)
+        fatal("malformed stimulus RNG state in checkpoint");
+    rng.hasCachedNormal = hasCached != 0;
+    rng_.setState(rng);
+    for (StimulusSource &s : sources_)
+        s.loadState(is);
 }
 
 } // namespace flexon

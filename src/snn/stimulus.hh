@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
 #include "common/random.hh"
@@ -73,6 +74,14 @@ class StimulusSource
     /** Expected spikes per step (for cost accounting). */
     double expectedSpikesPerStep() const;
 
+    /**
+     * Checkpoint the source's dynamic state (the per-neuron OU
+     * trajectory; Poisson and pattern sources are stateless beyond
+     * the generator's RNG). Text, exact round trip.
+     */
+    void saveState(std::ostream &os) const;
+    void loadState(std::istream &is);
+
   private:
     enum class Kind { Poisson, Pattern, OrnsteinUhlenbeck };
 
@@ -103,6 +112,15 @@ class StimulusGenerator
 
     size_t numSources() const { return sources_.size(); }
     double expectedSpikesPerStep() const;
+
+    /**
+     * Checkpoint the generator's stream state: the RNG (every source
+     * draws from it, so its position encodes all past steps) plus
+     * each source's dynamic state. A restored generator continues the
+     * identical spike sequence. fatal() on malformed input.
+     */
+    void saveState(std::ostream &os) const;
+    void loadState(std::istream &is);
 
   private:
     Rng rng_;

@@ -119,6 +119,64 @@ TEST(EventDriven, RejectsNonLlifPopulations)
                  "does not support");
 }
 
+TEST(EventDriven, ResetThenRerunIsSpikeForSpikeIdentical)
+{
+    LlifSetup s = llifNetwork(60, 0.02, 17);
+    SessionOptions opts;
+    opts.recordSpikes = true;
+    opts.probes = {0, 9};
+    EventDrivenSimulator sim(s.net, s.stim, opts);
+
+    sim.run(800);
+    const auto counts = sim.spikeCounts();
+    const auto events = sim.spikeEvents();
+    const auto trace0 = sim.probeTrace(0);
+    const uint64_t updates = sim.stats().updates;
+    ASSERT_GT(sim.stats().spikes, 0u);
+
+    sim.reset();
+    EXPECT_EQ(sim.currentStep(), 0u);
+    EXPECT_EQ(sim.stats().spikes, 0u);
+    EXPECT_TRUE(sim.spikeEvents().empty());
+
+    sim.run(800);
+    EXPECT_EQ(sim.spikeCounts(), counts);
+    ASSERT_EQ(sim.spikeEvents().size(), events.size());
+    for (size_t i = 0; i < events.size(); ++i) {
+        EXPECT_EQ(sim.spikeEvents()[i].step, events[i].step);
+        EXPECT_EQ(sim.spikeEvents()[i].neuron, events[i].neuron);
+    }
+    ASSERT_EQ(sim.probeTrace(0).size(), trace0.size());
+    for (size_t t = 0; t < trace0.size(); ++t)
+        EXPECT_EQ(sim.probeTrace(0)[t], trace0[t]) << "step " << t;
+    EXPECT_EQ(sim.stats().updates, updates);
+}
+
+TEST(EventDriven, RecordedEventsMatchDenseSimulator)
+{
+    LlifSetup a = llifNetwork(80, 0.015, 23);
+    LlifSetup b = llifNetwork(80, 0.015, 23);
+
+    SimulatorOptions denseOpts;
+    denseOpts.recordSpikes = true;
+    Simulator dense(a.net, a.stim, denseOpts);
+    dense.run(1500);
+
+    SessionOptions evOpts;
+    evOpts.recordSpikes = true;
+    EventDrivenSimulator sparse(b.net, b.stim, evOpts);
+    sparse.run(1500);
+
+    ASSERT_GT(dense.spikeEvents().size(), 0u);
+    ASSERT_EQ(sparse.spikeEvents().size(), dense.spikeEvents().size());
+    for (size_t i = 0; i < dense.spikeEvents().size(); ++i) {
+        EXPECT_EQ(sparse.spikeEvents()[i].step,
+                  dense.spikeEvents()[i].step);
+        EXPECT_EQ(sparse.spikeEvents()[i].neuron,
+                  dense.spikeEvents()[i].neuron);
+    }
+}
+
 TEST(EventDriven, LazyRefractoryCountdownIsExact)
 {
     // One neuron, driven by two pattern pulses closer together than

@@ -106,6 +106,68 @@ TEST(Serialize, ReloadedNetworkSimulatesIdentically)
     EXPECT_GT(a.size(), 0u);
 }
 
+TEST(Serialize, FuzzedNetworksRoundTripExactly)
+{
+    // Randomized finalized networks: random population mix (every
+    // model kind reachable), random counts, perturbed double
+    // parameters (stressing the 17-digit encoding with values that
+    // have no short decimal form), random wiring. Each must round
+    // trip exactly — structural equality and a byte-identical
+    // re-serialization.
+    Rng fuzz(0xf00dULL);
+    for (int iter = 0; iter < 25; ++iter) {
+        Network net;
+        const size_t numPops = 1 + fuzz.uniformInt(4);
+        for (size_t p = 0; p < numPops; ++p) {
+            const auto kind = static_cast<ModelKind>(
+                fuzz.uniformInt(numModels));
+            NeuronParams params = defaultParams(kind);
+            // Perturb continuous parameters with full-entropy
+            // doubles; keep them positive and sane.
+            params.epsM *= 1.0 + 0.25 * fuzz.uniform();
+            params.vLeak *= 1.0 + 0.25 * fuzz.uniform();
+            for (size_t t = 0; t < params.numSynapseTypes; ++t)
+                params.syn[t].epsG *= 1.0 + 0.25 * fuzz.uniform();
+            net.addPopulation("pop" + std::to_string(p), params,
+                              1 + fuzz.uniformInt(40));
+        }
+        for (size_t e = 0; e < numPops + 2; ++e) {
+            const size_t from = fuzz.uniformInt(numPops);
+            const size_t to = fuzz.uniformInt(numPops);
+            const float w = static_cast<float>(
+                fuzz.uniform(-1.0, 1.0));
+            const auto dmin =
+                static_cast<uint8_t>(1 + fuzz.uniformInt(4));
+            const auto dmax = static_cast<uint8_t>(
+                dmin + fuzz.uniformInt(10));
+            net.connectRandom(from, to, 0.1 + 0.3 * fuzz.uniform(),
+                              w, dmin, dmax,
+                              static_cast<uint8_t>(
+                                  fuzz.uniformInt(2)),
+                              fuzz);
+        }
+        net.finalize();
+
+        std::stringstream first;
+        saveNetwork(first, net);
+        const Network loaded = loadNetwork(first);
+
+        ASSERT_EQ(loaded.numPopulations(), net.numPopulations())
+            << "iter " << iter;
+        ASSERT_EQ(loaded.numNeurons(), net.numNeurons())
+            << "iter " << iter;
+        ASSERT_EQ(loaded.numSynapses(), net.numSynapses())
+            << "iter " << iter;
+
+        // Byte-identical re-serialization subsumes per-field exact
+        // equality: any drifting double, weight, delay or name would
+        // change the text.
+        std::stringstream second;
+        saveNetwork(second, loaded);
+        ASSERT_EQ(first.str(), second.str()) << "iter " << iter;
+    }
+}
+
 TEST(Serialize, TableOneBenchmarkRoundTrips)
 {
     BenchmarkInstance inst =

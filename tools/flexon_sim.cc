@@ -16,6 +16,7 @@
  *   flexon_sim --list
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -55,6 +56,9 @@ struct Args
     bool telemetry = false;
     std::string report;
     std::string trace;
+    uint64_t checkpointEvery = 0;
+    std::string checkpointDir = ".";
+    std::string restore;
 };
 
 [[noreturn]] void
@@ -71,7 +75,12 @@ usage()
         "  [--telemetry]     enable deep counters + flight recorder\n"
         "  [--report FILE]   write a run-report JSON document\n"
         "  [--trace FILE]    write a Chrome trace.json "
-        "(implies --telemetry)\n");
+        "(implies --telemetry)\n"
+        "  [--checkpoint-every N]  snapshot every N steps\n"
+        "  [--checkpoint-dir DIR]  where snapshots go "
+        "(default .)\n"
+        "  [--restore FILE]  resume from a snapshot, then run "
+        "--steps more\n");
     std::exit(2);
 }
 
@@ -129,6 +138,12 @@ parseArgs(int argc, char **argv)
             args.report = need_value(i);
         } else if (flag == "--trace") {
             args.trace = need_value(i);
+        } else if (flag == "--checkpoint-every") {
+            args.checkpointEvery = std::stoull(need_value(i));
+        } else if (flag == "--checkpoint-dir") {
+            args.checkpointDir = need_value(i);
+        } else if (flag == "--restore") {
+            args.restore = need_value(i);
         } else if (flag == "--raster") {
             args.raster = true;
         } else if (flag == "--stats") {
@@ -208,7 +223,38 @@ main(int argc, char **argv)
     opts.threads = args.threads;
     opts.recordSpikes = args.raster || !args.csv.empty();
     Simulator sim(net, stim, opts);
-    sim.run(args.steps);
+    sim.setCheckpointCadence(args.checkpointEvery);
+    if (!args.restore.empty()) {
+        sim.loadCheckpointFile(args.restore, &net);
+        inform("restored checkpoint %s at step %llu",
+               args.restore.c_str(),
+               static_cast<unsigned long long>(
+                   sim.restoredStep()));
+    }
+
+    // --steps counts the steps run by *this* invocation; after a
+    // restore the simulation continues from the snapshot's step.
+    if (args.checkpointEvery == 0) {
+        sim.run(args.steps);
+    } else {
+        uint64_t remaining = args.steps;
+        while (remaining > 0) {
+            const uint64_t untilNext =
+                args.checkpointEvery -
+                (sim.currentStep() % args.checkpointEvery);
+            const uint64_t chunk =
+                std::min(remaining, untilNext);
+            sim.run(chunk);
+            remaining -= chunk;
+            if (sim.currentStep() % args.checkpointEvery == 0) {
+                const std::string path =
+                    args.checkpointDir + "/checkpoint-" +
+                    std::to_string(sim.currentStep()) + ".fxc";
+                if (sim.saveCheckpointFile(path))
+                    inform("wrote checkpoint %s", path.c_str());
+            }
+        }
+    }
 
     const PhaseStats &st = sim.stats();
     std::printf("%s: %zu neurons, %zu synapses, backend=%s\n",
