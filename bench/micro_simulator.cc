@@ -375,6 +375,11 @@ BENCHMARK(flexon::BM_SynapsePhaseLegacy)
  * registry (kernel dispatch mix); per-simulator sections stay empty
  * because each benchmark owns short-lived simulators.
  */
+
+#ifndef FLEXON_BENCH_BUILD_TYPE
+#define FLEXON_BENCH_BUILD_TYPE "unknown"
+#endif
+
 int
 main(int argc, char **argv)
 {
@@ -393,6 +398,12 @@ main(int argc, char **argv)
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;
+    // The library's own library_build_type context key describes the
+    // packaged benchmark library, not this code; record how the
+    // project itself was compiled so tools/bench_diff can reject
+    // unoptimized records.
+    benchmark::AddCustomContext("project_build_type",
+                                FLEXON_BENCH_BUILD_TYPE);
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
 

@@ -1,5 +1,6 @@
 #include "models/reference_batch.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <istream>
 #include <ostream>
@@ -150,6 +151,17 @@ ReferenceBatch::state(size_t idx) const
         s.g[t] = g_[idx * stride_ + t];
     }
     return s;
+}
+
+void
+ReferenceBatch::setLlifState(std::span<const double> v,
+                             std::span<const uint32_t> cnt)
+{
+    if (v.size() != count_ || cnt.size() != count_)
+        fatal("LLIF state size mismatch (batch has %zu neurons)",
+              count_);
+    std::copy(v.begin(), v.end(), v_.begin());
+    std::copy(cnt.begin(), cnt.end(), cnt_.begin());
 }
 
 void

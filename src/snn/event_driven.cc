@@ -10,6 +10,35 @@
 
 namespace flexon {
 
+bool
+eventDrivenEligible(const Network &network, std::string *why)
+{
+    for (size_t p = 0; p < network.numPopulations(); ++p) {
+        const Population &pop = network.population(p);
+        const FeatureSet &f = pop.params.features;
+        if (!f.has(Feature::LID) || !f.has(Feature::CUB)) {
+            if (why)
+                *why = "the engine requires LLIF (LID + CUB) "
+                       "populations; '" +
+                       pop.name + "' is " + f.toString();
+            return false;
+        }
+        const FeatureSet allowed{Feature::LID, Feature::CUB,
+                                 Feature::AR};
+        for (Feature feat : f.list()) {
+            if (!allowed.has(feat)) {
+                if (why)
+                    *why = "population '" + pop.name + "' uses " +
+                           featureName(feat) +
+                           ", which the event-driven engine does "
+                           "not support";
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
 EventDrivenSimulator::EventDrivenSimulator(
     const Network &network, StimulusGenerator stimulus,
     const SessionOptions &options)
@@ -22,26 +51,15 @@ EventDrivenSimulator::EventDrivenSimulator(
           "updates a dense per-step engine would have performed"))
 {
     // Validate the LLIF restriction and cache per-neuron parameters.
+    std::string why;
+    if (!eventDrivenEligible(network, &why))
+        fatal("event-driven execution unavailable: %s", why.c_str());
     state_.resize(network.numNeurons());
     vLeak_.resize(network.numNeurons());
     arSteps_.resize(network.numNeurons());
     for (size_t p = 0; p < network.numPopulations(); ++p) {
         const Population &pop = network.population(p);
         const FeatureSet &f = pop.params.features;
-        if (!f.has(Feature::LID) || !f.has(Feature::CUB)) {
-            fatal("event-driven execution requires LLIF populations "
-                  "(LID + CUB); population '%s' is %s",
-                  pop.name.c_str(), f.toString().c_str());
-        }
-        const FeatureSet allowed{Feature::LID, Feature::CUB,
-                                 Feature::AR};
-        for (Feature feat : f.list()) {
-            if (!allowed.has(feat)) {
-                fatal("population '%s' uses %s, which the "
-                      "event-driven engine does not support",
-                      pop.name.c_str(), featureName(feat));
-            }
-        }
         for (size_t i = 0; i < pop.count; ++i) {
             vLeak_[pop.base + i] = pop.params.vLeak;
             arSteps_[pop.base + i] =
@@ -51,6 +69,7 @@ EventDrivenSimulator::EventDrivenSimulator(
 
     ringDepth_ = static_cast<size_t>(network.maxDelay()) + 1;
     ring_.resize(ringDepth_);
+    carry_.resize(ringDepth_);
     acc_.assign(network.numNeurons(),
                 std::array<double, maxSynapseTypes>{});
     queued_.assign(network.numNeurons(), 0);
@@ -107,9 +126,23 @@ EventDrivenSimulator::engineInjectStimulus(
 {
     touched_.clear();
 
-    // Pending deliveries first, then this step's stimulus — the same
-    // per-cell arrival order as the dense engine's ring slot (ring
-    // writes land in earlier steps, stimulus in phase 1 of step t).
+    // Hand-off carry first (those doubles were accumulated strictly
+    // before the switch), then pending deliveries, then this step's
+    // stimulus — the same per-cell arrival order as the dense
+    // engine's ring slot (ring writes land in earlier steps,
+    // stimulus in phase 1 of step t).
+    auto &carry = carry_[t % ringDepth_];
+    for (const auto &[cell, value] : carry) {
+        const uint32_t target = cell / maxSynapseTypes;
+        const uint32_t type = cell % maxSynapseTypes;
+        if (!queued_[target]) {
+            queued_[target] = 1;
+            touched_.push_back(target);
+        }
+        acc_[target][type] += value;
+    }
+    carry.clear();
+
     auto &slot = ring_[t % ringDepth_];
     for (const DeliveryRecord &rec : slot) {
         const uint32_t target = rec.cell / maxSynapseTypes;
@@ -193,6 +226,8 @@ EventDrivenSimulator::engineReset()
     state_.assign(state_.size(), NeuronState{});
     for (auto &slot : ring_)
         slot.clear();
+    for (auto &carry : carry_)
+        carry.clear();
     acc_.assign(acc_.size(), std::array<double, maxSynapseTypes>{});
     std::fill(queued_.begin(), queued_.end(), 0);
     touched_.clear();
@@ -207,6 +242,8 @@ EventDrivenSimulator::refreshEngineStats(PhaseStats &view) const
     view.ringDenseClears = 0;
     view.ringSparseClears = 0;
     view.ringCellsCleared = 0;
+    view.routerShardsSkipped = 0;
+    view.routerBucketsVisited = 0;
 }
 
 const EventDrivenStats &
@@ -270,6 +307,14 @@ EventDrivenSimulator::engineSaveState(std::ostream &os) const
             os << ' ' << rec.cell << ' ' << rec.weight;
         os << '\n';
     }
+    // Hand-off carry values (usually empty; non-empty only between
+    // an engine switch and the next pass of the ring).
+    for (const auto &carry : carry_) {
+        os << "carry " << carry.size();
+        for (const auto &[cell, value] : carry)
+            os << ' ' << cell << ' ' << value;
+        os << '\n';
+    }
 }
 
 void
@@ -305,8 +350,91 @@ EventDrivenSimulator::engineLoadState(std::istream &is)
         for (DeliveryRecord &rec : slot)
             is >> rec.cell >> rec.weight;
     }
+    for (auto &carry : carry_) {
+        size_t count = 0;
+        is >> tag >> count;
+        if (tag != "carry" || !is)
+            fatal("malformed checkpoint event-driven carry block");
+        carry.resize(count);
+        for (auto &[cell, value] : carry)
+            is >> cell >> value;
+    }
     if (!is)
         fatal("truncated event-driven state in checkpoint");
+}
+
+bool
+EventDrivenSimulator::engineExportTransfer(EngineTransfer &out) const
+{
+    const uint64_t now = currentStep();
+    out.t = now;
+    out.synapseEvents = evEvents_;
+
+    // Materialize every neuron's state at step `now` without
+    // mutating: the same closed-form evolution catchUp applies.
+    const size_t n = state_.size();
+    out.v.resize(n);
+    out.refractory.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+        const NeuronState &s = state_[i];
+        const uint64_t elapsed = now - std::min(now, s.lastUpdate);
+        out.v[i] =
+            elapsed == 0
+                ? s.v
+                : std::max(0.0, s.v -
+                                    vLeak_[i] *
+                                        static_cast<double>(elapsed));
+        out.refractory[i] =
+            elapsed >= s.refractory
+                ? 0
+                : s.refractory - static_cast<uint32_t>(elapsed);
+    }
+
+    // Fold each pending slot (carry first, then records, both in
+    // arrival order) into per-cell doubles — exactly the additions
+    // the dense ring would have performed, so the importer receives
+    // bit-identical slot values. Cells whose total is exactly 0.0
+    // are dropped: the delivery path never produces -0.0, and an
+    // absent cell reconstructs as +0.0 on the other side.
+    out.ring.assign(ringDepth_, {});
+    std::vector<double> scratch(n * maxSynapseTypes, 0.0);
+    for (size_t d = 0; d < ringDepth_; ++d) {
+        const size_t idx = (now + d) % ringDepth_;
+        for (const auto &[cell, value] : carry_[idx])
+            scratch[cell] += value;
+        for (const DeliveryRecord &rec : ring_[idx])
+            scratch[rec.cell] += rec.weight;
+        auto &slot = out.ring[d];
+        for (uint32_t cell = 0;
+             cell < static_cast<uint32_t>(scratch.size()); ++cell) {
+            if (scratch[cell] != 0.0) {
+                slot.emplace_back(cell, scratch[cell]);
+                scratch[cell] = 0.0;
+            }
+        }
+    }
+    return true;
+}
+
+bool
+EventDrivenSimulator::engineImportTransfer(const EngineTransfer &in)
+{
+    if (in.v.size() != state_.size() ||
+        in.refractory.size() != state_.size() ||
+        in.ring.size() > ringDepth_)
+        return false;
+    flexon_assert(in.t == currentStep());
+
+    for (size_t i = 0; i < state_.size(); ++i)
+        state_[i] = NeuronState{in.v[i], in.refractory[i], in.t};
+    for (auto &slot : ring_)
+        slot.clear();
+    for (auto &carry : carry_)
+        carry.clear();
+    for (size_t d = 0; d < in.ring.size(); ++d)
+        carry_[(in.t + d) % ringDepth_] = in.ring[d];
+    evEvents_ = in.synapseEvents;
+    return true;
 }
 
 } // namespace flexon

@@ -28,6 +28,8 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/telemetry.hh"
@@ -37,6 +39,16 @@
 #include "snn/stimulus.hh"
 
 namespace flexon {
+
+/**
+ * True when `network` satisfies the event-driven engine's model
+ * restriction: every population LID + CUB (+ optional AR). When
+ * false and `why` is non-null, *why receives a human-readable
+ * reason. The auto engine consults this before considering a
+ * switch; the EventDrivenSimulator constructor fatal()s on it.
+ */
+bool eventDrivenEligible(const Network &network,
+                         std::string *why = nullptr);
 
 /** Statistics of an event-driven run. */
 struct EventDrivenStats
@@ -98,6 +110,10 @@ class EventDrivenSimulator : public SimulationSession
     void engineSaveState(std::ostream &os) const override;
     void engineLoadState(std::istream &is) override;
 
+  public:
+    bool engineExportTransfer(EngineTransfer &out) const override;
+    bool engineImportTransfer(const EngineTransfer &in) override;
+
   private:
     struct NeuronState
     {
@@ -132,6 +148,16 @@ class EventDrivenSimulator : public SimulationSession
      */
     size_t ringDepth_;
     std::vector<std::vector<DeliveryRecord>> ring_;
+
+    /**
+     * Carried-over slot values from an engine hand-off: per ring
+     * slot, ascending (cell, value) pairs holding the *accumulated
+     * doubles* the dense ring contained at the switch point. Folded
+     * into the accumulators before the slot's records (they arrived
+     * strictly earlier), then cleared with the slot — so a switch
+     * loses neither precision nor arrival order. Checkpointed.
+     */
+    std::vector<std::vector<std::pair<uint32_t, double>>> carry_;
 
     /**
      * Per-step scratch, members so checkpoints never have to capture

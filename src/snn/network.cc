@@ -120,6 +120,35 @@ Network::connectFixedFanout(size_t src_pop, size_t dst_pop,
 }
 
 void
+Network::connectFixedFanin(size_t src_pop, size_t dst_pop,
+                           size_t fanin, double weight_mean,
+                           uint8_t delay_min, uint8_t delay_max,
+                           uint8_t type, Rng &rng)
+{
+    flexon_assert(!finalized_);
+    flexon_assert(src_pop < populations_.size());
+    flexon_assert(dst_pop < populations_.size());
+    flexon_assert(delay_min >= 1);
+    flexon_assert(type < maxSynapseTypes);
+
+    const Population &src = populations_[src_pop];
+    const Population &dst = populations_[dst_pop];
+    for (size_t d = 0; d < dst.count; ++d) {
+        const auto dst_id = static_cast<uint32_t>(dst.base + d);
+        for (size_t k = 0; k < fanin; ++k) {
+            const auto src_id = static_cast<uint32_t>(
+                src.base + rng.uniformInt(src.count));
+            if (src_id == dst_id)
+                continue;
+            staging_.push_back(
+                {src_id,
+                 {dst_id, drawWeight(weight_mean, rng),
+                  drawDelay(delay_min, delay_max, rng), type}});
+        }
+    }
+}
+
+void
 Network::addSynapse(uint32_t src, const Synapse &synapse)
 {
     flexon_assert(!finalized_);

@@ -80,6 +80,19 @@ class Network
                             uint8_t delay_min, uint8_t delay_max,
                             uint8_t type, Rng &rng);
 
+    /**
+     * Connect each *target* neuron to a fixed number of random
+     * sources drawn with replacement (fixed in-degree wiring with
+     * multapses, the NEST fixed_indegree rule the Potjans–Diesmann
+     * microcircuit is specified in). Self-connections are skipped
+     * (the draw still consumes RNG state, so in-degrees of recurrent
+     * projections may fall short by the few autapse draws).
+     */
+    void connectFixedFanin(size_t src_pop, size_t dst_pop,
+                           size_t fanin, double weight_mean,
+                           uint8_t delay_min, uint8_t delay_max,
+                           uint8_t type, Rng &rng);
+
     /** Add one explicit synapse (for small hand-built examples). */
     void addSynapse(uint32_t src, const Synapse &synapse);
 

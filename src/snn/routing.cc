@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <cmath>
 #include <istream>
 #include <limits>
@@ -12,6 +13,30 @@
 #include "common/thread_pool.hh"
 
 namespace flexon {
+
+namespace {
+
+/**
+ * Touch-key encodings for the delivery ring's undo lists. The PR 5
+ * loops write `bucket << 32 | src` and the clear re-derives the
+ * record span with a row probe; the sparse loops instead write the
+ * span itself — kRangeKey | [kSourceMajorKey] | len << 32 | offset —
+ * so the clear streams records with no probing. Bucket indices are
+ * < 2^24, so bit 63 cleanly separates the two forms and mixed lists
+ * (mode switches, restored checkpoints) stay interpretable.
+ */
+constexpr uint64_t kRangeKey = uint64_t{1} << 63;
+/** Range key's offset addresses the source-major mirror. */
+constexpr uint64_t kSourceMajorKey = uint64_t{1} << 62;
+
+constexpr uint64_t
+rangeKey(uint32_t offset, uint32_t len, bool sourceMajor)
+{
+    return kRangeKey | (sourceMajor ? kSourceMajorKey : 0) |
+           (static_cast<uint64_t>(len) << 32) | offset;
+}
+
+} // namespace
 
 RoutingTable::RoutingTable(const Network &network, size_t shardCount,
                            telemetry::Registry *metrics)
@@ -90,14 +115,24 @@ RoutingTable::RoutingTable(const Network &network, size_t shardCount,
     const size_t buckets = bucketDelay_.size();
     const size_t blocks = shardCount_ * buckets;
 
+    // Activity bitmaps: which (shard, bucket) pairs each source row
+    // can deliver into. One word per (source, shard) as long as the
+    // bucket count fits; beyond 64 distinct delays the masks are
+    // dropped and delivery scans buckets instead.
+    masksExact_ = buckets <= 64;
+    if (masksExact_)
+        rowMask_.assign(n * shardCount_, 0);
+
     // Counting sort into (shard, bucket, source-row) runs, keeping
     // row order within each run (the order-preservation invariant).
     rowPtr_.assign(blocks * rowStride_, 0);
     for (uint32_t src = 0; src < n; ++src) {
         for (const Synapse &syn : network.outgoing(src)) {
-            const size_t block =
-                shardOf[syn.target] * buckets + bucketOf[syn.delay];
-            ++rowPtr_[block * rowStride_ + src + 1];
+            const size_t s = shardOf[syn.target];
+            const size_t b = bucketOf[syn.delay];
+            ++rowPtr_[(s * buckets + b) * rowStride_ + src + 1];
+            if (masksExact_)
+                rowMask_[src * shardCount_ + s] |= uint64_t{1} << b;
         }
     }
     uint32_t running = 0;
@@ -132,7 +167,66 @@ RoutingTable::RoutingTable(const Network &network, size_t shardCount,
             recordOf_[base + k] = pos;
         }
     }
+
+    // Source-major mirror: copy each (src, shard)'s rows in
+    // ascending-bucket order out of the bucket-major table, packing
+    // one run header per populated bucket. srcPosOf_ keeps weight
+    // refreshes O(1) per mutation for both layouts.
+    srcRecords_.resize(total);
+    srcPosOf_.resize(total);
+    srcRunPtr_.assign(n * shardCount_ + 1, 0);
+    srcRecPtr_.assign(n * shardCount_ + 1, 0);
+    uint32_t runCount = 0, recCount = 0;
+    for (uint32_t src = 0; src < n; ++src) {
+        for (size_t s = 0; s < shardCount_; ++s) {
+            const size_t at = src * shardCount_ + s;
+            srcRunPtr_[at] = runCount;
+            srcRecPtr_[at] = recCount;
+            for (size_t b = 0; b < buckets; ++b) {
+                const uint32_t *ptr =
+                    rowPtr(s, b); // block-local CSR, global offsets
+                const uint32_t lo = ptr[src], hi = ptr[src + 1];
+                if (lo == hi)
+                    continue;
+                flexon_assert(hi - lo < (uint32_t{1} << 24));
+                ++runCount;
+                for (uint32_t p = lo; p < hi; ++p) {
+                    srcPosOf_[p] = recCount;
+                    srcRecords_[recCount++] = records_[p];
+                }
+            }
+        }
+    }
+    srcRunPtr_[n * shardCount_] = runCount;
+    srcRecPtr_[n * shardCount_] = recCount;
+    srcRuns_.resize(runCount);
+    runCount = 0;
+    for (uint32_t src = 0; src < n; ++src) {
+        for (size_t s = 0; s < shardCount_; ++s) {
+            for (size_t b = 0; b < buckets; ++b) {
+                const uint32_t *ptr = rowPtr(s, b);
+                if (ptr[src] == ptr[src + 1])
+                    continue;
+                srcRuns_[runCount++] =
+                    (static_cast<uint32_t>(b) << 24) |
+                    (ptr[src + 1] - ptr[src]);
+            }
+        }
+    }
+
     weightsSeen_ = network.weightMutations();
+}
+
+size_t
+RoutingTable::shardOfCell(uint32_t cell) const
+{
+    if (shardCount_ == 1)
+        return 0;
+    const uint32_t target = cell / maxSynapseTypes;
+    // First shard whose end boundary lies beyond the target.
+    const auto it = std::upper_bound(shardTargetBegin_.begin() + 1,
+                                     shardTargetBegin_.end(), target);
+    return static_cast<size_t>(it - (shardTargetBegin_.begin() + 1));
 }
 
 void
@@ -146,8 +240,10 @@ RoutingTable::refreshWeights()
         // and read-only accesses included).
         for (uint64_t m = weightsSeen_; m < total; ++m) {
             const uint64_t idx = network_.weightLogEntry(m);
-            records_[recordOf_[idx]].weight =
-                network_.synapseAt(idx).weight;
+            const uint32_t pos = recordOf_[idx];
+            const float w = network_.synapseAt(idx).weight;
+            records_[pos].weight = w;
+            srcRecords_[srcPosOf_[pos]].weight = w;
         }
         if (tailRefreshCounter_ != nullptr)
             tailRefreshCounter_->add(1);
@@ -155,8 +251,10 @@ RoutingTable::refreshWeights()
         // Too far behind the log ring: mirror every weight.
         const uint64_t count = network_.numSynapses();
         for (uint64_t idx = 0; idx < count; ++idx) {
-            records_[recordOf_[idx]].weight =
-                network_.synapseAt(idx).weight;
+            const uint32_t pos = recordOf_[idx];
+            const float w = network_.synapseAt(idx).weight;
+            records_[pos].weight = w;
+            srcRecords_[srcPosOf_[pos]].weight = w;
         }
         if (fullRefreshCounter_ != nullptr)
             fullRefreshCounter_->add(1);
@@ -168,8 +266,14 @@ size_t
 RoutingTable::memoryBytes() const
 {
     return records_.capacity() * sizeof(DeliveryRecord) +
+           srcRecords_.capacity() * sizeof(DeliveryRecord) +
            rowPtr_.capacity() * sizeof(uint32_t) +
            recordOf_.capacity() * sizeof(uint32_t) +
+           srcRuns_.capacity() * sizeof(uint32_t) +
+           srcRunPtr_.capacity() * sizeof(uint32_t) +
+           srcRecPtr_.capacity() * sizeof(uint32_t) +
+           srcPosOf_.capacity() * sizeof(uint32_t) +
+           rowMask_.capacity() * sizeof(uint64_t) +
            shardTargetBegin_.capacity() * sizeof(uint32_t) +
            bucketDelay_.capacity();
 }
@@ -180,6 +284,14 @@ SpikeRouter::SpikeRouter(const Network &network, size_t shardCount,
       ringDepth_(static_cast<size_t>(network.maxDelay()) + 1),
       slotSize_(network.numNeurons() * maxSynapseTypes)
 {
+    if (metrics != nullptr) {
+        shardsSkippedCounter_ = &metrics->counter(
+            "snn.router.shards_skipped",
+            "target shards skipped entirely by sparse delivery");
+        bucketsVisitedCounter_ = &metrics->counter(
+            "snn.router.buckets_visited",
+            "(shard, delay-bucket) pairs streamed by delivery");
+    }
     if (metrics != nullptr && slotSize_ > 0) {
         touchedCellsCounter_ = &metrics->counter(
             "route.touched_cells",
@@ -191,15 +303,36 @@ SpikeRouter::SpikeRouter(const Network &network, size_t shardCount,
     }
     ring_.assign(ringDepth_ * slotSize_, 0.0);
     slotBase_.assign(ringDepth_, nullptr);
-    laneEvents_.assign(table_.shardCount(), 0);
+    touchBase_.assign(ringDepth_, nullptr);
+    const size_t shards = table_.shardCount();
+    laneEvents_.assign(shards, 0);
+    laneBuckets_.assign(shards, 0);
+    laneDense_.assign(shards, 0);
+    routeMask_.assign(shards, 0);
+    activeShards_.reserve(shards);
 
     // Crossover between undoing tracked writes and a dense fill: the
     // sequential std::fill streams ~4x faster per cell than scattered
-    // zeroing, so clear sparsely only below a quarter of the slot.
-    sparseClearBudget_ = slotSize_ / 4 + 1;
-    touched_.assign(ringDepth_ * table_.shardCount(),
-                    TouchList(sparseClearBudget_));
-    stimTouched_.assign(ringDepth_, TouchList(sparseClearBudget_));
+    // zeroing, so clear sparsely only below a quarter of the shard's
+    // cell range. The touch lists share the budget, so a saturated
+    // list always implies a dense clear for its shard.
+    shardClearBudget_.assign(shards, 1);
+    const auto &targetBegin = table_.shardTargetBegin();
+    touched_.reserve(ringDepth_ * shards);
+    stimTouched_.reserve(ringDepth_ * shards);
+    for (size_t s = 0; s < shards; ++s) {
+        const uint64_t cells =
+            static_cast<uint64_t>(targetBegin[s + 1] -
+                                  targetBegin[s]) *
+            maxSynapseTypes;
+        shardClearBudget_[s] = cells / 4 + 1;
+    }
+    for (size_t slot = 0; slot < ringDepth_; ++slot)
+        for (size_t s = 0; s < shards; ++s)
+            touched_.emplace_back(shardClearBudget_[s]);
+    for (size_t slot = 0; slot < ringDepth_; ++slot)
+        for (size_t s = 0; s < shards; ++s)
+            stimTouched_.emplace_back(shardClearBudget_[s]);
 }
 
 std::span<double>
@@ -218,21 +351,35 @@ void
 SpikeRouter::laneClear(size_t slotIdx, size_t shard, bool dense)
 {
     double *const base = ring_.data() + slotIdx * slotSize_;
-    const auto &targetBegin = table_.shardTargetBegin();
-    const uint32_t cellLo = targetBegin[shard] * maxSynapseTypes;
-    const uint32_t cellHi = targetBegin[shard + 1] * maxSynapseTypes;
 
     if (dense) {
+        const auto &targetBegin = table_.shardTargetBegin();
+        const uint32_t cellLo = targetBegin[shard] * maxSynapseTypes;
+        const uint32_t cellHi =
+            targetBegin[shard + 1] * maxSynapseTypes;
         std::fill(base + cellLo, base + cellHi, 0.0);
     } else {
-        // Undo the tracked writes of this shard's cell range only.
-        // Every lane scans the (small) stimulus list and zeroes just
-        // its own cells, so lanes never touch the same cell.
-        for (const uint64_t cell : stimTouched_[slotIdx].keys()) {
-            if (cell >= cellLo && cell < cellHi)
-                base[cell] = 0.0;
-        }
+        // Undo the tracked writes of this shard only; lanes never
+        // touch another shard's cells. Range keys (bit 63, written
+        // by the sparse delivery loops) carry their record span
+        // directly; legacy (bucket << 32 | src) keys re-derive it
+        // with a row probe. Mixed lists are fine — each key is
+        // self-describing, which keeps checkpoints portable across
+        // delivery modes.
+        for (const uint64_t cell : stimTouch(slotIdx, shard).keys())
+            base[cell] = 0.0;
         for (const uint64_t key : touch(slotIdx, shard).keys()) {
+            if ((key & kRangeKey) != 0) {
+                const auto off = static_cast<uint32_t>(key);
+                const uint32_t len = (key >> 32) & 0xFFFFFFu;
+                const DeliveryRecord *rec =
+                    (key & kSourceMajorKey) != 0
+                        ? table_.sourceRecordAt(off)
+                        : table_.recordAt(off);
+                for (uint32_t k = 0; k < len; ++k, ++rec)
+                    base[rec->cell] = 0.0;
+                continue;
+            }
             const size_t bucket = key >> 32;
             const auto src = static_cast<uint32_t>(key);
             for (const DeliveryRecord &rec :
@@ -241,6 +388,7 @@ SpikeRouter::laneClear(size_t slotIdx, size_t shard, bool dense)
         }
     }
     touch(slotIdx, shard).clear();
+    stimTouch(slotIdx, shard).clear();
 }
 
 void
@@ -249,9 +397,11 @@ SpikeRouter::laneRoute(uint64_t t, size_t shard,
 {
     const DeliveryRecord *const recs = table_.records();
     uint64_t events = 0;
+    uint64_t buckets = 0;
     for (size_t b = 0; b < table_.bucketCount(); ++b) {
         if (table_.bucketEmpty(shard, b))
             continue;
+        ++buckets;
         const uint32_t *const rows = table_.rowPtr(shard, b);
         const uint8_t delay = table_.bucketDelay(b);
         double *const base = slotBase_[delay];
@@ -282,6 +432,115 @@ SpikeRouter::laneRoute(uint64_t t, size_t shard,
         }
     }
     laneEvents_[shard] = events;
+    laneBuckets_[shard] = buckets;
+}
+
+void
+SpikeRouter::laneRouteMasked(uint64_t t, size_t shard,
+                             std::span<const uint32_t> fired)
+{
+    // Bucket-major like the scan loop — records of one (shard,
+    // bucket) stream sequentially across the fired sources — but
+    // directed by the OR of the fired rows' activity masks, so only
+    // buckets some fired source actually feeds are visited at all.
+    // The per-bucket fired scan is ascending as in the scan loop, so
+    // every ring cell receives its additions in the identical order:
+    // bit-identical results.
+    const DeliveryRecord *const recs = table_.records();
+    uint64_t events = 0;
+    uint64_t m = routeMask_[shard];
+    laneBuckets_[shard] = static_cast<uint64_t>(std::popcount(m));
+    while (m != 0) {
+        const auto b = static_cast<size_t>(std::countr_zero(m));
+        m &= m - 1;
+        const uint32_t *const rows = table_.rowPtr(shard, b);
+        const uint8_t delay = table_.bucketDelay(b);
+        double *const base = slotBase_[delay];
+        TouchList &pending = touchBase_[delay][shard];
+        if (pending.saturated()) {
+            for (const uint32_t n : fired) {
+                uint32_t k = rows[n];
+                const uint32_t end = rows[n + 1];
+                events += end - k;
+                for (; k < end; ++k)
+                    base[recs[k].cell] += recs[k].weight;
+            }
+            continue;
+        }
+        for (const uint32_t n : fired) {
+            uint32_t k = rows[n];
+            const uint32_t end = rows[n + 1];
+            if (k == end)
+                continue;
+            pending.add(rangeKey(k, end - k, false), end - k);
+            events += end - k;
+            for (; k < end; ++k)
+                base[recs[k].cell] += recs[k].weight;
+        }
+    }
+    laneEvents_[shard] = events;
+}
+
+void
+SpikeRouter::laneRouteSourceMajor(uint64_t t, size_t shard,
+                                  std::span<const uint32_t> fired)
+{
+    // One contiguous (headers, records) stream per fired row — the
+    // probe-free walk sparse steps want. Addition order per cell is
+    // identical to the bucket-major loops (see the table's
+    // source-major notes), so results stay bit-identical.
+    uint64_t events = 0;
+    uint64_t streams = 0;
+    for (const uint32_t n : fired) {
+        const std::span<const uint32_t> runs =
+            table_.sourceRuns(n, shard);
+        uint32_t off = table_.sourceRecordOffset(n, shard);
+        const DeliveryRecord *rec = table_.sourceRecordAt(off);
+        streams += runs.size();
+        for (const uint32_t header : runs) {
+            const size_t b = RoutingTable::runBucket(header);
+            const uint32_t len = RoutingTable::runLength(header);
+            const uint8_t delay = table_.bucketDelay(b);
+            double *const base = slotBase_[delay];
+            TouchList &pending = touchBase_[delay][shard];
+            if (!pending.saturated())
+                pending.add(rangeKey(off, len, true), len);
+            events += len;
+            off += len;
+            for (uint32_t k = 0; k < len; ++k, ++rec)
+                base[rec->cell] += rec->weight;
+        }
+    }
+    laneEvents_[shard] = events;
+    laneBuckets_[shard] = streams;
+}
+
+void
+SpikeRouter::legacyRouteStep(uint64_t t, size_t slotIdx,
+                             std::span<const uint32_t> fired)
+{
+    const size_t shards = table_.shardCount();
+    if (fired.empty() || table_.bucketCount() == 0) {
+        // Quiet step: clear inline, no pool barrier.
+        for (size_t s = 0; s < shards; ++s)
+            laneClear(slotIdx, s, laneDense_[s] != 0);
+        return;
+    }
+
+    for (size_t d = 0; d < ringDepth_; ++d)
+        slotBase_[d] =
+            ring_.data() + ((t + d) % ringDepth_) * slotSize_;
+
+    // Every shard clears and bucket-scans, every active step pays
+    // the pool barrier: the PR 5 schedule, kept as the reference
+    // point for the sparse path (and as the mask-overflow fallback
+    // dispatch would behave without skipping).
+    ThreadPool::global().forEachLane(shards, [&](size_t s) {
+        laneClear(slotIdx, s, laneDense_[s] != 0);
+        laneRoute(t, s, fired);
+    });
+    for (size_t s = 0; s < shards; ++s)
+        events_ += laneEvents_[s];
 }
 
 void
@@ -290,50 +549,121 @@ SpikeRouter::routeStep(uint64_t t, std::span<const uint32_t> fired)
     const size_t slotIdx = t % ringDepth_;
     const size_t shards = table_.shardCount();
 
-    // Dense/sparse decision for the consumed slot: total tracked
-    // undo cost vs. the crossover budget. Saturated touch lists have
-    // cost >= budget, so an incomplete key list always forces the
-    // dense path.
-    uint64_t cost = stimTouched_[slotIdx].cost();
-    for (size_t s = 0; s < shards; ++s)
-        cost += touch(slotIdx, s).cost();
-    const bool dense = cost >= sparseClearBudget_;
-    if (dense) {
+    // Dense/sparse decision for the consumed slot, per shard:
+    // tracked undo cost vs. the shard's crossover budget. Saturated
+    // touch lists have cost >= budget, so an incomplete key list
+    // always forces the dense path for its shard.
+    uint64_t totalCost = 0;
+    bool anyDense = false;
+    for (size_t s = 0; s < shards; ++s) {
+        const uint64_t cost =
+            stimTouch(slotIdx, s).cost() + touch(slotIdx, s).cost();
+        totalCost += cost;
+        laneDense_[s] = cost >= shardClearBudget_[s] ? 1 : 0;
+        anyDense = anyDense || laneDense_[s] != 0;
+    }
+    if (anyDense) {
         ++denseClears_;
     } else {
         ++sparseClears_;
-        cellsCleared_ += cost;
+        cellsCleared_ += totalCost;
     }
     if (occupancyHist_ != nullptr && telemetry::detailEnabled()) {
-        touchedCellsCounter_->add(cost);
-        occupancyHist_->sample(static_cast<double>(cost) /
+        touchedCellsCounter_->add(totalCost);
+        occupancyHist_->sample(static_cast<double>(totalCost) /
                                static_cast<double>(slotSize_));
     }
 
-    if (fired.empty() || table_.bucketCount() == 0) {
-        // Quiet step: clear inline, no pool barrier.
-        for (size_t s = 0; s < shards; ++s)
-            laneClear(slotIdx, s, dense);
-        stimTouched_[slotIdx].clear();
+    if (!sparseDelivery_) {
+        legacyRouteStep(t, slotIdx, fired);
         return;
     }
 
-    for (size_t d = 0; d < ringDepth_; ++d)
-        slotBase_[d] =
-            ring_.data() + ((t + d) % ringDepth_) * slotSize_;
+    // Route-activity masks: OR the fired sources' per-shard bucket
+    // bitmaps. Without exact masks (> 64 delay buckets) any firing
+    // marks every shard for the bucket-scan fallback.
+    const bool exact = table_.rowMasksExact();
+    const bool haveRoute =
+        !fired.empty() && table_.bucketCount() > 0;
+    std::fill(routeMask_.begin(), routeMask_.end(), 0);
+    if (haveRoute) {
+        if (exact) {
+            for (const uint32_t n : fired) {
+                const uint64_t *const m = table_.rowMaskRow(n);
+                for (size_t s = 0; s < shards; ++s)
+                    routeMask_[s] |= m[s];
+            }
+        } else {
+            std::fill(routeMask_.begin(), routeMask_.end(),
+                      ~uint64_t{0});
+        }
+    }
 
-    // Each lane clears its own shard's cells, then streams its own
-    // shard's delivery records: contention-free, and every ring cell
-    // receives its additions in exactly the serial order (see the
-    // order-preservation argument in the file header) — results are
-    // bit-identical for any shard count.
-    ThreadPool::global().forEachLane(shards, [&](size_t s) {
-        laneClear(slotIdx, s, dense);
-        laneRoute(t, s, fired);
-    });
-    stimTouched_[slotIdx].clear();
-    for (size_t s = 0; s < shards; ++s)
+    // Compact the shards that have any work: route deliveries or a
+    // non-empty consumed slot. The rest are skipped outright — their
+    // slot region is already zero and nothing routes into them.
+    activeShards_.clear();
+    for (size_t s = 0; s < shards; ++s) {
+        const bool clearWork =
+            stimTouch(slotIdx, s).cost() + touch(slotIdx, s).cost() >
+            0;
+        if (clearWork || routeMask_[s] != 0)
+            activeShards_.push_back(static_cast<uint32_t>(s));
+    }
+    const uint64_t skipped = shards - activeShards_.size();
+    shardsSkipped_ += skipped;
+    if (shardsSkippedCounter_ != nullptr)
+        shardsSkippedCounter_->add(skipped);
+    if (activeShards_.empty())
+        return;
+
+    if (haveRoute) {
+        for (size_t d = 0; d < ringDepth_; ++d) {
+            const size_t slot = (t + d) % ringDepth_;
+            slotBase_[d] = ring_.data() + slot * slotSize_;
+            touchBase_[d] = touched_.data() + slot * shards;
+        }
+    }
+
+    // Per-step layout choice, deterministic in the fired count alone:
+    // few sources -> stream each row's contiguous source-major runs
+    // (no per-bucket probing, and no mask needed, so it also covers
+    // the > 64-bucket case); many sources -> the bucket-major loops,
+    // whose per-bucket streams amortize better during bursts.
+    const bool sourceMajor =
+        haveRoute && fired.size() < table_.bucketCount();
+
+    auto laneWork = [&](size_t i) {
+        const size_t s = activeShards_[i];
+        laneEvents_[s] = 0;
+        laneBuckets_[s] = 0;
+        laneClear(slotIdx, s, laneDense_[s] != 0);
+        if (routeMask_[s] != 0) {
+            if (sourceMajor)
+                laneRouteSourceMajor(t, s, fired);
+            else if (exact)
+                laneRouteMasked(t, s, fired);
+            else
+                laneRoute(t, s, fired);
+        }
+    };
+    if (!haveRoute) {
+        // Clear-only step: stay inline regardless of shard count —
+        // the undo work is tiny and never worth a pool barrier.
+        for (size_t i = 0; i < activeShards_.size(); ++i)
+            laneWork(i);
+    } else {
+        ThreadPool::global().forEachLane(activeShards_.size(),
+                                         laneWork);
+    }
+    uint64_t visited = 0;
+    for (const uint32_t s : activeShards_) {
         events_ += laneEvents_[s];
+        visited += laneBuckets_[s];
+    }
+    bucketsVisited_ += visited;
+    if (bucketsVisitedCounter_ != nullptr)
+        bucketsVisitedCounter_->add(visited);
 }
 
 namespace {
@@ -416,6 +746,35 @@ readTouchList(std::istream &is, TouchList &list)
 } // namespace
 
 void
+SpikeRouter::exportRing(uint64_t t, RingTransfer &out) const
+{
+    out.assign(ringDepth_, {});
+    for (size_t d = 0; d < ringDepth_; ++d) {
+        const std::span<const double> s = slot(t + d);
+        for (size_t c = 0; c < s.size(); ++c) {
+            if (s[c] != 0.0)
+                out[d].emplace_back(static_cast<uint32_t>(c), s[c]);
+        }
+    }
+}
+
+void
+SpikeRouter::importRing(uint64_t t, const RingTransfer &slots)
+{
+    if (slots.size() > ringDepth_)
+        fatal("ring transfer depth %zu exceeds ring depth %zu",
+              slots.size(), ringDepth_);
+    for (size_t d = 0; d < slots.size(); ++d) {
+        double *const base =
+            ring_.data() + ((t + d) % ringDepth_) * slotSize_;
+        for (const auto &[cell, value] : slots[d]) {
+            base[cell] = value;
+            noteStimulus(t + d, cell);
+        }
+    }
+}
+
+void
 SpikeRouter::saveState(std::ostream &os) const
 {
     os << "router " << ringDepth_ << ' ' << slotSize_ << ' '
@@ -428,7 +787,8 @@ SpikeRouter::saveState(std::ostream &os) const
     for (const TouchList &list : stimTouched_)
         writeTouchList(os, list);
     os << "counters " << events_ << ' ' << denseClears_ << ' '
-       << sparseClears_ << ' ' << cellsCleared_ << '\n';
+       << sparseClears_ << ' ' << cellsCleared_ << ' '
+       << shardsSkipped_ << ' ' << bucketsVisited_ << '\n';
 }
 
 void
@@ -452,7 +812,7 @@ SpikeRouter::loadState(std::istream &is)
     for (TouchList &list : stimTouched_)
         readTouchList(is, list);
     is >> tag >> events_ >> denseClears_ >> sparseClears_ >>
-        cellsCleared_;
+        cellsCleared_ >> shardsSkipped_ >> bucketsVisited_;
     if (tag != "counters" || !is)
         fatal("truncated router counters in checkpoint");
 }
@@ -469,6 +829,8 @@ SpikeRouter::reset()
     denseClears_ = 0;
     sparseClears_ = 0;
     cellsCleared_ = 0;
+    shardsSkipped_ = 0;
+    bucketsVisited_ = 0;
 }
 
 } // namespace flexon

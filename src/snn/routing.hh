@@ -19,16 +19,32 @@
  * permutation indirection, and the ring-slot base pointer hoisted
  * per bucket.
  *
+ * Sparse activity (the PR 6 fast path): realistic cortical workloads
+ * fire at a few Hz, so on most steps most (shard, bucket) pairs carry
+ * nothing. The table therefore also compiles a per-(source, shard)
+ * *activity bitmap* — bit b set when source row src has records in
+ * (shard, bucket b). Delivery ORs the fired sources' masks per shard,
+ * dispatches only the shards with route or clear work (no pool
+ * barrier when at most one shard has work), and walks only the set
+ * mask bits instead of scanning every bucket's CSR row. Networks with
+ * more than 64 distinct delay values fall back to the bucket-scan
+ * loop (masks would not fit a word); shard skipping still applies via
+ * the whole-shard emptiness check.
+ *
  * Order preservation (the bit-identity argument): a ring cell is one
  * (slot, target, type) location, and within a step exactly one delay
  * bucket writes a given slot. Within that bucket records are laid
  * out source-ascending with original row order preserved, and the
  * fired list is scanned in ascending order — so every cell receives
  * its floating-point additions in exactly the serial-scan order, for
- * any shard count. Across steps, ordering follows simulation time as
- * before. Results are therefore bit-identical to the serial path at
- * any thread count (tests/test_routing.cc enforces this against a
- * naive delivery oracle).
+ * any shard count. This holds for the mask-directed loop too: it is
+ * bucket-major like the scan loop, with the same ascending fired
+ * scan per bucket — it merely skips buckets whose mask bit is clear,
+ * which carry no writes at all.
+ * Results are therefore bit-identical to the serial path at any
+ * thread count and with the sparse path on or off
+ * (tests/test_routing.cc enforces this against a naive delivery
+ * oracle).
  *
  * Weights are copied into the records, so in-place plasticity
  * updates (Network::synapseAt) are re-mirrored from the network's
@@ -37,12 +53,13 @@
  * mutations behind.
  *
  * SpikeRouter owns the delay ring on top of the table and makes ring
- * maintenance activity-proportional: each slot tracks what was
- * written into it (stimulus cells and routed (bucket, source) rows),
- * and the consumed slot is cleared by undoing only those writes when
- * activity is sparse, falling back to a dense std::fill above a
- * density threshold — quiet steps of large networks no longer pay
- * O(numNeurons * maxSynapseTypes) per step.
+ * maintenance activity-proportional: each (slot, shard) tracks what
+ * was written into it (stimulus cells and routed (bucket, source)
+ * rows), and the consumed slot is cleared by undoing only those
+ * writes when activity is sparse, falling back to a dense std::fill
+ * above a per-shard density threshold — quiet steps and quiet shards
+ * of large networks no longer pay O(numNeurons * maxSynapseTypes)
+ * per step.
  */
 
 #ifndef FLEXON_SNN_ROUTING_HH
@@ -51,6 +68,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/telemetry.hh"
@@ -65,6 +83,10 @@ struct DeliveryRecord
     uint32_t cell; ///< target * maxSynapseTypes + type
     float weight;
 };
+
+/** Sparse ring contents: per delay offset, ascending (cell, value). */
+using RingTransfer =
+    std::vector<std::vector<std::pair<uint32_t, double>>>;
 
 /**
  * The precompiled delivery layout: per (target shard, delay bucket),
@@ -102,6 +124,9 @@ class RoutingTable
         return shardTargetBegin_;
     }
 
+    /** Shard owning ring cell (target * maxSynapseTypes + type). */
+    size_t shardOfCell(uint32_t cell) const;
+
     /**
      * CSR row index of (shard, bucket): row src's records are
      * records()[ptr[src] .. ptr[src + 1]). Offsets are global into
@@ -133,13 +158,98 @@ class RoutingTable
     }
 
     /**
+     * True when activity bitmaps are available: bucketCount() <= 64,
+     * so a shard's bucket occupancy per source fits one word. When
+     * false, rowMask()/rowMaskRow() must not be consulted and
+     * delivery falls back to the bucket-scan loop.
+     */
+    bool rowMasksExact() const { return masksExact_; }
+
+    /** Bit b set iff row (shard, bucket b, src) has records. */
+    uint64_t
+    rowMask(uint32_t src, size_t shard) const
+    {
+        return rowMask_[src * shardCount_ + shard];
+    }
+
+    /** Source row src's masks for all shards (shardCount() words). */
+    const uint64_t *
+    rowMaskRow(uint32_t src) const
+    {
+        return rowMask_.data() + src * shardCount_;
+    }
+
+    // ---- Source-major mirror ------------------------------------
+    //
+    // The bucket-major CSR above streams best when many sources fire
+    // at once (each (shard, bucket) run is contiguous across
+    // sources), but on a sparse step it costs ~2 scattered row
+    // probes per populated bucket to stream a handful of records.
+    // The table therefore also keeps a source-major mirror: per
+    // (source, shard), that source's records contiguous in
+    // ascending-bucket order, prefixed by packed run headers
+    // (bucket << 24 | record count). A sparse step streams a fired
+    // row with one header line and one record stream per shard —
+    // no per-bucket probing. Addition order per ring cell is
+    // unchanged (ascending source, original row order within a
+    // source; a cell belongs to exactly one bucket per step), so
+    // either walk is bit-identical.
+
+    /** Packed run headers of (src, shard), ascending bucket. */
+    std::span<const uint32_t>
+    sourceRuns(uint32_t src, size_t shard) const
+    {
+        const size_t at = src * shardCount_ + shard;
+        return {srcRuns_.data() + srcRunPtr_[at],
+                srcRunPtr_[at + 1] - srcRunPtr_[at]};
+    }
+
+    /** First source-major record of (src, shard). */
+    const DeliveryRecord *
+    sourceRecords(uint32_t src, size_t shard) const
+    {
+        return srcRecords_.data() +
+               srcRecPtr_[src * shardCount_ + shard];
+    }
+
+    /** Offset of sourceRecords(src, shard) into the mirror array. */
+    uint32_t
+    sourceRecordOffset(uint32_t src, size_t shard) const
+    {
+        return srcRecPtr_[src * shardCount_ + shard];
+    }
+
+    /** Bucket-major record at a global records() offset. */
+    const DeliveryRecord *
+    recordAt(uint32_t offset) const
+    {
+        return records_.data() + offset;
+    }
+
+    /** Source-major record at a global mirror offset. */
+    const DeliveryRecord *
+    sourceRecordAt(uint32_t offset) const
+    {
+        return srcRecords_.data() + offset;
+    }
+
+    static constexpr uint32_t runBucket(uint32_t header)
+    {
+        return header >> 24;
+    }
+    static constexpr uint32_t runLength(uint32_t header)
+    {
+        return header & 0xFFFFFFu;
+    }
+
+    /**
      * Re-mirror weights mutated through Network::synapseAt() since
      * the last call (or construction). Must not run concurrently
      * with mutations; call it between steps.
      */
     void refreshWeights();
 
-    /** Bytes held by the table (records + CSR + refresh map). */
+    /** Bytes held by the table (records + CSR + masks + refresh map). */
     size_t memoryBytes() const;
 
   private:
@@ -150,6 +260,18 @@ class RoutingTable
     std::vector<uint32_t> shardTargetBegin_;
     std::vector<DeliveryRecord> records_;
     std::vector<uint32_t> rowPtr_;
+    /** Per (source, shard) bucket-occupancy bitmaps (see above). */
+    std::vector<uint64_t> rowMask_;
+    bool masksExact_ = false;
+    /** Source-major mirror (see above). */
+    std::vector<DeliveryRecord> srcRecords_;
+    std::vector<uint32_t> srcRuns_;
+    /** CSR (src * shardCount + shard) -> srcRuns_. */
+    std::vector<uint32_t> srcRunPtr_;
+    /** CSR (src * shardCount + shard) -> srcRecords_. */
+    std::vector<uint32_t> srcRecPtr_;
+    /** Bucket-major record position -> source-major position. */
+    std::vector<uint32_t> srcPosOf_;
     /** Global synapse index -> record position (weight refresh). */
     std::vector<uint32_t> recordOf_;
     /** Network::weightMutations() already mirrored. */
@@ -170,9 +292,10 @@ class SpikeRouter
   public:
     /**
      * @param metrics optional registry (must outlive the router;
-     *        nullptr = no telemetry). Registers refresh counters, a
-     *        ring-occupancy histogram and a touched-cells counter;
-     *        the deep per-step samples only fire while
+     *        nullptr = no telemetry). Registers refresh counters,
+     *        the sparse-path skip counters, a ring-occupancy
+     *        histogram and a touched-cells counter; the deep
+     *        per-step samples only fire while
      *        telemetry::detailEnabled().
      */
     SpikeRouter(const Network &network, size_t shardCount,
@@ -191,6 +314,15 @@ class SpikeRouter
     const std::vector<double> &ringBuffer() const { return ring_; }
 
     /**
+     * Toggle the sparse fast path (default on). Off restores the PR 5
+     * dispatch: every shard runs every active step and delivery scans
+     * every bucket. Ring contents are bit-identical either way; only
+     * the schedule and the skip counters differ.
+     */
+    void setSparseDelivery(bool on) { sparseDelivery_ = on; }
+    bool sparseDelivery() const { return sparseDelivery_; }
+
+    /**
      * Record a stimulus write into step t's slot so the sparse clear
      * can undo it (cell = target * maxSynapseTypes + type). Call for
      * every cell the stimulus phase accumulates into.
@@ -198,15 +330,17 @@ class SpikeRouter
     void
     noteStimulus(uint64_t t, uint32_t cell)
     {
-        stimTouched_[t % ringDepth_].add(cell, 1);
+        stimTouch(t % ringDepth_, table_.shardOfCell(cell))
+            .add(cell, 1);
     }
 
     /**
      * One synapse-calculation step: clear the consumed slot of step
-     * t (sparse or dense), then deliver every fired source's
-     * outgoing synapses into the slots of t + delay. `fired` must be
-     * ascending. Runs across shardCount lanes when fired is
-     * non-empty; quiet steps clear inline without a pool barrier.
+     * t (sparse or dense, decided per shard), then deliver every
+     * fired source's outgoing synapses into the slots of t + delay.
+     * `fired` must be ascending. Only shards with route or clear
+     * work are dispatched; steps whose work fits one lane — quiet
+     * steps included — run inline without a pool barrier.
      */
     void routeStep(uint64_t t, std::span<const uint32_t> fired);
 
@@ -219,18 +353,35 @@ class SpikeRouter
     uint64_t sparseClears() const { return sparseClears_; }
     /** Cell zeroings performed by sparse clears (incl. duplicates). */
     uint64_t cellsCleared() const { return cellsCleared_; }
+    /** Shards skipped entirely by the sparse path, summed. */
+    uint64_t shardsSkipped() const { return shardsSkipped_; }
+    /** (shard, bucket) pairs streamed by delivery, summed. */
+    uint64_t bucketsVisited() const { return bucketsVisited_; }
 
     /** Zero the ring, the touch tracking and the counters. */
     void reset();
 
     /**
+     * Engine hand-off support: export the live ring as sparse
+     * (cell, value) lists per delay offset from step t, or seed a
+     * freshly reset ring from such lists (cells are touch-tracked so
+     * later sparse clears stay correct). Values move verbatim —
+     * the accumulated doubles, not the float weights — so a switch
+     * between delivery engines stays bit-exact.
+     */
+    void exportRing(uint64_t t, RingTransfer &out) const;
+    void importRing(uint64_t t, const RingTransfer &slots);
+    /** Restore the cumulative event count after an engine hand-off. */
+    void seedEvents(uint64_t events) { events_ = events; }
+
+    /**
      * Checkpoint the router's dynamic state: the delay ring (runs of
      * exact +0.0 run-length encoded as `zN` tokens — quiet slots
-     * dominate the ring), every per-(slot, shard) and per-slot
-     * stimulus touch list, and the event/clear counters. The touch
-     * lists are part of correctness, not just telemetry: a restored
-     * ring without its pending-write tracking would let a sparse
-     * clear miss stale cells. Saturated lists round trip as
+     * dominate the ring), every per-(slot, shard) routed and
+     * stimulus touch list, and the event/clear/skip counters. The
+     * touch lists are part of correctness, not just telemetry: a
+     * restored ring without its pending-write tracking would let a
+     * sparse clear miss stale cells. Saturated lists round trip as
      * saturated, so the dense/sparse decision sequence — and with it
      * every counter — continues deterministically. loadState
      * fatal()s on a geometry mismatch.
@@ -245,13 +396,41 @@ class SpikeRouter
      */
     void laneClear(size_t slotIdx, size_t shard, bool dense);
 
-    /** Deliver `fired` through lane `shard`'s buckets for step t. */
+    /** Bucket-scan delivery (mask fallback and PR 5 mode). */
     void laneRoute(uint64_t t, size_t shard,
                    std::span<const uint32_t> fired);
+
+    /** Mask-directed delivery: walk only the set bucket bits. */
+    void laneRouteMasked(uint64_t t, size_t shard,
+                         std::span<const uint32_t> fired);
+
+    /**
+     * Source-major delivery for sparse steps: stream each fired
+     * row's contiguous (header, records) runs, no per-bucket
+     * probing.
+     */
+    void laneRouteSourceMajor(uint64_t t, size_t shard,
+                              std::span<const uint32_t> fired);
+
+    void legacyRouteStep(uint64_t t, size_t slotIdx,
+                         std::span<const uint32_t> fired);
 
     TouchList &touch(size_t slotIdx, size_t shard)
     {
         return touched_[slotIdx * table_.shardCount() + shard];
+    }
+    const TouchList &touch(size_t slotIdx, size_t shard) const
+    {
+        return touched_[slotIdx * table_.shardCount() + shard];
+    }
+
+    TouchList &stimTouch(size_t slotIdx, size_t shard)
+    {
+        return stimTouched_[slotIdx * table_.shardCount() + shard];
+    }
+    const TouchList &stimTouch(size_t slotIdx, size_t shard) const
+    {
+        return stimTouched_[slotIdx * table_.shardCount() + shard];
     }
 
     RoutingTable table_;
@@ -261,22 +440,45 @@ class SpikeRouter
     /** Ring-slot base pointer per delay, recomputed each step. */
     std::vector<double *> slotBase_;
     /**
+     * touched_ row (slot of t + delay, shard 0) per delay,
+     * recomputed each step beside slotBase_ — the sparse lanes index
+     * [delay][shard] instead of re-dividing by the ring depth per
+     * visited bucket.
+     */
+    std::vector<TouchList *> touchBase_;
+    /**
      * Per (slot, shard): routed writes pending in that slot, as
-     * packed (bucket << 32 | source) keys with row-length cost.
+     * packed (bucket << 32 | source) keys with row-length cost —
+     * or record-range keys from the sparse loops (see routing.cc).
      */
     std::vector<TouchList> touched_;
-    /** Per slot: stimulus cells pending in that slot. */
+    /** Per (slot, shard): stimulus cells pending in that slot. */
     std::vector<TouchList> stimTouched_;
     /** Per-shard event tallies (reduced after the barrier). */
     std::vector<uint64_t> laneEvents_;
-    /** Sparse-clear cost cap: dense fill at or above this. */
-    uint64_t sparseClearBudget_;
+    /** Per-shard bucket-visit tallies (reduced after the barrier). */
+    std::vector<uint64_t> laneBuckets_;
+    /** Per-shard dense-clear decisions for the consumed slot. */
+    std::vector<uint8_t> laneDense_;
+    /** Per-shard OR of the fired sources' activity masks. */
+    std::vector<uint64_t> routeMask_;
+    /** Shards with route or clear work this step, compacted. */
+    std::vector<uint32_t> activeShards_;
+    /** Per-shard sparse-clear cost cap: dense fill at or above. */
+    std::vector<uint64_t> shardClearBudget_;
+
+    bool sparseDelivery_ = true;
 
     uint64_t events_ = 0;
     uint64_t denseClears_ = 0;
     uint64_t sparseClears_ = 0;
     uint64_t cellsCleared_ = 0;
+    uint64_t shardsSkipped_ = 0;
+    uint64_t bucketsVisited_ = 0;
 
+    /** Sparse-path observability (always on when a registry exists). */
+    telemetry::Counter *shardsSkippedCounter_ = nullptr;
+    telemetry::Counter *bucketsVisitedCounter_ = nullptr;
     /** Deep telemetry, sampled per step while detailEnabled(). */
     telemetry::Counter *touchedCellsCounter_ = nullptr;
     telemetry::HistogramMetric *occupancyHist_ = nullptr;

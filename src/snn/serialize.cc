@@ -169,7 +169,11 @@ loadNetworkFile(const std::string &path)
 namespace {
 
 constexpr const char *checkpointMagic = "flexon-checkpoint";
-constexpr int checkpointVersion = 1;
+// v2: per-(slot, shard) stimulus touch lists and skip counters in the
+// router block, the session EWMA rate on the counters line, and the
+// event engine's carry block. v1 snapshots are rejected rather than
+// misread.
+constexpr int checkpointVersion = 2;
 
 } // namespace
 
@@ -202,6 +206,15 @@ readCheckpointHeader(std::istream &is)
     if (!is)
         fatal("truncated checkpoint header");
     return engine;
+}
+
+std::string
+peekCheckpointFileEngine(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        fatal("cannot open checkpoint file '%s'", path.c_str());
+    return readCheckpointHeader(is);
 }
 
 } // namespace flexon

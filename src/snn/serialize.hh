@@ -32,7 +32,7 @@ void saveNetworkFile(const std::string &path, const Network &network);
 Network loadNetworkFile(const std::string &path);
 
 /**
- * Checkpoint file framing ("flexon-checkpoint v1"): the versioned
+ * Checkpoint file framing ("flexon-checkpoint v2"): the versioned
  * header of a SimulationSession snapshot. The header writer arms the
  * stream for exact round trips — 17 significant digits, the precision
  * at which every finite double (and, a fortiori, float) survives a
@@ -47,6 +47,13 @@ void writeCheckpointHeader(std::ostream &os, std::string_view engine);
  * version.
  */
 std::string readCheckpointHeader(std::istream &is);
+
+/**
+ * Read just the engine kind from a checkpoint file's header without
+ * consuming the body — the auto engine uses this to rebuild the
+ * matching engine before restoring. fatal() on I/O or header errors.
+ */
+std::string peekCheckpointFileEngine(const std::string &path);
 
 } // namespace flexon
 

@@ -96,6 +96,15 @@ SimulationSession::phaseSynapse()
     }
     spikesCounter_.add(firedList_.size());
 
+    // Rate estimator for the auto engine switch: pure function of
+    // the spike history, so it stays deterministic and restorable.
+    if (numNeurons > 0) {
+        constexpr double alpha = 1.0 / 64.0;
+        const double inst = static_cast<double>(firedList_.size()) /
+                            static_cast<double>(numNeurons);
+        ewmaRate_ += (inst - ewmaRate_) * alpha;
+    }
+
     telemetry::ScopedTimer routeScope(routeTimer_,
                                       "sim.synapse.route");
     engineDeliverSpikes(t_, firedList_);
@@ -257,6 +266,12 @@ SimulationSession::printStats(std::ostream &os) const
     line("engine.ring_cells_cleared",
          static_cast<double>(view.ringCellsCleared),
          "cells zeroed by sparse clears");
+    line("engine.router_shards_skipped",
+         static_cast<double>(view.routerShardsSkipped),
+         "target shards skipped by sparse delivery");
+    line("engine.router_buckets_visited",
+         static_cast<double>(view.routerBucketsVisited),
+         "(shard, delay-bucket) pairs streamed");
     if (view.totalSec() > 0.0) {
         line("phase.neuron_share",
              view.neuronSec / view.totalSec(),
@@ -287,9 +302,40 @@ SimulationSession::reset()
     metrics_.reset();
     statsView_ = PhaseStats{};
     t_ = 0;
+    ewmaRate_ = 0.0;
     stimulus_ = stimulusInitial_;
     restored_ = false;
     restoredStep_ = 0;
+}
+
+void
+SimulationSession::adoptSessionCore(const SimulationSession &other)
+{
+    if (&network_ != &other.network_)
+        fatal("adoptSessionCore requires the same network");
+    if (options_.probes != other.options_.probes ||
+        options_.recordSpikes != other.options_.recordSpikes ||
+        options_.stimulusSeed != other.options_.stimulusSeed)
+        fatal("adoptSessionCore requires identical session options");
+
+    reset();
+    t_ = other.t_;
+    fired_ = other.fired_;
+    firedList_ = other.firedList_;
+    spikeCounts_ = other.spikeCounts_;
+    spikeEvents_ = other.spikeEvents_;
+    probeTraces_ = other.probeTraces_;
+    stimulus_ = other.stimulus_;
+    ewmaRate_ = other.ewmaRate_;
+    // Simulation-meaningful counters continue; wall-clock timers
+    // restart from zero, exactly as after a checkpoint restore.
+    stepsCounter_.add(other.stepsCounter_.value());
+    spikesCounter_.add(other.spikesCounter_.value());
+    modelNeuronSecGauge_.add(other.modelNeuronSecGauge_.value());
+    checkpointSaves_ = other.checkpointSaves_;
+    restored_ = other.restored_;
+    restoredStep_ = other.restoredStep_;
+    checkpointEvery_ = other.checkpointEvery_;
 }
 
 bool
@@ -336,6 +382,11 @@ SimulationSession::writeRunReport(const std::string &path) const
                        std::to_string(view.ringSparseClears));
     stats.emplace_back("ring_cells_cleared",
                        std::to_string(view.ringCellsCleared));
+    stats.emplace_back("router_shards_skipped",
+                       std::to_string(view.routerShardsSkipped));
+    stats.emplace_back("router_buckets_visited",
+                       std::to_string(view.routerBucketsVisited));
+    stats.emplace_back("ewma_rate", num(ewmaRate_));
     if (view.totalSec() > 0.0) {
         stats.emplace_back(
             "steps_per_sec",
@@ -375,10 +426,12 @@ SimulationSession::saveCheckpoint(std::ostream &os) const
 
     os << "session " << network_.numNeurons() << ' ' << t_ << '\n';
     // Only simulation-meaningful counters are captured; wall-clock
-    // phase timers are host-specific and restart from zero.
+    // phase timers are host-specific and restart from zero. The EWMA
+    // rate rides along so engine-selection decisions continue
+    // deterministically after a restore.
     os << "counters " << stepsCounter_.value() << ' '
        << spikesCounter_.value() << ' '
-       << modelNeuronSecGauge_.value() << '\n';
+       << modelNeuronSecGauge_.value() << ' ' << ewmaRate_ << '\n';
 
     os << "spike_counts";
     for (const uint64_t c : spikeCounts_)
@@ -452,7 +505,7 @@ SimulationSession::loadCheckpoint(std::istream &is,
 
     uint64_t steps = 0, spikes = 0;
     double modelSec = 0.0;
-    is >> tag >> steps >> spikes >> modelSec;
+    is >> tag >> steps >> spikes >> modelSec >> ewmaRate_;
     if (tag != "counters" || !is)
         fatal("malformed checkpoint counters line");
     stepsCounter_.add(steps);

@@ -23,7 +23,7 @@
  * steps is bit-identical — spike for spike, probe sample for probe
  * sample — to the uninterrupted run (tests/test_session.cc).
  *
- * Format: text, "flexon-checkpoint v1" framing (snn/serialize.hh),
+ * Format: text, "flexon-checkpoint v2" framing (snn/serialize.hh),
  * doubles at 17 significant digits and fixed-point values as raw
  * integers, so every value round trips exactly. Wall-clock phase
  * timers are deliberately *not* checkpointed — host seconds are not
@@ -38,6 +38,7 @@
 #include <iosfwd>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/telemetry.hh"
@@ -104,6 +105,10 @@ struct PhaseStats
     uint64_t ringSparseClears = 0;
     /** Cells zeroed by sparse clears (incl. duplicate zeroings). */
     uint64_t ringCellsCleared = 0;
+    /** Target shards skipped entirely by sparse delivery. */
+    uint64_t routerShardsSkipped = 0;
+    /** (shard, delay-bucket) pairs streamed by delivery. */
+    uint64_t routerBucketsVisited = 0;
 
     /** Host seconds across every tracked per-step phase. */
     double totalSec() const
@@ -117,6 +122,30 @@ struct SpikeEvent
 {
     uint64_t step;
     uint32_t neuron;
+};
+
+/**
+ * The bit-exact engine hand-off bundle: everything one delivery
+ * engine must pass to another so the simulation continues spike for
+ * spike as if the target engine had run from step 0. Produced by
+ * engineExportTransfer() and consumed by engineImportTransfer() on a
+ * session whose core was adopted via adoptSessionCore(). Ring values
+ * are the accumulated doubles (not the float weights), so the
+ * hand-off loses no precision.
+ */
+struct EngineTransfer
+{
+    /** Completed steps at the hand-off point. */
+    uint64_t t = 0;
+    /** Cumulative synaptic deliveries (continues the counter). */
+    uint64_t synapseEvents = 0;
+    /** Per-neuron membrane potential, reference units. */
+    std::vector<double> v;
+    /** Per-neuron absolute-refractory countdown, in steps. */
+    std::vector<uint32_t> refractory;
+    /** Pending deliveries per delay offset d from t: ascending
+     *  (cell, value) pairs destined for step t + d. */
+    std::vector<std::vector<std::pair<uint32_t, double>>> ring;
 };
 
 /**
@@ -181,6 +210,28 @@ class SimulationSession
 
     /** Mean firing rate in spikes per neuron per step. */
     double meanRate() const;
+
+    /**
+     * Exponentially weighted moving average of the per-step firing
+     * rate (spikes per neuron per step), alpha = 1/64. Updated every
+     * step from the fired sweep, checkpointed, and deterministic —
+     * it derives purely from the spike history, so it is safe to
+     * base engine-selection decisions on without breaking
+     * bit-identity.
+     */
+    double ewmaRate() const { return ewmaRate_; }
+
+    /**
+     * Copy the engine-independent core — step counter, spike
+     * counts/recordings, probe traces, fired state, stimulus stream
+     * position, rate estimator and the checkpointed counters — from
+     * `other` into this freshly built session. Both sessions must
+     * simulate the same network with the same options. Wall-clock
+     * phase timers restart from zero (the checkpoint contract). Used
+     * together with engineExportTransfer()/engineImportTransfer()
+     * to switch delivery engines mid-run.
+     */
+    void adoptSessionCore(const SimulationSession &other);
 
     /**
      * Dump a gem5-style statistics block: one `name value # desc`
@@ -332,6 +383,31 @@ class SimulationSession
     /** Restore the engine's dynamic state (loadCheckpoint). */
     virtual void engineLoadState(std::istream &is) = 0;
 
+  public:
+    /**
+     * Export the engine's dynamic state as an EngineTransfer for a
+     * hand-off to another engine. Returns false when the engine does
+     * not support hand-offs (the default).
+     */
+    virtual bool engineExportTransfer(EngineTransfer &out) const
+    {
+        (void)out;
+        return false;
+    }
+
+    /**
+     * Seed the engine's dynamic state from an EngineTransfer; call
+     * only on a session that just adopted the matching core via
+     * adoptSessionCore(). Returns false when unsupported.
+     */
+    virtual bool engineImportTransfer(const EngineTransfer &in)
+    {
+        (void)in;
+        return false;
+    }
+
+  protected:
+
     const SessionOptions &sessionOptions() const { return options_; }
 
     /** Fired neuron indices of the current step, ascending. */
@@ -375,6 +451,9 @@ class SimulationSession
 
     /** Fired neuron indices of the current step (capacity N). */
     std::vector<uint32_t> firedList_;
+
+    /** EWMA of the per-step firing rate (see ewmaRate()). */
+    double ewmaRate_ = 0.0;
 
     // Checkpoint bookkeeping (saveCheckpoint is logically const).
     mutable uint64_t checkpointSaves_ = 0;

@@ -32,6 +32,7 @@ Simulator::Simulator(const Network &network, StimulusGenerator stimulus,
     router_ = std::make_unique<SpikeRouter>(
         network, options_.threads == 0 ? 1 : options_.threads,
         &metrics());
+    router_->setSparseDelivery(options_.sparseDelivery);
 }
 
 void
@@ -92,6 +93,8 @@ Simulator::refreshEngineStats(PhaseStats &view) const
     view.ringDenseClears = router_->denseClears();
     view.ringSparseClears = router_->sparseClears();
     view.ringCellsCleared = router_->cellsCleared();
+    view.routerShardsSkipped = router_->shardsSkipped();
+    view.routerBucketsVisited = router_->bucketsVisited();
 }
 
 void
@@ -114,6 +117,28 @@ Simulator::engineLoadState(std::istream &is)
 {
     backend_->loadState(is);
     router_->loadState(is);
+}
+
+bool
+Simulator::engineExportTransfer(EngineTransfer &out) const
+{
+    if (!backend_->exportLlifState(out.v, out.refractory))
+        return false;
+    out.t = currentStep();
+    out.synapseEvents = router_->events();
+    router_->exportRing(out.t, out.ring);
+    return true;
+}
+
+bool
+Simulator::engineImportTransfer(const EngineTransfer &in)
+{
+    flexon_assert(in.t == currentStep());
+    if (!backend_->importLlifState(in.v, in.refractory))
+        return false;
+    router_->importRing(in.t, in.ring);
+    router_->seedEvents(in.synapseEvents);
+    return true;
 }
 
 } // namespace flexon

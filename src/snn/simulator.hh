@@ -42,6 +42,12 @@ struct SimulatorOptions
     size_t threads = 1;
     /** Record (step, neuron) spike events (memory-heavy). */
     bool recordSpikes = false;
+    /**
+     * Sparse-activity delivery (activity bitmaps + shard skipping);
+     * off restores the PR 5 every-shard schedule. Bit-identical
+     * either way.
+     */
+    bool sparseDelivery = true;
     /** Neurons whose membrane potential is sampled every step. */
     std::vector<uint32_t> probes;
 };
@@ -97,6 +103,17 @@ class Simulator : public SimulationSession
         telemetry::ReportFields &config) const override;
     void engineSaveState(std::ostream &os) const override;
     void engineLoadState(std::istream &is) override;
+
+  public:
+    /**
+     * Engine hand-off (rate-adaptive switch): supported when the
+     * backend can express its neuron state as LLIF (v, refractory)
+     * arrays — the Reference backend in discrete mode. The ring is
+     * exchanged as accumulated per-cell doubles, so the receiving
+     * engine continues the exact addition sequence.
+     */
+    bool engineExportTransfer(EngineTransfer &out) const override;
+    bool engineImportTransfer(const EngineTransfer &in) override;
 
   private:
     SimulatorOptions options_;

@@ -9,7 +9,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <map>
 
+#include "nets/potjans_diesmann.hh"
 #include "nets/table1.hh"
 #include "snn/simulator.hh"
 
@@ -111,6 +113,179 @@ INSTANTIATE_TEST_SUITE_P(
                 c = '_';
         return name;
     });
+
+// ---- Potjans–Diesmann microcircuit ------------------------------
+
+TEST(Microcircuit, EightPopulationsWithPublishedSizes)
+{
+    const auto &sizes = microcircuitFullSizes();
+    ASSERT_EQ(sizes.size(), microcircuitPopulations);
+    EXPECT_EQ(sizes[0], 20683u); // L2/3E
+    EXPECT_EQ(sizes[1], 5834u);  // L2/3I
+    EXPECT_EQ(sizes[2], 21915u); // L4E
+    EXPECT_EQ(sizes[3], 5479u);  // L4I
+    EXPECT_EQ(sizes[4], 4850u);  // L5E
+    EXPECT_EQ(sizes[5], 1065u);  // L5I
+    EXPECT_EQ(sizes[6], 14395u); // L6E
+    EXPECT_EQ(sizes[7], 2948u);  // L6I
+    size_t total = 0;
+    for (const size_t n : sizes)
+        total += n;
+    EXPECT_EQ(total, 77169u);
+
+    MicrocircuitOptions opts;
+    opts.scale = 40.0;
+    MicrocircuitInstance inst = buildMicrocircuit(opts);
+    ASSERT_EQ(inst.network.numPopulations(),
+              microcircuitPopulations);
+    for (size_t p = 0; p < microcircuitPopulations; ++p) {
+        EXPECT_EQ(inst.network.population(p).name,
+                  microcircuitPopulationNames()[p]);
+        EXPECT_EQ(inst.network.population(p).count,
+                  inst.popSizes[p]);
+        EXPECT_NEAR(static_cast<double>(inst.popSizes[p]),
+                    static_cast<double>(sizes[p]) / opts.scale, 1.0);
+    }
+}
+
+TEST(Microcircuit, WiredInDegreesMatchTheMatrix)
+{
+    MicrocircuitOptions opts;
+    opts.scale = 60.0;
+    MicrocircuitInstance inst = buildMicrocircuit(opts);
+    const Network &net = inst.network;
+
+    // Count realized synapses per (target-pop, source-pop) pair.
+    std::map<std::pair<size_t, size_t>, size_t> counts;
+    for (uint32_t src = 0; src < net.numNeurons(); ++src) {
+        const size_t sp = &net.populationOf(src) -
+                          &net.population(0);
+        for (const Synapse &syn : net.outgoing(src)) {
+            const size_t tp = &net.populationOf(syn.target) -
+                              &net.population(0);
+            ++counts[{tp, sp}];
+        }
+    }
+
+    // The realized per-target in-degree equals the scaled matrix,
+    // except that recurrent (same-population) pairs lose the autapse
+    // draws the generator skips: a 1/N fraction of them.
+    for (size_t t = 0; t < microcircuitPopulations; ++t) {
+        for (size_t s = 0; s < microcircuitPopulations; ++s) {
+            double expected =
+                static_cast<double>(inst.inDegrees[t][s] *
+                                    inst.popSizes[t]);
+            if (t == s)
+                expected *= 1.0 - 1.0 / static_cast<double>(
+                                            inst.popSizes[t]);
+            const double got =
+                static_cast<double>(counts[{t, s}]);
+            if (expected == 0.0)
+                EXPECT_EQ(got, 0.0) << "t=" << t << " s=" << s;
+            else
+                EXPECT_NEAR(got, expected, 0.01 * expected + 2.0)
+                    << "t=" << t << " s=" << s;
+        }
+    }
+
+    // Strongest published projections survive scaling: the L5I->L5E
+    // loop (C = 0.373) must out-wire L5E's other inhibitory inputs.
+    EXPECT_GT(inst.inDegrees[4][5], inst.inDegrees[4][3]);
+    // L6I->L6E (0.225) dominates the other cross-layer inputs to
+    // L6E.
+    EXPECT_GT(inst.inDegrees[6][7], inst.inDegrees[6][1]);
+}
+
+TEST(Microcircuit, DelayRangesSplitByProjectionSign)
+{
+    MicrocircuitOptions opts;
+    opts.scale = 80.0;
+    MicrocircuitInstance inst = buildMicrocircuit(opts);
+    const Network &net = inst.network;
+    for (uint32_t src = 0; src < net.numNeurons(); ++src) {
+        const size_t sp =
+            &net.populationOf(src) - &net.population(0);
+        const bool exc = sp % 2 == 0;
+        for (const Synapse &syn : net.outgoing(src)) {
+            if (exc) {
+                EXPECT_EQ(syn.type, 0);
+                EXPECT_GE(syn.delay, 8);
+                EXPECT_LE(syn.delay, 23);
+                EXPECT_GT(syn.weight, 0.0f);
+            } else {
+                EXPECT_EQ(syn.type, 1);
+                EXPECT_GE(syn.delay, 4);
+                EXPECT_LE(syn.delay, 11);
+                EXPECT_LT(syn.weight, 0.0f);
+            }
+        }
+    }
+    EXPECT_GE(net.maxDelay(), 20);
+}
+
+TEST(Microcircuit, SeededBuildsReproduceAtSeveralScales)
+{
+    for (const double scale : {30.0, 60.0, 120.0}) {
+        MicrocircuitOptions opts;
+        opts.scale = scale;
+        opts.seed = 11;
+        MicrocircuitInstance a = buildMicrocircuit(opts);
+        MicrocircuitInstance b = buildMicrocircuit(opts);
+        ASSERT_EQ(a.network.numSynapses(), b.network.numSynapses())
+            << "scale " << scale;
+        ASSERT_EQ(a.network.numNeurons(), b.network.numNeurons());
+        for (uint32_t src = 0; src < a.network.numNeurons();
+             src += 17) {
+            const auto ra = a.network.outgoing(src);
+            const auto rb = b.network.outgoing(src);
+            ASSERT_EQ(ra.size(), rb.size());
+            for (size_t i = 0; i < ra.size(); ++i) {
+                EXPECT_EQ(ra[i].target, rb[i].target);
+                EXPECT_EQ(ra[i].weight, rb[i].weight);
+                EXPECT_EQ(ra[i].delay, rb[i].delay);
+            }
+        }
+        // A different seed rewires.
+        opts.seed = 12;
+        MicrocircuitInstance c = buildMicrocircuit(opts);
+        bool differs =
+            c.network.numSynapses() != a.network.numSynapses();
+        for (uint32_t src = 0;
+             !differs && src < a.network.numNeurons(); ++src) {
+            const auto ra = a.network.outgoing(src);
+            const auto rc = c.network.outgoing(src);
+            if (ra.size() != rc.size()) {
+                differs = true;
+                break;
+            }
+            for (size_t i = 0; i < ra.size(); ++i)
+                if (ra[i].target != rc[i].target) {
+                    differs = true;
+                    break;
+                }
+        }
+        EXPECT_TRUE(differs) << "scale " << scale;
+    }
+}
+
+TEST(Microcircuit, FewHertzRegimeAndRateKnob)
+{
+    MicrocircuitOptions opts;
+    opts.scale = 50.0;
+    MicrocircuitInstance inst = buildMicrocircuit(opts);
+    Simulator sim(inst.network, inst.stimulus);
+    sim.run(2000);
+    const double background = sim.meanRate();
+    EXPECT_GT(background, 1e-4) << "microcircuit is silent";
+    EXPECT_LT(background, 3e-3) << "background regime too hot";
+
+    opts.rateScale = 8.0;
+    MicrocircuitInstance hot = buildMicrocircuit(opts);
+    Simulator hotSim(hot.network, hot.stimulus);
+    hotSim.run(2000);
+    EXPECT_GT(hotSim.meanRate(), 3.0 * background);
+    EXPECT_LT(hotSim.meanRate(), 0.05);
+}
 
 } // namespace
 } // namespace flexon

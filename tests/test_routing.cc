@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "features/model_table.hh"
+#include "snn/event_driven.hh"
 #include "snn/routing.hh"
 #include "snn/simulator.hh"
 #include "snn/stdp.hh"
@@ -353,6 +354,125 @@ TEST(RoutingRefresh, FullRefreshAfterLogOverflow)
         expectRingBitIdentical(oracle.ring_, sim.ringBuffer(), step);
     }
     EXPECT_GT(sim.stats().spikes, 0u);
+}
+
+// ---- Sparse-activity delivery (activity bitmaps + shard skip) ---
+
+/** A recurrent LLIF network every delivery engine can run. */
+Network
+llifNet(size_t neurons, uint64_t seed)
+{
+    Network net;
+    NeuronParams p = defaultParams(ModelKind::LLIF);
+    const size_t a = net.addPopulation("llif-a", p, neurons / 2);
+    const size_t b =
+        net.addPopulation("llif-b", p, neurons - neurons / 2);
+    Rng rng(seed);
+    net.connectRandom(a, b, 0.06, 0.35, 1, 9, 0, rng);
+    net.connectRandom(b, a, 0.06, 0.30, 2, 12, 0, rng);
+    net.connectRandom(a, a, 0.04, -0.20, 1, 5, 1, rng);
+    net.finalize();
+    return net;
+}
+
+StimulusGenerator
+llifStim(size_t neurons, uint64_t seed)
+{
+    StimulusGenerator stim(seed);
+    stim.addSource(StimulusSource::poisson(
+        0, static_cast<uint32_t>(neurons), 0.02, 0.8f, 0));
+    return stim;
+}
+
+class SparseDelivery : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(SparseDelivery, LegacySparseAndEventEnginesBitIdentical)
+{
+    // Three deliveries of the same simulation: the PR 5 every-shard
+    // schedule (sparseDelivery off), the masked sparse path, and the
+    // event-driven engine. All three must agree spike for spike and
+    // ring double for ring double at every thread count.
+    const size_t threads = GetParam();
+    const size_t n = 120;
+    Network netLegacy = llifNet(n, 31);
+    Network netSparse = llifNet(n, 31);
+    Network netEvent = llifNet(n, 31);
+
+    SimulatorOptions opts;
+    opts.threads = threads;
+    opts.recordSpikes = true;
+    SimulatorOptions legacyOpts = opts;
+    legacyOpts.sparseDelivery = false;
+    Simulator legacy(netLegacy, llifStim(n, 5), legacyOpts);
+    Simulator sparse(netSparse, llifStim(n, 5), opts);
+
+    SessionOptions evOpts;
+    evOpts.threads = threads;
+    evOpts.recordSpikes = true;
+    EventDrivenSimulator event(netEvent, llifStim(n, 5), evOpts);
+
+    for (uint64_t step = 0; step < 600; ++step) {
+        legacy.stepOnce();
+        sparse.stepOnce();
+        event.stepOnce();
+        ASSERT_EQ(legacy.lastFired(), sparse.lastFired())
+            << "step " << step;
+        ASSERT_EQ(legacy.lastFired(), event.lastFired())
+            << "step " << step;
+        expectRingBitIdentical(legacy.ringBuffer(),
+                               sparse.ringBuffer(), step);
+    }
+    EXPECT_GT(legacy.stats().spikes, 0u) << "network stayed silent";
+    EXPECT_EQ(legacy.spikeCounts(), sparse.spikeCounts());
+    EXPECT_EQ(legacy.spikeCounts(), event.spikeCounts());
+    EXPECT_EQ(legacy.stats().synapseEvents,
+              sparse.stats().synapseEvents);
+    EXPECT_EQ(legacy.stats().synapseEvents,
+              event.SimulationSession::stats().synapseEvents);
+
+    // The sparse path must actually skip work the legacy schedule
+    // performs: on a low-rate network most (shard, bucket) streams
+    // are empty.
+    const PhaseStats &st = sparse.stats();
+    EXPECT_EQ(legacy.stats().routerShardsSkipped, 0u);
+    EXPECT_GT(st.routerBucketsVisited, 0u);
+    if (threads > 1) {
+        EXPECT_GT(st.routerShardsSkipped, 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, SparseDelivery,
+                         ::testing::Values(1, 3, 4),
+                         [](const auto &info) {
+                             return "t" + std::to_string(info.param);
+                         });
+
+TEST(SparseDelivery, BucketsVisitedBoundedByPopulatedStreams)
+{
+    // One source with exactly two delay buckets: delivery must visit
+    // at most fired x populated-bucket streams, never the full
+    // (shard x bucket) cross product.
+    Network net;
+    NeuronParams p = defaultParams(ModelKind::LIF);
+    net.addPopulation("pair", p, 200);
+    net.addSynapse(0, {1, 150.0f, 1, 0});
+    net.addSynapse(0, {2, 150.0f, 7, 0});
+    net.finalize();
+    StimulusGenerator stim(1);
+    stim.addSource(StimulusSource::pattern(0, 1, 10, 150.0f, 0));
+
+    SimulatorOptions opts;
+    opts.threads = 4;
+    Simulator sim(net, stim, opts);
+    sim.run(400);
+    const PhaseStats &st = sim.stats();
+    EXPECT_GT(st.spikes, 0u);
+    // Neuron 0's two targets live in one shard; every firing visits
+    // at most 2 (shard, bucket) streams.
+    EXPECT_LE(st.routerBucketsVisited, 2 * st.spikes);
+    EXPECT_GT(st.routerShardsSkipped, 0u);
 }
 
 } // namespace

@@ -20,6 +20,7 @@
 
 #include "features/model_table.hh"
 #include "nets/table1.hh"
+#include "snn/auto_engine.hh"
 #include "snn/event_driven.hh"
 #include "snn/simulator.hh"
 #include "snn/stdp.hh"
@@ -349,6 +350,135 @@ TEST(SessionCheckpoint, RejectsNeuronCountMismatch)
     LlifSetup b = llifNetwork(31, 0.02, 9);
     Simulator other(b.net, b.stim, SimulatorOptions{});
     EXPECT_DEATH(other.loadCheckpoint(snapshot), "neurons");
+}
+
+// ---- Rate-adaptive engine switch --------------------------------
+
+/**
+ * Auto-engine options that force an early event -> dense switch: the
+ * huge cost factor pushes the crossover rate below any sustained
+ * activity, so the session (which starts event-driven on the silent
+ * fresh network) must hand off to dense at an early decision
+ * boundary.
+ */
+AutoEngineOptions
+forcedSwitchOptions()
+{
+    AutoEngineOptions a;
+    a.engine = EngineKind::Auto;
+    a.decisionWindow = 64;
+    a.costFactor = 200.0;
+    return a;
+}
+
+TEST(AutoEngine, SwitchingRunMatchesPinnedEnginesBitForBit)
+{
+    const uint64_t total = 640;
+    SimulatorOptions opts;
+    opts.recordSpikes = true;
+    opts.probes = {0, 3, 11};
+
+    LlifSetup a = llifNetwork(90, 0.05, 13);
+    Simulator dense(a.net, a.stim, opts);
+    dense.run(total);
+    ASSERT_GT(dense.stats().spikes, 0u) << "network stayed silent";
+
+    LlifSetup b = llifNetwork(90, 0.05, 13);
+    AutoSession autoSim(b.net, b.stim, opts, forcedSwitchOptions());
+    ASSERT_TRUE(autoSim.adaptive());
+    autoSim.run(total);
+    EXPECT_GE(autoSim.switches(), 1u)
+        << "forced crossover never triggered a switch";
+    EXPECT_FALSE(autoSim.eventActive());
+
+    expectIdentical(capture(dense, opts.probes.size()),
+                    capture(autoSim.session(), opts.probes.size()));
+}
+
+TEST(AutoEngine, CheckpointAcrossSwitchRestoresBitForBit)
+{
+    const uint64_t total = 640, split = 320;
+    SimulatorOptions opts;
+    opts.recordSpikes = true;
+    opts.probes = {0, 3, 11};
+
+    // Uninterrupted adaptive baseline.
+    LlifSetup a = llifNetwork(90, 0.05, 13);
+    AutoSession full(a.net, a.stim, opts, forcedSwitchOptions());
+    full.run(total);
+    ASSERT_GE(full.switches(), 1u);
+
+    // Same run split at a point past the switch; the snapshot is
+    // written by whichever engine is live at the split.
+    const std::string path =
+        ::testing::TempDir() + "auto-switch.fxc";
+    LlifSetup b = llifNetwork(90, 0.05, 13);
+    {
+        AutoSession first(b.net, b.stim, opts,
+                          forcedSwitchOptions());
+        first.run(split);
+        ASSERT_GE(first.switches(), 1u)
+            << "split point landed before the switch";
+        EXPECT_FALSE(first.eventActive());
+        ASSERT_TRUE(first.saveCheckpointFile(path));
+    } // restore below must be self-contained
+
+    // A fresh adaptive session starts on the event engine; the
+    // restore must rebuild the engine the checkpoint was written by
+    // and then continue bit-exactly, including later decisions (the
+    // EWMA estimator travels in the snapshot).
+    AutoSession second(b.net, b.stim, opts, forcedSwitchOptions());
+    EXPECT_TRUE(second.eventActive());
+    second.loadCheckpointFile(path);
+    EXPECT_FALSE(second.eventActive());
+    EXPECT_EQ(second.session().restoredStep(), split);
+    second.run(total - split);
+
+    expectIdentical(capture(full.session(), opts.probes.size()),
+                    capture(second.session(), opts.probes.size()));
+}
+
+TEST(AutoEngine, PinnedKindsNeverSwitch)
+{
+    LlifSetup a = llifNetwork(50, 0.05, 5);
+    AutoEngineOptions pin;
+    pin.engine = EngineKind::Event;
+    AutoSession ev(a.net, a.stim, SimulatorOptions{}, pin);
+    EXPECT_FALSE(ev.adaptive());
+    EXPECT_TRUE(ev.eventActive());
+    ev.run(300);
+    EXPECT_EQ(ev.switches(), 0u);
+
+    LlifSetup b = llifNetwork(50, 0.05, 5);
+    pin.engine = EngineKind::Dense;
+    AutoSession dense(b.net, b.stim, SimulatorOptions{}, pin);
+    EXPECT_FALSE(dense.adaptive());
+    EXPECT_FALSE(dense.eventActive());
+    dense.run(300);
+    EXPECT_EQ(dense.switches(), 0u);
+
+    // Identical spikes regardless of the pin.
+    EXPECT_EQ(ev.session().spikeCounts(),
+              dense.session().spikeCounts());
+}
+
+TEST(AutoEngine, AutoFallsBackToDenseWhenIneligible)
+{
+    // A non-LLIF network cannot run event-driven; Auto must pin
+    // dense instead of dying.
+    Network net;
+    net.addPopulation("lif", defaultParams(ModelKind::LIF), 40);
+    net.finalize();
+    StimulusGenerator stim(3);
+    stim.addSource(StimulusSource::poisson(0, 40, 0.05, 0.8f, 0));
+
+    AutoSession sim(net, stim, SimulatorOptions{},
+                    AutoEngineOptions{});
+    EXPECT_FALSE(sim.adaptive());
+    EXPECT_FALSE(sim.eventActive());
+    sim.run(100);
+    EXPECT_EQ(sim.switches(), 0u);
+    EXPECT_EQ(sim.session().currentStep(), 100u);
 }
 
 TEST(SessionCheckpoint, ReportCarriesCheckpointSection)

@@ -28,7 +28,9 @@
 #include "analysis/spike_train.hh"
 #include "common/logging.hh"
 #include "frontend/script.hh"
+#include "nets/potjans_diesmann.hh"
 #include "nets/table1.hh"
+#include "snn/auto_engine.hh"
 #include "snn/serialize.hh"
 #include "snn/simulator.hh"
 
@@ -44,6 +46,8 @@ struct Args
     std::string save;
     std::string csv;
     double scale = 10.0;
+    double rateScale = 1.0;
+    EngineKind engine = EngineKind::Dense;
     uint64_t steps = 1000;
     uint64_t seed = 1;
     size_t threads = 1;
@@ -51,6 +55,7 @@ struct Args
     IntegrationMode mode = IntegrationMode::Discrete;
     SolverKind solver = SolverKind::Euler;
     bool raster = false;
+    bool legacyDelivery = false;
     bool stats = false;
     bool list = false;
     bool telemetry = false;
@@ -70,6 +75,12 @@ usage()
         "                  --load FILE | --list\n"
         "  [--scale S] [--steps N] [--seed N] [--threads N]\n"
         "  [--backend reference|flexon|folded]\n"
+        "  [--engine dense|event|auto]  delivery engine "
+        "(auto = rate-adaptive)\n"
+        "  [--legacy-delivery]  disable the sparse-activity "
+        "delivery fast path\n"
+        "  [--rate-scale R]  external-drive multiplier "
+        "(microcircuit)\n"
         "  [--solver euler|rkf45]  (reference backend only)\n"
         "  [--raster] [--stats] [--csv FILE] [--save FILE]\n"
         "  [--telemetry]     enable deep counters + flight recorder\n"
@@ -107,6 +118,11 @@ parseArgs(int argc, char **argv)
             args.csv = need_value(i);
         } else if (flag == "--scale") {
             args.scale = std::stod(need_value(i));
+        } else if (flag == "--rate-scale") {
+            args.rateScale = std::stod(need_value(i));
+        } else if (flag == "--engine") {
+            if (!parseEngineKind(need_value(i), args.engine))
+                usage();
         } else if (flag == "--steps") {
             args.steps = std::stoull(need_value(i));
         } else if (flag == "--seed") {
@@ -144,6 +160,8 @@ parseArgs(int argc, char **argv)
             args.checkpointDir = need_value(i);
         } else if (flag == "--restore") {
             args.restore = need_value(i);
+        } else if (flag == "--legacy-delivery") {
+            args.legacyDelivery = true;
         } else if (flag == "--raster") {
             args.raster = true;
         } else if (flag == "--stats") {
@@ -181,6 +199,12 @@ main(int argc, char **argv)
                         spec.synapses, modelName(spec.model),
                         solverName(spec.solver));
         }
+        size_t mcNeurons = 0;
+        for (const size_t n : microcircuitFullSizes())
+            mcNeurons += n;
+        std::printf("%-18s %8zu %10s  %-22s %s\n", "microcircuit",
+                    mcNeurons, "~3e8", "LLIF (8 populations)",
+                    "Euler");
         return 0;
     }
     const int sources = (!args.benchmark.empty()) +
@@ -191,7 +215,16 @@ main(int argc, char **argv)
     Network net;
     StimulusGenerator stim(args.seed);
     std::string title;
-    if (!args.benchmark.empty()) {
+    if (args.benchmark == "microcircuit") {
+        MicrocircuitOptions mc;
+        mc.scale = args.scale;
+        mc.seed = args.seed;
+        mc.rateScale = args.rateScale;
+        MicrocircuitInstance inst = buildMicrocircuit(mc);
+        net = std::move(inst.network);
+        stim = std::move(inst.stimulus);
+        title = "microcircuit";
+    } else if (!args.benchmark.empty()) {
         BenchmarkInstance inst = buildBenchmark(
             findBenchmark(args.benchmark), args.scale, args.seed);
         net = std::move(inst.network);
@@ -222,14 +255,17 @@ main(int argc, char **argv)
     opts.solver = args.solver;
     opts.threads = args.threads;
     opts.recordSpikes = args.raster || !args.csv.empty();
-    Simulator sim(net, stim, opts);
-    sim.setCheckpointCadence(args.checkpointEvery);
+    opts.sparseDelivery = !args.legacyDelivery;
+    AutoEngineOptions autoOpts;
+    autoOpts.engine = args.engine;
+    AutoSession sim(net, stim, opts, autoOpts);
+    sim.session().setCheckpointCadence(args.checkpointEvery);
     if (!args.restore.empty()) {
         sim.loadCheckpointFile(args.restore, &net);
         inform("restored checkpoint %s at step %llu",
                args.restore.c_str(),
                static_cast<unsigned long long>(
-                   sim.restoredStep()));
+                   sim.session().restoredStep()));
     }
 
     // --steps counts the steps run by *this* invocation; after a
@@ -241,30 +277,40 @@ main(int argc, char **argv)
         while (remaining > 0) {
             const uint64_t untilNext =
                 args.checkpointEvery -
-                (sim.currentStep() % args.checkpointEvery);
+                (sim.session().currentStep() % args.checkpointEvery);
             const uint64_t chunk =
                 std::min(remaining, untilNext);
             sim.run(chunk);
             remaining -= chunk;
-            if (sim.currentStep() % args.checkpointEvery == 0) {
+            if (sim.session().currentStep() % args.checkpointEvery ==
+                0) {
                 const std::string path =
                     args.checkpointDir + "/checkpoint-" +
-                    std::to_string(sim.currentStep()) + ".fxc";
+                    std::to_string(sim.session().currentStep()) +
+                    ".fxc";
                 if (sim.saveCheckpointFile(path))
                     inform("wrote checkpoint %s", path.c_str());
             }
         }
     }
 
-    const PhaseStats &st = sim.stats();
-    std::printf("%s: %zu neurons, %zu synapses, backend=%s\n",
+    SimulationSession &session = sim.session();
+    const PhaseStats &st = session.stats();
+    std::printf("%s: %zu neurons, %zu synapses, backend=%s, "
+                "engine=%s%s\n",
                 title.c_str(), net.numNeurons(), net.numSynapses(),
-                backendName(args.backend));
+                backendName(args.backend), sim.activeEngine(),
+                sim.adaptive() ? " (adaptive)" : "");
+    if (sim.switches() > 0)
+        std::printf("engine switches: %llu (crossover rate %.5f "
+                    "spikes/neuron/step)\n",
+                    static_cast<unsigned long long>(sim.switches()),
+                    sim.crossoverRate());
     std::printf("steps=%llu spikes=%llu rate=%.5f/neuron/step "
                 "synapse-events=%llu\n",
                 static_cast<unsigned long long>(st.steps),
                 static_cast<unsigned long long>(st.spikes),
-                sim.meanRate(),
+                session.meanRate(),
                 static_cast<unsigned long long>(st.synapseEvents));
     std::printf("wall time: stimulus %.2f ms, neuron %.2f ms, "
                 "synapse %.2f ms\n",
@@ -279,17 +325,17 @@ main(int argc, char **argv)
 
     if (args.stats) {
         std::ostringstream oss;
-        sim.printStats(oss);
+        session.printStats(oss);
         std::fputs(oss.str().c_str(), stdout);
     }
 
     if (args.raster) {
         std::printf("\n%s",
-                    renderRaster(sim.spikeEvents(), net.numNeurons(),
+                    renderRaster(session.spikeEvents(), net.numNeurons(),
                                  st.steps)
                         .c_str());
         const auto rate = populationRate(
-            sim.spikeEvents(), net.numNeurons(), st.steps,
+            session.spikeEvents(), net.numNeurons(), st.steps,
             std::max<uint64_t>(1, st.steps / 72));
         std::printf("rate    %s\n",
                     renderRateSparkline(rate).c_str());
@@ -298,11 +344,11 @@ main(int argc, char **argv)
         std::ofstream os(args.csv);
         if (!os)
             fatal("cannot open '%s'", args.csv.c_str());
-        writeSpikesCsv(os, sim.spikeEvents());
+        writeSpikesCsv(os, session.spikeEvents());
         inform("wrote %zu spike events to %s",
-               sim.spikeEvents().size(), args.csv.c_str());
+               session.spikeEvents().size(), args.csv.c_str());
     }
-    if (!args.report.empty() && sim.writeRunReport(args.report))
+    if (!args.report.empty() && session.writeRunReport(args.report))
         inform("wrote run report to %s", args.report.c_str());
     if (!args.trace.empty() &&
         telemetry::writeTraceFile(args.trace)) {
