@@ -188,4 +188,101 @@ buildMicrocircuit(const MicrocircuitOptions &options)
     return inst;
 }
 
+MicrocircuitInstance
+buildMicrocircuitSpec(const MicrocircuitOptions &options,
+                      bool procedural)
+{
+    flexon_assert(options.scale >= 1.0);
+    flexon_assert(options.rateScale > 0.0);
+
+    MicrocircuitInstance inst;
+    inst.options = options;
+    inst.inDegrees = microcircuitInDegrees(options.scale);
+
+    const auto &names = microcircuitPopulationNames();
+    const auto &full = microcircuitFullSizes();
+    const NeuronParams params = defaultParams(ModelKind::LLIF);
+
+    std::array<size_t, microcircuitPopulations> pops{};
+    for (size_t p = 0; p < microcircuitPopulations; ++p) {
+        inst.popSizes[p] = std::max<size_t>(
+            2, static_cast<size_t>(
+                   std::llround(full[p] / options.scale)));
+        pops[p] = inst.network.addPopulation(names[p], params,
+                                             inst.popSizes[p]);
+    }
+
+    // Same weight derivation as buildMicrocircuit; the fixed
+    // in-degree K_in(t <- s) turns into a per-source fixed fanout
+    // K_out(s -> t) = K_in * Nt / Ns, which preserves the expected
+    // synapse count of every projection.
+    ConnectivitySpec cs;
+    cs.seed = options.seed;
+    for (size_t t = 0; t < microcircuitPopulations; ++t) {
+        size_t excIn = 0;
+        for (size_t s = 0; s < microcircuitPopulations; s += 2)
+            excIn += inst.inDegrees[t][s];
+        const double wExc = options.gain /
+                            static_cast<double>(
+                                std::max<size_t>(1, excIn));
+        const double wInh = options.inhibition * wExc;
+        for (size_t s = 0; s < microcircuitPopulations; ++s) {
+            const size_t fanin = inst.inDegrees[t][s];
+            if (fanin == 0)
+                continue;
+            const bool excSrc = s % 2 == 0;
+            double w = excSrc ? wExc : wInh;
+            if (t == 0 && s == 2)
+                w *= 2.0;
+            const double ns =
+                static_cast<double>(inst.popSizes[s]);
+            const double nt =
+                static_cast<double>(inst.popSizes[t]);
+            const auto fanout = static_cast<uint32_t>(std::max<long long>(
+                1, std::llround(static_cast<double>(fanin) * nt / ns)));
+            const Population &srcPop =
+                inst.network.population(pops[s]);
+            const Population &dstPop =
+                inst.network.population(pops[t]);
+            Projection proj;
+            proj.rule = Projection::Rule::FixedFanout;
+            proj.srcBase = static_cast<uint32_t>(srcPop.base);
+            proj.srcCount = static_cast<uint32_t>(srcPop.count);
+            proj.dstBase = static_cast<uint32_t>(dstPop.base);
+            proj.dstCount = static_cast<uint32_t>(dstPop.count);
+            proj.fanout = fanout;
+            proj.weightMean = w;
+            proj.delayMin = excSrc ? excDelayMin : inhDelayMin;
+            proj.delayMax = excSrc ? excDelayMax : inhDelayMax;
+            proj.type = excSrc ? 0 : 1;
+            cs.projections.push_back(proj);
+        }
+    }
+    inst.network.buildFromSpec(cs, procedural);
+
+    // External drive identical to buildMicrocircuit (full-scale
+    // kick weights; see the notes there).
+    const auto fullK = microcircuitInDegrees(1.0);
+    inst.stimulus = StimulusGenerator(options.seed ^ 0x9e3779b9ULL);
+    for (size_t t = 0; t < microcircuitPopulations; ++t) {
+        size_t excIn = 0;
+        for (size_t s = 0; s < microcircuitPopulations; s += 2)
+            excIn += fullK[t][s];
+        const double wExc = options.gain /
+                            static_cast<double>(
+                                std::max<size_t>(1, excIn));
+        const double mean = static_cast<double>(extInDegree[t]) *
+                            extRatePerStep * options.rateScale;
+        const double p = std::min(0.95, mean / kickFold);
+        const double weight = options.extGain * wExc * mean / p;
+        const Population &pop =
+            inst.network.population(pops[t]);
+        inst.stimulus.addSource(StimulusSource::poisson(
+            static_cast<uint32_t>(pop.base),
+            static_cast<uint32_t>(pop.count), p,
+            static_cast<float>(weight), 0));
+    }
+    return inst;
+}
+
 } // namespace flexon

@@ -111,6 +111,26 @@ microcircuitInDegrees(double scale);
 MicrocircuitInstance
 buildMicrocircuit(const MicrocircuitOptions &options = {});
 
+/**
+ * Build a microcircuit from a generative wiring spec
+ * (Network::buildFromSpec) — the form the compressed and procedural
+ * connectivity providers require.
+ *
+ * Structure (populations, in-degree matrix, weights, delays,
+ * external drive) matches buildMicrocircuit, but the fixed
+ * *in-degree* rule becomes a fixed *out-degree* projection per
+ * (source, target) pair — K_out(s -> t) = K_in(t <- s) * Nt / Ns —
+ * since procedural rows are generated source-major. Expected synapse
+ * counts per projection are preserved; in-degrees become binomial
+ * around the published values rather than exact.
+ *
+ * @param procedural when true, store no synapses — rows regenerate
+ *        on demand (Network::rowFor)
+ */
+MicrocircuitInstance
+buildMicrocircuitSpec(const MicrocircuitOptions &options,
+                      bool procedural);
+
 } // namespace flexon
 
 #endif // FLEXON_NETS_POTJANS_DIESMANN_HH

@@ -130,4 +130,72 @@ buildBenchmark(const BenchmarkSpec &spec, double scale, uint64_t seed)
     return {std::move(net), std::move(stim), spec, scale};
 }
 
+BenchmarkInstance
+buildBenchmarkSpec(const BenchmarkSpec &spec, double growth,
+                   uint64_t seed, bool procedural)
+{
+    flexon_assert(growth > 0.0);
+
+    const auto neurons = std::max<size_t>(
+        10,
+        static_cast<size_t>(std::llround(spec.neurons * growth)));
+    const size_t n_exc = (neurons * 4) / 5;
+    const size_t n_inh = neurons - n_exc;
+
+    const double density =
+        static_cast<double>(spec.synapses) /
+        (static_cast<double>(spec.neurons) *
+         static_cast<double>(spec.neurons));
+    const double probability = std::min(1.0, density);
+
+    const NeuronParams params = benchmarkParams(spec);
+
+    Network net;
+    net.addPopulation(spec.name + "-exc", params, n_exc);
+    net.addPopulation(spec.name + "-inh", params, n_inh);
+
+    // Weight derivation as in buildBenchmark: gains over the
+    // instance's fan-in, so the recurrent drive stays invariant
+    // under growth.
+    const double fanin_exc =
+        std::max(1.0, probability * static_cast<double>(n_exc));
+    const double fanin_inh =
+        std::max(1.0, probability * static_cast<double>(n_inh));
+    const double w_exc = spec.excGain / fanin_exc;
+    const bool rev = params.features.has(Feature::REV);
+    const double w_inh = rev ? -spec.inhGain / fanin_inh
+                             : spec.inhGain / fanin_inh;
+
+    ConnectivitySpec cs;
+    cs.seed = seed;
+    const auto project = [&](size_t srcBase, size_t srcCount,
+                             size_t dstBase, size_t dstCount,
+                             double weight, uint8_t type) {
+        Projection p;
+        p.rule = Projection::Rule::Bernoulli;
+        p.srcBase = static_cast<uint32_t>(srcBase);
+        p.srcCount = static_cast<uint32_t>(srcCount);
+        p.dstBase = static_cast<uint32_t>(dstBase);
+        p.dstCount = static_cast<uint32_t>(dstCount);
+        p.probability = probability;
+        p.weightMean = weight;
+        p.delayMin = 1;
+        p.delayMax = 15;
+        p.type = type;
+        cs.projections.push_back(p);
+    };
+    project(0, n_exc, 0, n_exc, w_exc, 0);
+    project(0, n_exc, n_exc, n_inh, w_exc, 0);
+    project(n_exc, n_inh, 0, n_exc, w_inh, 1);
+    project(n_exc, n_inh, n_exc, n_inh, w_inh, 1);
+    net.buildFromSpec(cs, procedural);
+
+    StimulusGenerator stim(seed ^ 0x5f5f5f5fULL);
+    stim.addSource(StimulusSource::poisson(
+        0, static_cast<uint32_t>(neurons), spec.stimulusRate,
+        static_cast<float>(spec.stimulusWeight), 0));
+
+    return {std::move(net), std::move(stim), spec, 1.0 / growth};
+}
+
 } // namespace flexon

@@ -82,6 +82,27 @@ struct BenchmarkInstance
 BenchmarkInstance buildBenchmark(const BenchmarkSpec &spec,
                                  double scale, uint64_t seed);
 
+/**
+ * Build a benchmark instance from a generative wiring spec
+ * (Network::buildFromSpec) — the form the compressed and procedural
+ * connectivity providers require, and the only way to instantiate
+ * networks far beyond the materialized memory budget.
+ *
+ * Same structure as buildBenchmark (80/20 E/I split, published
+ * density, gain-derived weights, delays 1..15), but parameterized by
+ * a *growth* factor that multiplies the published neuron count
+ * (growth = 1 / scale; synapses grow with roughly growth^2), and
+ * wired as four Bernoulli projections drawn by the spec's
+ * counter-based RNG rather than a shared sequential stream.
+ *
+ * @param growth multiply the published neuron count (> 0)
+ * @param procedural when true, store no synapses at all — rows are
+ *        regenerated on demand (Network::rowFor)
+ */
+BenchmarkInstance buildBenchmarkSpec(const BenchmarkSpec &spec,
+                                     double growth, uint64_t seed,
+                                     bool procedural);
+
 } // namespace flexon
 
 #endif // FLEXON_NETS_TABLE1_HH

@@ -61,6 +61,16 @@ AutoSession::AutoSession(const Network &network,
 {
     bool startEvent = auto_.engine == EngineKind::Event;
 
+    if (options_.connectivity != ConnectivityKind::Materialized &&
+        auto_.engine == EngineKind::Event) {
+        // The event-driven engine walks stored rows through its own
+        // materialized table; running it would silently ignore the
+        // requested representation.
+        fatal("engine=event requires materialized connectivity "
+              "(requested %s)",
+              connectivityKindName(options_.connectivity));
+    }
+
     if (auto_.engine == EngineKind::Auto) {
         // Adaptivity requires the bit-exact hand-off, which exists
         // for the Reference backend's discrete LLIF path only.
@@ -73,6 +83,11 @@ AutoSession::AutoSession(const Network &network,
         else if (options_.mode != IntegrationMode::Discrete)
             why = "continuous integration carries solver state the "
                   "event-driven engine cannot reproduce";
+        else if (options_.connectivity !=
+                 ConnectivityKind::Materialized)
+            why = std::string(connectivityKindName(
+                      options_.connectivity)) +
+                  " connectivity has no event-driven delivery path";
         else
             eventDrivenEligible(network_, &why);
         adaptive_ = why.empty();

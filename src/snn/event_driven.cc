@@ -13,6 +13,15 @@ namespace flexon {
 bool
 eventDrivenEligible(const Network &network, std::string *why)
 {
+    if (network.procedural()) {
+        // The engine's lazy membrane updates walk stored rows via
+        // RoutingTable; a row-regenerating network has none.
+        if (why)
+            *why = "the engine requires stored synapse rows; this "
+                   "network is procedural (rows regenerate on "
+                   "demand)";
+        return false;
+    }
     for (size_t p = 0; p < network.numPopulations(); ++p) {
         const Population &pop = network.population(p);
         const FeatureSet &f = pop.params.features;
@@ -239,6 +248,10 @@ EventDrivenSimulator::refreshEngineStats(PhaseStats &view) const
 {
     view.synapseEvents = evEvents_;
     view.routingTableBytes = table_.memoryBytes();
+    view.connectivityBytes =
+        table_.memoryBytes() + network().connectivityBytes();
+    view.rowCacheHits = 0;
+    view.rowCacheMisses = 0;
     view.ringDenseClears = 0;
     view.ringSparseClears = 0;
     view.ringCellsCleared = 0;

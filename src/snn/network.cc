@@ -49,6 +49,25 @@ drawDelay(uint8_t lo, uint8_t hi, Rng &rng)
         lo + rng.uniformInt(static_cast<uint64_t>(hi - lo) + 1));
 }
 
+/**
+ * Row seed for (spec seed, projection index, source id): one
+ * splitmix64 finalization over the xored stream ids. The Rng ctor
+ * runs its own splitmix expansion on top, so distinct inputs give
+ * independent streams.
+ */
+uint64_t
+rowSeed(uint64_t seed, uint64_t projection, uint64_t src)
+{
+    uint64_t x = seed ^ (projection * 0x9e3779b97f4a7c15ULL) ^
+                 (src * 0xbf58476d1ce4e5b9ULL);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+}
+
 } // namespace
 
 void
@@ -171,11 +190,15 @@ Network::finalize()
                      });
 
     rowPtr_.assign(numNeurons_ + 1, 0);
+    incomingCount_.assign(numNeurons_, 0);
+    delayUsed_ = {};
     synapses_.reserve(staging_.size());
     for (const auto &[src, syn] : staging_) {
         ++rowPtr_[src + 1];
         synapses_.push_back(syn);
         maxDelay_ = std::max(maxDelay_, syn.delay);
+        ++incomingCount_[syn.target];
+        delayUsed_[syn.delay] = true;
     }
     for (size_t i = 1; i <= numNeurons_; ++i)
         rowPtr_[i] += rowPtr_[i - 1];
@@ -183,6 +206,162 @@ Network::finalize()
     staging_.clear();
     staging_.shrink_to_fit();
     finalized_ = true;
+}
+
+void
+Network::buildFromSpec(const ConnectivitySpec &spec, bool procedural)
+{
+    flexon_assert(!finalized_);
+    flexon_assert(staging_.empty());
+    for (const Projection &p : spec.projections) {
+        flexon_assert(static_cast<size_t>(p.srcBase) + p.srcCount <=
+                      numNeurons_);
+        flexon_assert(static_cast<size_t>(p.dstBase) + p.dstCount <=
+                      numNeurons_);
+        flexon_assert(p.delayMin >= 1);
+        flexon_assert(p.delayMax >= p.delayMin);
+        flexon_assert(p.type < maxSynapseTypes);
+        if (p.rule == Projection::Rule::Bernoulli)
+            flexon_assert(p.probability >= 0.0 &&
+                          p.probability <= 1.0);
+    }
+    spec_ = spec;
+    hasSpec_ = true;
+
+    std::vector<Synapse> row;
+    if (!procedural) {
+        // Realize the spec into the ordinary CSR table. Rows are
+        // generated per source in ascending order, so the staged
+        // stream is already row-sorted and finalize()'s stable sort
+        // preserves the generation order exactly.
+        for (size_t src = 0; src < numNeurons_; ++src) {
+            generateRow(static_cast<uint32_t>(src), row);
+            for (const Synapse &syn : row)
+                staging_.push_back(
+                    {static_cast<uint32_t>(src), syn});
+        }
+        finalize();
+        return;
+    }
+
+    // Procedural: one counting pass derives the geometry; the rows
+    // themselves are regenerated on demand by rowFor().
+    procedural_ = true;
+    rowPtr_.assign(numNeurons_ + 1, 0);
+    incomingCount_.assign(numNeurons_, 0);
+    delayUsed_ = {};
+    uint64_t total = 0;
+    for (size_t src = 0; src < numNeurons_; ++src) {
+        generateRow(static_cast<uint32_t>(src), row);
+        rowPtr_[src + 1] = row.size();
+        total += row.size();
+        for (const Synapse &syn : row) {
+            maxDelay_ = std::max(maxDelay_, syn.delay);
+            ++incomingCount_[syn.target];
+            delayUsed_[syn.delay] = true;
+        }
+    }
+    for (size_t i = 1; i <= numNeurons_; ++i)
+        rowPtr_[i] += rowPtr_[i - 1];
+    synapseCount_ = total;
+    finalized_ = true;
+}
+
+void
+Network::generateRow(uint32_t src, std::vector<Synapse> &out) const
+{
+    flexon_assert(hasSpec_);
+    out.clear();
+    for (size_t pi = 0; pi < spec_.projections.size(); ++pi) {
+        const Projection &p = spec_.projections[pi];
+        if (src < p.srcBase || src >= p.srcBase + p.srcCount)
+            continue;
+        Rng rng(rowSeed(spec_.seed, pi, src));
+        if (p.rule == Projection::Rule::Bernoulli) {
+            if (p.probability <= 0.0 || p.dstCount == 0)
+                continue;
+            if (p.probability >= 1.0) {
+                for (uint32_t d = 0; d < p.dstCount; ++d) {
+                    const uint32_t dst = p.dstBase + d;
+                    if (dst == src)
+                        continue;
+                    out.push_back(
+                        {dst, drawWeight(p.weightMean, rng),
+                         drawDelay(p.delayMin, p.delayMax, rng),
+                         p.type});
+                }
+                continue;
+            }
+            // Geometric gap sampling: the number of misses before
+            // the next Bernoulli(p) hit is floor(log(1-u)/log(1-p)),
+            // one uniform per realized synapse instead of one per
+            // candidate pair.
+            const double logq = std::log1p(-p.probability);
+            uint64_t idx = 0;
+            while (idx < p.dstCount) {
+                const double u = rng.uniform();
+                const double gap = std::floor(std::log1p(-u) / logq);
+                if (!(gap <
+                      static_cast<double>(p.dstCount - idx)))
+                    break;
+                idx += static_cast<uint64_t>(gap);
+                const uint32_t dst =
+                    p.dstBase + static_cast<uint32_t>(idx);
+                ++idx;
+                if (dst == src)
+                    continue; // autapse skipped, no extra draws
+                out.push_back(
+                    {dst, drawWeight(p.weightMean, rng),
+                     drawDelay(p.delayMin, p.delayMax, rng),
+                     p.type});
+            }
+        } else {
+            if (p.dstCount == 0)
+                continue;
+            // Fixed out-degree with replacement (multapses kept, as
+            // in the NEST fixed-degree rules); an autapse draw is
+            // dropped without consuming the weight/delay draws.
+            for (uint32_t k = 0; k < p.fanout; ++k) {
+                const uint32_t dst =
+                    p.dstBase + static_cast<uint32_t>(
+                                    rng.uniformInt(p.dstCount));
+                if (dst == src)
+                    continue;
+                out.push_back(
+                    {dst, drawWeight(p.weightMean, rng),
+                     drawDelay(p.delayMin, p.delayMax, rng),
+                     p.type});
+            }
+        }
+    }
+}
+
+std::span<const Synapse>
+Network::rowFor(uint32_t src, std::vector<Synapse> &scratch) const
+{
+    if (!procedural_)
+        return outgoing(src);
+    flexon_assert(finalized_);
+    flexon_assert(src < numNeurons_);
+    generateRow(src, scratch);
+    flexon_assert(scratch.size() ==
+                  rowPtr_[src + 1] - rowPtr_[src]);
+    if (!overlay_.empty()) {
+        const uint64_t base = rowPtr_[src];
+        for (size_t k = 0; k < scratch.size(); ++k) {
+            const auto it = overlay_.find(base + k);
+            if (it != overlay_.end())
+                scratch[k].weight = it->second;
+        }
+    }
+    return {scratch.data(), scratch.size()};
+}
+
+const ConnectivitySpec &
+Network::connectivitySpec() const
+{
+    flexon_assert(hasSpec_);
+    return spec_;
 }
 
 const Population &
@@ -208,6 +387,9 @@ Network::outgoing(uint32_t src) const
 {
     flexon_assert(finalized_);
     flexon_assert(src < numNeurons_);
+    if (procedural_)
+        fatal("outgoing(): procedural networks store no synapse "
+              "rows; use rowFor()");
     const uint64_t begin = rowPtr_[src];
     const uint64_t end = rowPtr_[src + 1];
     return {synapses_.data() + begin, end - begin};
@@ -221,17 +403,26 @@ Network::rowStart(uint32_t src) const
     return rowPtr_[src];
 }
 
-Synapse &
-Network::synapseAt(uint64_t index)
+void
+Network::logWeightMutation(uint64_t index)
 {
-    flexon_assert(finalized_);
-    flexon_assert(index < synapses_.size());
-    // Conservatively assume the caller writes the weight (mutable
-    // access has no other legitimate use).
     if (weightLog_.empty())
         weightLog_.resize(weightLogCapacity);
     weightLog_[weightMutations_ % weightLogCapacity] = index;
     ++weightMutations_;
+}
+
+Synapse &
+Network::synapseAt(uint64_t index)
+{
+    flexon_assert(finalized_);
+    if (procedural_)
+        fatal("synapseAt(): procedural networks store no synapse "
+              "rows; use setSynapseWeight()");
+    flexon_assert(index < synapses_.size());
+    // Conservatively assume the caller writes the weight (mutable
+    // access has no other legitimate use).
+    logWeightMutation(index);
     return synapses_[index];
 }
 
@@ -239,8 +430,83 @@ const Synapse &
 Network::synapseAt(uint64_t index) const
 {
     flexon_assert(finalized_);
+    if (procedural_)
+        fatal("synapseAt(): procedural networks store no synapse "
+              "rows; use rowFor()");
     flexon_assert(index < synapses_.size());
     return synapses_[index];
+}
+
+void
+Network::setSynapseWeight(uint64_t index, float weight)
+{
+    flexon_assert(finalized_);
+    flexon_assert(index < numSynapses());
+    if (procedural_)
+        overlay_[index] = weight;
+    else
+        synapses_[index].weight = weight;
+    logWeightMutation(index);
+}
+
+bool
+Network::overlayWeight(uint64_t index, float &weight) const
+{
+    const auto it = overlay_.find(index);
+    if (it == overlay_.end())
+        return false;
+    weight = it->second;
+    return true;
+}
+
+std::vector<std::pair<uint64_t, float>>
+Network::sortedOverlay() const
+{
+    std::vector<std::pair<uint64_t, float>> entries(overlay_.begin(),
+                                                    overlay_.end());
+    std::sort(entries.begin(), entries.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    return entries;
+}
+
+void
+Network::clearWeightOverlay()
+{
+    overlay_.clear();
+    // Flood the log: anything holding a pre-clear watermark is now
+    // more than a ring behind and must refresh every weight.
+    weightMutations_ += weightLogCapacity + 1;
+    if (weightLog_.empty() && weightMutations_ > 0)
+        weightLog_.resize(weightLogCapacity);
+}
+
+uint32_t
+Network::sourceOfSynapse(uint64_t index) const
+{
+    flexon_assert(finalized_);
+    flexon_assert(index < numSynapses());
+    // First row whose end exceeds `index`.
+    const auto it = std::upper_bound(rowPtr_.begin() + 1,
+                                     rowPtr_.end(), index);
+    return static_cast<uint32_t>(it - (rowPtr_.begin() + 1));
+}
+
+size_t
+Network::connectivityBytes() const
+{
+    // unordered_map heap estimate: one node (pair + hash link) per
+    // entry plus the bucket array.
+    const size_t overlayBytes =
+        overlay_.size() *
+            (sizeof(std::pair<uint64_t, float>) + 2 * sizeof(void *)) +
+        overlay_.bucket_count() * sizeof(void *);
+    return synapses_.capacity() * sizeof(Synapse) +
+           staging_.capacity() * sizeof(staging_[0]) +
+           rowPtr_.capacity() * sizeof(uint64_t) +
+           incomingCount_.capacity() * sizeof(uint32_t) +
+           weightLog_.capacity() * sizeof(uint64_t) + overlayBytes;
 }
 
 } // namespace flexon

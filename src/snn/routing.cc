@@ -59,61 +59,17 @@ RoutingTable::RoutingTable(const Network &network, size_t shardCount,
               "%llu)",
               static_cast<unsigned long long>(total));
     }
-    if (n > std::numeric_limits<uint32_t>::max() / maxSynapseTypes)
-        fatal("routing table cell offsets overflow at %zu neurons", n);
     rowStride_ = n + 1;
 
-    shardCount_ = shardCount == 0 ? 1 : shardCount;
-    shardCount_ = std::min(shardCount_, ThreadPool::maxLanes);
-    if (shardCount_ > n)
-        shardCount_ = n == 0 ? 1 : n;
-
-    // Incoming delivery count per target neuron: the load-balancing
-    // weight for the shard boundaries.
-    std::vector<uint64_t> incoming(n, 0);
-    for (uint32_t src = 0; src < n; ++src)
-        for (const Synapse &syn : network.outgoing(src))
-            ++incoming[syn.target];
-
-    // Cut the target axis into shardCount_ contiguous ranges of
-    // roughly equal incoming-synapse load.
-    shardTargetBegin_.assign(shardCount_ + 1, 0);
-    shardTargetBegin_[shardCount_] = static_cast<uint32_t>(n);
-    uint64_t accum = 0;
-    size_t shard = 1;
-    for (uint32_t target = 0; target < n && shard < shardCount_;
-         ++target) {
-        accum += incoming[target];
-        if (accum * shardCount_ >= total * shard) {
-            shardTargetBegin_[shard] = target + 1;
-            ++shard;
-        }
-    }
-    for (; shard < shardCount_; ++shard)
-        shardTargetBegin_[shard] = static_cast<uint32_t>(n);
-
-    // Target neuron -> owning shard.
-    std::vector<uint32_t> shardOf(n, 0);
-    for (size_t s = 0; s < shardCount_; ++s)
-        for (uint32_t t = shardTargetBegin_[s];
-             t < shardTargetBegin_[s + 1]; ++t)
-            shardOf[t] = static_cast<uint32_t>(s);
-
-    // Delay buckets cover only the delay values that occur, so the
-    // CSR does not scale with the ring depth of sparse delay sets.
-    std::array<bool, 256> delayUsed{};
-    for (uint32_t src = 0; src < n; ++src)
-        for (const Synapse &syn : network.outgoing(src))
-            delayUsed[syn.delay] = true;
-    std::array<uint8_t, 256> bucketOf{};
-    for (size_t d = 0; d < delayUsed.size(); ++d) {
-        if (delayUsed[d]) {
-            bucketOf[d] = static_cast<uint8_t>(bucketDelay_.size());
-            bucketDelay_.push_back(static_cast<uint8_t>(d));
-        }
-    }
-    const size_t buckets = bucketDelay_.size();
-    const size_t blocks = shardCount_ * buckets;
+    // Shard boundaries, delay buckets and the shard lookup come from
+    // the shared geometry builder, so every ConnectivityProvider —
+    // this table included — agrees on the layout structurally.
+    geo_ = buildConnectivityGeometry(network, shardCount);
+    const size_t shardTotal = geo_.shardCount;
+    const std::vector<uint32_t> &shardOf = geo_.shardOf;
+    const std::array<uint8_t, 256> &bucketOf = geo_.bucketOf;
+    const size_t buckets = geo_.bucketDelay.size();
+    const size_t blocks = shardTotal * buckets;
 
     // Activity bitmaps: which (shard, bucket) pairs each source row
     // can deliver into. One word per (source, shard) as long as the
@@ -121,7 +77,7 @@ RoutingTable::RoutingTable(const Network &network, size_t shardCount,
     // dropped and delivery scans buckets instead.
     masksExact_ = buckets <= 64;
     if (masksExact_)
-        rowMask_.assign(n * shardCount_, 0);
+        rowMask_.assign(n * shardTotal, 0);
 
     // Counting sort into (shard, bucket, source-row) runs, keeping
     // row order within each run (the order-preservation invariant).
@@ -132,7 +88,7 @@ RoutingTable::RoutingTable(const Network &network, size_t shardCount,
             const size_t b = bucketOf[syn.delay];
             ++rowPtr_[(s * buckets + b) * rowStride_ + src + 1];
             if (masksExact_)
-                rowMask_[src * shardCount_ + s] |= uint64_t{1} << b;
+                rowMask_[src * shardTotal + s] |= uint64_t{1} << b;
         }
     }
     uint32_t running = 0;
@@ -174,12 +130,12 @@ RoutingTable::RoutingTable(const Network &network, size_t shardCount,
     // refreshes O(1) per mutation for both layouts.
     srcRecords_.resize(total);
     srcPosOf_.resize(total);
-    srcRunPtr_.assign(n * shardCount_ + 1, 0);
-    srcRecPtr_.assign(n * shardCount_ + 1, 0);
+    srcRunPtr_.assign(n * shardTotal + 1, 0);
+    srcRecPtr_.assign(n * shardTotal + 1, 0);
     uint32_t runCount = 0, recCount = 0;
     for (uint32_t src = 0; src < n; ++src) {
-        for (size_t s = 0; s < shardCount_; ++s) {
-            const size_t at = src * shardCount_ + s;
+        for (size_t s = 0; s < shardTotal; ++s) {
+            const size_t at = src * shardTotal + s;
             srcRunPtr_[at] = runCount;
             srcRecPtr_[at] = recCount;
             for (size_t b = 0; b < buckets; ++b) {
@@ -197,12 +153,12 @@ RoutingTable::RoutingTable(const Network &network, size_t shardCount,
             }
         }
     }
-    srcRunPtr_[n * shardCount_] = runCount;
-    srcRecPtr_[n * shardCount_] = recCount;
+    srcRunPtr_[n * shardTotal] = runCount;
+    srcRecPtr_[n * shardTotal] = recCount;
     srcRuns_.resize(runCount);
     runCount = 0;
     for (uint32_t src = 0; src < n; ++src) {
-        for (size_t s = 0; s < shardCount_; ++s) {
+        for (size_t s = 0; s < shardTotal; ++s) {
             for (size_t b = 0; b < buckets; ++b) {
                 const uint32_t *ptr = rowPtr(s, b);
                 if (ptr[src] == ptr[src + 1])
@@ -215,18 +171,6 @@ RoutingTable::RoutingTable(const Network &network, size_t shardCount,
     }
 
     weightsSeen_ = network.weightMutations();
-}
-
-size_t
-RoutingTable::shardOfCell(uint32_t cell) const
-{
-    if (shardCount_ == 1)
-        return 0;
-    const uint32_t target = cell / maxSynapseTypes;
-    // First shard whose end boundary lies beyond the target.
-    const auto it = std::upper_bound(shardTargetBegin_.begin() + 1,
-                                     shardTargetBegin_.end(), target);
-    return static_cast<size_t>(it - (shardTargetBegin_.begin() + 1));
 }
 
 void
@@ -274,13 +218,28 @@ RoutingTable::memoryBytes() const
            srcRecPtr_.capacity() * sizeof(uint32_t) +
            srcPosOf_.capacity() * sizeof(uint32_t) +
            rowMask_.capacity() * sizeof(uint64_t) +
-           shardTargetBegin_.capacity() * sizeof(uint32_t) +
-           bucketDelay_.capacity();
+           geo_.shardTargetBegin.capacity() * sizeof(uint32_t) +
+           geo_.shardOf.capacity() * sizeof(uint32_t) +
+           geo_.bucketDelay.capacity();
+}
+
+const RoutingTable &
+SpikeRouter::table() const
+{
+    if (mat_ == nullptr)
+        fatal("SpikeRouter::table(): the %s connectivity provider "
+              "has no materialized routing table",
+              connectivityKindName(conn_->kind()));
+    return *mat_;
 }
 
 SpikeRouter::SpikeRouter(const Network &network, size_t shardCount,
-                         telemetry::Registry *metrics)
-    : table_(network, shardCount, metrics),
+                         telemetry::Registry *metrics,
+                         ConnectivityKind kind)
+    : conn_(makeConnectivityProvider(kind, network, shardCount,
+                                     metrics)),
+      mat_(conn_->materializedTable()),
+      shards_(conn_->shardCount()),
       ringDepth_(static_cast<size_t>(network.maxDelay()) + 1),
       slotSize_(network.numNeurons() * maxSynapseTypes)
 {
@@ -304,7 +263,8 @@ SpikeRouter::SpikeRouter(const Network &network, size_t shardCount,
     ring_.assign(ringDepth_ * slotSize_, 0.0);
     slotBase_.assign(ringDepth_, nullptr);
     touchBase_.assign(ringDepth_, nullptr);
-    const size_t shards = table_.shardCount();
+    const size_t shards = shards_;
+    scratch_.resize(mat_ == nullptr ? shards : 0);
     laneEvents_.assign(shards, 0);
     laneBuckets_.assign(shards, 0);
     laneDense_.assign(shards, 0);
@@ -317,7 +277,7 @@ SpikeRouter::SpikeRouter(const Network &network, size_t shardCount,
     // cell range. The touch lists share the budget, so a saturated
     // list always implies a dense clear for its shard.
     shardClearBudget_.assign(shards, 1);
-    const auto &targetBegin = table_.shardTargetBegin();
+    const auto &targetBegin = conn_->shardTargetBegin();
     touched_.reserve(ringDepth_ * shards);
     stimTouched_.reserve(ringDepth_ * shards);
     for (size_t s = 0; s < shards; ++s) {
@@ -353,7 +313,7 @@ SpikeRouter::laneClear(size_t slotIdx, size_t shard, bool dense)
     double *const base = ring_.data() + slotIdx * slotSize_;
 
     if (dense) {
-        const auto &targetBegin = table_.shardTargetBegin();
+        const auto &targetBegin = conn_->shardTargetBegin();
         const uint32_t cellLo = targetBegin[shard] * maxSynapseTypes;
         const uint32_t cellHi =
             targetBegin[shard + 1] * maxSynapseTypes;
@@ -363,28 +323,55 @@ SpikeRouter::laneClear(size_t slotIdx, size_t shard, bool dense)
         // touch another shard's cells. Range keys (bit 63, written
         // by the sparse delivery loops) carry their record span
         // directly; legacy (bucket << 32 | src) keys re-derive it
-        // with a row probe. Mixed lists are fine — each key is
-        // self-describing, which keeps checkpoints portable across
-        // delivery modes.
+        // with a row probe — against the materialized table when one
+        // exists, or by re-decoding the source row through the
+        // provider (topology is immutable, so the regenerated row
+        // covers exactly the cells the original delivery wrote).
+        // Mixed lists are fine — each key is self-describing, which
+        // keeps checkpoints portable across delivery modes.
         for (const uint64_t cell : stimTouch(slotIdx, shard).keys())
             base[cell] = 0.0;
         for (const uint64_t key : touch(slotIdx, shard).keys()) {
             if ((key & kRangeKey) != 0) {
+                if (mat_ == nullptr) {
+                    // Record-range keys are offsets into the
+                    // materialized arrays; they only appear here
+                    // when a materialized-mode checkpoint is
+                    // restored into a decoding provider.
+                    fatal("checkpoint touch records reference a "
+                          "materialized routing table; restore "
+                          "with --connectivity=materialized");
+                }
                 const auto off = static_cast<uint32_t>(key);
                 const uint32_t len = (key >> 32) & 0xFFFFFFu;
                 const DeliveryRecord *rec =
                     (key & kSourceMajorKey) != 0
-                        ? table_.sourceRecordAt(off)
-                        : table_.recordAt(off);
+                        ? mat_->sourceRecordAt(off)
+                        : mat_->recordAt(off);
                 for (uint32_t k = 0; k < len; ++k, ++rec)
                     base[rec->cell] = 0.0;
                 continue;
             }
             const size_t bucket = key >> 32;
             const auto src = static_cast<uint32_t>(key);
-            for (const DeliveryRecord &rec :
-                 table_.row(shard, bucket, src))
-                base[rec.cell] = 0.0;
+            if (mat_ != nullptr) {
+                for (const DeliveryRecord &rec :
+                     mat_->row(shard, bucket, src))
+                    base[rec.cell] = 0.0;
+                continue;
+            }
+            const RowView row =
+                conn_->rowSpan(src, shard, scratch_[shard]);
+            const DeliveryRecord *rec = row.records;
+            for (const uint32_t header : row.runs) {
+                const uint32_t len = runHeaderLength(header);
+                if (runHeaderBucket(header) == bucket) {
+                    for (uint32_t k = 0; k < len; ++k)
+                        base[rec[k].cell] = 0.0;
+                    break;
+                }
+                rec += len;
+            }
         }
     }
     touch(slotIdx, shard).clear();
@@ -395,15 +382,15 @@ void
 SpikeRouter::laneRoute(uint64_t t, size_t shard,
                        std::span<const uint32_t> fired)
 {
-    const DeliveryRecord *const recs = table_.records();
+    const DeliveryRecord *const recs = mat_->records();
     uint64_t events = 0;
     uint64_t buckets = 0;
-    for (size_t b = 0; b < table_.bucketCount(); ++b) {
-        if (table_.bucketEmpty(shard, b))
+    for (size_t b = 0; b < mat_->bucketCount(); ++b) {
+        if (mat_->bucketEmpty(shard, b))
             continue;
         ++buckets;
-        const uint32_t *const rows = table_.rowPtr(shard, b);
-        const uint8_t delay = table_.bucketDelay(b);
+        const uint32_t *const rows = mat_->rowPtr(shard, b);
+        const uint8_t delay = mat_->bucketDelay(b);
         double *const base = slotBase_[delay];
         TouchList &pending =
             touch((t + delay) % ringDepth_, shard);
@@ -446,15 +433,15 @@ SpikeRouter::laneRouteMasked(uint64_t t, size_t shard,
     // The per-bucket fired scan is ascending as in the scan loop, so
     // every ring cell receives its additions in the identical order:
     // bit-identical results.
-    const DeliveryRecord *const recs = table_.records();
+    const DeliveryRecord *const recs = mat_->records();
     uint64_t events = 0;
     uint64_t m = routeMask_[shard];
     laneBuckets_[shard] = static_cast<uint64_t>(std::popcount(m));
     while (m != 0) {
         const auto b = static_cast<size_t>(std::countr_zero(m));
         m &= m - 1;
-        const uint32_t *const rows = table_.rowPtr(shard, b);
-        const uint8_t delay = table_.bucketDelay(b);
+        const uint32_t *const rows = mat_->rowPtr(shard, b);
+        const uint8_t delay = mat_->bucketDelay(b);
         double *const base = slotBase_[delay];
         TouchList &pending = touchBase_[delay][shard];
         if (pending.saturated()) {
@@ -493,14 +480,14 @@ SpikeRouter::laneRouteSourceMajor(uint64_t t, size_t shard,
     uint64_t streams = 0;
     for (const uint32_t n : fired) {
         const std::span<const uint32_t> runs =
-            table_.sourceRuns(n, shard);
-        uint32_t off = table_.sourceRecordOffset(n, shard);
-        const DeliveryRecord *rec = table_.sourceRecordAt(off);
+            mat_->sourceRuns(n, shard);
+        uint32_t off = mat_->sourceRecordOffset(n, shard);
+        const DeliveryRecord *rec = mat_->sourceRecordAt(off);
         streams += runs.size();
         for (const uint32_t header : runs) {
             const size_t b = RoutingTable::runBucket(header);
             const uint32_t len = RoutingTable::runLength(header);
-            const uint8_t delay = table_.bucketDelay(b);
+            const uint8_t delay = mat_->bucketDelay(b);
             double *const base = slotBase_[delay];
             TouchList &pending = touchBase_[delay][shard];
             if (!pending.saturated())
@@ -516,28 +503,76 @@ SpikeRouter::laneRouteSourceMajor(uint64_t t, size_t shard,
 }
 
 void
+SpikeRouter::laneRouteRows(uint64_t t, size_t shard,
+                           std::span<const uint32_t> fired)
+{
+    // Decoding-provider delivery: stream each fired row through
+    // rowSpan() — source-major over (this shard's) bucket runs, the
+    // same walk order as laneRouteSourceMajor, so floating-point
+    // accumulation per ring cell is bit-identical to the
+    // materialized paths. Touch keys are the legacy self-describing
+    // (bucket << 32 | src) form, which laneClear can undo by
+    // re-decoding the row (record-offset range keys would dangle —
+    // decoded records live in scratch, not in a stable array).
+    (void)t;
+    const bool exact = conn_->rowMasksExact();
+    uint64_t events = 0;
+    uint64_t streams = 0;
+    RowScratch &scratch = scratch_[shard];
+    for (const uint32_t n : fired) {
+        if (exact && (conn_->rowMask(n, shard) == 0))
+            continue;
+        const RowView row = conn_->rowSpan(n, shard, scratch);
+        const DeliveryRecord *rec = row.records;
+        streams += row.runs.size();
+        for (const uint32_t header : row.runs) {
+            const size_t b = runHeaderBucket(header);
+            const uint32_t len = runHeaderLength(header);
+            const uint8_t delay = conn_->bucketDelay(b);
+            double *const base = slotBase_[delay];
+            TouchList &pending = touchBase_[delay][shard];
+            if (!pending.saturated())
+                pending.add((static_cast<uint64_t>(b) << 32) | n,
+                            len);
+            events += len;
+            for (uint32_t k = 0; k < len; ++k, ++rec)
+                base[rec->cell] += rec->weight;
+        }
+    }
+    laneEvents_[shard] = events;
+    laneBuckets_[shard] = streams;
+}
+
+void
 SpikeRouter::legacyRouteStep(uint64_t t, size_t slotIdx,
                              std::span<const uint32_t> fired)
 {
-    const size_t shards = table_.shardCount();
-    if (fired.empty() || table_.bucketCount() == 0) {
+    const size_t shards = shards_;
+    if (fired.empty() || conn_->bucketCount() == 0) {
         // Quiet step: clear inline, no pool barrier.
         for (size_t s = 0; s < shards; ++s)
             laneClear(slotIdx, s, laneDense_[s] != 0);
         return;
     }
 
-    for (size_t d = 0; d < ringDepth_; ++d)
-        slotBase_[d] =
-            ring_.data() + ((t + d) % ringDepth_) * slotSize_;
+    for (size_t d = 0; d < ringDepth_; ++d) {
+        const size_t slot = (t + d) % ringDepth_;
+        slotBase_[d] = ring_.data() + slot * slotSize_;
+        touchBase_[d] = touched_.data() + slot * shards;
+    }
 
     // Every shard clears and bucket-scans, every active step pays
     // the pool barrier: the PR 5 schedule, kept as the reference
     // point for the sparse path (and as the mask-overflow fallback
-    // dispatch would behave without skipping).
+    // dispatch would behave without skipping). Decoding providers
+    // have no bucket-major CSR to scan, so their lanes stream the
+    // fired rows instead.
     ThreadPool::global().forEachLane(shards, [&](size_t s) {
         laneClear(slotIdx, s, laneDense_[s] != 0);
-        laneRoute(t, s, fired);
+        if (mat_ != nullptr)
+            laneRoute(t, s, fired);
+        else
+            laneRouteRows(t, s, fired);
     });
     for (size_t s = 0; s < shards; ++s)
         events_ += laneEvents_[s];
@@ -547,7 +582,13 @@ void
 SpikeRouter::routeStep(uint64_t t, std::span<const uint32_t> fired)
 {
     const size_t slotIdx = t % ringDepth_;
-    const size_t shards = table_.shardCount();
+    const size_t shards = shards_;
+
+    // Serial provider hook before any lane touches rowSpan(): the
+    // procedural provider decodes this step's fired rows into its
+    // hot-row cache here, where mutation is single-threaded.
+    if (mat_ == nullptr && !fired.empty())
+        conn_->prepareStep(fired);
 
     // Dense/sparse decision for the consumed slot, per shard:
     // tracked undo cost vs. the shard's crossover budget. Saturated
@@ -582,14 +623,14 @@ SpikeRouter::routeStep(uint64_t t, std::span<const uint32_t> fired)
     // Route-activity masks: OR the fired sources' per-shard bucket
     // bitmaps. Without exact masks (> 64 delay buckets) any firing
     // marks every shard for the bucket-scan fallback.
-    const bool exact = table_.rowMasksExact();
+    const bool exact = conn_->rowMasksExact();
     const bool haveRoute =
-        !fired.empty() && table_.bucketCount() > 0;
+        !fired.empty() && conn_->bucketCount() > 0;
     std::fill(routeMask_.begin(), routeMask_.end(), 0);
     if (haveRoute) {
         if (exact) {
             for (const uint32_t n : fired) {
-                const uint64_t *const m = table_.rowMaskRow(n);
+                const uint64_t *const m = conn_->rowMaskRow(n);
                 for (size_t s = 0; s < shards; ++s)
                     routeMask_[s] |= m[s];
             }
@@ -631,7 +672,7 @@ SpikeRouter::routeStep(uint64_t t, std::span<const uint32_t> fired)
     // the > 64-bucket case); many sources -> the bucket-major loops,
     // whose per-bucket streams amortize better during bursts.
     const bool sourceMajor =
-        haveRoute && fired.size() < table_.bucketCount();
+        haveRoute && fired.size() < conn_->bucketCount();
 
     auto laneWork = [&](size_t i) {
         const size_t s = activeShards_[i];
@@ -639,7 +680,9 @@ SpikeRouter::routeStep(uint64_t t, std::span<const uint32_t> fired)
         laneBuckets_[s] = 0;
         laneClear(slotIdx, s, laneDense_[s] != 0);
         if (routeMask_[s] != 0) {
-            if (sourceMajor)
+            if (mat_ == nullptr)
+                laneRouteRows(t, s, fired);
+            else if (sourceMajor)
                 laneRouteSourceMajor(t, s, fired);
             else if (exact)
                 laneRouteMasked(t, s, fired);
@@ -778,7 +821,7 @@ void
 SpikeRouter::saveState(std::ostream &os) const
 {
     os << "router " << ringDepth_ << ' ' << slotSize_ << ' '
-       << table_.shardCount() << '\n';
+       << shards_ << '\n';
     os << "ring";
     writeRingRle(os, ring_);
     os << '\n';
@@ -798,10 +841,10 @@ SpikeRouter::loadState(std::istream &is)
     size_t depth = 0, slot = 0, shards = 0;
     is >> tag >> depth >> slot >> shards;
     if (tag != "router" || !is || depth != ringDepth_ ||
-        slot != slotSize_ || shards != table_.shardCount()) {
+        slot != slotSize_ || shards != shards_) {
         fatal("checkpoint router geometry mismatch (expected "
               "%zu x %zu x %zu)",
-              ringDepth_, slotSize_, table_.shardCount());
+              ringDepth_, slotSize_, shards_);
     }
     is >> tag;
     if (tag != "ring" || !is)
@@ -831,6 +874,7 @@ SpikeRouter::reset()
     cellsCleared_ = 0;
     shardsSkipped_ = 0;
     bucketsVisited_ = 0;
+    conn_->reset();
 }
 
 } // namespace flexon

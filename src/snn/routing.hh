@@ -67,22 +67,17 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <span>
 #include <utility>
 #include <vector>
 
 #include "common/telemetry.hh"
 #include "common/touch_list.hh"
+#include "snn/connectivity.hh"
 #include "snn/network.hh"
 
 namespace flexon {
-
-/** One packed delivery: flat ring-cell offset + weight (8 bytes). */
-struct DeliveryRecord
-{
-    uint32_t cell; ///< target * maxSynapseTypes + type
-    float weight;
-};
 
 /** Sparse ring contents: per delay offset, ascending (cell, value). */
 using RingTransfer =
@@ -109,23 +104,30 @@ class RoutingTable
     RoutingTable(const Network &network, size_t shardCount,
                  telemetry::Registry *metrics = nullptr);
 
-    size_t shardCount() const { return shardCount_; }
+    /** The shard/bucket layout (buildConnectivityGeometry). */
+    const ConnectivityGeometry &geometry() const { return geo_; }
+
+    size_t shardCount() const { return geo_.shardCount; }
 
     /** Delay values that actually occur, ascending. */
-    size_t bucketCount() const { return bucketDelay_.size(); }
+    size_t bucketCount() const { return geo_.bucketDelay.size(); }
     uint8_t bucketDelay(size_t bucket) const
     {
-        return bucketDelay_[bucket];
+        return geo_.bucketDelay[bucket];
     }
 
     /** First target neuron of each shard; size shardCount() + 1. */
     const std::vector<uint32_t> &shardTargetBegin() const
     {
-        return shardTargetBegin_;
+        return geo_.shardTargetBegin;
     }
 
     /** Shard owning ring cell (target * maxSynapseTypes + type). */
-    size_t shardOfCell(uint32_t cell) const;
+    size_t
+    shardOfCell(uint32_t cell) const
+    {
+        return geo_.shardOf[cell / maxSynapseTypes];
+    }
 
     /**
      * CSR row index of (shard, bucket): row src's records are
@@ -136,7 +138,8 @@ class RoutingTable
     rowPtr(size_t shard, size_t bucket) const
     {
         return rowPtr_.data() +
-               (shard * bucketDelay_.size() + bucket) * rowStride_;
+               (shard * geo_.bucketDelay.size() + bucket) *
+                   rowStride_;
     }
 
     const DeliveryRecord *records() const { return records_.data(); }
@@ -169,14 +172,14 @@ class RoutingTable
     uint64_t
     rowMask(uint32_t src, size_t shard) const
     {
-        return rowMask_[src * shardCount_ + shard];
+        return rowMask_[src * geo_.shardCount + shard];
     }
 
     /** Source row src's masks for all shards (shardCount() words). */
     const uint64_t *
     rowMaskRow(uint32_t src) const
     {
-        return rowMask_.data() + src * shardCount_;
+        return rowMask_.data() + src * geo_.shardCount;
     }
 
     // ---- Source-major mirror ------------------------------------
@@ -199,7 +202,7 @@ class RoutingTable
     std::span<const uint32_t>
     sourceRuns(uint32_t src, size_t shard) const
     {
-        const size_t at = src * shardCount_ + shard;
+        const size_t at = src * geo_.shardCount + shard;
         return {srcRuns_.data() + srcRunPtr_[at],
                 srcRunPtr_[at + 1] - srcRunPtr_[at]};
     }
@@ -209,14 +212,14 @@ class RoutingTable
     sourceRecords(uint32_t src, size_t shard) const
     {
         return srcRecords_.data() +
-               srcRecPtr_[src * shardCount_ + shard];
+               srcRecPtr_[src * geo_.shardCount + shard];
     }
 
     /** Offset of sourceRecords(src, shard) into the mirror array. */
     uint32_t
     sourceRecordOffset(uint32_t src, size_t shard) const
     {
-        return srcRecPtr_[src * shardCount_ + shard];
+        return srcRecPtr_[src * geo_.shardCount + shard];
     }
 
     /** Bucket-major record at a global records() offset. */
@@ -254,10 +257,8 @@ class RoutingTable
 
   private:
     const Network &network_;
-    size_t shardCount_;
+    ConnectivityGeometry geo_;
     size_t rowStride_; ///< numNeurons + 1
-    std::vector<uint8_t> bucketDelay_;
-    std::vector<uint32_t> shardTargetBegin_;
     std::vector<DeliveryRecord> records_;
     std::vector<uint32_t> rowPtr_;
     /** Per (source, shard) bucket-occupancy bitmaps (see above). */
@@ -297,11 +298,35 @@ class SpikeRouter
      *        histogram and a touched-cells counter; the deep
      *        per-step samples only fire while
      *        telemetry::detailEnabled().
+     * @param kind connectivity representation spikes are delivered
+     *        from. Materialized keeps the direct RoutingTable fast
+     *        paths; compressed and procedural decode rows through
+     *        the provider's per-shard scratch machinery (identical
+     *        results, see the bit-identity notes above).
      */
     SpikeRouter(const Network &network, size_t shardCount,
-                telemetry::Registry *metrics = nullptr);
+                telemetry::Registry *metrics = nullptr,
+                ConnectivityKind kind = ConnectivityKind::Materialized);
 
-    const RoutingTable &table() const { return table_; }
+    /** The materialized routing table; fatal()s for other kinds. */
+    const RoutingTable &table() const;
+
+    /** The connectivity source spikes are delivered from. */
+    const ConnectivityProvider &provider() const { return *conn_; }
+    ConnectivityKind kind() const { return conn_->kind(); }
+
+    /** Provider-owned connectivity bytes (tables/blobs/caches). */
+    size_t connectivityBytes() const
+    {
+        return conn_->connectivityBytes();
+    }
+
+    /** Hot-row cache telemetry (non-zero for procedural only). */
+    uint64_t rowCacheHits() const { return conn_->rowCacheHits(); }
+    uint64_t rowCacheMisses() const
+    {
+        return conn_->rowCacheMisses();
+    }
 
     size_t ringDepth() const { return ringDepth_; }
     size_t slotSize() const { return slotSize_; }
@@ -330,7 +355,7 @@ class SpikeRouter
     void
     noteStimulus(uint64_t t, uint32_t cell)
     {
-        stimTouch(t % ringDepth_, table_.shardOfCell(cell))
+        stimTouch(t % ringDepth_, conn_->shardOfCell(cell))
             .add(cell, 1);
     }
 
@@ -345,7 +370,7 @@ class SpikeRouter
     void routeStep(uint64_t t, std::span<const uint32_t> fired);
 
     /** Re-mirror plasticity weight updates (cheap when unchanged). */
-    void refreshWeights() { table_.refreshWeights(); }
+    void refreshWeights() { conn_->refreshWeights(); }
 
     // Counters since construction / reset().
     uint64_t events() const { return events_; }
@@ -412,28 +437,45 @@ class SpikeRouter
     void laneRouteSourceMajor(uint64_t t, size_t shard,
                               std::span<const uint32_t> fired);
 
+    /**
+     * Provider-decoded delivery (compressed / procedural): stream
+     * each fired row via ConnectivityProvider::rowSpan through the
+     * lane's scratch buffer. Runs arrive in the same source-major
+     * shape (ascending-bucket runs per fired source, ascending
+     * source scan), so additions per ring cell keep the identical
+     * order as the materialized walks.
+     */
+    void laneRouteRows(uint64_t t, size_t shard,
+                       std::span<const uint32_t> fired);
+
     void legacyRouteStep(uint64_t t, size_t slotIdx,
                          std::span<const uint32_t> fired);
 
     TouchList &touch(size_t slotIdx, size_t shard)
     {
-        return touched_[slotIdx * table_.shardCount() + shard];
+        return touched_[slotIdx * shards_ + shard];
     }
     const TouchList &touch(size_t slotIdx, size_t shard) const
     {
-        return touched_[slotIdx * table_.shardCount() + shard];
+        return touched_[slotIdx * shards_ + shard];
     }
 
     TouchList &stimTouch(size_t slotIdx, size_t shard)
     {
-        return stimTouched_[slotIdx * table_.shardCount() + shard];
+        return stimTouched_[slotIdx * shards_ + shard];
     }
     const TouchList &stimTouch(size_t slotIdx, size_t shard) const
     {
-        return stimTouched_[slotIdx * table_.shardCount() + shard];
+        return stimTouched_[slotIdx * shards_ + shard];
     }
 
-    RoutingTable table_;
+    std::unique_ptr<ConnectivityProvider> conn_;
+    /** Fast-path handle: non-null iff conn_ is materialized. The
+     *  PR 3/PR 6 delivery loops run unchanged through it. */
+    const RoutingTable *mat_ = nullptr;
+    size_t shards_;
+    /** One decode scratch per shard (lanes never share). */
+    mutable std::vector<RowScratch> scratch_;
     size_t ringDepth_;
     size_t slotSize_;
     std::vector<double> ring_;

@@ -85,8 +85,11 @@ saveNetwork(std::ostream &os, const Network &network)
 
     os << "synapses " << network.numSynapses() << '\n';
     os << std::setprecision(9); // float weights
+    // rowFor() streams one row at a time, so procedural networks
+    // export the same file without ever materializing the wiring.
+    std::vector<Synapse> scratch;
     for (uint32_t n = 0; n < network.numNeurons(); ++n) {
-        for (const Synapse &s : network.outgoing(n)) {
+        for (const Synapse &s : network.rowFor(n, scratch)) {
             os << n << ' ' << s.target << ' ' << s.weight << ' '
                << static_cast<int>(s.delay) << ' '
                << static_cast<int>(s.type) << '\n';
@@ -173,7 +176,12 @@ constexpr const char *checkpointMagic = "flexon-checkpoint";
 // router block, the session EWMA rate on the counters line, and the
 // event engine's carry block. v1 snapshots are rejected rather than
 // misread.
-constexpr int checkpointVersion = 2;
+// v3: adds the `weights 2` form — procedural networks snapshot the
+// spec seed plus the sparse weight-delta overlay instead of a full
+// weight vector. Blocks a v2 reader would understand are unchanged,
+// so this build still reads v2 snapshots.
+constexpr int checkpointVersion = 3;
+constexpr int checkpointMinVersion = 2;
 
 } // namespace
 
@@ -197,10 +205,11 @@ readCheckpointHeader(std::istream &is)
     if (word.size() < 2 || word[0] != 'v')
         fatal("malformed checkpoint version field '%s'", word.c_str());
     const int file_version = std::stoi(word.substr(1));
-    if (file_version != checkpointVersion)
+    if (file_version < checkpointMinVersion ||
+        file_version > checkpointVersion)
         fatal("unsupported checkpoint version %d (this build reads "
-              "v%d)",
-              file_version, checkpointVersion);
+              "v%d..v%d)",
+              file_version, checkpointMinVersion, checkpointVersion);
     std::string engine;
     is >> engine;
     if (!is)

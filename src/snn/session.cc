@@ -202,6 +202,12 @@ SimulationSession::stats() const
     // interval on the same steady clock.
     flexon_debug_assert(statsView_.synapseRouteSec <=
                         statsView_.synapseSec);
+    const uint64_t synapses = network_.numSynapses();
+    statsView_.bytesPerSynapse =
+        synapses == 0
+            ? 0.0
+            : static_cast<double>(statsView_.connectivityBytes) /
+                  static_cast<double>(synapses);
     return statsView_;
 }
 
@@ -257,6 +263,17 @@ SimulationSession::printStats(std::ostream &os) const
     line("engine.routing_table_bytes",
          static_cast<double>(view.routingTableBytes),
          "precompiled spike-routing table footprint");
+    line("engine.connectivity_bytes",
+         static_cast<double>(view.connectivityBytes),
+         "total connectivity footprint (provider + network)");
+    line("engine.bytes_per_synapse", view.bytesPerSynapse,
+         "connectivity bytes per synapse");
+    line("engine.row_cache_hits",
+         static_cast<double>(view.rowCacheHits),
+         "procedural hot-row cache hits");
+    line("engine.row_cache_misses",
+         static_cast<double>(view.rowCacheMisses),
+         "procedural hot-row cache misses (rows decoded)");
     line("engine.ring_dense_clears",
          static_cast<double>(view.ringDenseClears),
          "ring-slot clears via dense fill");
@@ -376,6 +393,14 @@ SimulationSession::writeRunReport(const std::string &path) const
                        num(view.modelNeuronSec));
     stats.emplace_back("routing_table_bytes",
                        std::to_string(view.routingTableBytes));
+    stats.emplace_back("connectivity_bytes",
+                       std::to_string(view.connectivityBytes));
+    stats.emplace_back("bytes_per_synapse",
+                       num(view.bytesPerSynapse));
+    stats.emplace_back("row_cache_hits",
+                       std::to_string(view.rowCacheHits));
+    stats.emplace_back("row_cache_misses",
+                       std::to_string(view.rowCacheMisses));
     stats.emplace_back("ring_dense_clears",
                        std::to_string(view.ringDenseClears));
     stats.emplace_back("ring_sparse_clears",
@@ -454,12 +479,27 @@ SimulationSession::saveCheckpoint(std::ostream &os) const
     stimulus_.saveState(os);
 
     // Plasticity-mutated weights. The watermark is informational
-    // (diagnostics); restore rewrites the full weight vector, which
-    // floods the network's mutation log and lets routing tables
-    // re-mirror on their next refreshWeights().
+    // (diagnostics); restore rewrites the weights through the
+    // logging mutators, which floods the network's mutation log and
+    // lets delivery providers re-mirror on their next
+    // refreshWeights(). Materialized networks snapshot the full
+    // weight vector (form 1); procedural networks snapshot the spec
+    // seed plus the sparse overlay (form 2) — the generator
+    // reproduces every untouched weight, so the checkpoint stays
+    // O(mutated) instead of O(synapses).
     const bool haveWeights = network_.weightMutations() > 0;
-    os << "weights " << (haveWeights ? 1 : 0) << '\n';
-    if (haveWeights) {
+    if (!haveWeights) {
+        os << "weights 0\n";
+    } else if (network_.procedural()) {
+        const auto overlay = network_.sortedOverlay();
+        os << "weights 2\n";
+        os << network_.connectivitySpec().seed << ' '
+           << overlay.size();
+        for (const auto &[idx, w] : overlay)
+            os << ' ' << idx << ' ' << w;
+        os << '\n';
+    } else {
+        os << "weights 1\n";
         os << network_.weightMutations() << ' '
            << network_.numSynapses();
         for (uint64_t i = 0; i < network_.numSynapses(); ++i)
@@ -551,12 +591,17 @@ SimulationSession::loadCheckpoint(std::istream &is,
     is >> tag >> haveWeights;
     if (tag != "weights" || !is)
         fatal("malformed checkpoint weights block");
-    if (haveWeights) {
-        if (mutableNetwork != &network_) {
-            fatal("checkpoint carries mutated synapse weights; "
-                  "loadCheckpoint needs the session's own Network "
-                  "passed as mutableNetwork");
-        }
+    if (haveWeights != 0 && mutableNetwork != &network_) {
+        fatal("checkpoint carries mutated synapse weights; "
+              "loadCheckpoint needs the session's own Network "
+              "passed as mutableNetwork");
+    }
+    if (haveWeights == 1) {
+        if (network_.procedural())
+            fatal("checkpoint carries a full weight vector "
+                  "(materialized storage); this network is "
+                  "procedural — restore with the connectivity mode "
+                  "that wrote it");
         uint64_t watermark = 0, numSynapses = 0;
         is >> watermark >> numSynapses;
         if (!is || numSynapses != network_.numSynapses())
@@ -569,6 +614,33 @@ SimulationSession::loadCheckpoint(std::istream &is,
             // and re-mirror on their next refreshWeights().
             mutableNetwork->synapseAt(i).weight = w;
         }
+    } else if (haveWeights == 2) {
+        if (!network_.procedural())
+            fatal("checkpoint carries a procedural weight overlay; "
+                  "this network stores its synapses — restore with "
+                  "--connectivity=procedural");
+        uint64_t seed = 0, count = 0;
+        is >> seed >> count;
+        if (!is || seed != network_.connectivitySpec().seed)
+            fatal("checkpoint overlay was generated from spec seed "
+                  "%llu, this network uses %llu",
+                  static_cast<unsigned long long>(seed),
+                  static_cast<unsigned long long>(
+                      network_.connectivitySpec().seed));
+        // Start from generated weights, then re-apply the deltas
+        // (both through log-flooding mutators, so caches refresh).
+        mutableNetwork->clearWeightOverlay();
+        for (uint64_t i = 0; i < count; ++i) {
+            uint64_t idx = 0;
+            float w = 0.0f;
+            is >> idx >> w;
+            if (!is || idx >= network_.numSynapses())
+                fatal("malformed checkpoint overlay entry %llu",
+                      static_cast<unsigned long long>(i));
+            mutableNetwork->setSynapseWeight(idx, w);
+        }
+    } else if (haveWeights != 0) {
+        fatal("unknown checkpoint weights form %d", haveWeights);
     }
 
     is >> tag;

@@ -99,6 +99,18 @@ struct PhaseStats
     double modelNeuronSec = 0.0;
     /** Bytes of the precompiled spike-routing table. */
     uint64_t routingTableBytes = 0;
+    /**
+     * Total connectivity footprint: the delivery provider's bytes
+     * (routing table, compressed blobs or hot-row cache) plus the
+     * network's own synapse storage (CSR + row geometry + overlay).
+     */
+    uint64_t connectivityBytes = 0;
+    /** connectivityBytes / network synapses (0 when no synapses). */
+    double bytesPerSynapse = 0.0;
+    /** Procedural hot-row cache hits (fired-row lookups). */
+    uint64_t rowCacheHits = 0;
+    /** Procedural hot-row cache misses (rows decoded). */
+    uint64_t rowCacheMisses = 0;
     /** Ring-slot clears done densely (std::fill over the slot). */
     uint64_t ringDenseClears = 0;
     /** Ring-slot clears done sparsely (tracked writes undone). */
@@ -251,7 +263,7 @@ class SimulationSession
     const telemetry::Registry &metrics() const { return metrics_; }
 
     /**
-     * Write a "flexon-run-report-v2" JSON document (config, stats,
+     * Write a "flexon-run-report-v3" JSON document (config, stats,
      * checkpoint section, this registry, the process registry, pool
      * lane accounting) to `path`. Returns false (after warn()) on
      * I/O failure.

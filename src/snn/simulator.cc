@@ -31,7 +31,7 @@ Simulator::Simulator(const Network &network, StimulusGenerator stimulus,
                            options_.solver, options_.threads);
     router_ = std::make_unique<SpikeRouter>(
         network, options_.threads == 0 ? 1 : options_.threads,
-        &metrics());
+        &metrics(), options_.connectivity);
     router_->setSparseDelivery(options_.sparseDelivery);
 }
 
@@ -89,7 +89,14 @@ void
 Simulator::refreshEngineStats(PhaseStats &view) const
 {
     view.synapseEvents = router_->events();
-    view.routingTableBytes = router_->table().memoryBytes();
+    view.routingTableBytes =
+        router_->kind() == ConnectivityKind::Materialized
+            ? router_->table().memoryBytes()
+            : 0;
+    view.connectivityBytes = router_->connectivityBytes() +
+                             network().connectivityBytes();
+    view.rowCacheHits = router_->rowCacheHits();
+    view.rowCacheMisses = router_->rowCacheMisses();
     view.ringDenseClears = router_->denseClears();
     view.ringSparseClears = router_->sparseClears();
     view.ringCellsCleared = router_->cellsCleared();
@@ -103,6 +110,9 @@ Simulator::engineReportConfig(telemetry::ReportFields &config) const
     config.emplace_back(
         "backend",
         telemetry::jsonQuoted(backendName(options_.backend)));
+    config.emplace_back("connectivity",
+                        telemetry::jsonQuoted(connectivityKindName(
+                            options_.connectivity)));
 }
 
 void

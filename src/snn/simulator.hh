@@ -48,6 +48,14 @@ struct SimulatorOptions
      * either way.
      */
     bool sparseDelivery = true;
+    /**
+     * Connectivity representation spikes are delivered from
+     * (snn/connectivity.hh). Materialized is the precompiled
+     * routing table; compressed and procedural trade delivery-time
+     * decoding for 4-100x smaller memory footprints, bit-identical
+     * results.
+     */
+    ConnectivityKind connectivity = ConnectivityKind::Materialized;
     /** Neurons whose membrane potential is sampled every step. */
     std::vector<uint32_t> probes;
 };

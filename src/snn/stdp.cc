@@ -26,18 +26,38 @@ StdpEngine::StdpEngine(Network &network, const StdpConfig &config)
     preTrace_.assign(network_.numNeurons(), 0.0);
     postTrace_.assign(network_.numNeurons(), 0.0);
 
-    // Reverse adjacency over the plastic synapses only.
+    // Forward and reverse adjacency over the plastic synapses only.
+    // Rows come from rowFor() so procedural networks (which store no
+    // CSR) index the same synapses; the adjacency itself is
+    // O(plastic synapses), which STDP needs regardless of how the
+    // fixed wiring is represented.
+    plasticOut_.resize(network_.numNeurons());
     incoming_.resize(network_.numNeurons());
+    std::vector<Synapse> scratch;
     for (uint32_t src = 0; src < network_.numNeurons(); ++src) {
         const uint64_t base = network_.rowStart(src);
-        const auto out = network_.outgoing(src);
+        const auto out = network_.rowFor(src, scratch);
         for (size_t i = 0; i < out.size(); ++i) {
             if (out[i].type != config_.plasticType)
                 continue;
-            incoming_[out[i].target].push_back({src, base + i});
+            plasticOut_[src].push_back(
+                {out[i].target, base + i, out[i].weight});
+            incoming_[out[i].target].push_back(
+                {src, base + i, out[i].weight});
             ++plasticCount_;
         }
     }
+}
+
+float
+StdpEngine::currentWeight(const PlasticRef &ref) const
+{
+    if (network_.procedural()) {
+        float w = 0.0f;
+        return network_.overlayWeight(ref.index, w) ? w : ref.base;
+    }
+    // Const access: a read must not pollute the mutation log.
+    return std::as_const(network_).synapseAt(ref.index).weight;
 }
 
 void
@@ -61,15 +81,12 @@ StdpEngine::onStep(const std::vector<uint8_t> &fired)
     for (uint32_t n = 0; n < network_.numNeurons(); ++n) {
         if (!fired[n])
             continue;
-        const uint64_t base = network_.rowStart(n);
-        const auto out = network_.outgoing(n);
-        for (size_t i = 0; i < out.size(); ++i) {
-            if (out[i].type != config_.plasticType)
-                continue;
-            Synapse &syn = network_.synapseAt(base + i);
-            syn.weight = clamp(static_cast<float>(
-                syn.weight -
-                config_.aMinus * postTrace_[syn.target]));
+        for (const PlasticRef &ref : plasticOut_[n]) {
+            network_.setSynapseWeight(
+                ref.index,
+                clamp(static_cast<float>(
+                    currentWeight(ref) -
+                    config_.aMinus * postTrace_[ref.peer])));
         }
     }
 
@@ -78,10 +95,12 @@ StdpEngine::onStep(const std::vector<uint8_t> &fired)
     for (uint32_t n = 0; n < network_.numNeurons(); ++n) {
         if (!fired[n])
             continue;
-        for (const auto &[src, index] : incoming_[n]) {
-            Synapse &syn = network_.synapseAt(index);
-            syn.weight = clamp(static_cast<float>(
-                syn.weight + config_.aPlus * preTrace_[src]));
+        for (const PlasticRef &ref : incoming_[n]) {
+            network_.setSynapseWeight(
+                ref.index,
+                clamp(static_cast<float>(
+                    currentWeight(ref) +
+                    config_.aPlus * preTrace_[ref.peer])));
         }
     }
 
@@ -115,10 +134,8 @@ StdpEngine::meanPlasticWeight() const
         return 0.0;
     double sum = 0.0;
     for (uint32_t n = 0; n < network_.numNeurons(); ++n) {
-        // Const access: a read must not pollute the network's
-        // weight-mutation log.
-        for (const auto &[src, index] : incoming_[n])
-            sum += std::as_const(network_).synapseAt(index).weight;
+        for (const PlasticRef &ref : incoming_[n])
+            sum += currentWeight(ref);
     }
     return sum / static_cast<double>(plasticCount_);
 }

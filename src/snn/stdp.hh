@@ -79,14 +79,33 @@ class StdpEngine
     void loadState(std::istream &is);
 
   private:
+    /**
+     * One plastic synapse as seen from either endpoint. `peer` is
+     * the target in the forward list and the source in the reverse
+     * list. `base` snapshots the construction-time (generated)
+     * weight so procedural networks can answer reads that miss the
+     * weight-delta overlay without regenerating the row.
+     */
+    struct PlasticRef
+    {
+        uint32_t peer;
+        uint64_t index;
+        float base;
+    };
+
+    /** Current weight of a plastic synapse in either storage mode. */
+    float currentWeight(const PlasticRef &ref) const;
+
     Network &network_;
     StdpConfig config_;
     double decayPlus_;
     double decayMinus_;
     std::vector<double> preTrace_;
     std::vector<double> postTrace_;
-    /** Incoming plastic synapses per neuron: (source, index). */
-    std::vector<std::vector<std::pair<uint32_t, uint64_t>>> incoming_;
+    /** Outgoing plastic synapses per source, in row order. */
+    std::vector<std::vector<PlasticRef>> plasticOut_;
+    /** Incoming plastic synapses per target. */
+    std::vector<std::vector<PlasticRef>> incoming_;
     size_t plasticCount_ = 0;
 };
 

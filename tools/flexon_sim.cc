@@ -17,7 +17,9 @@
  */
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -48,6 +50,11 @@ struct Args
     double scale = 10.0;
     double rateScale = 1.0;
     EngineKind engine = EngineKind::Dense;
+    ConnectivityKind connectivity = ConnectivityKind::Materialized;
+    /** True once --connectivity was given; any explicit kind (even
+     *  materialized) routes benchmarks through the spec builders so
+     *  all three providers describe identical wiring. */
+    bool connectivitySet = false;
     uint64_t steps = 1000;
     uint64_t seed = 1;
     size_t threads = 1;
@@ -77,6 +84,10 @@ usage()
         "  [--backend reference|flexon|folded]\n"
         "  [--engine dense|event|auto]  delivery engine "
         "(auto = rate-adaptive)\n"
+        "  [--connectivity materialized|compressed|procedural]\n"
+        "                    synapse-table representation; any\n"
+        "                    explicit choice builds benchmarks from\n"
+        "                    their generative spec\n"
         "  [--legacy-delivery]  disable the sparse-activity "
         "delivery fast path\n"
         "  [--rate-scale R]  external-drive multiplier "
@@ -93,6 +104,48 @@ usage()
         "  [--restore FILE]  resume from a snapshot, then run "
         "--steps more\n");
     std::exit(2);
+}
+
+/**
+ * Reject a flag value with a message naming the flag, the offending
+ * text, and what would have been accepted; exits 2 like usage().
+ * Enum and numeric flags must never fall back to a default or a
+ * partial parse on a typo — a long run under the wrong engine or
+ * backend looks plausible and wastes the whole simulation.
+ */
+[[noreturn]] void
+badValue(const std::string &flag, const char *value,
+         const char *expected)
+{
+    std::fprintf(stderr,
+                 "flexon_sim: invalid value '%s' for %s "
+                 "(expected %s)\n",
+                 value, flag.c_str(), expected);
+    std::exit(2);
+}
+
+/** Strict base-10 unsigned parse: the whole token, no sign. */
+uint64_t
+parseCount(const std::string &flag, const char *text)
+{
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text, &end, 10);
+    if (errno != 0 || end == text || *end != '\0' || text[0] == '-')
+        badValue(flag, text, "a non-negative integer");
+    return v;
+}
+
+/** Strict floating-point parse of the whole token. */
+double
+parseReal(const std::string &flag, const char *text)
+{
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(text, &end);
+    if (errno != 0 || end == text || *end != '\0')
+        badValue(flag, text, "a number");
+    return v;
 }
 
 Args
@@ -117,37 +170,51 @@ parseArgs(int argc, char **argv)
         } else if (flag == "--csv") {
             args.csv = need_value(i);
         } else if (flag == "--scale") {
-            args.scale = std::stod(need_value(i));
+            const char *v = need_value(i);
+            args.scale = parseReal(flag, v);
+            if (!(args.scale > 0.0))
+                badValue(flag, v, "a positive number");
         } else if (flag == "--rate-scale") {
-            args.rateScale = std::stod(need_value(i));
+            const char *v = need_value(i);
+            args.rateScale = parseReal(flag, v);
+            if (args.rateScale < 0.0)
+                badValue(flag, v, "a non-negative number");
         } else if (flag == "--engine") {
-            if (!parseEngineKind(need_value(i), args.engine))
-                usage();
+            const char *v = need_value(i);
+            if (!parseEngineKind(v, args.engine))
+                badValue(flag, v, "dense, event, or auto");
+        } else if (flag == "--connectivity") {
+            const char *v = need_value(i);
+            if (!parseConnectivityKind(v, args.connectivity))
+                badValue(flag, v,
+                         "materialized, compressed, or procedural");
+            args.connectivitySet = true;
         } else if (flag == "--steps") {
-            args.steps = std::stoull(need_value(i));
+            args.steps = parseCount(flag, need_value(i));
         } else if (flag == "--seed") {
-            args.seed = std::stoull(need_value(i));
+            args.seed = parseCount(flag, need_value(i));
         } else if (flag == "--threads") {
-            args.threads = std::stoul(need_value(i));
+            args.threads = static_cast<size_t>(
+                parseCount(flag, need_value(i)));
         } else if (flag == "--backend") {
-            const std::string v = need_value(i);
-            if (v == "reference")
+            const char *v = need_value(i);
+            if (std::strcmp(v, "reference") == 0)
                 args.backend = BackendKind::Reference;
-            else if (v == "flexon")
+            else if (std::strcmp(v, "flexon") == 0)
                 args.backend = BackendKind::Flexon;
-            else if (v == "folded")
+            else if (std::strcmp(v, "folded") == 0)
                 args.backend = BackendKind::Folded;
             else
-                usage();
+                badValue(flag, v, "reference, flexon, or folded");
         } else if (flag == "--solver") {
-            const std::string v = need_value(i);
+            const char *v = need_value(i);
             args.mode = IntegrationMode::Continuous;
-            if (v == "euler")
+            if (std::strcmp(v, "euler") == 0)
                 args.solver = SolverKind::Euler;
-            else if (v == "rkf45")
+            else if (std::strcmp(v, "rkf45") == 0)
                 args.solver = SolverKind::RKF45;
             else
-                usage();
+                badValue(flag, v, "euler or rkf45");
         } else if (flag == "--telemetry") {
             args.telemetry = true;
         } else if (flag == "--report") {
@@ -155,7 +222,7 @@ parseArgs(int argc, char **argv)
         } else if (flag == "--trace") {
             args.trace = need_value(i);
         } else if (flag == "--checkpoint-every") {
-            args.checkpointEvery = std::stoull(need_value(i));
+            args.checkpointEvery = parseCount(flag, need_value(i));
         } else if (flag == "--checkpoint-dir") {
             args.checkpointDir = need_value(i);
         } else if (flag == "--restore") {
@@ -212,6 +279,18 @@ main(int argc, char **argv)
     if (sources != 1)
         usage(); // exactly one source required
 
+    // Compressed and procedural connectivity regenerate (or
+    // re-encode) rows from the benchmark's generative spec, so they
+    // only exist for spec-built networks.
+    if (args.connectivity != ConnectivityKind::Materialized &&
+        args.benchmark.empty()) {
+        fatal("--connectivity=%s requires --benchmark: loaded or "
+              "scripted networks carry no generative spec",
+              connectivityKindName(args.connectivity));
+    }
+    const bool proceduralNet =
+        args.connectivity != ConnectivityKind::Materialized;
+
     Network net;
     StimulusGenerator stim(args.seed);
     std::string title;
@@ -220,13 +299,24 @@ main(int argc, char **argv)
         mc.scale = args.scale;
         mc.seed = args.seed;
         mc.rateScale = args.rateScale;
-        MicrocircuitInstance inst = buildMicrocircuit(mc);
+        MicrocircuitInstance inst =
+            args.connectivitySet
+                ? buildMicrocircuitSpec(mc, proceduralNet)
+                : buildMicrocircuit(mc);
         net = std::move(inst.network);
         stim = std::move(inst.stimulus);
         title = "microcircuit";
     } else if (!args.benchmark.empty()) {
-        BenchmarkInstance inst = buildBenchmark(
-            findBenchmark(args.benchmark), args.scale, args.seed);
+        // --scale is a shrink divisor; the spec builder takes a
+        // growth factor, so the same flag value means the same size
+        // either way.
+        BenchmarkInstance inst =
+            args.connectivitySet
+                ? buildBenchmarkSpec(findBenchmark(args.benchmark),
+                                     1.0 / args.scale, args.seed,
+                                     proceduralNet)
+                : buildBenchmark(findBenchmark(args.benchmark),
+                                 args.scale, args.seed);
         net = std::move(inst.network);
         stim = std::move(inst.stimulus);
         title = args.benchmark;
@@ -256,6 +346,7 @@ main(int argc, char **argv)
     opts.threads = args.threads;
     opts.recordSpikes = args.raster || !args.csv.empty();
     opts.sparseDelivery = !args.legacyDelivery;
+    opts.connectivity = args.connectivity;
     AutoEngineOptions autoOpts;
     autoOpts.engine = args.engine;
     AutoSession sim(net, stim, opts, autoOpts);
