@@ -16,6 +16,7 @@
 #include "common/telemetry.hh"
 #include "common/thread_pool.hh"
 #include "nets/table1.hh"
+#include "plan/calibration.hh"
 #include "snn/routing.hh"
 #include "snn/simulator.hh"
 
@@ -404,6 +405,9 @@ main(int argc, char **argv)
     // unoptimized records.
     benchmark::AddCustomContext("project_build_type",
                                 FLEXON_BENCH_BUILD_TYPE);
+    benchmark::AddCustomContext(
+        "calibration_version",
+        flexon::plan::installCalibrationFromEnv());
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
 

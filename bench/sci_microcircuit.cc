@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "nets/potjans_diesmann.hh"
+#include "plan/calibration.hh"
 #include "snn/auto_engine.hh"
 #include "snn/routing.hh"
 #include "snn/simulator.hh"
@@ -182,6 +183,10 @@ BENCHMARK(flexon::BM_MicrocircuitStep)
 int
 main(int argc, char **argv)
 {
+    // Install before any benchmark builds a session: the auto rows'
+    // engine choices come from the active calibration.
+    const std::string calibration =
+        flexon::plan::installCalibrationFromEnv();
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;
@@ -190,6 +195,7 @@ main(int argc, char **argv)
     // refuses records from unoptimized builds.
     benchmark::AddCustomContext("project_build_type",
                                 FLEXON_BENCH_BUILD_TYPE);
+    benchmark::AddCustomContext("calibration_version", calibration);
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     return 0;

@@ -647,7 +647,7 @@ void
 writeReportJson(std::ostream &os, const ReportContext &context)
 {
     os << "{\n";
-    os << "  \"schema\": \"flexon-run-report-v3\",\n";
+    os << "  \"schema\": \"flexon-run-report-v4\",\n";
     os << "  \"build\": ";
     writeFields(os, buildFields(), 4);
     os << ",\n  \"telemetry\": ";

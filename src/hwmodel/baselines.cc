@@ -3,6 +3,7 @@
 #include <string>
 
 #include "common/logging.hh"
+#include "plan/calibration.hh"
 
 namespace flexon {
 
@@ -22,37 +23,57 @@ platformName(Platform p)
 namespace {
 
 /**
- * Calibrated CPU neuron-update cost in ns per neuron per step.
- * RKF45 benchmarks pay ~6x the derivative evaluations of Euler;
- * AdEx additionally pays for its exponential. The values are scaled
- * so the geomean Figure 13a CPU ratio of the 12-neuron Flexon array
- * lands at the paper's 87.4x.
+ * NEST/Xeon cost of one benchmark neuron-update relative to the
+ * simplest Euler LIF network (Brunel). RKF45 benchmarks pay ~6x the
+ * derivative evaluations of Euler; AdEx additionally pays for its
+ * exponential. The ratios are scaled so the geomean Figure 13a CPU
+ * ratio of the 12-neuron Flexon array lands at the paper's 87.4x.
  */
+double
+cpuComplexityFactor(const BenchmarkSpec &spec)
+{
+    if (spec.name == "Brette")
+        return 41.0 / 12.0;
+    if (spec.name == "Brunel")
+        return 1.0;
+    if (spec.name == "Destexhe-LTS")
+        return 81.0 / 12.0;
+    if (spec.name == "Destexhe-UpDown")
+        return 81.0 / 12.0;
+    if (spec.name == "Izhikevich")
+        return 13.6 / 12.0;
+    if (spec.name == "Muller")
+        return 59.0 / 12.0;
+    if (spec.name == "Nowotny")
+        return 13.6 / 12.0;
+    if (spec.name == "Potjans-Diesmann")
+        return 7.6 / 12.0;
+    if (spec.name == "Vogels")
+        return 41.0 / 12.0;
+    if (spec.name == "Vogels-Abbott")
+        return 41.0 / 12.0;
+    // Unlisted benchmark: estimate from the solver.
+    return spec.solver == SolverKind::RKF45 ? 45.0 / 12.0 : 1.0;
+}
+
+/**
+ * NEST on the paper's Xeon costs ~3x this host's calibrated dense
+ * LLIF update for the Brunel anchor: NEST's ring-buffer bookkeeping
+ * and virtual dispatch against our batch kernels. With the builtin
+ * calibration (denseNsPerNeuron = 4.0) the product reproduces the
+ * paper-anchored 12 ns Brunel figure exactly; a measured
+ * calibration re-anchors the whole Figure 13 CPU column to the
+ * actual machine.
+ */
+constexpr double hostToNestFactor = 3.0;
+
+/** Calibration-anchored CPU cost in ns per neuron per step. */
 double
 cpuNsPerNeuron(const BenchmarkSpec &spec)
 {
-    if (spec.name == "Brette")
-        return 41.0;
-    if (spec.name == "Brunel")
-        return 12.0;
-    if (spec.name == "Destexhe-LTS")
-        return 81.0;
-    if (spec.name == "Destexhe-UpDown")
-        return 81.0;
-    if (spec.name == "Izhikevich")
-        return 13.6;
-    if (spec.name == "Muller")
-        return 59.0;
-    if (spec.name == "Nowotny")
-        return 13.6;
-    if (spec.name == "Potjans-Diesmann")
-        return 7.6;
-    if (spec.name == "Vogels")
-        return 41.0;
-    if (spec.name == "Vogels-Abbott")
-        return 41.0;
-    // Unlisted benchmark: estimate from the solver.
-    return spec.solver == SolverKind::RKF45 ? 45.0 : 12.0;
+    const double base =
+        plan::activeCalibration().model.denseNsPerNeuron;
+    return base * hostToNestFactor * cpuComplexityFactor(spec);
 }
 
 /** GPU per-neuron throughput cost and fixed per-step launch cost. */

@@ -1,0 +1,431 @@
+#include "plan/calibration.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace flexon {
+namespace plan {
+
+const CalibrationData &
+builtinCalibration()
+{
+    static const CalibrationData builtin = [] {
+        CalibrationData cal;
+        cal.version = kBuiltinCalibrationVersion;
+        cal.host = "hand-anchored defaults";
+        cal.model.eventNsPerUnit =
+            cal.model.denseNsPerNeuron * kBuiltinEventCostFactor;
+        return cal;
+    }();
+    return builtin;
+}
+
+namespace {
+
+CalibrationData &
+activeSlot()
+{
+    static CalibrationData active = builtinCalibration();
+    return active;
+}
+
+/**
+ * Minimal recursive-descent parser for the JSON subset calibration
+ * documents use: objects whose values are numbers, strings, or
+ * nested objects of the same shape. No arrays, no escapes beyond
+ * \" and \\ (version/host strings never need more). Whitespace per
+ * RFC 8259.
+ */
+class MiniJson
+{
+  public:
+    explicit MiniJson(const std::string &text) : text_(text) {}
+
+    bool failed() const { return failed_; }
+    const std::string &error() const { return error_; }
+
+    void skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool expect(char c)
+    {
+        skipWs();
+        if (pos_ >= text_.size() || text_[pos_] != c)
+            return fail(std::string("expected '") + c + "'");
+        ++pos_;
+        return true;
+    }
+
+    bool peek(char c)
+    {
+        skipWs();
+        return pos_ < text_.size() && text_[pos_] == c;
+    }
+
+    bool parseString(std::string &out)
+    {
+        skipWs();
+        if (pos_ >= text_.size() || text_[pos_] != '"')
+            return fail("expected string");
+        ++pos_;
+        out.clear();
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_++];
+            if (c == '\\' && pos_ < text_.size())
+                c = text_[pos_++];
+            out.push_back(c);
+        }
+        if (pos_ >= text_.size())
+            return fail("unterminated string");
+        ++pos_; // closing quote
+        return true;
+    }
+
+    bool parseNumber(double &out)
+    {
+        skipWs();
+        const char *start = text_.c_str() + pos_;
+        char *end = nullptr;
+        out = std::strtod(start, &end);
+        if (end == start)
+            return fail("expected number");
+        pos_ += static_cast<size_t>(end - start);
+        return true;
+    }
+
+    /**
+     * Parse an object, invoking onField(key) positioned at the
+     * value; onField must consume the value (or return false to
+     * fail). Unknown keys are skipped via skipValue by the caller.
+     */
+    template <typename Fn>
+    bool parseObject(Fn &&onField)
+    {
+        if (!expect('{'))
+            return false;
+        if (peek('}')) {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            std::string key;
+            if (!parseString(key) || !expect(':'))
+                return false;
+            if (!onField(key))
+                return false;
+            if (peek(',')) {
+                ++pos_;
+                continue;
+            }
+            return expect('}');
+        }
+    }
+
+    /** Skip any value of the supported subset (for unknown keys). */
+    bool skipValue()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of document");
+        const char c = text_[pos_];
+        if (c == '"') {
+            std::string ignored;
+            return parseString(ignored);
+        }
+        if (c == '{') {
+            return parseObject([this](const std::string &) {
+                return skipValue();
+            });
+        }
+        if (c == 't' || c == 'f' || c == 'n') {
+            while (pos_ < text_.size() &&
+                   std::isalpha(
+                       static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+            return true;
+        }
+        double ignored = 0.0;
+        return parseNumber(ignored);
+    }
+
+    bool fail(const std::string &why)
+    {
+        if (!failed_) {
+            failed_ = true;
+            error_ = why + " at offset " + std::to_string(pos_);
+        }
+        return false;
+    }
+
+  private:
+    const std::string &text_;
+    size_t pos_ = 0;
+    bool failed_ = false;
+    std::string error_;
+};
+
+bool
+finitePositive(double v)
+{
+    return std::isfinite(v) && v > 0.0;
+}
+
+/** Backslash-escape the characters MiniJson's parseString handles. */
+std::string
+jsonEscaped(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+void
+writeMap(std::ostream &os, const char *name,
+         const std::vector<std::pair<std::string, double>> &entries,
+         bool trailingComma)
+{
+    os << "  \"" << name << "\": {";
+    for (size_t i = 0; i < entries.size(); ++i) {
+        os << (i ? ",\n    " : "\n    ") << '"'
+           << jsonEscaped(entries[i].first)
+           << "\": " << entries[i].second;
+    }
+    os << (entries.empty() ? "}" : "\n  }")
+       << (trailingComma ? ",\n" : "\n");
+}
+
+} // namespace
+
+const CalibrationData &
+activeCalibration()
+{
+    return activeSlot();
+}
+
+void
+setActiveCalibration(const CalibrationData &cal)
+{
+    activeSlot() = cal;
+}
+
+void
+writeCalibrationJson(std::ostream &os, const CalibrationData &cal)
+{
+    os.precision(17);
+    os << "{\n";
+    os << "  \"schema\": \"" << kCalibrationSchema << "\",\n";
+    os << "  \"version\": \"" << jsonEscaped(cal.version) << "\",\n";
+    os << "  \"host\": \"" << jsonEscaped(cal.host) << "\",\n";
+    os << "  \"model\": {\n";
+    os << "    \"dense_ns_per_neuron\": " << cal.model.denseNsPerNeuron
+       << ",\n";
+    os << "    \"event_ns_per_unit\": " << cal.model.eventNsPerUnit
+       << ",\n";
+    os << "    \"delivery_ns_per_record\": "
+       << cal.model.deliveryNsPerRecord << ",\n";
+    os << "    \"ring_clear_ns_per_cell\": "
+       << cal.model.ringClearNsPerCell << ",\n";
+    os << "    \"step_overhead_ns\": " << cal.model.stepOverheadNs
+       << ",\n";
+    os << "    \"dispatch_ns_per_lane\": "
+       << cal.model.dispatchNsPerLane << ",\n";
+    os << "    \"parallel_efficiency\": "
+       << cal.model.parallelEfficiency << "\n";
+    os << "  },\n";
+    os << "  \"fit\": {\n";
+    os << "    \"max_residual\": " << cal.maxResidual << ",\n";
+    os << "    \"grid_points\": " << cal.gridPoints << "\n";
+    os << "  },\n";
+    writeMap(os, "mask_ns_per_neuron", cal.maskNsPerNeuron, true);
+    writeMap(os, "provider_delivery_ns", cal.providerDeliveryNs,
+             false);
+    os << "}\n";
+}
+
+bool
+saveCalibrationFile(const std::string &path,
+                    const CalibrationData &cal)
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    writeCalibrationJson(os, cal);
+    os.flush();
+    return os.good();
+}
+
+bool
+validateCalibration(const CalibrationData &cal, double maxResidual,
+                    std::string *error)
+{
+    auto reject = [error](const std::string &why) {
+        if (error != nullptr)
+            *error = why;
+        return false;
+    };
+    const CostModel &m = cal.model;
+    struct Named
+    {
+        const char *name;
+        double value;
+    };
+    const Named coefficients[] = {
+        {"dense_ns_per_neuron", m.denseNsPerNeuron},
+        {"event_ns_per_unit", m.eventNsPerUnit},
+        {"delivery_ns_per_record", m.deliveryNsPerRecord},
+        {"ring_clear_ns_per_cell", m.ringClearNsPerCell},
+        {"step_overhead_ns", m.stepOverheadNs},
+        {"dispatch_ns_per_lane", m.dispatchNsPerLane},
+    };
+    for (const Named &c : coefficients) {
+        if (!finitePositive(c.value))
+            return reject(std::string(c.name) + " must be a finite "
+                          "positive number (got " +
+                          std::to_string(c.value) + ")");
+    }
+    if (!std::isfinite(m.parallelEfficiency) ||
+        m.parallelEfficiency <= 0.0 || m.parallelEfficiency > 1.0)
+        return reject("parallel_efficiency must be in (0, 1]");
+    if (cal.version.empty())
+        return reject("version must be non-empty");
+    if (!std::isfinite(cal.maxResidual) || cal.maxResidual < 0.0)
+        return reject("max_residual must be a non-negative number");
+    if (cal.maxResidual > maxResidual)
+        return reject("fit residual " +
+                      std::to_string(cal.maxResidual) +
+                      " exceeds the acceptance bound " +
+                      std::to_string(maxResidual) +
+                      " — the sweep was too noisy to trust");
+    return true;
+}
+
+bool
+loadCalibrationFile(const std::string &path, CalibrationData &out,
+                    std::string *error)
+{
+    auto reject = [error, &path](const std::string &why) {
+        if (error != nullptr)
+            *error = path + ": " + why;
+        return false;
+    };
+
+    std::ifstream is(path);
+    if (!is)
+        return reject("cannot open file");
+    std::stringstream buffer;
+    buffer << is.rdbuf();
+    const std::string text = buffer.str();
+
+    CalibrationData cal;
+    std::string schema;
+    MiniJson json(text);
+
+    auto parseNumberMap =
+        [&json](std::vector<std::pair<std::string, double>> &map) {
+            return json.parseObject([&](const std::string &key) {
+                double v = 0.0;
+                if (!json.parseNumber(v))
+                    return false;
+                map.emplace_back(key, v);
+                return true;
+            });
+        };
+
+    const bool ok = json.parseObject([&](const std::string &key) {
+        if (key == "schema")
+            return json.parseString(schema);
+        if (key == "version")
+            return json.parseString(cal.version);
+        if (key == "host")
+            return json.parseString(cal.host);
+        if (key == "model") {
+            return json.parseObject([&](const std::string &field) {
+                double *slot = nullptr;
+                CostModel &m = cal.model;
+                if (field == "dense_ns_per_neuron")
+                    slot = &m.denseNsPerNeuron;
+                else if (field == "event_ns_per_unit")
+                    slot = &m.eventNsPerUnit;
+                else if (field == "delivery_ns_per_record")
+                    slot = &m.deliveryNsPerRecord;
+                else if (field == "ring_clear_ns_per_cell")
+                    slot = &m.ringClearNsPerCell;
+                else if (field == "step_overhead_ns")
+                    slot = &m.stepOverheadNs;
+                else if (field == "dispatch_ns_per_lane")
+                    slot = &m.dispatchNsPerLane;
+                else if (field == "parallel_efficiency")
+                    slot = &m.parallelEfficiency;
+                if (slot == nullptr)
+                    return json.skipValue();
+                return json.parseNumber(*slot);
+            });
+        }
+        if (key == "fit") {
+            return json.parseObject([&](const std::string &field) {
+                if (field == "max_residual")
+                    return json.parseNumber(cal.maxResidual);
+                if (field == "grid_points") {
+                    double v = 0.0;
+                    if (!json.parseNumber(v))
+                        return false;
+                    cal.gridPoints = static_cast<uint64_t>(v);
+                    return true;
+                }
+                return json.skipValue();
+            });
+        }
+        if (key == "mask_ns_per_neuron")
+            return parseNumberMap(cal.maskNsPerNeuron);
+        if (key == "provider_delivery_ns")
+            return parseNumberMap(cal.providerDeliveryNs);
+        return json.skipValue();
+    });
+
+    if (!ok)
+        return reject("malformed JSON: " + json.error());
+    if (schema != kCalibrationSchema)
+        return reject("schema is '" + schema + "', expected '" +
+                      kCalibrationSchema + "'");
+    // Load-time validation accepts any recorded residual; the
+    // acceptance bound is calibrate --check's business.
+    std::string why;
+    if (!validateCalibration(cal, 1e9, &why))
+        return reject(why);
+    out = std::move(cal);
+    return true;
+}
+
+std::string
+installCalibrationFromEnv()
+{
+    const char *const path = std::getenv("FLEXON_CALIBRATION");
+    if (path != nullptr && path[0] != '\0') {
+        CalibrationData cal;
+        std::string error;
+        if (!loadCalibrationFile(path, cal, &error)) {
+            std::fprintf(stderr,
+                         "FLEXON_CALIBRATION: %s\n", error.c_str());
+            std::exit(2);
+        }
+        setActiveCalibration(cal);
+    }
+    return activeCalibration().version;
+}
+
+} // namespace plan
+} // namespace flexon

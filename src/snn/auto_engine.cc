@@ -96,23 +96,50 @@ AutoSession::AutoSession(const Network &network,
                  why.c_str());
     }
 
+    // Plan from the caller's planner, or from the process-wide
+    // active calibration when none was supplied. The plan is copied
+    // — later setActiveCalibration() calls do not move a live
+    // session's crossover.
+    const plan::ExecutionPlanner fallback;
+    const plan::ExecutionPlanner &planner =
+        auto_.planner != nullptr ? *auto_.planner : fallback;
+    const plan::NetworkStats netStats{network_.numNeurons(),
+                                      network_.numSynapses()};
+    const unsigned maxThreads = static_cast<unsigned>(
+        std::max<size_t>(1, options_.threads));
+    plan_ = planner.plan(netStats, plan::kDefaultRatePrior,
+                         maxThreads);
+
     if (adaptive_) {
-        // Crossover of the per-step cost model: dense updates every
-        // neuron (~N); event-driven touches the active set and its
-        // fan-out (~costFactor * rate * N * (K + 1)). Equal at
-        // rate = 1 / (costFactor * (K + 1)).
-        const double k =
-            network_.numNeurons() == 0
-                ? 0.0
-                : static_cast<double>(network_.numSynapses()) /
-                      static_cast<double>(network_.numNeurons());
-        crossoverRate_ = 1.0 / (auto_.costFactor * (k + 1.0));
+        // Rate at which the planner predicts dense and event-driven
+        // step costs tie (common delivery terms cancel; with the
+        // builtin calibration this is the tuned 1 / (K + 1)).
+        crossoverRate_ = plan_.crossoverRate;
         // A fresh network is silent: start event-driven.
         startEvent = true;
     }
 
     child_ = makeEngine(startEvent);
     eventActive_ = startEvent;
+    applyPlanInfo();
+}
+
+void
+AutoSession::applyPlanInfo()
+{
+    PlanInfo info;
+    info.present = true;
+    info.strategy = adaptive_ ? "auto"
+                    : eventActive_
+                        ? "event"
+                        : "dense";
+    info.planned = false; // flexon_sim --plan=auto overrides
+    info.predictedStepSec =
+        eventActive_ ? plan_.predictedEventStepSec
+                     : plan_.predictedDenseStepSec;
+    info.crossoverRate = adaptive_ ? crossoverRate_ : 0.0;
+    info.calibrationVersion = plan_.calibrationVersion;
+    child_->setPlanInfo(info);
 }
 
 std::unique_ptr<SimulationSession>
@@ -207,8 +234,10 @@ AutoSession::loadCheckpointFile(const std::string &path,
         const std::string kind = peekCheckpointFileEngine(path);
         const bool wantEvent = kind == "event-driven";
         if (wantEvent != eventActive_) {
+            const PlanInfo planInfo = child_->planInfo();
             child_ = makeEngine(wantEvent);
             eventActive_ = wantEvent;
+            child_->setPlanInfo(planInfo);
         }
     }
     child_->loadCheckpointFile(path, mutableNetwork);

@@ -19,11 +19,11 @@
  * The decision input is the session's EWMA firing-rate estimator
  * (SimulationSession::ewmaRate), which derives only from the spike
  * history — so decisions are deterministic and survive
- * checkpoint/restore. The crossover model compares the dense cost
- * (update every neuron: ~N) against the event-driven cost
- * (touch-and-deliver the active set: ~costFactor * rate * N * (K +
- * 1)), with hysteresis so the engine does not thrash when the rate
- * sits near the crossover.
+ * checkpoint/restore. The crossover rate, hysteresis margin and
+ * decision cadence all come from the execution planner
+ * (plan::ExecutionPlanner::crossoverRate, plan::kSwitchHysteresis,
+ * plan::kDecisionWindow): one definition, calibration-aware, and
+ * still a pure function of (calibration, network stats, EWMA rate).
  */
 
 #ifndef FLEXON_SNN_AUTO_ENGINE_HH
@@ -33,6 +33,7 @@
 #include <memory>
 #include <string>
 
+#include "plan/planner.hh"
 #include "snn/network.hh"
 #include "snn/session.hh"
 #include "snn/simulator.hh"
@@ -59,29 +60,27 @@ struct AutoEngineOptions
 {
     EngineKind engine = EngineKind::Auto;
     /**
-     * Steps between switch decisions. Small enough to catch regime
-     * changes, large enough that a hand-off (O(N + ring) copies)
-     * amortizes to noise.
+     * Steps between switch decisions (plan::kDecisionWindow). Small
+     * enough to catch regime changes, large enough that a hand-off
+     * (O(N + ring) copies) amortizes to noise.
      */
-    uint64_t decisionWindow = 256;
-    /**
-     * Modelled cost of touching one event-driven fan-out unit
-     * (record append + accumulator fold + sparse update) relative
-     * to one dense neuron update. The default is calibrated so the
-     * predicted crossover (with the switch-out hysteresis margin)
-     * sits just below the measured dense/event tie on the
-     * microcircuit scenario's driven regime
-     * (bench/sci_microcircuit.cc, ~6.5e-3 fired fraction per step
-     * at K ~ 194): full-step times there tie near 5.5e-3, where the
-     * sparse delivery path's probe-free streaming has already eaten
-     * most of the event-driven engine's low-rate advantage.
-     */
-    double costFactor = 1.0;
+    uint64_t decisionWindow = plan::kDecisionWindow;
     /**
      * Relative margin the estimated winner must beat the incumbent
-     * by before a switch happens (thrash guard).
+     * by before a switch happens (thrash guard,
+     * plan::kSwitchHysteresis).
      */
-    double hysteresis = 0.2;
+    double hysteresis = plan::kSwitchHysteresis;
+    /**
+     * Planner supplying the dense/event crossover rate (and, via its
+     * calibration, the cost provenance recorded in run reports).
+     * Null means "plan from the process-wide activeCalibration()" —
+     * with no calibration installed that is the builtin model, whose
+     * crossover reproduces the hand-tuned pre-PR 8 value exactly
+     * (see plan::kBuiltinEventCostFactor). Not retained: the
+     * AutoSession copies what it needs at construction.
+     */
+    const plan::ExecutionPlanner *planner = nullptr;
 };
 
 /**
@@ -165,6 +164,8 @@ class AutoSession
     void switchEngine(bool toEvent);
     /** Evaluate the crossover model and switch if warranted. */
     void decide();
+    /** Stamp the live engine's PlanInfo (report "plan" section). */
+    void applyPlanInfo();
 
     const Network &network_;
     StimulusGenerator stimulus_; ///< pristine copy for rebuilds
@@ -176,6 +177,8 @@ class AutoSession
     bool adaptive_ = false;
     double crossoverRate_ = 0.0;
     uint64_t switches_ = 0;
+    /** Planner snapshot backing crossoverRate_ and the report. */
+    plan::EnginePlan plan_;
 };
 
 } // namespace flexon

@@ -9,6 +9,7 @@
 
 #include "common/debug.hh"
 #include "common/logging.hh"
+#include "plan/planner.hh"
 #include "snn/serialize.hh"
 
 namespace flexon {
@@ -99,10 +100,9 @@ SimulationSession::phaseSynapse()
     // Rate estimator for the auto engine switch: pure function of
     // the spike history, so it stays deterministic and restorable.
     if (numNeurons > 0) {
-        constexpr double alpha = 1.0 / 64.0;
         const double inst = static_cast<double>(firedList_.size()) /
                             static_cast<double>(numNeurons);
-        ewmaRate_ += (inst - ewmaRate_) * alpha;
+        ewmaRate_ += (inst - ewmaRate_) * plan::kEwmaAlpha;
     }
 
     telemetry::ScopedTimer routeScope(routeTimer_,
@@ -353,6 +353,7 @@ SimulationSession::adoptSessionCore(const SimulationSession &other)
     restored_ = other.restored_;
     restoredStep_ = other.restoredStep_;
     checkpointEvery_ = other.checkpointEvery_;
+    planInfo_ = other.planInfo_;
 }
 
 bool
@@ -436,6 +437,29 @@ SimulationSession::writeRunReport(const std::string &path) const
                             std::to_string(restoredStep_));
     context.sections.emplace_back("checkpoint",
                                   std::move(checkpoint));
+
+    if (planInfo_.present) {
+        telemetry::ReportFields planFields;
+        planFields.emplace_back(
+            "strategy", telemetry::jsonQuoted(planInfo_.strategy));
+        planFields.emplace_back("planned",
+                                planInfo_.planned ? "true"
+                                                  : "false");
+        planFields.emplace_back(
+            "predicted_step_sec", num(planInfo_.predictedStepSec));
+        const double measured =
+            view.steps > 0
+                ? view.totalSec() / static_cast<double>(view.steps)
+                : 0.0;
+        planFields.emplace_back("measured_step_sec", num(measured));
+        planFields.emplace_back("crossover_rate",
+                                num(planInfo_.crossoverRate));
+        planFields.emplace_back(
+            "calibration_version",
+            telemetry::jsonQuoted(planInfo_.calibrationVersion));
+        context.sections.emplace_back("plan",
+                                      std::move(planFields));
+    }
 
     context.metrics = &metrics_;
     return telemetry::writeReportFile(path, context);

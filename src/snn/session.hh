@@ -137,6 +137,30 @@ struct SpikeEvent
 };
 
 /**
+ * Descriptive execution-plan record for the run report's "plan"
+ * section (report v4). Purely informational — the owner (AutoSession
+ * or the CLI) made the decisions; this records what was chosen, what
+ * the cost model predicted, and which calibration the prediction
+ * came from, so predicted-vs-measured step cost is auditable from
+ * the report alone.
+ */
+struct PlanInfo
+{
+    /** False until setPlanInfo(): no "plan" section is emitted. */
+    bool present = false;
+    /** Effective strategy: "dense" / "event" / "auto". */
+    std::string strategy;
+    /** True when the planner chose the strategy (--plan=auto). */
+    bool planned = false;
+    /** Predicted seconds per step for the chosen strategy. */
+    double predictedStepSec = 0.0;
+    /** Planned dense/event crossover rate (0 when not adaptive). */
+    double crossoverRate = 0.0;
+    /** Version tag of the calibration the plan derives from. */
+    std::string calibrationVersion;
+};
+
+/**
  * The bit-exact engine hand-off bundle: everything one delivery
  * engine must pass to another so the simulation continues spike for
  * spike as if the target engine had run from step 0. Produced by
@@ -225,8 +249,9 @@ class SimulationSession
 
     /**
      * Exponentially weighted moving average of the per-step firing
-     * rate (spikes per neuron per step), alpha = 1/64. Updated every
-     * step from the fired sweep, checkpointed, and deterministic —
+     * rate (spikes per neuron per step), alpha = plan::kEwmaAlpha
+     * (1/64). Updated every step from the fired sweep, checkpointed,
+     * and deterministic —
      * it derives purely from the spike history, so it is safe to
      * base engine-selection decisions on without breaking
      * bit-identity.
@@ -263,10 +288,11 @@ class SimulationSession
     const telemetry::Registry &metrics() const { return metrics_; }
 
     /**
-     * Write a "flexon-run-report-v3" JSON document (config, stats,
-     * checkpoint section, this registry, the process registry, pool
-     * lane accounting) to `path`. Returns false (after warn()) on
-     * I/O failure.
+     * Write a "flexon-run-report-v4" JSON document (config, stats,
+     * checkpoint section, plan section when setPlanInfo() was
+     * called, this registry, the process registry, pool lane
+     * accounting) to `path`. Returns false (after warn()) on I/O
+     * failure.
      */
     bool writeRunReport(const std::string &path) const;
 
@@ -331,6 +357,15 @@ class SimulationSession
     {
         checkpointEvery_ = every;
     }
+
+    /**
+     * Record the execution plan for the run report's "plan" section.
+     * Purely descriptive (like setCheckpointCadence): the owner made
+     * the decisions. Carried across adoptSessionCore so an engine
+     * hand-off keeps the plan provenance.
+     */
+    void setPlanInfo(const PlanInfo &info) { planInfo_ = info; }
+    const PlanInfo &planInfo() const { return planInfo_; }
 
   protected:
     /** Engine kind tag written into checkpoints and reports. */
@@ -472,6 +507,9 @@ class SimulationSession
     bool restored_ = false;
     uint64_t restoredStep_ = 0;
     uint64_t checkpointEvery_ = 0;
+
+    /** Report-only plan record (setPlanInfo). */
+    PlanInfo planInfo_;
 };
 
 } // namespace flexon

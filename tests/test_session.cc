@@ -355,19 +355,33 @@ TEST(SessionCheckpoint, RejectsNeuronCountMismatch)
 // ---- Rate-adaptive engine switch --------------------------------
 
 /**
- * Auto-engine options that force an early event -> dense switch: the
- * huge cost factor pushes the crossover rate below any sustained
+ * Auto-engine options that force an early event -> dense switch: a
+ * synthetic calibration pricing the event-driven unit at 200x the
+ * dense update pushes the planned crossover rate below any sustained
  * activity, so the session (which starts event-driven on the silent
  * fresh network) must hand off to dense at an early decision
  * boundary.
  */
+const plan::ExecutionPlanner &
+expensiveEventPlanner()
+{
+    static const plan::ExecutionPlanner planner = [] {
+        plan::CalibrationData cal = plan::builtinCalibration();
+        cal.version = "test-forced-switch";
+        cal.model.eventNsPerUnit =
+            cal.model.denseNsPerNeuron * 200.0;
+        return plan::ExecutionPlanner(cal);
+    }();
+    return planner;
+}
+
 AutoEngineOptions
 forcedSwitchOptions()
 {
     AutoEngineOptions a;
     a.engine = EngineKind::Auto;
     a.decisionWindow = 64;
-    a.costFactor = 200.0;
+    a.planner = &expensiveEventPlanner();
     return a;
 }
 
