@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/health.hh"
 #include "common/random.hh"
 #include "common/telemetry.hh"
 #include "common/thread_pool.hh"
@@ -371,6 +372,8 @@ BENCHMARK(flexon::BM_SynapsePhaseLegacy)
  *   FLEXON_TELEMETRY=1         enable the deep counters
  *   FLEXON_TRACE=trace.json    enable + dump the flight recorder
  *   FLEXON_REPORT=report.json  dump pool/global metrics on exit
+ *   FLEXON_HEALTH=0            disable the health monitors (A/B
+ *                              overhead gate; default is sampled-on)
  *
  * The report carries the pool lane accounting and the process-wide
  * registry (kernel dispatch mix); per-simulator sections stay empty
@@ -387,6 +390,12 @@ main(int argc, char **argv)
     const char *const trace = std::getenv("FLEXON_TRACE");
     const char *const report = std::getenv("FLEXON_REPORT");
     const char *const detail = std::getenv("FLEXON_TELEMETRY");
+    const char *const healthEnv = std::getenv("FLEXON_HEALTH");
+    const bool healthOff =
+        healthEnv != nullptr &&
+        (std::string(healthEnv) == "0" ||
+         std::string(healthEnv) == "off");
+    flexon::health::setGloballyDisabled(healthOff);
     if ((detail != nullptr && detail[0] != '\0' &&
          detail[0] != '0') ||
         trace != nullptr) {
@@ -408,6 +417,10 @@ main(int argc, char **argv)
     benchmark::AddCustomContext(
         "calibration_version",
         flexon::plan::installCalibrationFromEnv());
+    // Records whether the sampled invariant detectors were live for
+    // this run, so the health-overhead A/B gate can label its sides.
+    benchmark::AddCustomContext("health_monitors",
+                                healthOff ? "off" : "on");
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
 

@@ -21,9 +21,11 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "common/health.hh"
 #include "nets/potjans_diesmann.hh"
 #include "plan/calibration.hh"
 #include "snn/auto_engine.hh"
@@ -187,6 +189,14 @@ main(int argc, char **argv)
     // engine choices come from the active calibration.
     const std::string calibration =
         flexon::plan::installCalibrationFromEnv();
+    // FLEXON_HEALTH=0 disables the sampled invariant detectors: the
+    // CI overhead gate A/Bs the default-on monitors against this.
+    const char *const healthEnv = std::getenv("FLEXON_HEALTH");
+    const bool healthOff =
+        healthEnv != nullptr &&
+        (std::string(healthEnv) == "0" ||
+         std::string(healthEnv) == "off");
+    flexon::health::setGloballyDisabled(healthOff);
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;
@@ -196,6 +206,8 @@ main(int argc, char **argv)
     benchmark::AddCustomContext("project_build_type",
                                 FLEXON_BENCH_BUILD_TYPE);
     benchmark::AddCustomContext("calibration_version", calibration);
+    benchmark::AddCustomContext("health_monitors",
+                                healthOff ? "off" : "on");
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     return 0;

@@ -349,6 +349,24 @@ Registry::counterValues() const
     return out;
 }
 
+MetricsSnapshot
+Registry::snapshot() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    MetricsSnapshot snap;
+    snap.counters.reserve(counters_.size());
+    for (const auto &[name, metric] : counters_)
+        snap.counters.emplace_back(name, metric->value());
+    snap.gauges.reserve(gauges_.size());
+    for (const auto &[name, metric] : gauges_)
+        snap.gauges.emplace_back(name, metric->value());
+    snap.timers.reserve(timers_.size());
+    for (const auto &[name, metric] : timers_)
+        snap.timers.emplace_back(
+            name, TimerValue{metric->seconds(), metric->count()});
+    return snap;
+}
+
 namespace {
 
 std::string
@@ -432,6 +450,12 @@ traceEnd(const char *name)
     appendTraceEvent(name, 'E');
 }
 
+void
+traceInstant(const char *name)
+{
+    appendTraceEvent(name, 'i');
+}
+
 size_t
 traceEventCount()
 {
@@ -476,7 +500,12 @@ writeTraceJson(std::ostream &os)
                << ", \"ph\": \"" << event.ph
                << "\", \"ts\": "
                << jsonNumber(static_cast<double>(event.ts) / 1e3)
-               << ", \"pid\": 0, \"tid\": " << event.tid << "}";
+               << ", \"pid\": 0, \"tid\": " << event.tid;
+            // Instant events need a scope; "t" pins the marker to
+            // its thread track in the viewer.
+            if (event.ph == 'i')
+                os << ", \"s\": \"t\"";
+            os << "}";
             first = false;
         }
     }
@@ -647,7 +676,7 @@ void
 writeReportJson(std::ostream &os, const ReportContext &context)
 {
     os << "{\n";
-    os << "  \"schema\": \"flexon-run-report-v4\",\n";
+    os << "  \"schema\": \"flexon-run-report-v5\",\n";
     os << "  \"build\": ";
     writeFields(os, buildFields(), 4);
     os << ",\n  \"telemetry\": ";

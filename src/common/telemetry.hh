@@ -251,6 +251,27 @@ class HistogramMetric
     std::string desc_;
 };
 
+/** Value snapshot of one Timer (shards summed at read time). */
+struct TimerValue
+{
+    double seconds = 0.0;
+    uint64_t count = 0;
+};
+
+/**
+ * Point-in-time copy of a registry's scalar metrics, for consumers
+ * that format them outside the registry lock (the health layer's
+ * Prometheus/JSONL exporter). Histograms are omitted: the exporter's
+ * scrape format has no stable encoding for fixed-bin histograms and
+ * the percentiles already reach the run report.
+ */
+struct MetricsSnapshot
+{
+    std::vector<std::pair<std::string, uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<std::pair<std::string, TimerValue>> timers;
+};
+
 /**
  * A registry of named metrics. Registration (counter()/gauge()/...)
  * takes a lock and returns a stable reference — do it once at
@@ -299,6 +320,9 @@ class Registry
     std::vector<std::pair<std::string, uint64_t>>
     counterValues() const;
 
+    /** Point-in-time copy of every scalar metric (exporters). */
+    MetricsSnapshot snapshot() const;
+
   private:
     mutable std::mutex mutex_;
     std::map<std::string, std::unique_ptr<Counter>, std::less<>>
@@ -325,6 +349,14 @@ void traceBegin(const char *name);
 
 /** Append the matching E (end) event. Call iff traceBegin() ran. */
 void traceEnd(const char *name);
+
+/**
+ * Append a thread-scoped instant event (ph "i"): a point-in-time
+ * marker rather than a span. Used for plan decisions and health
+ * detector firings so they line up against the phase spans in the
+ * trace viewer. No-op unless tracing is enabled.
+ */
+void traceInstant(const char *name);
 
 /** RAII span: B at construction (if tracing), E at destruction. */
 class TraceScope
@@ -431,7 +463,7 @@ struct ReportContext
 };
 
 /**
- * Write a schema "flexon-run-report-v4" JSON document: build +
+ * Write a schema "flexon-run-report-v5" JSON document: build +
  * telemetry metadata, the caller's config/stats/extra sections, the
  * caller's registry under "metrics", the process registry under
  * "global_metrics", and the shared ThreadPool's lane accounting

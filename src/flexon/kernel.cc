@@ -3,6 +3,7 @@
 #include <array>
 #include <utility>
 
+#include "common/health.hh"
 #include "common/logging.hh"
 #include "fixed/fast_exp.hh"
 
@@ -82,14 +83,31 @@ struct FusedInput
     const double *p; ///< population base, stride maxSynapseTypes
     Fix inputScale;
 
+    /**
+     * Bit-exact scaling with a saturation tap: reports when the
+     * double->Fix conversion or the scaled product pins at a
+     * representation rail. The intermediate check matters because an
+     * inputScale <= 1 can pull a railed conversion back inside the
+     * range, hiding the clip from a product-only check.
+     */
+    Fix
+    scaled(double d) const
+    {
+        const Fix w = Fix::fromDouble(d);
+        const Fix f = w * inputScale;
+        if (w.raw() == Fix::rawMax || w.raw() == Fix::rawMin ||
+            f.raw() == Fix::rawMax || f.raw() == Fix::rawMin)
+            health::noteFixSaturation();
+        return f;
+    }
+
     Fix
     get(size_t i, size_t t, bool blocked) const
     {
         if (blocked)
             return Fix::zero();
         const double d = p[i * maxSynapseTypes + t];
-        return d == 0.0 ? Fix::zero()
-                        : Fix::fromDouble(d) * inputScale;
+        return d == 0.0 ? Fix::zero() : scaled(d);
     }
 
     Fix
@@ -101,8 +119,7 @@ struct FusedInput
         double sum = 0.0;
         for (size_t s = 0; s < maxSynapseTypes; ++s)
             sum += row[s];
-        return sum == 0.0 ? Fix::zero()
-                          : Fix::fromDouble(sum) * inputScale;
+        return sum == 0.0 ? Fix::zero() : scaled(sum);
     }
 };
 

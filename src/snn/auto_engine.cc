@@ -47,6 +47,10 @@ toSessionOptions(const SimulatorOptions &options)
     session.threads = options.threads;
     session.recordSpikes = options.recordSpikes;
     session.probes = options.probes;
+    session.health = options.health;
+    session.metricsOut = options.metricsOut;
+    session.metricsEvery = options.metricsEvery;
+    session.label = options.label;
     return session;
 }
 
@@ -109,6 +113,8 @@ AutoSession::AutoSession(const Network &network,
         std::max<size_t>(1, options_.threads));
     plan_ = planner.plan(netStats, plan::kDefaultRatePrior,
                          maxThreads);
+    planner_ = planner;
+    netStats_ = netStats;
 
     if (adaptive_) {
         // Rate at which the planner predicts dense and event-driven
@@ -122,6 +128,29 @@ AutoSession::AutoSession(const Network &network,
     child_ = makeEngine(startEvent);
     eventActive_ = startEvent;
     applyPlanInfo();
+    if (adaptive_) {
+        // Audit the implicit step-0 decision (the silent-network
+        // prior picking the event engine) alongside the windowed
+        // ones.
+        recordDecision(plan::kDefaultRatePrior, false);
+    }
+}
+
+void
+AutoSession::recordDecision(double rate, bool switched)
+{
+    const unsigned threads = static_cast<unsigned>(
+        std::max<size_t>(1, options_.threads));
+    PlanDecision d;
+    d.step = child_->currentStep();
+    d.ewmaRate = rate;
+    d.predictedDenseSec =
+        planner_.predictDenseStepSec(netStats_, rate, threads);
+    d.predictedEventSec =
+        planner_.predictEventStepSec(netStats_, rate);
+    d.chosen = eventActive_ ? "event" : "dense";
+    d.switched = switched;
+    child_->recordPlanDecision(d);
 }
 
 void
@@ -188,6 +217,7 @@ AutoSession::decide()
 {
     const double rate = child_->ewmaRate();
     const double margin = 1.0 + auto_.hysteresis;
+    const bool wasEvent = eventActive_;
     if (eventActive_) {
         if (rate > crossoverRate_ * margin)
             switchEngine(false);
@@ -195,6 +225,10 @@ AutoSession::decide()
         if (rate * margin < crossoverRate_)
             switchEngine(true);
     }
+    // Record after any switch so the entry lands in the session
+    // core the run continues with (adoptSessionCore carries the
+    // trail across a hand-off).
+    recordDecision(rate, eventActive_ != wasEvent);
 }
 
 void

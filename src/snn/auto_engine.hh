@@ -172,6 +172,14 @@ class AutoSession
     SimulatorOptions options_;
     AutoEngineOptions auto_;
 
+    /**
+     * Stamp the decision just taken into the live engine's plan
+     * audit trail (report "plan_audit" section, trace instants).
+     * Called after any switch, so the record lands in the session
+     * core the run continues with.
+     */
+    void recordDecision(double rate, bool switched);
+
     std::unique_ptr<SimulationSession> child_;
     bool eventActive_ = false;
     bool adaptive_ = false;
@@ -179,6 +187,9 @@ class AutoSession
     uint64_t switches_ = 0;
     /** Planner snapshot backing crossoverRate_ and the report. */
     plan::EnginePlan plan_;
+    /** Planner copy driving the per-decision cost predictions. */
+    plan::ExecutionPlanner planner_;
+    plan::NetworkStats netStats_;
 };
 
 } // namespace flexon

@@ -1,10 +1,13 @@
 #include "snn/backend.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <string>
 
+#include "common/health.hh"
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
 #include "flexon/array.hh"
@@ -25,7 +28,57 @@ backendName(BackendKind kind)
     }
 }
 
+void
+NeuronBackend::healthProbe(size_t begin, size_t end,
+                           health::HealthScan &scan) const
+{
+    for (size_t n = begin; n < end; ++n) {
+        ++scan.checked;
+        if (!std::isfinite(membrane(n))) {
+            ++scan.nonFinite;
+            if (scan.firstBad < 0)
+                scan.firstBad = static_cast<int64_t>(n);
+        }
+    }
+}
+
 namespace {
+
+/**
+ * Scale one accumulated input exactly like FlexonConfig::scaleWeight
+ * (bit-identical product), but report when either the double->Fix
+ * conversion or the scaled product pins at a representation rail.
+ * The intermediate matters: an inputScale <= 1 can shrink a railed
+ * conversion back inside the range, hiding the clip from any check
+ * on the product alone.
+ */
+inline Fix
+scaleWeightChecked(const FlexonConfig &c, double in)
+{
+    const Fix w = Fix::fromDouble(in);
+    const Fix f = w * c.inputScale;
+    if (w.raw() == Fix::rawMax || w.raw() == Fix::rawMin ||
+        f.raw() == Fix::rawMax || f.raw() == Fix::rawMin)
+        health::noteFixSaturation();
+    return f;
+}
+
+/** Rail check shared by the fixed-point backends' health probes. */
+template <typename Array>
+void
+probeFixArray(const Array &array, size_t begin, size_t end,
+              health::HealthScan &scan)
+{
+    for (size_t n = begin; n < end; ++n) {
+        ++scan.checked;
+        const int64_t raw = array.neuron(n).state().v.raw();
+        if (raw == Fix::rawMax || raw == Fix::rawMin) {
+            ++scan.saturated;
+            if (scan.firstBad < 0)
+                scan.firstBad = static_cast<int64_t>(n);
+        }
+    }
+}
 
 /**
  * Software backend. Discrete mode runs one ReferenceBatch per
@@ -204,6 +257,34 @@ class ReferenceBackend : public NeuronBackend
         return true;
     }
 
+    bool
+    debugPoisonMembrane(size_t neuron) override
+    {
+        if (neuron >= numNeurons_)
+            return false;
+        if (mode_ != IntegrationMode::Discrete) {
+            OdeNeuron &target = continuous_[neuron];
+            NeuronState s = target.state();
+            s.v = std::numeric_limits<double>::quiet_NaN();
+            target.setState(s);
+            return true;
+        }
+        for (size_t b = 0; b < batches_.size(); ++b) {
+            const size_t base = bases_[b];
+            if (neuron >= base + batches_[b].size())
+                continue;
+            const auto vs = batches_[b].membraneArray();
+            const auto cnts = batches_[b].refractoryArray();
+            std::vector<double> v(vs.begin(), vs.end());
+            std::vector<uint32_t> cnt(cnts.begin(), cnts.end());
+            v[neuron - base] =
+                std::numeric_limits<double>::quiet_NaN();
+            batches_[b].setLlifState(v, cnt);
+            return true;
+        }
+        return false;
+    }
+
   private:
     IntegrationMode mode_;
     size_t threads_;
@@ -252,8 +333,9 @@ class HardwareInputScaler
                     double sum = 0.0;
                     for (size_t s = 0; s < maxSynapseTypes; ++s)
                         sum += input[base + s];
-                    scaled_[base] = sum == 0.0 ? Fix::zero()
-                                               : c.scaleWeight(sum);
+                    scaled_[base] = sum == 0.0
+                                        ? Fix::zero()
+                                        : scaleWeightChecked(c, sum);
                     for (size_t s = 1; s < maxSynapseTypes; ++s)
                         scaled_[base + s] = Fix::zero();
                 } else {
@@ -261,7 +343,7 @@ class HardwareInputScaler
                         const double in = input[base + s];
                         scaled_[base + s] =
                             in == 0.0 ? Fix::zero()
-                                      : c.scaleWeight(in);
+                                      : scaleWeightChecked(c, in);
                     }
                 }
             }
@@ -351,6 +433,13 @@ class FlexonBackend : public NeuronBackend
         array_.loadState(is);
     }
 
+    void
+    healthProbe(size_t begin, size_t end,
+                health::HealthScan &scan) const override
+    {
+        probeFixArray(array_, begin, end, scan);
+    }
+
     FlexonArray &array() { return array_; }
 
   private:
@@ -413,6 +502,13 @@ class FoldedBackend : public NeuronBackend
             fatal("checkpoint backend state is not a folded-flexon "
                   "backend");
         array_.loadState(is);
+    }
+
+    void
+    healthProbe(size_t begin, size_t end,
+                health::HealthScan &scan) const override
+    {
+        probeFixArray(array_, begin, end, scan);
     }
 
     FoldedFlexonArray &array() { return array_; }

@@ -18,6 +18,7 @@
 #include <span>
 #include <vector>
 
+#include "common/health.hh"
 #include "models/population.hh"
 #include "snn/network.hh"
 
@@ -106,6 +107,28 @@ class NeuronBackend
     {
         (void)v;
         (void)refractory;
+        return false;
+    }
+
+    /**
+     * Health-sweep probe: examine neurons [begin, end) and tally
+     * anomalies into `scan`. The default checks membrane() for
+     * non-finite values (what double backends can produce); the
+     * fixed-point backends override it to look for values pinned at
+     * a representation rail instead (Fix can never be NaN). Called
+     * only at the health-sweep cadence, never per step.
+     */
+    virtual void healthProbe(size_t begin, size_t end,
+                             health::HealthScan &scan) const;
+
+    /**
+     * Test/CI hook: overwrite one neuron's membrane with NaN so the
+     * NaN detector has something real to find. Returns false when
+     * the backend cannot represent NaN (fixed-point arrays).
+     */
+    virtual bool debugPoisonMembrane(size_t neuron)
+    {
+        (void)neuron;
         return false;
     }
 };

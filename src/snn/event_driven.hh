@@ -27,7 +27,9 @@
 #define FLEXON_SNN_EVENT_DRIVEN_HH
 
 #include <array>
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <utility>
 #include <vector>
@@ -92,6 +94,16 @@ class EventDrivenSimulator : public SimulationSession
     /** Membrane potential of a neuron *as of the current step*. */
     double membrane(uint32_t neuron) const override;
 
+    /** Test/CI hook: NaN-poison one neuron's stored state. */
+    bool
+    debugPoisonMembrane(uint32_t neuron) override
+    {
+        if (neuron >= state_.size())
+            return false;
+        state_[neuron].v = std::numeric_limits<double>::quiet_NaN();
+        return true;
+    }
+
   protected:
     const char *engineKind() const override { return "event-driven"; }
     void engineInjectStimulus(
@@ -109,6 +121,34 @@ class EventDrivenSimulator : public SimulationSession
         telemetry::ReportFields &stats) const override;
     void engineSaveState(std::ostream &os) const override;
     void engineLoadState(std::istream &is) override;
+
+    /**
+     * Health sweep: check the *stored* membrane values (catchUp's
+     * closed-form max() would mask a NaN when reconstructing), and
+     * report the pending-event backlog as ring occupancy. The
+     * backlog is unbounded (vectors, not a fixed slot), so capacity
+     * stays 0 and the watermark detector does not apply.
+     */
+    void
+    engineHealthScan(uint64_t begin, uint64_t end,
+                     health::HealthScan &scan) const override
+    {
+        for (uint64_t n = begin; n < end; ++n) {
+            ++scan.checked;
+            if (!std::isfinite(state_[n].v)) {
+                ++scan.nonFinite;
+                if (scan.firstBad < 0)
+                    scan.firstBad = static_cast<int64_t>(n);
+            }
+        }
+        uint64_t pending = 0;
+        for (const auto &slot : ring_)
+            pending += slot.size();
+        for (const auto &slot : carry_)
+            pending += slot.size();
+        scan.ringOccupancy = pending;
+        scan.ringCapacity = 0;
+    }
 
   public:
     bool engineExportTransfer(EngineTransfer &out) const override;

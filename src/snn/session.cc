@@ -5,6 +5,7 @@
 #include <iomanip>
 #include <istream>
 #include <ostream>
+#include <sstream>
 #include <utility>
 
 #include "common/debug.hh"
@@ -45,9 +46,28 @@ SimulationSession::SimulationSession(const Network &network,
         flexon_assert(probe < network_.numNeurons());
     probeTraces_.resize(options_.probes.size());
     firedList_.reserve(network_.numNeurons());
+
+    // Health monitoring: resolve the effective switch once (the
+    // per-step gate is then a single bool) and defend against
+    // degenerate cadences.
+    if (options_.health.samplePeriod == 0)
+        options_.health.samplePeriod = 1;
+    if (options_.metricsEvery == 0)
+        options_.metricsEvery = 1;
+    healthActive_ =
+        options_.health.enabled && !health::globallyDisabled();
+    lastFixSaturations_ = health::fixSaturations();
+    if (!options_.metricsOut.empty())
+        exporter_ = std::make_unique<health::MetricsExporter>(
+            options_.metricsOut, options_.label);
 }
 
-SimulationSession::~SimulationSession() = default;
+SimulationSession::~SimulationSession()
+{
+    // If this session's registry was registered for crash dumps,
+    // unregister it — a dump taken later must not read freed memory.
+    health::clearCrashDumpRegistry(&metrics_);
+}
 
 const std::vector<double> &
 SimulationSession::probeTrace(size_t probe) const
@@ -143,6 +163,150 @@ SimulationSession::stepOnce()
         for (size_t i = 0; i < options_.probes.size(); ++i)
             probeTraces_[i].push_back(membrane(options_.probes[i]));
     }
+    // Health layer: a sampled detector sweep, the watchdog
+    // heartbeat, and the live exporter. All three gates are a bool
+    // test / relaxed load on the default path.
+    if (healthActive_ && t_ % options_.health.samplePeriod == 0)
+        healthSweep();
+    if (health::watchdogArmed())
+        health::heartbeat(t_);
+    if (exporter_ && t_ % options_.metricsEvery == 0)
+        exporter_->exportNow(metrics_, t_, engineKind());
+}
+
+void
+SimulationSession::healthApply(health::Policy policy,
+                               const char *detector, uint64_t events,
+                               const std::string &message)
+{
+    switch (policy) {
+      case health::Policy::Off:
+      case health::Policy::Report:
+        break;
+      case health::Policy::Warn:
+        // Rate-limited: the first few firings in full, then every
+        // 64th — a persistent fault must not flood stderr.
+        if (events <= 5 || events % 64 == 0)
+            logTagged(LogLevel::Warn, "health", "%s: %s", detector,
+                      message.c_str());
+        break;
+      case health::Policy::Abort:
+        logTagged(LogLevel::Warn, "health",
+                  "%s: %s (policy abort, exit %d)", detector,
+                  message.c_str(), health::kDetectorExitCode);
+        health::heartbeat(t_);
+        health::writeCrashDump(detector);
+        std::exit(health::kDetectorExitCode);
+    }
+    if (telemetry::traceEnabled())
+        telemetry::traceInstant("health.detector");
+}
+
+void
+SimulationSession::healthSweep()
+{
+    const health::HealthOptions &ho = options_.health;
+    ++healthCounters_.sweeps;
+
+    // Engine state scan over a rotating window, so big populations
+    // are covered incrementally at O(window) per sweep.
+    health::HealthScan scan;
+    const uint64_t numNeurons = network_.numNeurons();
+    const bool wantScan = ho.nan != health::Policy::Off ||
+                          ho.saturation != health::Policy::Off ||
+                          ho.ring != health::Policy::Off;
+    if (wantScan && numNeurons > 0) {
+        uint64_t begin = 0;
+        uint64_t end = numNeurons;
+        if (ho.maxScanNeurons > 0 && numNeurons > ho.maxScanNeurons) {
+            begin = healthCursor_;
+            end = std::min(begin + ho.maxScanNeurons, numNeurons);
+            healthCursor_ = end < numNeurons ? end : 0;
+        }
+        engineHealthScan(begin, end, scan);
+        healthCounters_.neuronsChecked += scan.checked;
+    }
+
+    if (ho.nan != health::Policy::Off && scan.nonFinite > 0) {
+        ++healthCounters_.nanEvents;
+        std::ostringstream msg;
+        msg << scan.nonFinite << " non-finite membrane value(s), "
+            << "first at neuron " << scan.firstBad << ", step " << t_;
+        healthApply(ho.nan, "nan", healthCounters_.nanEvents,
+                    msg.str());
+    }
+
+    // Fix saturation: the kernels tally rails process-wide; the
+    // sweep attributes the delta since the previous sweep, plus any
+    // membranes the scan found pinned at a rail.
+    const uint64_t satNow = health::fixSaturations();
+    const uint64_t satDelta = satNow - lastFixSaturations_;
+    lastFixSaturations_ = satNow;
+    if (ho.saturation != health::Policy::Off &&
+        (satDelta > 0 || scan.saturated > 0)) {
+        healthCounters_.saturationHits += satDelta + scan.saturated;
+        ++healthCounters_.saturationEvents;
+        std::ostringstream msg;
+        msg << satDelta << " fixed-point saturation(s)";
+        if (scan.saturated > 0)
+            msg << " + " << scan.saturated << " railed membrane(s)";
+        msg << " since last sweep, step " << t_;
+        healthApply(ho.saturation, "saturation",
+                    healthCounters_.saturationEvents, msg.str());
+    }
+
+    // Rate anomalies engage after the warmup transient: the EWMA
+    // needs history before "explosion" or "silence" means anything.
+    if (ho.rate != health::Policy::Off && t_ >= ho.rateWarmupSteps) {
+        if (ewmaRate_ > ho.rateExplosion) {
+            ++healthCounters_.rateExplosions;
+            std::ostringstream msg;
+            msg << "EWMA firing rate " << ewmaRate_
+                << " above explosion threshold " << ho.rateExplosion
+                << ", step " << t_;
+            healthApply(ho.rate, "rate-explosion",
+                        healthCounters_.rateExplosions, msg.str());
+        } else if (ewmaRate_ < ho.rateSilence) {
+            ++healthCounters_.rateSilences;
+            std::ostringstream msg;
+            msg << "EWMA firing rate " << ewmaRate_
+                << " below silence threshold " << ho.rateSilence
+                << ", step " << t_;
+            healthApply(ho.rate, "rate-silence",
+                        healthCounters_.rateSilences, msg.str());
+        }
+    }
+
+    // Ring watermark: only meaningful for bounded rings (capacity 0
+    // = heap-backed, can't overflow). pendingWrites counts duplicate
+    // cell writes separately, so clamp the fraction at 1.
+    if (ho.ring != health::Policy::Off && scan.ringCapacity > 0) {
+        const double fraction =
+            std::min(1.0, static_cast<double>(scan.ringOccupancy) /
+                              static_cast<double>(scan.ringCapacity));
+        if (fraction > healthCounters_.ringPeakFraction)
+            healthCounters_.ringPeakFraction = fraction;
+        if (fraction >= ho.ringWatermark && scan.ringOccupancy > 0) {
+            ++healthCounters_.ringHighWater;
+            std::ostringstream msg;
+            msg << "delay-ring occupancy " << scan.ringOccupancy
+                << "/" << scan.ringCapacity << " ("
+                << static_cast<int>(fraction * 100.0)
+                << "%) at/above watermark, step " << t_;
+            healthApply(ho.ring, "ring-watermark",
+                        healthCounters_.ringHighWater, msg.str());
+        }
+    }
+}
+
+void
+SimulationSession::recordPlanDecision(const PlanDecision &decision)
+{
+    ++planDecisionsTotal_;
+    if (planDecisions_.size() < kPlanAuditCapacity)
+        planDecisions_.push_back(decision);
+    if (telemetry::traceEnabled())
+        telemetry::traceInstant("plan.decision");
 }
 
 void
@@ -323,6 +487,11 @@ SimulationSession::reset()
     stimulus_ = stimulusInitial_;
     restored_ = false;
     restoredStep_ = 0;
+    healthCounters_ = health::HealthCounters{};
+    healthCursor_ = 0;
+    lastFixSaturations_ = health::fixSaturations();
+    planDecisions_.clear();
+    planDecisionsTotal_ = 0;
 }
 
 void
@@ -354,6 +523,16 @@ SimulationSession::adoptSessionCore(const SimulationSession &other)
     restoredStep_ = other.restoredStep_;
     checkpointEvery_ = other.checkpointEvery_;
     planInfo_ = other.planInfo_;
+    // Health tallies and the plan audit describe the whole run, so
+    // an engine hand-off carries them into the new session. The
+    // saturation watermark re-anchors to the process counter's
+    // current value (reset() already did, but the source session may
+    // have consumed deltas since this session was constructed).
+    healthCounters_ = other.healthCounters_;
+    healthCursor_ = other.healthCursor_;
+    lastFixSaturations_ = other.lastFixSaturations_;
+    planDecisions_ = other.planDecisions_;
+    planDecisionsTotal_ = other.planDecisionsTotal_;
 }
 
 bool
@@ -437,6 +616,75 @@ SimulationSession::writeRunReport(const std::string &path) const
                             std::to_string(restoredStep_));
     context.sections.emplace_back("checkpoint",
                                   std::move(checkpoint));
+
+    // Health section (always present in v5): what the detectors were
+    // configured to do and what they saw.
+    telemetry::ReportFields healthFields;
+    healthFields.emplace_back("enabled",
+                              healthActive_ ? "true" : "false");
+    healthFields.emplace_back(
+        "policy",
+        telemetry::jsonQuoted(health::specString(options_.health)));
+    healthFields.emplace_back(
+        "sample_every", std::to_string(options_.health.samplePeriod));
+    healthFields.emplace_back(
+        "sweeps", std::to_string(healthCounters_.sweeps));
+    healthFields.emplace_back(
+        "neurons_checked",
+        std::to_string(healthCounters_.neuronsChecked));
+    healthFields.emplace_back(
+        "nan_events", std::to_string(healthCounters_.nanEvents));
+    healthFields.emplace_back(
+        "saturation_events",
+        std::to_string(healthCounters_.saturationEvents));
+    healthFields.emplace_back(
+        "saturation_hits",
+        std::to_string(healthCounters_.saturationHits));
+    healthFields.emplace_back(
+        "rate_explosions",
+        std::to_string(healthCounters_.rateExplosions));
+    healthFields.emplace_back(
+        "rate_silences",
+        std::to_string(healthCounters_.rateSilences));
+    healthFields.emplace_back(
+        "ring_high_water",
+        std::to_string(healthCounters_.ringHighWater));
+    healthFields.emplace_back(
+        "ring_peak_fraction",
+        num(healthCounters_.ringPeakFraction));
+    healthFields.emplace_back(
+        "watchdog_stalls", std::to_string(health::watchdogStalls()));
+    context.sections.emplace_back("health",
+                                  std::move(healthFields));
+
+    // Plan-decision audit trail (only when anyone recorded one).
+    if (planDecisionsTotal_ > 0) {
+        telemetry::ReportFields audit;
+        audit.emplace_back("recorded",
+                           std::to_string(planDecisions_.size()));
+        audit.emplace_back(
+            "dropped", std::to_string(planDecisionsTotal_ -
+                                      planDecisions_.size()));
+        std::string decisions = "[";
+        for (size_t i = 0; i < planDecisions_.size(); ++i) {
+            const PlanDecision &d = planDecisions_[i];
+            if (i > 0)
+                decisions += ", ";
+            decisions += "{\"step\": " + std::to_string(d.step) +
+                         ", \"ewma_rate\": " + num(d.ewmaRate) +
+                         ", \"predicted_dense_sec\": " +
+                         num(d.predictedDenseSec) +
+                         ", \"predicted_event_sec\": " +
+                         num(d.predictedEventSec) + ", \"chosen\": " +
+                         telemetry::jsonQuoted(d.chosen) +
+                         ", \"switched\": " +
+                         (d.switched ? "true" : "false") + "}";
+        }
+        decisions += "]";
+        audit.emplace_back("decisions", std::move(decisions));
+        context.sections.emplace_back("plan_audit",
+                                      std::move(audit));
+    }
 
     if (planInfo_.present) {
         telemetry::ReportFields planFields;

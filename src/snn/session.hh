@@ -36,11 +36,13 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <span>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/health.hh"
 #include "common/telemetry.hh"
 #include "snn/network.hh"
 #include "snn/stimulus.hh"
@@ -57,6 +59,15 @@ struct SessionOptions
     bool recordSpikes = false;
     /** Neurons whose membrane potential is sampled every step. */
     std::vector<uint32_t> probes;
+    /** Runtime health monitoring (invariant detectors). */
+    health::HealthOptions health;
+    /** Live metrics export target ("" = off): Prometheus text at
+     *  this path (atomically replaced) + JSONL history alongside. */
+    std::string metricsOut;
+    /** Steps between metric snapshots (when metricsOut is set). */
+    uint64_t metricsEvery = 256;
+    /** Session label stamped on exported metrics. */
+    std::string label = "flexon";
 };
 
 /**
@@ -158,6 +169,30 @@ struct PlanInfo
     double crossoverRate = 0.0;
     /** Version tag of the calibration the plan derives from. */
     std::string calibrationVersion;
+};
+
+/**
+ * One recorded ExecutionPlanner decision: what the planner saw (step,
+ * EWMA rate), what the cost model predicted per strategy, and what it
+ * chose. AutoSession records one per decision window; the session
+ * stores them for the report's "plan_audit" section and mirrors each
+ * as a trace instant, making the adaptive switching explainable from
+ * the artifacts alone.
+ */
+struct PlanDecision
+{
+    /** Completed steps when the decision was evaluated. */
+    uint64_t step = 0;
+    /** EWMA firing rate the decision was based on. */
+    double ewmaRate = 0.0;
+    /** Predicted seconds/step for the dense strategy. */
+    double predictedDenseSec = 0.0;
+    /** Predicted seconds/step for the event-driven strategy. */
+    double predictedEventSec = 0.0;
+    /** Chosen strategy: "dense" or "event". */
+    std::string chosen;
+    /** True when the decision switched the active engine. */
+    bool switched = false;
 };
 
 /**
@@ -288,9 +323,10 @@ class SimulationSession
     const telemetry::Registry &metrics() const { return metrics_; }
 
     /**
-     * Write a "flexon-run-report-v4" JSON document (config, stats,
-     * checkpoint section, plan section when setPlanInfo() was
-     * called, this registry, the process registry, pool lane
+     * Write a "flexon-run-report-v5" JSON document (config, stats,
+     * checkpoint section, health section, plan section when
+     * setPlanInfo() was called, plan_audit section when decisions
+     * were recorded, this registry, the process registry, pool lane
      * accounting) to `path`. Returns false (after warn()) on I/O
      * failure.
      */
@@ -367,6 +403,54 @@ class SimulationSession
     void setPlanInfo(const PlanInfo &info) { planInfo_ = info; }
     const PlanInfo &planInfo() const { return planInfo_; }
 
+    // ---- Health monitoring and plan audit ----------------------
+
+    /** Detector tallies accumulated so far (report "health"). */
+    const health::HealthCounters &healthCounters() const
+    {
+        return healthCounters_;
+    }
+
+    /** True when the detectors actually run (session options AND the
+     *  process-wide kill switch both allow it). */
+    bool healthActive() const { return healthActive_; }
+
+    /**
+     * Append one planner decision to the audit trail (also emitted
+     * as a "plan.decision" trace instant). Bounded: after
+     * kPlanAuditCapacity decisions only the total keeps counting.
+     */
+    void recordPlanDecision(const PlanDecision &decision);
+
+    /** Retained audit records (at most kPlanAuditCapacity). */
+    const std::vector<PlanDecision> &planDecisions() const
+    {
+        return planDecisions_;
+    }
+
+    /** All decisions ever recorded, including dropped ones. */
+    uint64_t planDecisionsTotal() const { return planDecisionsTotal_; }
+
+    /** Audit records kept before only counting (bounds report size). */
+    static constexpr size_t kPlanAuditCapacity = 1024;
+
+    // ---- Test-only fault injection -----------------------------
+
+    /**
+     * Overwrite one neuron's membrane with NaN (test/CI hook for the
+     * NaN detector). Returns false when the engine/backend cannot
+     * poison state in place (e.g. fixed-point backends, which cannot
+     * represent NaN at all).
+     */
+    virtual bool debugPoisonMembrane(uint32_t neuron)
+    {
+        (void)neuron;
+        return false;
+    }
+
+    /** Force the EWMA rate to 1.0 (rate-explosion detector hook). */
+    void debugInjectRateExplosion() { ewmaRate_ = 1.0; }
+
   protected:
     /** Engine kind tag written into checkpoints and reports. */
     virtual const char *engineKind() const = 0;
@@ -430,6 +514,21 @@ class SimulationSession
     /** Restore the engine's dynamic state (loadCheckpoint). */
     virtual void engineLoadState(std::istream &is) = 0;
 
+    /**
+     * Health-sweep hook: examine neurons [begin, end) plus the
+     * engine's delivery structures and fill `scan`. The default
+     * reports nothing (detectors simply see a clean engine). Called
+     * at the sweep cadence only, so implementations may be O(window)
+     * without hurting the step loop.
+     */
+    virtual void engineHealthScan(uint64_t begin, uint64_t end,
+                                  health::HealthScan &scan) const
+    {
+        (void)begin;
+        (void)end;
+        (void)scan;
+    }
+
   public:
     /**
      * Export the engine's dynamic state as an EngineTransfer for a
@@ -467,6 +566,13 @@ class SimulationSession
     void phaseStimulus();
     void phaseNeuron();
     void phaseSynapse();
+
+    /** Run every enabled detector over one scan window. */
+    void healthSweep();
+
+    /** Apply one detector's policy after it tripped. */
+    void healthApply(health::Policy policy, const char *detector,
+                     uint64_t events, const std::string &message);
 
     const Network &network_;
     StimulusGenerator stimulus_;
@@ -510,6 +616,22 @@ class SimulationSession
 
     /** Report-only plan record (setPlanInfo). */
     PlanInfo planInfo_;
+
+    // Health monitoring (constructor caches the effective switch so
+    // the per-step gate is one bool test).
+    bool healthActive_ = false;
+    health::HealthCounters healthCounters_;
+    /** Next rotating scan-window start. */
+    uint64_t healthCursor_ = 0;
+    /** fixSaturations() watermark for per-sweep deltas. */
+    uint64_t lastFixSaturations_ = 0;
+
+    /** Live metrics exporter (null unless options.metricsOut). */
+    std::unique_ptr<health::MetricsExporter> exporter_;
+
+    // Plan-decision audit trail (recordPlanDecision).
+    std::vector<PlanDecision> planDecisions_;
+    uint64_t planDecisionsTotal_ = 0;
 };
 
 } // namespace flexon

@@ -16,6 +16,10 @@ toSessionOptions(const SimulatorOptions &options)
     session.threads = options.threads;
     session.recordSpikes = options.recordSpikes;
     session.probes = options.probes;
+    session.health = options.health;
+    session.metricsOut = options.metricsOut;
+    session.metricsEvery = options.metricsEvery;
+    session.label = options.label;
     return session;
 }
 
@@ -127,6 +131,20 @@ Simulator::engineLoadState(std::istream &is)
 {
     backend_->loadState(is);
     router_->loadState(is);
+}
+
+void
+Simulator::engineHealthScan(uint64_t begin, uint64_t end,
+                            health::HealthScan &scan) const
+{
+    backend_->healthProbe(static_cast<size_t>(begin),
+                          static_cast<size_t>(end), scan);
+    // Ring watermark: pending writes against the ring's cell count.
+    // Duplicate writes count twice, so the session clamps the
+    // fraction at 1.
+    scan.ringOccupancy = router_->pendingWrites();
+    scan.ringCapacity = static_cast<uint64_t>(router_->ringDepth()) *
+                        router_->slotSize();
 }
 
 bool

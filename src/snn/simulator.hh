@@ -58,6 +58,14 @@ struct SimulatorOptions
     ConnectivityKind connectivity = ConnectivityKind::Materialized;
     /** Neurons whose membrane potential is sampled every step. */
     std::vector<uint32_t> probes;
+    /** Runtime invariant detectors (common/health.hh). */
+    health::HealthOptions health;
+    /** Live metric export target; empty disables the exporter. */
+    std::string metricsOut;
+    /** Steps between live metric snapshots. */
+    uint64_t metricsEvery = 256;
+    /** Session label stamped onto exported metrics. */
+    std::string label = "flexon";
 };
 
 /** The dense three-phase SNN simulation engine. */
@@ -95,6 +103,12 @@ class Simulator : public SimulationSession
         return router_->ringBuffer();
     }
 
+    /** Test/CI hook: NaN-poison one neuron (see NeuronBackend). */
+    bool debugPoisonMembrane(uint32_t neuron) override
+    {
+        return backend_->debugPoisonMembrane(neuron);
+    }
+
   protected:
     const char *engineKind() const override { return "dense"; }
     void engineInjectStimulus(
@@ -111,6 +125,8 @@ class Simulator : public SimulationSession
         telemetry::ReportFields &config) const override;
     void engineSaveState(std::ostream &os) const override;
     void engineLoadState(std::istream &is) override;
+    void engineHealthScan(uint64_t begin, uint64_t end,
+                          health::HealthScan &scan) const override;
 
   public:
     /**

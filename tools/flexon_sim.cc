@@ -19,6 +19,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,6 +31,7 @@
 
 #include "analysis/raster.hh"
 #include "analysis/spike_train.hh"
+#include "common/health.hh"
 #include "common/logging.hh"
 #include "frontend/script.hh"
 #include "nets/potjans_diesmann.hh"
@@ -84,6 +86,11 @@ struct Args
     uint64_t checkpointEvery = 0;
     std::string checkpointDir = ".";
     std::string restore;
+    health::HealthOptions health;
+    std::string metricsOut;
+    uint64_t metricsEvery = 256;
+    double watchdogTimeout = 0.0;
+    std::string crashDump;
 };
 
 [[noreturn]] void
@@ -116,6 +123,20 @@ usage()
         "  [--report FILE]   write a run-report JSON document\n"
         "  [--trace FILE]    write a Chrome trace.json "
         "(implies --telemetry)\n"
+        "  [--health SPEC]   invariant detectors: off|warn|report|"
+        "abort,\n"
+        "                    or nan|sat|rate|ring:POLICY pairs plus\n"
+        "                    sample=N / warmup=N "
+        "(default report,sample=64)\n"
+        "  [--metrics-out FILE]  live Prometheus snapshot (plus "
+        "FILE.jsonl)\n"
+        "  [--metrics-every N]   steps between metric snapshots "
+        "(default 256)\n"
+        "  [--watchdog-timeout SEC]  abort (exit 4) with a crash "
+        "dump when\n"
+        "                    a step stalls longer than SEC seconds\n"
+        "  [--crash-dump FILE]  crash-dump path "
+        "(default flexon-crash-dump.json)\n"
         "  [--checkpoint-every N]  snapshot every N steps\n"
         "  [--checkpoint-dir DIR]  where snapshots go "
         "(default .)\n"
@@ -251,6 +272,27 @@ parseArgs(int argc, char **argv)
             args.report = need_value(i);
         } else if (flag == "--trace") {
             args.trace = need_value(i);
+        } else if (flag == "--health") {
+            const char *v = need_value(i);
+            std::string bad;
+            if (!health::parseHealthSpec(v, args.health, &bad))
+                badValue(flag, bad.c_str(),
+                         "off|warn|report|abort, nan|sat|rate|ring:"
+                         "POLICY pairs, sample=N, warmup=N");
+        } else if (flag == "--metrics-out") {
+            args.metricsOut = need_value(i);
+        } else if (flag == "--metrics-every") {
+            const char *v = need_value(i);
+            args.metricsEvery = parseCount(flag, v);
+            if (args.metricsEvery == 0)
+                badValue(flag, v, "a positive integer");
+        } else if (flag == "--watchdog-timeout") {
+            const char *v = need_value(i);
+            args.watchdogTimeout = parseReal(flag, v);
+            if (!(args.watchdogTimeout > 0.0))
+                badValue(flag, v, "a positive number of seconds");
+        } else if (flag == "--crash-dump") {
+            args.crashDump = need_value(i);
         } else if (flag == "--checkpoint-every") {
             args.checkpointEvery = parseCount(flag, need_value(i));
         } else if (flag == "--checkpoint-dir") {
@@ -273,6 +315,47 @@ parseArgs(int argc, char **argv)
     return args;
 }
 
+/**
+ * CI fault injection: FLEXON_HEALTH_INJECT=nan@STEP | rate@STEP |
+ * stall@STEP corrupts the run at the given step (counted in steps
+ * run by this invocation) so the health-smoke job can assert that
+ * the right detector fires with the right exit code. A test hook,
+ * not a user feature — hence an environment variable, not a flag.
+ */
+struct Injection
+{
+    enum class Kind { None, Nan, Rate, Stall };
+    Kind kind = Kind::None;
+    uint64_t step = 0;
+};
+
+Injection
+parseInjection()
+{
+    Injection inj;
+    const char *env = std::getenv("FLEXON_HEALTH_INJECT");
+    if (env == nullptr || *env == '\0')
+        return inj;
+    const std::string text = env;
+    const size_t at = text.find('@');
+    const std::string kind = text.substr(0, at);
+    if (at == std::string::npos)
+        badValue("FLEXON_HEALTH_INJECT", env,
+                 "nan@STEP, rate@STEP, or stall@STEP");
+    if (kind == "nan")
+        inj.kind = Injection::Kind::Nan;
+    else if (kind == "rate")
+        inj.kind = Injection::Kind::Rate;
+    else if (kind == "stall")
+        inj.kind = Injection::Kind::Stall;
+    else
+        badValue("FLEXON_HEALTH_INJECT", env,
+                 "nan@STEP, rate@STEP, or stall@STEP");
+    inj.step =
+        parseCount("FLEXON_HEALTH_INJECT", text.c_str() + at + 1);
+    return inj;
+}
+
 } // namespace
 
 int
@@ -292,10 +375,15 @@ main(int argc, char **argv)
                args.calibration.c_str(), cal.version.c_str());
     }
 
-    if (args.telemetry || !args.trace.empty()) {
+    // The watchdog arms the flight recorder too: a crash dump with an
+    // empty trace buffer is useless for the post-mortem it exists
+    // for. (Recording costs only the armed ring buffer.)
+    if (args.telemetry || !args.trace.empty() ||
+        args.watchdogTimeout > 0.0) {
         telemetry::TelemetryConfig cfg;
         cfg.detail = true;
-        cfg.trace = !args.trace.empty();
+        cfg.trace =
+            !args.trace.empty() || args.watchdogTimeout > 0.0;
         telemetry::configure(cfg);
     }
 
@@ -435,6 +523,10 @@ main(int argc, char **argv)
     opts.recordSpikes = args.raster || !args.csv.empty();
     opts.sparseDelivery = !args.legacyDelivery;
     opts.connectivity = args.connectivity;
+    opts.health = args.health;
+    opts.metricsOut = args.metricsOut;
+    opts.metricsEvery = args.metricsEvery;
+    opts.label = title;
     AutoEngineOptions autoOpts;
     autoOpts.engine = args.engine;
     AutoSession sim(net, stim, opts, autoOpts);
@@ -466,9 +558,61 @@ main(int argc, char **argv)
                    sim.session().restoredStep()));
     }
 
+    // Crash-dump plumbing: detector aborts and watchdog stalls dump
+    // the session registry and the flight recorder. The registered
+    // registry is cleared automatically if the engine is swapped
+    // (the dying session's destructor unregisters itself).
+    if (!args.crashDump.empty())
+        health::setCrashDumpPath(args.crashDump);
+    health::setCrashDumpRegistry(&sim.session().metrics());
+
+    std::optional<health::Watchdog> watchdog;
+    if (args.watchdogTimeout > 0.0) {
+        health::installCrashHandlers();
+        watchdog.emplace(args.watchdogTimeout);
+    }
+
+    const Injection inject = parseInjection();
+    if (inject.kind != Injection::Kind::None &&
+        args.checkpointEvery != 0) {
+        fatal("FLEXON_HEALTH_INJECT cannot be combined with "
+              "--checkpoint-every");
+    }
+
+    // Arm the watchdog around the run loop only: network
+    // construction and report writing must not count against the
+    // step budget.
+    if (watchdog)
+        watchdog->start();
+
     // --steps counts the steps run by *this* invocation; after a
     // restore the simulation continues from the snapshot's step.
-    if (args.checkpointEvery == 0) {
+    if (inject.kind != Injection::Kind::None &&
+        inject.step < args.steps) {
+        sim.run(inject.step);
+        switch (inject.kind) {
+        case Injection::Kind::Nan:
+            if (!sim.session().debugPoisonMembrane(0))
+                warn("health inject: backend cannot represent NaN");
+            break;
+        case Injection::Kind::Rate:
+            sim.session().debugInjectRateExplosion();
+            break;
+        case Injection::Kind::Stall: {
+            const double sec =
+                args.watchdogTimeout > 0.0
+                    ? args.watchdogTimeout * 4.0 + 1.0
+                    : 1.0;
+            inform("health inject: stalling for %.1f s", sec);
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(sec));
+            break;
+        }
+        default:
+            break;
+        }
+        sim.run(args.steps - inject.step);
+    } else if (args.checkpointEvery == 0) {
         sim.run(args.steps);
     } else {
         uint64_t remaining = args.steps;
@@ -491,6 +635,9 @@ main(int argc, char **argv)
             }
         }
     }
+
+    if (watchdog)
+        watchdog->stop();
 
     SimulationSession &session = sim.session();
     const PhaseStats &st = session.stats();
@@ -552,6 +699,17 @@ main(int argc, char **argv)
         telemetry::writeTraceFile(args.trace)) {
         inform("wrote %zu trace events to %s",
                telemetry::traceEventCount(), args.trace.c_str());
+    }
+    // Only for an explicitly traced run: the watchdog's implicit
+    // flight recorder is a ring for the crash dump, where losing the
+    // oldest events on a long run is by design.
+    if (!args.trace.empty() && telemetry::traceDropped() > 0) {
+        warn("flight recorder dropped %llu trace events (per-thread "
+             "capacity %zu); raise TelemetryConfig::traceCapacity or "
+             "shorten the traced run",
+             static_cast<unsigned long long>(
+                 telemetry::traceDropped()),
+             telemetry::config().traceCapacity);
     }
     return 0;
 }
