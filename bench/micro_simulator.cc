@@ -18,6 +18,7 @@
 #include "common/thread_pool.hh"
 #include "nets/table1.hh"
 #include "plan/calibration.hh"
+#include "registry/registry.hh"
 #include "snn/routing.hh"
 #include "snn/simulator.hh"
 
@@ -421,6 +422,12 @@ main(int argc, char **argv)
     // this run, so the health-overhead A/B gate can label its sides.
     benchmark::AddCustomContext("health_monitors",
                                 healthOff ? "off" : "on");
+    // Which neuron models were registered (and with what parameters,
+    // via the descriptor hash): bench_diff flags baseline/candidate
+    // records taken against different registries.
+    benchmark::AddCustomContext(
+        "model_registry",
+        flexon::ModelRegistry::instance().fingerprint());
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
 

@@ -28,6 +28,7 @@
 #include "common/health.hh"
 #include "nets/potjans_diesmann.hh"
 #include "plan/calibration.hh"
+#include "registry/registry.hh"
 #include "snn/auto_engine.hh"
 #include "snn/routing.hh"
 #include "snn/simulator.hh"
@@ -208,6 +209,9 @@ main(int argc, char **argv)
     benchmark::AddCustomContext("calibration_version", calibration);
     benchmark::AddCustomContext("health_monitors",
                                 healthOff ? "off" : "on");
+    benchmark::AddCustomContext(
+        "model_registry",
+        flexon::ModelRegistry::instance().fingerprint());
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     return 0;

@@ -34,7 +34,7 @@ main()
             expected_syn;
         table.addRow({spec.name, std::to_string(spec.neurons),
                       std::to_string(spec.synapses),
-                      modelName(spec.model),
+                      spec.model,
                       std::string(solverName(spec.solver)) +
                           (spec.gpuNative ? " (GPU)" : ""),
                       std::to_string(inst.network.numNeurons()),

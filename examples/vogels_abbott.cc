@@ -36,7 +36,7 @@ main()
     const BenchmarkSpec &spec = findBenchmark("Vogels-Abbott");
     std::printf("=== Vogels-Abbott (Table I): %zu neurons, %zu "
                 "synapses, %s, %s ===\n\n",
-                spec.neurons, spec.synapses, modelName(spec.model),
+                spec.neurons, spec.synapses, spec.model.c_str(),
                 solverName(spec.solver));
 
     BenchmarkInstance inst = buildBenchmark(spec, 10.0, 2026);

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Minimal recursive-descent parser for the JSON subset the project's
+ * config documents use: objects whose values are numbers, strings,
+ * booleans/null, or nested objects of the same shape. No arrays, no
+ * escapes beyond \" and \\ (version/host/model strings never need
+ * more). Whitespace per RFC 8259.
+ *
+ * Hoisted out of src/plan/calibration.cc once the model-descriptor
+ * loader (src/registry/model_file.cc) became the second consumer —
+ * one tiny parser, shared, instead of N ad-hoc copies. Parsing is
+ * non-throwing: the first failure latches failed()/error() and every
+ * later call returns false, so callers chain parse steps and check
+ * once at the end.
+ */
+
+#ifndef FLEXON_COMMON_JSON_LITE_HH
+#define FLEXON_COMMON_JSON_LITE_HH
+
+#include <string>
+
+namespace flexon {
+
+/** See the file comment for the supported JSON subset. */
+class MiniJson
+{
+  public:
+    /** The text must outlive the parser (held by reference). */
+    explicit MiniJson(const std::string &text) : text_(text) {}
+
+    bool failed() const { return failed_; }
+    const std::string &error() const { return error_; }
+
+    void skipWs();
+
+    /** Consume one expected character (after whitespace). */
+    bool expect(char c);
+
+    /** True when the next non-whitespace character is `c`. */
+    bool peek(char c);
+
+    bool parseString(std::string &out);
+    bool parseNumber(double &out);
+
+    /**
+     * Parse an object, invoking onField(key) positioned at the
+     * value; onField must consume the value (or return false to
+     * fail). Unknown keys are skipped via skipValue by the caller.
+     */
+    template <typename Fn>
+    bool parseObject(Fn &&onField)
+    {
+        if (!expect('{'))
+            return false;
+        if (peek('}')) {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            std::string key;
+            if (!parseString(key) || !expect(':'))
+                return false;
+            if (!onField(key))
+                return false;
+            if (peek(',')) {
+                ++pos_;
+                continue;
+            }
+            return expect('}');
+        }
+    }
+
+    /** Skip any value of the supported subset (for unknown keys). */
+    bool skipValue();
+
+    /**
+     * After a successful top-level parse: require only whitespace to
+     * the end of the document (rejects trailing garbage).
+     */
+    bool atEnd();
+
+    /** Latch the first failure with a byte-offset diagnostic. */
+    bool fail(const std::string &why);
+
+  private:
+    const std::string &text_;
+    size_t pos_ = 0;
+    bool failed_ = false;
+    std::string error_;
+};
+
+/** Backslash-escape the characters MiniJson's parseString handles. */
+std::string jsonEscaped(const std::string &s);
+
+} // namespace flexon
+
+#endif // FLEXON_COMMON_JSON_LITE_HH

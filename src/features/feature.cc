@@ -89,7 +89,7 @@ categoryName(FeatureCategory c)
     }
 }
 
-Feature
+std::optional<Feature>
 featureFromName(const std::string &name)
 {
     for (size_t i = 0; i < numFeatures; ++i) {
@@ -97,7 +97,31 @@ featureFromName(const std::string &name)
         if (name == featureName(f))
             return f;
     }
-    fatal("unknown feature name '%s'", name.c_str());
+    return std::nullopt;
+}
+
+std::optional<FeatureSet>
+featureSetFromString(const std::string &text, std::string *badToken)
+{
+    FeatureSet set;
+    size_t start = 0;
+    while (start <= text.size()) {
+        const size_t plus = text.find('+', start);
+        const size_t end =
+            plus == std::string::npos ? text.size() : plus;
+        const std::string token = text.substr(start, end - start);
+        const std::optional<Feature> f = featureFromName(token);
+        if (!f) {
+            if (badToken != nullptr)
+                *badToken = token;
+            return std::nullopt;
+        }
+        set.add(*f);
+        if (plus == std::string::npos)
+            break;
+        start = plus + 1;
+    }
+    return set;
 }
 
 FeatureSet::FeatureSet(std::initializer_list<Feature> features)

@@ -19,6 +19,7 @@
 #define FLEXON_FEATURES_FEATURE_HH
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -66,8 +67,12 @@ FeatureCategory featureCategory(Feature f);
 /** Printable name of a category. */
 const char *categoryName(FeatureCategory c);
 
-/** Parse a Table II abbreviation; fatal() on unknown names. */
-Feature featureFromName(const std::string &name);
+/**
+ * Parse a Table II abbreviation; nullopt on unknown names so callers
+ * (CLI flags, descriptor files) can report *which* token failed and
+ * list the valid names instead of dying inside the parser.
+ */
+std::optional<Feature> featureFromName(const std::string &name);
 
 /**
  * A set of enabled biologically common features.
@@ -142,6 +147,16 @@ class FeatureSet
 
     uint16_t bits_ = 0;
 };
+
+/**
+ * Parse a "+"-separated feature combination ("LID+CUB+AR", the
+ * FeatureSet::toString format). Returns nullopt — with the offending
+ * token in *badToken when given — on unknown names; the combination
+ * rules are NOT checked here (call FeatureSet::validate()).
+ */
+std::optional<FeatureSet>
+featureSetFromString(const std::string &text,
+                     std::string *badToken = nullptr);
 
 } // namespace flexon
 

@@ -24,7 +24,7 @@ modelName(ModelKind kind)
     }
 }
 
-ModelKind
+std::optional<ModelKind>
 modelFromName(const std::string &name)
 {
     for (size_t i = 0; i < numModels; ++i) {
@@ -32,7 +32,39 @@ modelFromName(const std::string &name)
         if (name == modelName(kind))
             return kind;
     }
-    fatal("unknown neuron model '%s'", name.c_str());
+    return std::nullopt;
+}
+
+const char *
+modelDoc(ModelKind kind)
+{
+    switch (kind) {
+      case ModelKind::LIF:
+        return "Leaky integrate-and-fire (baseline)";
+      case ModelKind::LLIF:
+        return "Linear-leak integrate-and-fire";
+      case ModelKind::SLIF:
+        return "LIF with step inputs";
+      case ModelKind::DSRM0:
+        return "Zeroth-order spike response model (digital)";
+      case ModelKind::DLIF:
+        return "LIF with decaying synaptic conductances";
+      case ModelKind::QIF:
+        return "Quadratic integrate-and-fire";
+      case ModelKind::EIF:
+        return "Exponential integrate-and-fire";
+      case ModelKind::Izhikevich:
+        return "Izhikevich's simple model";
+      case ModelKind::AdEx:
+        return "Adaptive exponential integrate-and-fire";
+      case ModelKind::AdExCOBA:
+        return "AdEx with alpha-function conductances";
+      case ModelKind::IFPscAlpha:
+        return "PyNN IF_psc_alpha";
+      case ModelKind::IFCondExpGsfaGrr:
+        return "PyNN IF_cond_exp_gsfa_grr";
+      default: panic("invalid model kind %d", static_cast<int>(kind));
+    }
 }
 
 FeatureSet
@@ -151,6 +183,18 @@ allModels()
     for (size_t i = 0; i < numModels; ++i)
         out.push_back(static_cast<ModelKind>(i));
     return out;
+}
+
+std::vector<BuiltinModelSeed>
+builtinModelSeeds()
+{
+    std::vector<BuiltinModelSeed> seeds;
+    seeds.reserve(numModels);
+    for (const ModelKind kind : allModels()) {
+        seeds.push_back({kind, modelName(kind), modelDoc(kind),
+                         defaultParams(kind)});
+    }
+    return seeds;
 }
 
 } // namespace flexon

@@ -3,11 +3,20 @@
  * The neuron-model zoo of Table III: each published neuron model
  * expressed as a combination of the 12 biologically common features,
  * plus representative default parameters for each model.
+ *
+ * This table is the *seed* of the runtime model registry
+ * (registry/registry.hh): at startup the registry registers one
+ * descriptor per ModelKind from builtinModelSeeds(), and every
+ * simulator layer resolves models through registry lookups from
+ * there. The enum remains as the stable identity of the built-in
+ * models (serialization, RTL generation, tests); new models are
+ * registered by name and never extend it.
  */
 
 #ifndef FLEXON_FEATURES_MODEL_TABLE_HH
 #define FLEXON_FEATURES_MODEL_TABLE_HH
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -45,8 +54,14 @@ constexpr size_t numModels = static_cast<size_t>(ModelKind::NumModels);
 /** Printable model name ("AdEx", "IF_psc_alpha", ...). */
 const char *modelName(ModelKind kind);
 
-/** Parse a model name; fatal() on unknown names. */
-ModelKind modelFromName(const std::string &name);
+/**
+ * Parse a built-in model name; nullopt on unknown names so callers
+ * can report the failing token and list what is registered (the
+ * strict-CLI convention) instead of dying inside the parser. Note
+ * this sees only the Table III zoo — name lookups that should also
+ * find runtime-registered models go through ModelRegistry::find().
+ */
+std::optional<ModelKind> modelFromName(const std::string &name);
 
 /**
  * The Table III feature combination implementing a model.
@@ -65,6 +80,25 @@ NeuronParams defaultParams(ModelKind kind);
 
 /** All models, in Table III order (baseline LIF first). */
 std::vector<ModelKind> allModels();
+
+/** One-line provenance note per model (registry descriptors). */
+const char *modelDoc(ModelKind kind);
+
+/**
+ * The registry seed: one row per built-in model, in Table III order.
+ * registry/builtin.cc turns each row into a registered descriptor at
+ * startup; nothing else should need this — consumers resolve models
+ * through the registry.
+ */
+struct BuiltinModelSeed
+{
+    ModelKind kind;
+    const char *name;
+    const char *doc;
+    NeuronParams params; ///< carries the feature set
+};
+
+std::vector<BuiltinModelSeed> builtinModelSeeds();
 
 } // namespace flexon
 

@@ -5,6 +5,7 @@
 
 #include "common/health.hh"
 #include "common/logging.hh"
+#include "common/telemetry.hh"
 #include "fixed/fast_exp.hh"
 
 namespace flexon {
@@ -275,9 +276,27 @@ stepSpecializedScaled(const KernelArgs &a, size_t begin, size_t end)
               begin, end);
 }
 
+/**
+ * Neuron-steps taken through the generic (runtime feature dispatch)
+ * fallback. Registered models are expected to hit a compiled
+ * specialization; a non-zero count flags the per-step branching cost
+ * of an out-of-table feature combination (e.g. a --model-file model
+ * whose mask has no compiled kernel).
+ */
+telemetry::Counter &
+fallbackCounter()
+{
+    static telemetry::Counter &counter =
+        telemetry::Registry::global().counter(
+            "kernel_fallback_steps",
+            "neuron steps taken by the generic fallback kernel");
+    return counter;
+}
+
 void
 stepGenericFused(const KernelArgs &a, size_t begin, size_t end)
 {
+    fallbackCounter().add(end - begin);
     stepRange(RuntimeFeatures{a.config->features.raw()},
               FusedInput{a.refInput, a.config->inputScale}, a, begin,
               end);
@@ -286,6 +305,7 @@ stepGenericFused(const KernelArgs &a, size_t begin, size_t end)
 void
 stepGenericScaled(const KernelArgs &a, size_t begin, size_t end)
 {
+    fallbackCounter().add(end - begin);
     stepRange(RuntimeFeatures{a.config->features.raw()},
               ScaledInput{a.fixInput}, a, begin, end);
 }

@@ -7,6 +7,7 @@
 
 #include "common/logging.hh"
 #include "features/model_table.hh"
+#include "registry/registry.hh"
 
 namespace flexon {
 
@@ -199,8 +200,14 @@ parseScript(std::istream &is)
             if (!kv.count("model") || !kv.count("count"))
                 parseError(line.number,
                            "population needs model= and count=", "");
-            NeuronParams params =
-                defaultParams(modelFromName(kv.at("model")));
+            const ModelDescriptor *desc =
+                ModelRegistry::instance().find(kv.at("model"));
+            if (desc == nullptr)
+                parseError(
+                    line.number, "unknown model ",
+                    kv.at("model") + "; registered models: " +
+                        ModelRegistry::instance().namesSummary());
+            NeuronParams params = desc->params;
             const size_t count = static_cast<size_t>(
                 toUint(line, "count", kv.at("count")));
             kv.erase("model");

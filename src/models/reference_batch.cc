@@ -31,6 +31,20 @@ void
 ReferenceBatch::step(const double *input, uint8_t *fired, size_t begin,
                      size_t end)
 {
+    // Dispatch once per call so the (overwhelmingly common) no-offset
+    // instantiation compiles to the exact pre-IE loop — populations
+    // that never adapt pay nothing for the feature.
+    if (thrOffset_.empty())
+        stepImpl<false>(input, fired, begin, end);
+    else
+        stepImpl<true>(input, fired, begin, end);
+}
+
+template <bool kThresholdOffsets>
+void
+ReferenceBatch::stepImpl(const double *input, uint8_t *fired,
+                         size_t begin, size_t end)
+{
     const NeuronParams &p = params_;
     const FeatureSet &f = p.features;
 
@@ -49,6 +63,8 @@ ReferenceBatch::step(const double *input, uint8_t *fired, size_t begin,
     const bool hasRR = f.has(Feature::RR);
     const bool wFeature = hasADT || hasSBT || hasRR;
     const double threshold = p.threshold();
+    const double *const thrOffset =
+        kThresholdOffsets ? thrOffset_.data() : nullptr;
 
     for (size_t i = begin; i < end; ++i) {
         const double v_prev = v_[i];
@@ -122,7 +138,10 @@ ReferenceBatch::step(const double *input, uint8_t *fired, size_t begin,
 
         // --- Firing check.
         preResetV_[i] = v_next;
-        const bool spike = v_next > threshold;
+        const double th = kThresholdOffsets
+                              ? threshold + thrOffset[i]
+                              : threshold;
+        const bool spike = v_next > th;
         if (spike) {
             v_next = 0.0;
             if (wFeature)
@@ -165,8 +184,18 @@ ReferenceBatch::setLlifState(std::span<const double> v,
 }
 
 void
+ReferenceBatch::setThresholdOffset(size_t idx, double offset)
+{
+    flexon_assert(idx < count_);
+    if (thrOffset_.empty())
+        thrOffset_.assign(count_, 0.0);
+    thrOffset_[idx] = offset;
+}
+
+void
 ReferenceBatch::reset()
 {
+    std::fill(thrOffset_.begin(), thrOffset_.end(), 0.0);
     std::fill(v_.begin(), v_.end(), 0.0);
     std::fill(w_.begin(), w_.end(), 0.0);
     std::fill(r_.begin(), r_.end(), 0.0);

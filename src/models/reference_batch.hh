@@ -71,6 +71,24 @@ class ReferenceBatch
     /** Materialized AoS state of one neuron (probes and tests). */
     NeuronState state(size_t idx) const;
 
+    /**
+     * Intrinsic-excitability support: per-neuron firing-threshold
+     * offset added to params().threshold() in the spike check. The
+     * offset array is allocated lazily on the first write, so
+     * populations that never adapt keep the exact pre-existing step
+     * path (and bit-exact results). Offsets are *parameters*, not
+     * dynamic state: saveState/loadState deliberately exclude them —
+     * the plasticity rule that wrote them owns their persistence and
+     * re-applies them on restore. reset() zeroes them (a fresh batch
+     * has no adaptation history).
+     */
+    void setThresholdOffset(size_t idx, double offset);
+    double
+    thresholdOffset(size_t idx) const
+    {
+        return thrOffset_.empty() ? 0.0 : thrOffset_[idx];
+    }
+
     void reset();
 
     /**
@@ -83,6 +101,15 @@ class ReferenceBatch
     void loadState(std::istream &is);
 
   private:
+    /**
+     * The neuron loop, compiled once without the per-neuron threshold
+     * lookup (the common path, byte-for-byte the pre-IE loop) and
+     * once with it (populations under intrinsic excitability).
+     */
+    template <bool kThresholdOffsets>
+    void stepImpl(const double *input, uint8_t *fired, size_t begin,
+                  size_t end);
+
     NeuronParams params_;
     size_t count_;
     size_t stride_; ///< params_.numSynapseTypes
@@ -94,6 +121,8 @@ class ReferenceBatch
     std::vector<double> y_; ///< count * stride
     std::vector<double> g_; ///< count * stride
     std::vector<uint32_t> cnt_;
+    /** Per-neuron threshold offsets; empty until the first write. */
+    std::vector<double> thrOffset_;
 };
 
 } // namespace flexon

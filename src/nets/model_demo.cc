@@ -1,0 +1,75 @@
+#include "nets/model_demo.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace flexon {
+
+BenchmarkInstance
+buildModelDemo(const ModelDescriptor &desc, size_t neurons,
+               uint64_t seed)
+{
+    neurons = std::max<size_t>(10, neurons);
+    const size_t n_exc = (neurons * 4) / 5;
+    const size_t n_inh = neurons - n_exc;
+    const double probability = 0.05;
+
+    // Synthesize a spec so the instance plugs into everything that
+    // consumes Table I benchmarks. The gains mirror the Vogels rows
+    // (sustained inhibition-stabilized activity).
+    BenchmarkSpec spec;
+    spec.name = "model:" + desc.name;
+    spec.neurons = neurons;
+    spec.synapses = static_cast<size_t>(
+        probability * static_cast<double>(neurons) *
+        static_cast<double>(neurons));
+    spec.model = desc.name;
+    spec.solver = SolverKind::Euler;
+    spec.gpuNative = false;
+    spec.excGain = 5.0;
+    spec.inhGain = -20.0;
+    spec.stimulusRate = 0.010;
+    spec.stimulusWeight = 2.0;
+
+    const NeuronParams &params = desc.params;
+
+    Network net;
+    const size_t exc =
+        net.addPopulation(desc.name + "-exc", params, n_exc);
+    const size_t inh =
+        net.addPopulation(desc.name + "-inh", params, n_inh);
+
+    // Weight signs follow the table1 convention: with REV the weight
+    // is a conductance increment (always positive, the reversal
+    // voltage carries the sign); without REV inhibition needs a
+    // negative weight. Models with a single synapse type route
+    // inhibition through type 0.
+    const double fanin_exc =
+        std::max(1.0, probability * static_cast<double>(n_exc));
+    const double fanin_inh =
+        std::max(1.0, probability * static_cast<double>(n_inh));
+    const double w_exc = spec.excGain / fanin_exc;
+    const bool rev = params.features.has(Feature::REV);
+    const double w_inh = rev ? -spec.inhGain / fanin_inh
+                             : spec.inhGain / fanin_inh;
+    const uint8_t inhType = params.numSynapseTypes >= 2 ? 1 : 0;
+
+    Rng rng(seed);
+    net.connectRandom(exc, exc, probability, w_exc, 1, 15, 0, rng);
+    net.connectRandom(exc, inh, probability, w_exc, 1, 15, 0, rng);
+    net.connectRandom(inh, exc, probability, w_inh, 1, 15, inhType,
+                      rng);
+    net.connectRandom(inh, inh, probability, w_inh, 1, 15, inhType,
+                      rng);
+    net.finalize();
+
+    StimulusGenerator stim(seed ^ 0x5f5f5f5fULL);
+    stim.addSource(StimulusSource::poisson(
+        0, static_cast<uint32_t>(neurons), spec.stimulusRate,
+        static_cast<float>(spec.stimulusWeight), 0));
+
+    return {std::move(net), std::move(stim), spec, 1.0};
+}
+
+} // namespace flexon

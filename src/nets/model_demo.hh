@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Demo network for an arbitrary registered neuron model.
+ *
+ * The Table I benchmarks hard-wire their published model names; this
+ * builder is the registry-first counterpart used by
+ * `flexon_sim --model NAME`: it takes any ModelDescriptor — builtin
+ * or loaded from a --model-file — and wraps it in a small
+ * inhibition-stabilized random network with Poisson background, so a
+ * newly registered model can be simulated end to end without writing
+ * a generator.
+ */
+
+#ifndef FLEXON_NETS_MODEL_DEMO_HH
+#define FLEXON_NETS_MODEL_DEMO_HH
+
+#include <cstdint>
+
+#include "nets/table1.hh"
+#include "registry/registry.hh"
+
+namespace flexon {
+
+/**
+ * Build a demo instance for a registered model: `neurons` cells in a
+ * standard 80/20 excitatory/inhibitory split, 5% random
+ * connectivity, gain-derived weights and a suprathreshold Poisson
+ * background. Returned as a BenchmarkInstance whose synthesized spec
+ * is named "model:<name>", so the whole benchmark tool chain
+ * (sessions, probes, checkpoints) applies unchanged.
+ */
+BenchmarkInstance buildModelDemo(const ModelDescriptor &desc,
+                                 size_t neurons, uint64_t seed);
+
+} // namespace flexon
+
+#endif // FLEXON_NETS_MODEL_DEMO_HH

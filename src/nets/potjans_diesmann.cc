@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "features/model_table.hh"
+#include "registry/registry.hh"
 
 namespace flexon {
 
@@ -115,7 +116,8 @@ buildMicrocircuit(const MicrocircuitOptions &options)
 
     const auto &names = microcircuitPopulationNames();
     const auto &full = microcircuitFullSizes();
-    const NeuronParams params = defaultParams(ModelKind::LLIF);
+    const NeuronParams params =
+        ModelRegistry::instance().find("LLIF")->params;
 
     std::array<size_t, microcircuitPopulations> pops{};
     for (size_t p = 0; p < microcircuitPopulations; ++p) {
@@ -201,7 +203,8 @@ buildMicrocircuitSpec(const MicrocircuitOptions &options,
 
     const auto &names = microcircuitPopulationNames();
     const auto &full = microcircuitFullSizes();
-    const NeuronParams params = defaultParams(ModelKind::LLIF);
+    const NeuronParams params =
+        ModelRegistry::instance().find("LLIF")->params;
 
     std::array<size_t, microcircuitPopulations> pops{};
     for (size_t p = 0; p < microcircuitPopulations; ++p) {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "registry/registry.hh"
 
 namespace flexon {
 
@@ -16,25 +17,25 @@ table1Benchmarks()
     // suprathreshold conductance kicks that keep the network out of
     // the silent state at any scale.
     static const std::vector<BenchmarkSpec> specs = {
-        {"Brette", 2400, 2400000, ModelKind::DLIF, SolverKind::RKF45,
+        {"Brette", 2400, 2400000, "DLIF", SolverKind::RKF45,
          false, 5.0, -20.0, 0.010, 2.0},
-        {"Brunel", 5000, 2500000, ModelKind::IFPscAlpha,
+        {"Brunel", 5000, 2500000, "IF_psc_alpha",
          SolverKind::Euler, false, 5.0, -20.0, 0.010, 2.0},
-        {"Destexhe-LTS", 500, 20000, ModelKind::AdEx,
+        {"Destexhe-LTS", 500, 20000, "AdEx",
          SolverKind::RKF45, false, 3.0, -18.0, 0.008, 1.5},
-        {"Destexhe-UpDown", 2500, 100000, ModelKind::AdEx,
+        {"Destexhe-UpDown", 2500, 100000, "AdEx",
          SolverKind::RKF45, false, 3.0, -18.0, 0.008, 1.5},
-        {"Izhikevich", 10000, 10000000, ModelKind::Izhikevich,
+        {"Izhikevich", 10000, 10000000, "Izhikevich",
          SolverKind::Euler, true, 5.0, -20.0, 0.010, 2.0},
-        {"Muller", 1728, 762000, ModelKind::IFCondExpGsfaGrr,
+        {"Muller", 1728, 762000, "IF_cond_exp_gsfa_grr",
          SolverKind::RKF45, false, 5.0, -20.0, 0.012, 2.5},
-        {"Nowotny", 1220, 202000, ModelKind::Izhikevich,
+        {"Nowotny", 1220, 202000, "Izhikevich",
          SolverKind::Euler, true, 5.0, -20.0, 0.010, 2.0},
-        {"Potjans-Diesmann", 8000, 3000000, ModelKind::DSRM0,
+        {"Potjans-Diesmann", 8000, 3000000, "DSRM0",
          SolverKind::Euler, false, 4.0, -16.0, 0.012, 2.5},
-        {"Vogels", 10000, 1920000, ModelKind::DLIF, SolverKind::RKF45,
+        {"Vogels", 10000, 1920000, "DLIF", SolverKind::RKF45,
          false, 5.0, -20.0, 0.010, 2.0},
-        {"Vogels-Abbott", 4000, 320000, ModelKind::DLIF,
+        {"Vogels-Abbott", 4000, 320000, "DLIF",
          SolverKind::RKF45, false, 5.0, -20.0, 0.010, 2.0},
     };
     return specs;
@@ -52,7 +53,12 @@ findBenchmark(const std::string &name)
 NeuronParams
 benchmarkParams(const BenchmarkSpec &spec)
 {
-    NeuronParams params = defaultParams(spec.model);
+    const ModelDescriptor *desc =
+        ModelRegistry::instance().find(spec.model);
+    if (desc == nullptr)
+        fatal("benchmark '%s' references unregistered model '%s'",
+              spec.name.c_str(), spec.model.c_str());
+    NeuronParams params = desc->params;
     if (spec.name == "Destexhe-LTS" ||
         spec.name == "Destexhe-UpDown") {
         // Destexhe's thalamocortical AdEx networks distinguish AMPA,

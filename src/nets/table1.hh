@@ -31,7 +31,13 @@ struct BenchmarkSpec
     std::string name;       ///< Table I row name
     size_t neurons;         ///< published neuron count
     size_t synapses;        ///< published synapse count
-    ModelKind model;        ///< neuron model (Table I column 3)
+    /**
+     * Neuron model (Table I column 3) as a ModelRegistry name. The
+     * ten rows all reference builtin Table III models, but the field
+     * is a registry key so file-registered models can reuse the
+     * builders.
+     */
+    std::string model;
     SolverKind solver;      ///< Euler or RKF45 (Table I notes)
     bool gpuNative;         ///< collected from GeNN (GPU) per Table I
     /**

@@ -1,12 +1,13 @@
 #include "plan/calibration.hh"
 
-#include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <ostream>
 #include <sstream>
+
+#include "common/json_lite.hh"
 
 namespace flexon {
 namespace plan {
@@ -34,163 +35,14 @@ activeSlot()
     return active;
 }
 
-/**
- * Minimal recursive-descent parser for the JSON subset calibration
- * documents use: objects whose values are numbers, strings, or
- * nested objects of the same shape. No arrays, no escapes beyond
- * \" and \\ (version/host strings never need more). Whitespace per
- * RFC 8259.
- */
-class MiniJson
-{
-  public:
-    explicit MiniJson(const std::string &text) : text_(text) {}
-
-    bool failed() const { return failed_; }
-    const std::string &error() const { return error_; }
-
-    void skipWs()
-    {
-        while (pos_ < text_.size() &&
-               std::isspace(static_cast<unsigned char>(text_[pos_])))
-            ++pos_;
-    }
-
-    bool expect(char c)
-    {
-        skipWs();
-        if (pos_ >= text_.size() || text_[pos_] != c)
-            return fail(std::string("expected '") + c + "'");
-        ++pos_;
-        return true;
-    }
-
-    bool peek(char c)
-    {
-        skipWs();
-        return pos_ < text_.size() && text_[pos_] == c;
-    }
-
-    bool parseString(std::string &out)
-    {
-        skipWs();
-        if (pos_ >= text_.size() || text_[pos_] != '"')
-            return fail("expected string");
-        ++pos_;
-        out.clear();
-        while (pos_ < text_.size() && text_[pos_] != '"') {
-            char c = text_[pos_++];
-            if (c == '\\' && pos_ < text_.size())
-                c = text_[pos_++];
-            out.push_back(c);
-        }
-        if (pos_ >= text_.size())
-            return fail("unterminated string");
-        ++pos_; // closing quote
-        return true;
-    }
-
-    bool parseNumber(double &out)
-    {
-        skipWs();
-        const char *start = text_.c_str() + pos_;
-        char *end = nullptr;
-        out = std::strtod(start, &end);
-        if (end == start)
-            return fail("expected number");
-        pos_ += static_cast<size_t>(end - start);
-        return true;
-    }
-
-    /**
-     * Parse an object, invoking onField(key) positioned at the
-     * value; onField must consume the value (or return false to
-     * fail). Unknown keys are skipped via skipValue by the caller.
-     */
-    template <typename Fn>
-    bool parseObject(Fn &&onField)
-    {
-        if (!expect('{'))
-            return false;
-        if (peek('}')) {
-            ++pos_;
-            return true;
-        }
-        for (;;) {
-            std::string key;
-            if (!parseString(key) || !expect(':'))
-                return false;
-            if (!onField(key))
-                return false;
-            if (peek(',')) {
-                ++pos_;
-                continue;
-            }
-            return expect('}');
-        }
-    }
-
-    /** Skip any value of the supported subset (for unknown keys). */
-    bool skipValue()
-    {
-        skipWs();
-        if (pos_ >= text_.size())
-            return fail("unexpected end of document");
-        const char c = text_[pos_];
-        if (c == '"') {
-            std::string ignored;
-            return parseString(ignored);
-        }
-        if (c == '{') {
-            return parseObject([this](const std::string &) {
-                return skipValue();
-            });
-        }
-        if (c == 't' || c == 'f' || c == 'n') {
-            while (pos_ < text_.size() &&
-                   std::isalpha(
-                       static_cast<unsigned char>(text_[pos_])))
-                ++pos_;
-            return true;
-        }
-        double ignored = 0.0;
-        return parseNumber(ignored);
-    }
-
-    bool fail(const std::string &why)
-    {
-        if (!failed_) {
-            failed_ = true;
-            error_ = why + " at offset " + std::to_string(pos_);
-        }
-        return false;
-    }
-
-  private:
-    const std::string &text_;
-    size_t pos_ = 0;
-    bool failed_ = false;
-    std::string error_;
-};
+// The JSON-subset parser used to live here; it moved to
+// common/json_lite.{hh,cc} when the model-descriptor loader became
+// its second consumer.
 
 bool
 finitePositive(double v)
 {
     return std::isfinite(v) && v > 0.0;
-}
-
-/** Backslash-escape the characters MiniJson's parseString handles. */
-std::string
-jsonEscaped(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (const char c : s) {
-        if (c == '"' || c == '\\')
-            out.push_back('\\');
-        out.push_back(c);
-    }
-    return out;
 }
 
 void

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Registry seeding: turn the Table III zoo (features/model_table.hh)
+ * into registered descriptors. This is the only translation between
+ * the ModelKind enum world and the name-keyed registry world; every
+ * other layer resolves models through ModelRegistry::find().
+ */
+
+#include "common/logging.hh"
+#include "registry/registry.hh"
+
+namespace flexon {
+
+void
+registerBuiltinModels(ModelRegistry &registry)
+{
+    for (const BuiltinModelSeed &seed : builtinModelSeeds()) {
+        ModelDescriptor desc;
+        desc.name = seed.name;
+        desc.doc = seed.doc;
+        desc.source = "builtin";
+        desc.kind = seed.kind;
+        desc.params = seed.params;
+        std::string error;
+        if (!registry.registerModel(std::move(desc), &error))
+            panic("builtin model seed rejected: %s", error.c_str());
+    }
+}
+
+} // namespace flexon

@@ -1,0 +1,206 @@
+#include "registry/model_file.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/json_lite.hh"
+#include "registry/registry.hh"
+
+namespace flexon {
+
+namespace {
+
+/** Parse a {"eps_g": ..., "v_g": ...} synapse-type object. */
+bool
+parseSynType(MiniJson &json, SynapseTypeParams &syn)
+{
+    return json.parseObject([&](const std::string &key) {
+        if (key == "eps_g")
+            return json.parseNumber(syn.epsG);
+        if (key == "v_g")
+            return json.parseNumber(syn.vG);
+        return json.fail("unknown synapse-type field '" + key + "'");
+    });
+}
+
+bool
+parseParams(MiniJson &json, NeuronParams &p)
+{
+    return json.parseObject([&](const std::string &key) {
+        double value = 0.0;
+        if (key == "num_synapse_types") {
+            if (!json.parseNumber(value))
+                return false;
+            p.numSynapseTypes = static_cast<size_t>(value);
+            return true;
+        }
+        if (key == "ar_steps") {
+            if (!json.parseNumber(value))
+                return false;
+            p.arSteps = static_cast<uint32_t>(value);
+            return true;
+        }
+        if (key == "syn0")
+            return parseSynType(json, p.syn[0]);
+        if (key == "syn1")
+            return parseSynType(json, p.syn[1]);
+        if (key == "syn2")
+            return parseSynType(json, p.syn[2]);
+        if (key == "syn3")
+            return parseSynType(json, p.syn[3]);
+
+        double *field = nullptr;
+        if (key == "eps_m")
+            field = &p.epsM;
+        else if (key == "v_leak")
+            field = &p.vLeak;
+        else if (key == "delta_t")
+            field = &p.deltaT;
+        else if (key == "v_crit")
+            field = &p.vCrit;
+        else if (key == "v_firing")
+            field = &p.vFiring;
+        else if (key == "eps_w")
+            field = &p.epsW;
+        else if (key == "a")
+            field = &p.a;
+        else if (key == "v_w")
+            field = &p.vW;
+        else if (key == "b")
+            field = &p.b;
+        else if (key == "eps_r")
+            field = &p.epsR;
+        else if (key == "v_rr")
+            field = &p.vRR;
+        else if (key == "v_ar")
+            field = &p.vAR;
+        else if (key == "q_r")
+            field = &p.qR;
+        if (field == nullptr)
+            return json.fail("unknown params field '" + key + "'");
+        return json.parseNumber(*field);
+    });
+}
+
+bool
+parseIe(MiniJson &json, IePlasticityConfig &ie)
+{
+    ie.enabled = true;
+    return json.parseObject([&](const std::string &key) {
+        double *field = nullptr;
+        if (key == "eta")
+            field = &ie.eta;
+        else if (key == "target_rate")
+            field = &ie.targetRate;
+        else if (key == "tau")
+            field = &ie.tau;
+        else if (key == "min_offset")
+            field = &ie.minOffset;
+        else if (key == "max_offset")
+            field = &ie.maxOffset;
+        if (field == nullptr)
+            return json.fail("unknown ie field '" + key + "'");
+        return json.parseNumber(*field);
+    });
+}
+
+bool
+parseModel(MiniJson &json, const std::string &name,
+           const std::string &path, ModelDescriptor &desc,
+           bool &sawFeatures)
+{
+    desc.name = name;
+    desc.source = path;
+    return json.parseObject([&](const std::string &key) {
+        if (key == "doc")
+            return json.parseString(desc.doc);
+        if (key == "features") {
+            std::string text;
+            if (!json.parseString(text))
+                return false;
+            std::string badToken;
+            const auto set = featureSetFromString(text, &badToken);
+            if (!set) {
+                return json.fail("model '" + name +
+                                 "': unknown feature '" + badToken +
+                                 "' in \"" + text + "\"");
+            }
+            desc.params.features = *set;
+            sawFeatures = true;
+            return true;
+        }
+        if (key == "params")
+            return parseParams(json, desc.params);
+        if (key == "ie")
+            return parseIe(json, desc.ie);
+        return json.fail("model '" + name + "': unknown field '" +
+                         key + "'");
+    });
+}
+
+} // namespace
+
+int
+loadModelFile(ModelRegistry &registry, const std::string &path,
+              std::string *error)
+{
+    std::ifstream is(path);
+    if (!is) {
+        if (error != nullptr)
+            *error = "cannot open model file '" + path + "'";
+        return -1;
+    }
+    std::ostringstream buffer;
+    buffer << is.rdbuf();
+    const std::string text = buffer.str();
+
+    MiniJson json(text);
+    bool sawSchema = false;
+    int registered = 0;
+    std::string registerError;
+
+    const bool ok =
+        json.parseObject([&](const std::string &key) {
+            if (key == "schema") {
+                std::string schema;
+                if (!json.parseString(schema))
+                    return false;
+                if (schema != "flexon-models-v1") {
+                    return json.fail("unsupported schema '" + schema +
+                                     "' (expected flexon-models-v1)");
+                }
+                sawSchema = true;
+                return true;
+            }
+            if (key == "models") {
+                return json.parseObject([&](const std::string &name) {
+                    ModelDescriptor desc;
+                    bool sawFeatures = false;
+                    if (!parseModel(json, name, path, desc,
+                                    sawFeatures))
+                        return false;
+                    if (!sawFeatures) {
+                        return json.fail("model '" + name +
+                                         "' lacks a \"features\" "
+                                         "field");
+                    }
+                    if (!registry.registerModel(std::move(desc),
+                                                &registerError))
+                        return json.fail(registerError);
+                    ++registered;
+                    return true;
+                });
+            }
+            return json.fail("unknown top-level field '" + key + "'");
+        }) &&
+        json.atEnd() && (sawSchema || json.fail("missing \"schema\""));
+
+    if (!ok) {
+        if (error != nullptr)
+            *error = path + ": " + json.error();
+        return -1;
+    }
+    return registered;
+}
+
+} // namespace flexon

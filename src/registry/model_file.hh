@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Loader for model-descriptor files (`flexon_sim --model-file`): a
+ * JSON-subset document that registers additional neuron models into
+ * the process registry by name, without touching the ModelKind enum.
+ *
+ * Format ("flexon-models-v1", parsed with common/json_lite.hh — no
+ * arrays, so the per-synapse-type constants are nested objects):
+ *
+ *   {
+ *     "schema": "flexon-models-v1",
+ *     "models": {
+ *       "LIFL_IE": {
+ *         "doc": "LIF-with-latency + intrinsic excitability",
+ *         "features": "LID+CUB+AR",
+ *         "params": {
+ *           "num_synapse_types": 2,
+ *           "eps_m": 0.0, "v_leak": 0.002, "ar_steps": 20,
+ *           "syn0": {"eps_g": 0.02, "v_g": 3.0},
+ *           "syn1": {"eps_g": 0.02, "v_g": -1.0}
+ *         },
+ *         "ie": {"eta": 0.001, "target_rate": 0.02, "tau": 200,
+ *                "min_offset": -0.5, "max_offset": 0.5}
+ *       }
+ *     }
+ *   }
+ *
+ * Every "params" field defaults to the NeuronParams default; the
+ * presence of an "ie" object enables intrinsic-excitability
+ * plasticity for the model. Unknown keys are rejected (a typo that
+ * silently falls back to a default would corrupt experiments).
+ */
+
+#ifndef FLEXON_REGISTRY_MODEL_FILE_HH
+#define FLEXON_REGISTRY_MODEL_FILE_HH
+
+#include <string>
+
+namespace flexon {
+
+class ModelRegistry;
+
+/**
+ * Parse `path` and register every model it describes into `registry`.
+ * Returns the number of models registered, or -1 — with a diagnostic
+ * in *error — on I/O failure, malformed JSON, schema mismatch, or any
+ * descriptor the registry rejects (duplicates included). Models
+ * registered before the failing entry stay registered.
+ */
+int loadModelFile(ModelRegistry &registry, const std::string &path,
+                  std::string *error);
+
+} // namespace flexon
+
+#endif // FLEXON_REGISTRY_MODEL_FILE_HH

@@ -1,0 +1,189 @@
+#include "registry/registry.hh"
+
+#include <cctype>
+#include <cstdio>
+
+#include "flexon/config.hh"
+#include "folded/program.hh"
+
+namespace flexon {
+
+std::string
+IePlasticityConfig::validate() const
+{
+    if (!enabled)
+        return "";
+    if (eta <= 0.0 || eta > 1.0)
+        return "ie.eta must be within (0, 1]";
+    if (targetRate <= 0.0 || targetRate >= 1.0)
+        return "ie.target_rate must be within (0, 1)";
+    if (tau < 1.0)
+        return "ie.tau must be >= 1 step";
+    if (minOffset > maxOffset)
+        return "ie.min_offset must not exceed ie.max_offset";
+    return "";
+}
+
+ModelRegistry &
+ModelRegistry::instance()
+{
+    static ModelRegistry *registry = [] {
+        auto *r = new ModelRegistry();
+        registerBuiltinModels(*r);
+        return r;
+    }();
+    return *registry;
+}
+
+namespace {
+
+std::string
+nameProblem(const std::string &name)
+{
+    if (name.empty())
+        return "model name must not be empty";
+    for (const char c : name) {
+        if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+            c == '-' || c == '+' || c == '.')
+            continue;
+        return "model name '" + name +
+               "' contains characters outside [A-Za-z0-9_+.-]";
+    }
+    return "";
+}
+
+bool
+setError(std::string *error, const std::string &why)
+{
+    if (error != nullptr)
+        *error = why;
+    return false;
+}
+
+} // namespace
+
+bool
+ModelRegistry::registerModel(ModelDescriptor desc, std::string *error)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return registerLocked(std::move(desc), error);
+}
+
+bool
+ModelRegistry::registerLocked(ModelDescriptor desc, std::string *error)
+{
+    const std::string bad = nameProblem(desc.name);
+    if (!bad.empty())
+        return setError(error, bad);
+    if (byName_.count(desc.name) != 0) {
+        return setError(error, "model '" + desc.name +
+                                   "' is already registered");
+    }
+
+    const std::string paramsBad = desc.params.validate();
+    if (!paramsBad.empty()) {
+        return setError(error,
+                        "model '" + desc.name + "': " + paramsBad);
+    }
+    // FlexonConfig::fromParams (and with it the folded lowering)
+    // requires a membrane-decay MUX setting; NeuronParams::validate
+    // deliberately allows decay-free sets for unit tests, so enforce
+    // the hardware rule here where descriptors become simulatable.
+    if (!desc.params.features.has(Feature::EXD) &&
+        !desc.params.features.has(Feature::LID)) {
+        return setError(error, "model '" + desc.name +
+                                   "': a membrane decay feature (EXD "
+                                   "or LID) is required");
+    }
+
+    // Derive the dispatch entry and the folded microcode metrics.
+    // Lowering also structurally validates the program against the
+    // Table IV field widths, so a descriptor that registers is known
+    // to run on every engine.
+    desc.kernel = selectStepKernel(desc.params.features);
+    const FlexonConfig config = FlexonConfig::fromParams(desc.params);
+    const MicrocodeProgram program = buildProgram(config);
+    const std::string progBad =
+        program.validate(config.numSynapseTypes);
+    if (!progBad.empty()) {
+        return setError(error, "model '" + desc.name +
+                                   "': folded program invalid: " +
+                                   progBad);
+    }
+    desc.microcodeOps = program.length();
+    desc.microcodeLatency = program.latencyCycles();
+
+    const std::string ieBad = desc.ie.validate();
+    if (!ieBad.empty())
+        return setError(error, "model '" + desc.name + "': " + ieBad);
+
+    byName_.emplace(desc.name, models_.size());
+    models_.push_back(
+        std::make_unique<ModelDescriptor>(std::move(desc)));
+    return true;
+}
+
+const ModelDescriptor *
+ModelRegistry::find(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = byName_.find(name);
+    return it == byName_.end() ? nullptr : models_[it->second].get();
+}
+
+std::vector<const ModelDescriptor *>
+ModelRegistry::all() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<const ModelDescriptor *> out;
+    out.reserve(models_.size());
+    for (const auto &m : models_)
+        out.push_back(m.get());
+    return out;
+}
+
+size_t
+ModelRegistry::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return models_.size();
+}
+
+std::string
+ModelRegistry::namesSummary() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string out;
+    for (const auto &m : models_) {
+        if (!out.empty())
+            out += ", ";
+        out += m->name;
+    }
+    return out;
+}
+
+std::string
+ModelRegistry::fingerprint() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    uint64_t hash = 1469598103934665603ull; // FNV-1a offset basis
+    const auto mix = [&hash](const std::string &s) {
+        for (const char c : s) {
+            hash ^= static_cast<unsigned char>(c);
+            hash *= 1099511628211ull; // FNV-1a prime
+        }
+        hash ^= 0xff;
+        hash *= 1099511628211ull;
+    };
+    for (const auto &m : models_) {
+        mix(m->name);
+        mix(m->features().toString());
+        mix(m->source);
+    }
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%zu:%016llx", models_.size(),
+                  static_cast<unsigned long long>(hash));
+    return buf;
+}
+
+} // namespace flexon

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * The runtime model registry: the single owner of neuron-model
+ * descriptors.
+ *
+ * Historically every layer that needed "a model" switched over
+ * ModelKind and called modelFeatures()/defaultParams() directly, so
+ * adding a model meant editing the enum, the two switches, the kernel
+ * dispatch table, the CLI parser, and the network generators in
+ * lockstep. The registry inverts that: a model is a *descriptor* —
+ * name, feature mask, default parameters, folded microcode program
+ * metrics, kernel-dispatch entry, optional plasticity hooks — and the
+ * Table III zoo is merely the set of descriptors registered at
+ * startup (from features/model_table.hh's builtinModelSeeds()). New
+ * models register at runtime, typically from a `--model-file`
+ * descriptor document (model_file.hh), and flow through the same
+ * lookup paths as the built-ins: the CLI, the script frontend, the
+ * network generators, and the simulator engines all resolve models by
+ * name through ModelRegistry::find().
+ *
+ * Descriptors are immutable once registered and live for the process
+ * lifetime, so `const ModelDescriptor *` handles stay valid without
+ * holding the registry lock.
+ */
+
+#ifndef FLEXON_REGISTRY_REGISTRY_HH
+#define FLEXON_REGISTRY_REGISTRY_HH
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "features/model_table.hh"
+#include "features/params.hh"
+#include "flexon/kernel.hh"
+
+namespace flexon {
+
+/**
+ * Intrinsic-excitability plasticity configuration carried by a model
+ * descriptor. When enabled, the simulator attaches an
+ * IntrinsicExcitabilityRule (snn/plasticity.hh) that adapts each
+ * neuron's firing threshold toward a target firing rate — the
+ * homeostatic rule of LIFL-IE-style models. All values are in
+ * normalized units / time steps.
+ */
+struct IePlasticityConfig
+{
+    bool enabled = false;
+    double eta = 0.001;       ///< adaptation learning rate
+    double targetRate = 0.02; ///< target firing probability per step
+    double tau = 200.0;       ///< firing-rate EWMA time constant, steps
+    double minOffset = -0.5;  ///< threshold offset clamp, lower bound
+    double maxOffset = 0.5;   ///< threshold offset clamp, upper bound
+
+    /** Empty string when valid, else the first problem found. */
+    std::string validate() const;
+};
+
+/**
+ * Everything the simulator layers need to know about one neuron
+ * model. The feature mask lives inside `params.features`.
+ */
+struct ModelDescriptor
+{
+    std::string name;   ///< lookup key (unique, no whitespace)
+    std::string doc;    ///< one-line provenance / description
+    std::string source; ///< "builtin" or the descriptor-file path
+
+    /** Set for the Table III zoo; runtime models have no enum. */
+    std::optional<ModelKind> kind;
+
+    /** Default normalized parameters; carries the feature mask. */
+    NeuronParams params;
+
+    /** Optional intrinsic-excitability plasticity hook. */
+    IePlasticityConfig ie;
+
+    // --- Derived at registration (never user-supplied) ---
+
+    /** Batch step-kernel dispatch entry for the feature mask. */
+    SelectedKernel kernel{};
+    /** Spatially folded microcode length (control signals/step). */
+    size_t microcodeOps = 0;
+    /** Folded per-neuron evaluation latency in pipeline cycles. */
+    size_t microcodeLatency = 0;
+
+    bool builtin() const { return kind.has_value(); }
+    FeatureSet features() const { return params.features; }
+};
+
+/**
+ * Process-wide, thread-safe registry of model descriptors.
+ *
+ * instance() seeds the Table III zoo (plus baseline LIF) on first
+ * use, so `find("AdEx")` works without any setup. Registration
+ * validates the descriptor (unique name, legal feature combination,
+ * legal parameters, folded program lowers cleanly) and derives the
+ * kernel-dispatch and microcode fields; on failure nothing is
+ * registered and *error describes the problem.
+ */
+class ModelRegistry
+{
+  public:
+    /** The process-wide registry, builtins already seeded. */
+    static ModelRegistry &instance();
+
+    /**
+     * Validate and register a descriptor. Returns false — with a
+     * diagnostic in *error when given — on duplicate name, malformed
+     * name, invalid feature combination or parameters, or a model
+     * whose folded microcode fails structural validation.
+     */
+    bool registerModel(ModelDescriptor desc,
+                       std::string *error = nullptr);
+
+    /** Look up by name; nullptr when unknown. Pointer never dies. */
+    const ModelDescriptor *find(const std::string &name) const;
+
+    /** All descriptors, in registration order (builtins first). */
+    std::vector<const ModelDescriptor *> all() const;
+
+    size_t size() const;
+
+    /**
+     * Comma-separated registered names, for "unknown model" CLI
+     * diagnostics.
+     */
+    std::string namesSummary() const;
+
+    /**
+     * Stable digest of the registered set (count plus an FNV-1a hash
+     * over name/feature-mask/source triples). Recorded as benchmark
+     * context so result comparisons can flag runs taken with
+     * different model sets loaded.
+     */
+    std::string fingerprint() const;
+
+  private:
+    ModelRegistry() = default;
+
+    bool registerLocked(ModelDescriptor desc, std::string *error);
+
+    mutable std::mutex mutex_;
+    /** unique_ptr keeps descriptor addresses stable across growth. */
+    std::vector<std::unique_ptr<ModelDescriptor>> models_;
+    std::unordered_map<std::string, size_t> byName_;
+};
+
+/**
+ * Registry seeding from features/model_table.hh (registry/builtin.cc).
+ * Called once by ModelRegistry::instance(); exposed for tests that
+ * construct expectations from the seed rows.
+ */
+void registerBuiltinModels(ModelRegistry &registry);
+
+} // namespace flexon
+
+#endif // FLEXON_REGISTRY_REGISTRY_HH

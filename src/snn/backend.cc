@@ -258,6 +258,42 @@ class ReferenceBackend : public NeuronBackend
     }
 
     bool
+    setThresholdOffset(size_t neuron, double offset) override
+    {
+        if (mode_ != IntegrationMode::Discrete ||
+            neuron >= numNeurons_)
+            return false;
+        for (size_t b = 0; b < batches_.size(); ++b) {
+            if (neuron < bases_[b] + batches_[b].size()) {
+                batches_[b].setThresholdOffset(neuron - bases_[b],
+                                               offset);
+                ++parameterMutations_;
+                return true;
+            }
+        }
+        return false;
+    }
+
+    double
+    thresholdOffset(size_t neuron) const override
+    {
+        if (mode_ != IntegrationMode::Discrete ||
+            neuron >= numNeurons_)
+            return 0.0;
+        for (size_t b = 0; b < batches_.size(); ++b) {
+            if (neuron < bases_[b] + batches_[b].size())
+                return batches_[b].thresholdOffset(neuron - bases_[b]);
+        }
+        return 0.0;
+    }
+
+    uint64_t
+    parameterMutations() const override
+    {
+        return parameterMutations_;
+    }
+
+    bool
     debugPoisonMembrane(size_t neuron) override
     {
         if (neuron >= numNeurons_)
@@ -289,6 +325,7 @@ class ReferenceBackend : public NeuronBackend
     IntegrationMode mode_;
     size_t threads_;
     size_t numNeurons_ = 0;
+    uint64_t parameterMutations_ = 0;
     std::vector<size_t> bases_;
     std::vector<ReferenceBatch> batches_;
     std::vector<OdeNeuron> continuous_;

@@ -111,6 +111,34 @@ class NeuronBackend
     }
 
     /**
+     * Intrinsic-excitability hook: offset one neuron's firing
+     * threshold (the spike check compares against
+     * params.threshold() + offset). Returns false when the backend
+     * cannot mutate per-neuron thresholds (the default; the
+     * fixed-point arrays share one threshold constant per
+     * population). Successful writes count into
+     * parameterMutations() — the per-neuron parameter analogue of
+     * Network's weight-mutation log — so consumers (reports, tests)
+     * can tell whether any run-time parameter adaptation happened.
+     */
+    virtual bool setThresholdOffset(size_t neuron, double offset)
+    {
+        (void)neuron;
+        (void)offset;
+        return false;
+    }
+
+    /** Current threshold offset of one neuron (0 when unsupported). */
+    virtual double thresholdOffset(size_t neuron) const
+    {
+        (void)neuron;
+        return 0.0;
+    }
+
+    /** Monotone count of successful per-neuron parameter writes. */
+    virtual uint64_t parameterMutations() const { return 0; }
+
+    /**
      * Health-sweep probe: examine neurons [begin, end) and tally
      * anomalies into `scan`. The default checks membrane() for
      * non-finite values (what double backends can produce); the

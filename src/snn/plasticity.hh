@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The plasticity-rule interface and the intrinsic-excitability rule.
+ *
+ * PlasticityRule abstracts what StdpEngine pioneered: an engine that
+ * observes each step's fired flags after the simulation step and
+ * mutates something the next steps see — synaptic weights (STDP,
+ * through the Network's logging mutators) or per-neuron parameters
+ * (intrinsic excitability, through NeuronBackend threshold offsets).
+ * Rules attach to a SimulationSession (attachPlasticityRule), which
+ * calls onStep() inside stepOnce() and carries each rule's state in
+ * the v4 checkpoint's plasticity block, so a save/restore resumes
+ * learning bit-identically. The pre-existing external calling
+ * convention (construct an engine, call onStep() yourself after each
+ * step, checkpoint its state beside the session's) keeps working —
+ * attachment is a convenience, not a requirement.
+ *
+ * IntrinsicExcitabilityRule is the homeostatic IE rule of
+ * LIFL-with-IE models (NEST's lifl_psc_exp_ie): each neuron tracks
+ * its firing rate as an EWMA and drifts its firing threshold so the
+ * rate approaches a target — neurons that fire too much become
+ * harder to fire, silent neurons easier. With spike-latency coding
+ * this implements the MNSD-style unsupervised tuning of which
+ * neurons respond to which input patterns.
+ */
+
+#ifndef FLEXON_SNN_PLASTICITY_HH
+#define FLEXON_SNN_PLASTICITY_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "registry/registry.hh"
+
+namespace flexon {
+
+class NeuronBackend;
+
+/**
+ * A learning rule driven by the per-step fired flags. See the file
+ * comment; implementations must keep onStep() deterministic (pure
+ * function of the spike history and its own state) so checkpointed
+ * runs stay bit-exact.
+ */
+class PlasticityRule
+{
+  public:
+    virtual ~PlasticityRule() = default;
+
+    /** Stable tag written into checkpoints ("stdp", "ie", ...). */
+    virtual const char *kind() const = 0;
+
+    /**
+     * Apply one step of the rule.
+     * @param fired the step's 0/1 spike flags (session lastFired())
+     */
+    virtual void onStep(const std::vector<uint8_t> &fired) = 0;
+
+    /**
+     * Checkpoint the rule's complete dynamic state, exact text round
+     * trip (17-significant-digit stream, snn/serialize.hh framing).
+     * loadState must leave the rule — and anything it mutates, like
+     * backend threshold offsets — exactly as it was at save time;
+     * fatal() on shape mismatch.
+     */
+    virtual void saveState(std::ostream &os) const = 0;
+    virtual void loadState(std::istream &is) = 0;
+};
+
+/**
+ * Homeostatic intrinsic-excitability plasticity over a backend's
+ * per-neuron threshold offsets:
+ *
+ *   rate[n]   += (fired[n] - rate[n]) / tau        (EWMA)
+ *   offset[n]  = clamp(offset[n] + eta * (rate[n] - targetRate),
+ *                      minOffset, maxOffset)
+ *
+ * The backend must support setThresholdOffset (the discrete
+ * reference backend); construction fatal()s otherwise, so a
+ * misconfigured run fails loudly instead of silently not learning.
+ */
+class IntrinsicExcitabilityRule : public PlasticityRule
+{
+  public:
+    /**
+     * @param backend the live neuron backend (kept by reference;
+     *        must outlive the rule)
+     * @param numNeurons network neuron count
+     * @param config validated IE constants (registry descriptor)
+     */
+    IntrinsicExcitabilityRule(NeuronBackend &backend,
+                              size_t numNeurons,
+                              const IePlasticityConfig &config);
+
+    const char *kind() const override { return "ie"; }
+    void onStep(const std::vector<uint8_t> &fired) override;
+    void saveState(std::ostream &os) const override;
+    void loadState(std::istream &is) override;
+
+    const IePlasticityConfig &config() const { return config_; }
+    double rate(size_t neuron) const { return rates_.at(neuron); }
+    double offset(size_t neuron) const
+    {
+        return offsets_.at(neuron);
+    }
+
+    /** Mean threshold offset (learning diagnostics). */
+    double meanOffset() const;
+
+  private:
+    NeuronBackend &backend_;
+    IePlasticityConfig config_;
+    double alpha_; ///< 1 / tau
+    std::vector<double> rates_;
+    std::vector<double> offsets_;
+};
+
+} // namespace flexon
+
+#endif // FLEXON_SNN_PLASTICITY_HH

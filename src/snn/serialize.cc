@@ -180,7 +180,12 @@ constexpr const char *checkpointMagic = "flexon-checkpoint";
 // spec seed plus the sparse weight-delta overlay instead of a full
 // weight vector. Blocks a v2 reader would understand are unchanged,
 // so this build still reads v2 snapshots.
-constexpr int checkpointVersion = 3;
+// v4: adds the `plasticity N` block between the weights and engine
+// blocks — the state of every session-attached plasticity rule
+// (STDP traces, intrinsic-excitability rates and threshold offsets).
+// v2/v3 snapshots simply lack the block and restore with the rules'
+// current state untouched.
+constexpr int checkpointVersion = 4;
 constexpr int checkpointMinVersion = 2;
 
 } // namespace
@@ -193,8 +198,8 @@ writeCheckpointHeader(std::ostream &os, std::string_view engine)
     os << std::setprecision(17);
 }
 
-std::string
-readCheckpointHeader(std::istream &is)
+CheckpointHeader
+readCheckpointHeaderInfo(std::istream &is)
 {
     std::string word;
     is >> word;
@@ -204,17 +209,23 @@ readCheckpointHeader(std::istream &is)
     is >> word;
     if (word.size() < 2 || word[0] != 'v')
         fatal("malformed checkpoint version field '%s'", word.c_str());
-    const int file_version = std::stoi(word.substr(1));
-    if (file_version < checkpointMinVersion ||
-        file_version > checkpointVersion)
+    CheckpointHeader header;
+    header.version = std::stoi(word.substr(1));
+    if (header.version < checkpointMinVersion ||
+        header.version > checkpointVersion)
         fatal("unsupported checkpoint version %d (this build reads "
               "v%d..v%d)",
-              file_version, checkpointMinVersion, checkpointVersion);
-    std::string engine;
-    is >> engine;
+              header.version, checkpointMinVersion, checkpointVersion);
+    is >> header.engine;
     if (!is)
         fatal("truncated checkpoint header");
-    return engine;
+    return header;
+}
+
+std::string
+readCheckpointHeader(std::istream &is)
+{
+    return readCheckpointHeaderInfo(is).engine;
 }
 
 std::string

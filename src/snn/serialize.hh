@@ -32,7 +32,7 @@ void saveNetworkFile(const std::string &path, const Network &network);
 Network loadNetworkFile(const std::string &path);
 
 /**
- * Checkpoint file framing ("flexon-checkpoint v2"): the versioned
+ * Checkpoint file framing ("flexon-checkpoint v4"): the versioned
  * header of a SimulationSession snapshot. The header writer arms the
  * stream for exact round trips — 17 significant digits, the precision
  * at which every finite double (and, a fortiori, float) survives a
@@ -41,11 +41,21 @@ Network loadNetworkFile(const std::string &path);
  */
 void writeCheckpointHeader(std::ostream &os, std::string_view engine);
 
+/** Parsed checkpoint header: format version plus engine kind. */
+struct CheckpointHeader
+{
+    int version = 0;
+    std::string engine;
+};
+
 /**
- * Read and validate a checkpoint header; returns the engine kind
- * recorded by the writer. fatal() on bad magic or an unsupported
- * version.
+ * Read and validate a checkpoint header. fatal() on bad magic or an
+ * unsupported version. Readers that accept more than one version
+ * gate optional blocks (e.g. the v4 plasticity block) on `version`.
  */
+CheckpointHeader readCheckpointHeaderInfo(std::istream &is);
+
+/** Header read returning just the engine kind (legacy callers). */
 std::string readCheckpointHeader(std::istream &is);
 
 /**

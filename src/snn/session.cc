@@ -11,6 +11,7 @@
 #include "common/debug.hh"
 #include "common/logging.hh"
 #include "plan/planner.hh"
+#include "snn/plasticity.hh"
 #include "snn/serialize.hh"
 
 namespace flexon {
@@ -74,6 +75,13 @@ SimulationSession::probeTrace(size_t probe) const
 {
     flexon_assert(probe < probeTraces_.size());
     return probeTraces_[probe];
+}
+
+void
+SimulationSession::attachPlasticityRule(PlasticityRule *rule)
+{
+    flexon_assert(rule != nullptr);
+    plasticityRules_.push_back(rule);
 }
 
 void
@@ -148,6 +156,11 @@ SimulationSession::stepOnce()
     phaseStimulus();
     phaseNeuron();
     phaseSynapse();
+    // Plasticity observes the completed step: same ordering as the
+    // external convention (run a step, then onStep(lastFired())), so
+    // attached and hand-driven rules learn identically.
+    for (PlasticityRule *rule : plasticityRules_)
+        rule->onStep(fired_);
     FLEXON_DPRINTF(Simulator, "step %llu: %llu spikes so far",
                    static_cast<unsigned long long>(t_),
                    static_cast<unsigned long long>(
@@ -779,6 +792,16 @@ SimulationSession::saveCheckpoint(std::ostream &os) const
         os << '\n';
     }
 
+    // Attached plasticity rules (v4): one tagged state record per
+    // rule, in attachment order. Rules driven externally (never
+    // attached) keep checkpointing their state beside the session's,
+    // as before.
+    os << "plasticity " << plasticityRules_.size() << '\n';
+    for (const PlasticityRule *rule : plasticityRules_) {
+        os << "rule " << rule->kind() << '\n';
+        rule->saveState(os);
+    }
+
     os << "engine\n";
     engineSaveState(os);
     os << "end\n";
@@ -795,11 +818,11 @@ SimulationSession::loadCheckpoint(std::istream &is,
     // counters below are re-seeded into).
     reset();
 
-    const std::string engine = readCheckpointHeader(is);
-    if (engine != engineKind()) {
+    const CheckpointHeader header = readCheckpointHeaderInfo(is);
+    if (header.engine != engineKind()) {
         fatal("checkpoint was written by a '%s' engine, cannot "
               "restore into '%s'",
-              engine.c_str(), engineKind());
+              header.engine.c_str(), engineKind());
     }
 
     std::string tag;
@@ -913,6 +936,31 @@ SimulationSession::loadCheckpoint(std::istream &is,
         }
     } else if (haveWeights != 0) {
         fatal("unknown checkpoint weights form %d", haveWeights);
+    }
+
+    // Plasticity block (v4+). Older snapshots have none: any rules
+    // attached to this session keep their current state, matching
+    // the historical external convention.
+    if (header.version >= 4) {
+        size_t numRules = 0;
+        is >> tag >> numRules;
+        if (tag != "plasticity" || !is)
+            fatal("malformed checkpoint plasticity block");
+        if (numRules != plasticityRules_.size()) {
+            fatal("checkpoint carries %zu plasticity rules, this "
+                  "session has %zu attached",
+                  numRules, plasticityRules_.size());
+        }
+        for (PlasticityRule *rule : plasticityRules_) {
+            std::string kind;
+            is >> tag >> kind;
+            if (tag != "rule" || !is || kind != rule->kind()) {
+                fatal("checkpoint plasticity rule '%s' does not "
+                      "match attached rule '%s'",
+                      kind.c_str(), rule->kind());
+            }
+            rule->loadState(is);
+        }
     }
 
     is >> tag;

@@ -23,7 +23,7 @@
  * steps is bit-identical — spike for spike, probe sample for probe
  * sample — to the uninterrupted run (tests/test_session.cc).
  *
- * Format: text, "flexon-checkpoint v2" framing (snn/serialize.hh),
+ * Format: text, "flexon-checkpoint v4" framing (snn/serialize.hh),
  * doubles at 17 significant digits and fixed-point values as raw
  * integers, so every value round trips exactly. Wall-clock phase
  * timers are deliberately *not* checkpointed — host seconds are not
@@ -48,6 +48,8 @@
 #include "snn/stimulus.hh"
 
 namespace flexon {
+
+class PlasticityRule;
 
 /** Engine-independent options of a simulation session. */
 struct SessionOptions
@@ -266,6 +268,25 @@ class SimulationSession
      * stepOnce().
      */
     const std::vector<uint8_t> &lastFired() const { return fired_; }
+
+    /**
+     * Attach a plasticity rule: the session calls rule->onStep(fired)
+     * at the end of every stepOnce() (in attachment order) and
+     * carries the rule's state in checkpoints (the v4 plasticity
+     * block), so save/restore resumes learning bit-identically. The
+     * rule is borrowed, not owned — it must outlive the session — and
+     * typically references this session's backend or network, so
+     * attach only to the session those objects belong to.
+     * Restore-time contract: loadCheckpoint requires the same rules
+     * (count, kinds, order) the checkpoint was saved with.
+     */
+    void attachPlasticityRule(PlasticityRule *rule);
+
+    /** Rules attached so far, in onStep order. */
+    const std::vector<PlasticityRule *> &plasticityRules() const
+    {
+        return plasticityRules_;
+    }
 
     /**
      * Membrane trace of the i-th probed neuron (options.probes),
@@ -632,6 +653,9 @@ class SimulationSession
     // Plan-decision audit trail (recordPlanDecision).
     std::vector<PlanDecision> planDecisions_;
     uint64_t planDecisionsTotal_ = 0;
+
+    /** Attached plasticity rules (borrowed), in onStep order. */
+    std::vector<PlasticityRule *> plasticityRules_;
 };
 
 } // namespace flexon

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "snn/network.hh"
+#include "snn/plasticity.hh"
 
 namespace flexon {
 
@@ -43,21 +44,25 @@ struct StdpConfig
 };
 
 /**
- * The plasticity engine. Construct over a finalized network (held by
- * non-const reference: weights are updated in place, visible to any
- * simulator routing through the same Network), then call onStep()
- * after every simulation step with that step's fired flags.
+ * The synaptic plasticity engine. Construct over a finalized network
+ * (held by non-const reference: weights are updated in place,
+ * visible to any simulator routing through the same Network), then
+ * either attach it to a session (attachPlasticityRule) or call
+ * onStep() yourself after every simulation step with that step's
+ * fired flags.
  */
-class StdpEngine
+class StdpEngine : public PlasticityRule
 {
   public:
     StdpEngine(Network &network, const StdpConfig &config = {});
+
+    const char *kind() const override { return "stdp"; }
 
     /**
      * Apply one step of trace decay and spike-driven updates.
      * @param fired the step's 0/1 spike flags (Simulator::lastFired)
      */
-    void onStep(const std::vector<uint8_t> &fired);
+    void onStep(const std::vector<uint8_t> &fired) override;
 
     const StdpConfig &config() const { return config_; }
     double preTrace(uint32_t neuron) const;
@@ -75,8 +80,8 @@ class StdpEngine
      * the session checkpoint; restoring both sides resumes learning
      * bit-identically. loadState fatal()s on a size mismatch.
      */
-    void saveState(std::ostream &os) const;
-    void loadState(std::istream &is);
+    void saveState(std::ostream &os) const override;
+    void loadState(std::istream &is) override;
 
   private:
     /**

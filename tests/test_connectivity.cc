@@ -335,9 +335,13 @@ TEST(ConnectivityCheckpoint, ReadsVersion2Snapshots)
         ss << is.rdbuf();
         text = ss.str();
     }
-    const size_t at = text.find("flexon-checkpoint v3");
+    const size_t at = text.find("flexon-checkpoint v4");
     ASSERT_NE(at, std::string::npos);
     text.replace(at, 20, "flexon-checkpoint v2");
+    // v2 files predate the plasticity block; drop it too.
+    const size_t pl = text.find("\nplasticity 0\n");
+    ASSERT_NE(pl, std::string::npos);
+    text.erase(pl, 14);
     {
         std::ofstream os(path);
         os << text;

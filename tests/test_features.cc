@@ -52,6 +52,14 @@ TEST(Feature, RoundTripNames)
     }
 }
 
+TEST(Feature, UnknownNameIsNotAnError)
+{
+    EXPECT_EQ(featureFromName("WAT"), std::nullopt);
+    EXPECT_EQ(featureFromName(""), std::nullopt);
+    EXPECT_EQ(featureFromName("exd"), std::nullopt) // case-sensitive
+        << "feature names are upper-case";
+}
+
 TEST(FeatureSet, AddRemoveHas)
 {
     FeatureSet s;
@@ -155,6 +163,14 @@ TEST(ModelTable, NameRoundTrip)
 {
     for (ModelKind kind : allModels())
         EXPECT_EQ(modelFromName(modelName(kind)), kind);
+}
+
+TEST(ModelTable, UnknownNameIsNotAnError)
+{
+    EXPECT_EQ(modelFromName("NoSuchModel"), std::nullopt);
+    EXPECT_EQ(modelFromName(""), std::nullopt);
+    EXPECT_EQ(modelFromName("lif"), std::nullopt)
+        << "model names are case-sensitive";
 }
 
 TEST(NeuronParams, ValidationCatchesBadValues)

@@ -136,7 +136,7 @@ TEST(Script, ErrorsCarryLineNumbers)
                  "line 2: unknown population");
     EXPECT_DEATH(parseScriptString(
                      "population a model=NoSuchModel count=3\n"),
-                 "unknown neuron model");
+                 "unknown model NoSuchModel; registered models");
     EXPECT_DEATH(parseScriptString(
                      "population a model=LIF count=3\n"
                      "connect a a p=2.0 weight=1\n"),

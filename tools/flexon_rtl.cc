@@ -10,6 +10,7 @@
  */
 
 #include <cstdio>
+#include <optional>
 #include <string>
 
 #include "backend/verilog.hh"
@@ -44,8 +45,16 @@ main(int argc, char **argv)
         model_idx = 2;
         arg = argv[model_idx];
     }
-    const ModelKind kind = modelFromName(arg);
-    const CompiledNeuron compiled = compileModel(kind);
+    const std::optional<ModelKind> kind = modelFromName(arg);
+    if (!kind) {
+        std::fprintf(stderr,
+                     "unknown model '%s'; builtin models:\n",
+                     arg.c_str());
+        for (ModelKind k : allModels())
+            std::fprintf(stderr, "  %s\n", modelName(k));
+        return 2;
+    }
+    const CompiledNeuron compiled = compileModel(*kind);
     const std::string module = argc > model_idx + 1
                                    ? argv[model_idx + 1]
                                    : "flexon_folded_neuron";

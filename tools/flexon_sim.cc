@@ -20,6 +20,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -34,12 +35,16 @@
 #include "common/health.hh"
 #include "common/logging.hh"
 #include "frontend/script.hh"
+#include "nets/model_demo.hh"
 #include "nets/potjans_diesmann.hh"
 #include "nets/table1.hh"
 #include "plan/calibration.hh"
 #include "plan/planner.hh"
+#include "registry/model_file.hh"
+#include "registry/registry.hh"
 #include "snn/auto_engine.hh"
 #include "snn/event_driven.hh"
+#include "snn/plasticity.hh"
 #include "snn/serialize.hh"
 #include "snn/simulator.hh"
 
@@ -50,6 +55,8 @@ namespace {
 struct Args
 {
     std::string benchmark;
+    std::string model;
+    std::string modelFile;
     std::string script;
     std::string load;
     std::string save;
@@ -80,6 +87,7 @@ struct Args
     bool legacyDelivery = false;
     bool stats = false;
     bool list = false;
+    bool listModels = false;
     bool telemetry = false;
     std::string report;
     std::string trace;
@@ -98,8 +106,12 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: flexon_sim --benchmark NAME | --script FILE |\n"
-        "                  --load FILE | --list\n"
+        "usage: flexon_sim --benchmark NAME | --model NAME |\n"
+        "                  --script FILE | --load FILE |\n"
+        "                  --list | --list-models\n"
+        "  [--model-file FILE]  register extra neuron models from a\n"
+        "                    flexon-models-v1 file "
+        "(registry/model_file.hh)\n"
         "  [--scale S] [--steps N] [--seed N] [--threads N]\n"
         "  [--backend reference|flexon|folded]\n"
         "  [--engine dense|event|auto]  delivery engine "
@@ -200,6 +212,10 @@ parseArgs(int argc, char **argv)
         const std::string flag = argv[i];
         if (flag == "--benchmark") {
             args.benchmark = need_value(i);
+        } else if (flag == "--model") {
+            args.model = need_value(i);
+        } else if (flag == "--model-file") {
+            args.modelFile = need_value(i);
         } else if (flag == "--script") {
             args.script = need_value(i);
         } else if (flag == "--load") {
@@ -307,6 +323,8 @@ parseArgs(int argc, char **argv)
             args.stats = true;
         } else if (flag == "--list") {
             args.list = true;
+        } else if (flag == "--list-models") {
+            args.listModels = true;
         } else {
             std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
             usage();
@@ -375,6 +393,44 @@ main(int argc, char **argv)
                args.calibration.c_str(), cal.version.c_str());
     }
 
+    // Register file-provided models before anything looks names up —
+    // --list-models must show them and --model/--script must find
+    // them. A malformed file is a usage error (exit 2), with the
+    // parser's byte-offset diagnostic on stderr.
+    if (!args.modelFile.empty()) {
+        std::string err;
+        const int added = loadModelFile(ModelRegistry::instance(),
+                                        args.modelFile, &err);
+        if (added < 0) {
+            std::fprintf(stderr, "flexon_sim: --model-file: %s\n",
+                         err.c_str());
+            return 2;
+        }
+        inform("registered %d model(s) from %s", added,
+               args.modelFile.c_str());
+    }
+
+    if (args.listModels) {
+        std::printf("%-22s %-26s %3s %5s %7s  %-11s %-3s %s\n",
+                    "model", "features", "syn", "uops", "latency",
+                    "kernel", "ie", "description");
+        for (const ModelDescriptor *d :
+             ModelRegistry::instance().all()) {
+            std::printf("%-22s %-26s %3u %5zu %7zu  %-11s %-3s %s\n",
+                        d->name.c_str(),
+                        d->features().toString().c_str(),
+                        d->params.numSynapseTypes, d->microcodeOps,
+                        d->microcodeLatency,
+                        d->kernel.specialized ? "specialized"
+                                              : "generic",
+                        d->ie.enabled ? "yes" : "no",
+                        d->doc.c_str());
+        }
+        std::printf("\nregistry fingerprint: %s\n",
+                    ModelRegistry::instance().fingerprint().c_str());
+        return 0;
+    }
+
     // The watchdog arms the flight recorder too: a crash dump with an
     // empty trace buffer is useless for the post-mortem it exists
     // for. (Recording costs only the armed ring buffer.)
@@ -393,7 +449,7 @@ main(int argc, char **argv)
         for (const BenchmarkSpec &spec : table1Benchmarks()) {
             std::printf("%-18s %8zu %10zu  %-22s %s\n",
                         spec.name.c_str(), spec.neurons,
-                        spec.synapses, modelName(spec.model),
+                        spec.synapses, spec.model.c_str(),
                         solverName(spec.solver));
         }
         size_t mcNeurons = 0;
@@ -405,9 +461,27 @@ main(int argc, char **argv)
         return 0;
     }
     const int sources = (!args.benchmark.empty()) +
+                        (!args.model.empty()) +
                         (!args.script.empty()) + (!args.load.empty());
     if (sources != 1)
         usage(); // exactly one source required
+
+    // Resolve --model early: an unknown name is a usage error and
+    // should list what *is* registered (builtins plus --model-file).
+    const ModelDescriptor *modelDesc = nullptr;
+    if (!args.model.empty()) {
+        modelDesc = ModelRegistry::instance().find(args.model);
+        if (modelDesc == nullptr) {
+            std::fprintf(stderr,
+                         "flexon_sim: unknown model '%s'; registered "
+                         "models: %s\n",
+                         args.model.c_str(),
+                         ModelRegistry::instance()
+                             .namesSummary()
+                             .c_str());
+            return 2;
+        }
+    }
 
     // Compressed and procedural connectivity regenerate (or
     // re-encode) rows from the benchmark's generative spec, so they
@@ -450,6 +524,17 @@ main(int argc, char **argv)
         net = std::move(inst.network);
         stim = std::move(inst.stimulus);
         title = args.benchmark;
+    } else if (modelDesc != nullptr) {
+        // --scale keeps its shrink-divisor meaning: the demo net is
+        // 10000 neurons at scale 1, i.e. 1000 at the default 10.
+        const size_t demoNeurons = std::max<size_t>(
+            10, static_cast<size_t>(
+                    std::llround(10000.0 / args.scale)));
+        BenchmarkInstance inst =
+            buildModelDemo(*modelDesc, demoNeurons, args.seed);
+        net = std::move(inst.network);
+        stim = std::move(inst.stimulus);
+        title = inst.spec.name;
     } else if (!args.script.empty()) {
         ParsedScript parsed = parseScriptFile(args.script);
         net = std::move(parsed.network);
@@ -515,6 +600,28 @@ main(int argc, char **argv)
         }
     }
 
+    // Intrinsic-excitability plasticity attaches a rule to one live
+    // session's backend, so it needs the discrete reference backend
+    // and a pinned dense engine (adaptive switches and event-driven
+    // restores rebuild the session, dropping attached rules).
+    const bool wantIe = modelDesc != nullptr && modelDesc->ie.enabled;
+    if (wantIe) {
+        if (args.backend != BackendKind::Reference ||
+            args.mode != IntegrationMode::Discrete) {
+            fatal("model '%s' carries intrinsic-excitability "
+                  "plasticity, which needs the discrete reference "
+                  "backend",
+                  args.model.c_str());
+        }
+        if (args.engine != EngineKind::Dense) {
+            if (args.engineSet)
+                warn("--engine %s overridden: plasticity rules "
+                     "require the pinned dense engine",
+                     engineKindName(args.engine));
+            args.engine = EngineKind::Dense;
+        }
+    }
+
     SimulatorOptions opts;
     opts.backend = args.backend;
     opts.mode = args.mode;
@@ -531,6 +638,25 @@ main(int argc, char **argv)
     autoOpts.engine = args.engine;
     AutoSession sim(net, stim, opts, autoOpts);
     sim.session().setCheckpointCadence(args.checkpointEvery);
+
+    // Attach the IE rule before any restore: loadCheckpoint requires
+    // the same rules (count, kinds, order) the snapshot was saved
+    // with. The engine is pinned dense above, so the session — and
+    // with it the attachment — survives restores.
+    std::optional<IntrinsicExcitabilityRule> ieRule;
+    if (wantIe) {
+        auto *dense = dynamic_cast<Simulator *>(&sim.session());
+        if (dense == nullptr)
+            fatal("internal: dense engine expected for plasticity");
+        ieRule.emplace(dense->backend(), net.numNeurons(),
+                       modelDesc->ie);
+        sim.session().attachPlasticityRule(&*ieRule);
+        inform("intrinsic excitability: eta=%g target-rate=%g "
+               "tau=%g offsets=[%g, %g]",
+               modelDesc->ie.eta, modelDesc->ie.targetRate,
+               modelDesc->ie.tau, modelDesc->ie.minOffset,
+               modelDesc->ie.maxOffset);
+    }
     if (planned) {
         // Upgrade the AutoSession's descriptive record: this run's
         // strategy was planner-chosen, and the prediction to audit
@@ -661,6 +787,12 @@ main(int argc, char **argv)
                 "synapse %.2f ms\n",
                 st.stimulusSec * 1e3, st.neuronSec * 1e3,
                 st.synapseSec * 1e3);
+    if (ieRule) {
+        std::printf("intrinsic excitability: mean threshold offset "
+                    "%+.5f after %llu steps\n",
+                    ieRule->meanOffset(),
+                    static_cast<unsigned long long>(st.steps));
+    }
     if (st.modelNeuronSec > 0.0) {
         std::printf("modelled hardware neuron time: %.3f ms "
                     "(%.1fx vs this host's reference loop)\n",
